@@ -1,0 +1,161 @@
+#include "bench_util.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+
+namespace aurora::bench {
+
+FigureOptions parse_figure_options(int argc, const char* const* argv) {
+  const CliArgs args(argc, argv);
+  FigureOptions opt;
+  opt.scale = args.get_double("scale", 0.0);
+  opt.paper_scale = !args.get_bool("small", false);
+  opt.hidden_dim =
+      static_cast<std::uint32_t>(args.get_int("hidden", 16));
+  opt.seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+  return opt;
+}
+
+double default_scale(graph::DatasetId id) {
+  switch (id) {
+    case graph::DatasetId::kCora:
+    case graph::DatasetId::kCiteseer:
+      return 1.0;
+    case graph::DatasetId::kPubmed:
+      return 1.0;
+    case graph::DatasetId::kNell:
+      return 0.5;    // 33 k vertices — keeps generation under a second
+    case graph::DatasetId::kReddit:
+      return 0.008;  // mean degree preserved; 57 M edges is generator-bound
+  }
+  return 1.0;
+}
+
+core::AuroraConfig figure_config(const FigureOptions& options) {
+  core::AuroraConfig cfg =
+      options.paper_scale ? core::AuroraConfig::paper()
+                          : core::AuroraConfig::bench();
+  cfg.mode = core::SimMode::kAnalytic;
+  return cfg;
+}
+
+baselines::ChipParams figure_chip(const FigureOptions& options) {
+  const core::AuroraConfig cfg = figure_config(options);
+  return baselines::chip_params_matching(cfg.array_dim,
+                                         cfg.pe.datapath.num_multipliers,
+                                         cfg.pe.bank_buffer_bytes);
+}
+
+std::vector<ComparisonRow> run_comparison(const FigureOptions& options) {
+  const core::AuroraConfig cfg = figure_config(options);
+  core::AuroraAccelerator aurora_accel(cfg);
+  const baselines::ChipParams chip = figure_chip(options);
+
+  std::vector<ComparisonRow> rows;
+  for (graph::DatasetId id : graph::kAllDatasets) {
+    const double scale =
+        options.scale > 0.0 ? options.scale : default_scale(id);
+    const graph::Dataset ds = graph::make_dataset(id, scale, options.seed);
+    const core::GnnJob job =
+        core::GnnJob::two_layer(gnn::GnnModel::kGcn, ds.spec,
+                                options.hidden_dim);
+
+    ComparisonRow row;
+    row.dataset = id;
+    row.aurora = aurora_accel.run(ds, job);
+
+    for (std::size_t b = 0; b < baselines::kAllBaselines.size(); ++b) {
+      const auto model =
+          baselines::make_baseline(baselines::kAllBaselines[b], chip);
+      core::RunMetrics total;
+      for (std::size_t layer = 0; layer < job.layers.size(); ++layer) {
+        const auto wf = gnn::generate_workflow(job.model, job.layers[layer],
+                                               ds.num_vertices(),
+                                               ds.num_edges());
+        core::DramTrafficParams traffic;
+        traffic.element_bytes = chip.element_bytes;
+        traffic.sparse_input_features = (layer == 0);
+        traffic.input_feature_density = ds.spec.feature_density;
+        total += model->run_layer(ds, wf, traffic);
+      }
+      row.baseline[b] = total;
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+void print_normalized_figure(
+    const std::string& title, const std::vector<ComparisonRow>& rows,
+    const std::function<double(const core::RunMetrics&)>& metric) {
+  std::printf("%s\n", title.c_str());
+  std::printf("(normalized to Aurora = 1.00; higher = worse)\n\n");
+
+  std::vector<std::string> header = {"dataset"};
+  for (auto id : baselines::kAllBaselines) {
+    header.emplace_back(baselines::baseline_name(id));
+  }
+  header.emplace_back("Aurora");
+  AsciiTable table(std::move(header));
+
+  std::vector<double> baseline_ratio_sums(baselines::kAllBaselines.size(),
+                                          0.0);
+  for (const auto& row : rows) {
+    const double aurora_value = metric(row.aurora);
+    std::vector<std::string> cells = {graph::dataset_name(row.dataset)};
+    double dataset_sum = 0.0;
+    for (std::size_t b = 0; b < baselines::kAllBaselines.size(); ++b) {
+      const double ratio = metric(row.baseline[b]) / aurora_value;
+      baseline_ratio_sums[b] += ratio;
+      dataset_sum += ratio;
+      cells.push_back(to_fixed(ratio, 2));
+    }
+    cells.emplace_back("1.00");
+    table.add_row(std::move(cells));
+    const double avg = dataset_sum /
+                       static_cast<double>(baselines::kAllBaselines.size());
+    std::printf("  %-9s avg reduction vs baselines: %5.1f %%\n",
+                graph::dataset_name(row.dataset), 100.0 * (1.0 - 1.0 / avg));
+  }
+  std::printf("\n");
+  table.print();
+
+  // Bar rendering, one group per dataset (the paper's bar-chart form).
+  std::printf("\n");
+  for (const auto& row : rows) {
+    double max_ratio = 1.0;
+    for (std::size_t b = 0; b < baselines::kAllBaselines.size(); ++b) {
+      max_ratio = std::max(max_ratio, metric(row.baseline[b]) /
+                                          metric(row.aurora));
+    }
+    std::printf("%s\n", graph::dataset_name(row.dataset));
+    auto bar = [&](const char* name, double ratio) {
+      const int width = static_cast<int>(48.0 * ratio / max_ratio);
+      std::printf("  %-8s %s %s\n", name,
+                  std::string(static_cast<std::size_t>(std::max(1, width)),
+                              '#')
+                      .c_str(),
+                  to_fixed(ratio, 2).c_str());
+    };
+    for (std::size_t b = 0; b < baselines::kAllBaselines.size(); ++b) {
+      bar(baselines::baseline_name(baselines::kAllBaselines[b]),
+          metric(row.baseline[b]) / metric(row.aurora));
+    }
+    bar("Aurora", 1.0);
+  }
+
+  std::printf("\nper-baseline average reduction achieved by Aurora:\n");
+  for (std::size_t b = 0; b < baselines::kAllBaselines.size(); ++b) {
+    const double avg =
+        baseline_ratio_sums[b] / static_cast<double>(rows.size());
+    std::printf("  vs %-8s: %5.1f %%  (Aurora is %.2fx better)\n",
+                baselines::baseline_name(baselines::kAllBaselines[b]),
+                100.0 * (1.0 - 1.0 / avg), avg);
+  }
+  std::printf("\n");
+}
+
+}  // namespace aurora::bench

@@ -1,0 +1,66 @@
+// Shared harness for the figure/table bench binaries.
+//
+// Every figure bench runs the same experiment grid the paper evaluates —
+// the 2-layer GCN benchmark job over the five datasets, on Aurora and the
+// five baseline accelerators normalised to the same resources — then prints
+// one metric normalised to Aurora, exactly like the paper's bar charts.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "baselines/baseline.hpp"
+#include "common/cli.hpp"
+#include "core/aurora.hpp"
+#include "graph/datasets.hpp"
+
+namespace aurora::bench {
+
+struct FigureOptions {
+  /// 0 keeps the per-dataset default bench scales; otherwise a global
+  /// override in (0, 1].
+  double scale = 0.0;
+  /// Figures default to the paper's 32 x 32 / 100 MB configuration (the
+  /// chip the evaluation section describes); --small selects the 16 x 16
+  /// bench chip instead.
+  bool paper_scale = true;
+  std::uint32_t hidden_dim = 16;
+  std::uint64_t seed = 7;
+};
+
+[[nodiscard]] FigureOptions parse_figure_options(int argc,
+                                                 const char* const* argv);
+
+/// Per-dataset default scales: full size where the analytic model handles it
+/// comfortably, reduced for the two giants (documented in EXPERIMENTS.md).
+[[nodiscard]] double default_scale(graph::DatasetId id);
+
+/// Aurora configuration for figure runs: analytic mode (cycle-accurate at
+/// these sizes is impractical; the analytic model shares all decisions and
+/// is cross-validated against the cycle engine in tests).
+[[nodiscard]] core::AuroraConfig figure_config(const FigureOptions& options);
+
+/// Baseline chip normalised to that Aurora configuration.
+[[nodiscard]] baselines::ChipParams figure_chip(const FigureOptions& options);
+
+/// Results of the full grid for one dataset.
+struct ComparisonRow {
+  graph::DatasetId dataset{};
+  core::RunMetrics aurora;
+  std::array<core::RunMetrics, baselines::kAllBaselines.size()> baseline;
+};
+
+/// Run the 2-layer GCN job over every dataset on every accelerator.
+[[nodiscard]] std::vector<ComparisonRow> run_comparison(
+    const FigureOptions& options);
+
+/// Print `metric` for every accelerator normalised to Aurora (= 1.00), one
+/// row per dataset, plus the per-dataset and per-baseline average reductions
+/// the paper quotes.
+void print_normalized_figure(
+    const std::string& title, const std::vector<ComparisonRow>& rows,
+    const std::function<double(const core::RunMetrics&)>& metric);
+
+}  // namespace aurora::bench

@@ -1,0 +1,77 @@
+// Micro-benchmarks of the flit-level NoC simulator (google-benchmark):
+// simulation throughput under uniform-random and hotspot traffic, with and
+// without bypass links.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "noc/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace aurora;
+
+void run_traffic(noc::Network& net, sim::Simulator& s, std::uint64_t seed,
+                 int packets, bool hotspot) {
+  Rng rng(seed);
+  const auto n = net.num_nodes();
+  for (int i = 0; i < packets; ++i) {
+    const auto src = static_cast<noc::NodeId>(rng.next_below(n));
+    const auto dst = hotspot && rng.next_bool(0.5)
+                         ? noc::NodeId{0}
+                         : static_cast<noc::NodeId>(rng.next_below(n));
+    net.send(src, dst, 128, i, s.now());
+  }
+  s.run_until_idle(10'000'000);
+}
+
+void BM_NocUniformRandom(benchmark::State& state) {
+  noc::NocParams params;
+  params.k = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    noc::Network net(params);
+    sim::Simulator s;
+    s.add(&net);
+    run_traffic(net, s, 42, 500, /*hotspot=*/false);
+    benchmark::DoNotOptimize(net.stats().packets_delivered);
+  }
+  state.SetItemsProcessed(state.iterations() * 500);
+}
+BENCHMARK(BM_NocUniformRandom)->Arg(8)->Arg(16);
+
+void BM_NocHotspot(benchmark::State& state) {
+  noc::NocParams params;
+  params.k = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    noc::Network net(params);
+    sim::Simulator s;
+    s.add(&net);
+    run_traffic(net, s, 42, 500, /*hotspot=*/true);
+    benchmark::DoNotOptimize(net.stats().packets_delivered);
+  }
+  state.SetItemsProcessed(state.iterations() * 500);
+}
+BENCHMARK(BM_NocHotspot)->Arg(8)->Arg(16);
+
+void BM_NocWithBypass(benchmark::State& state) {
+  noc::NocParams params;
+  params.k = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    noc::Network net(params);
+    noc::NocConfig cfg(params.k);
+    for (std::uint32_t r = 0; r < params.k; ++r) {
+      cfg.add_row_segment({r, 0, params.k - 1});
+    }
+    net.configure(cfg);
+    sim::Simulator s;
+    s.add(&net);
+    run_traffic(net, s, 42, 500, /*hotspot=*/false);
+    benchmark::DoNotOptimize(net.stats().bypass_flit_hops);
+  }
+  state.SetItemsProcessed(state.iterations() * 500);
+}
+BENCHMARK(BM_NocWithBypass)->Arg(8)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// Micro-benchmarks of the reconfigurable PE datapath and the PolyBench
+// kernels the paper uses as phase benchmarks (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "gnn/reference.hpp"
+#include "pe/datapath.hpp"
+
+namespace {
+
+using namespace aurora;
+
+void BM_PeMatVec(benchmark::State& state) {
+  const auto len = static_cast<std::uint32_t>(state.range(0));
+  Rng rng(1);
+  gnn::Matrix w(16, len);
+  w.randomize(rng);
+  gnn::Vector x(len);
+  for (double& v : x) v = rng.next_double(-1, 1);
+  pe::PeDatapath dp{pe::PeParams{}};
+  dp.configure(pe::PeConfigKind::kMatVec);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dp.run_mat_vec(w, x));
+  }
+  state.SetItemsProcessed(state.iterations() * 16 * len);
+}
+BENCHMARK(BM_PeMatVec)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_PeDot(benchmark::State& state) {
+  const auto len = static_cast<std::uint32_t>(state.range(0));
+  Rng rng(2);
+  gnn::Vector a(len), b(len);
+  for (double& v : a) v = rng.next_double(-1, 1);
+  for (double& v : b) v = rng.next_double(-1, 1);
+  pe::PeDatapath dp{pe::PeParams{}};
+  dp.configure(pe::PeConfigKind::kDotProduct);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dp.run_dot(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * len);
+}
+BENCHMARK(BM_PeDot)->Arg(64)->Arg(1024);
+
+void BM_PeAccumulate(benchmark::State& state) {
+  const auto len = static_cast<std::uint32_t>(state.range(0));
+  Rng rng(3);
+  gnn::Vector acc(len, 0.0), x(len);
+  for (double& v : x) v = rng.next_double(-1, 1);
+  pe::PeDatapath dp{pe::PeParams{}};
+  dp.configure(pe::PeConfigKind::kAccumulate);
+  for (auto _ : state) {
+    dp.run_accumulate(acc, x);
+    benchmark::DoNotOptimize(acc.data());
+  }
+  state.SetItemsProcessed(state.iterations() * len);
+}
+BENCHMARK(BM_PeAccumulate)->Arg(64)->Arg(1024);
+
+void BM_KernelGramschmidt(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  gnn::Matrix a(n, 8);
+  a.randomize(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gnn::kernel_gramschmidt(a));
+  }
+}
+BENCHMARK(BM_KernelGramschmidt)->Arg(32)->Arg(128);
+
+void BM_KernelGesummv(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  gnn::Matrix a(n, n), b(n, n);
+  a.randomize(rng);
+  b.randomize(rng);
+  gnn::Vector x(n);
+  for (double& v : x) v = rng.next_double(-1, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gnn::kernel_gesummv(1.5, 0.5, a, b, x));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n);
+}
+BENCHMARK(BM_KernelGesummv)->Arg(64)->Arg(256);
+
+void BM_KernelMvt(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(6);
+  gnn::Matrix a(n, n);
+  a.randomize(rng);
+  gnn::Vector x1(n, 0.0), x2(n, 0.0), y1(n, 1.0), y2(n, 1.0);
+  for (auto _ : state) {
+    gnn::kernel_mvt(a, x1, x2, y1, y2);
+    benchmark::DoNotOptimize(x1.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n);
+}
+BENCHMARK(BM_KernelMvt)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// Social-recommendation serving (one of the paper's motivating domains): a
+// queue of mixed-model inference requests against one user-item graph,
+// scheduled on a single Aurora chip. Shows the versatility story end to
+// end — C-GNN, A-GNN and MP-GNN requests share the array, each getting its
+// own partition and NoC configuration — plus the request-level latencies a
+// serving deployment reports.
+//
+//   ./examples/serving [--scale=0.1] [--requests=6] [--hidden=32]
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "core/aurora.hpp"
+#include "core/scheduler.hpp"
+
+int main(int argc, char** argv) {
+  using namespace aurora;
+  const CliArgs args(argc, argv);
+  const double scale = args.get_double("scale", 0.1);
+  const auto hidden = static_cast<std::uint32_t>(args.get_int("hidden", 32));
+  const auto num_requests =
+      static_cast<std::size_t>(args.get_int("requests", 6));
+
+  // The "user-item interaction graph": Pubmed-scale structure stands in.
+  const graph::Dataset graph_ds =
+      graph::make_dataset(graph::DatasetId::kPubmed, scale);
+  std::printf("serving on a %u-vertex interaction graph (%llu edges)\n\n",
+              graph_ds.num_vertices(),
+              static_cast<unsigned long long>(graph_ds.num_edges()));
+
+  core::AuroraConfig config = core::AuroraConfig::bench();
+  core::AuroraAccelerator accel(config);
+  core::Scheduler scheduler(accel);
+
+  // A request mix: candidate scoring (GCN), re-ranking with attention
+  // (AGNN), and a session-graph pass (GraphSAGE-Pool), round-robin.
+  const std::array<std::pair<gnn::GnnModel, const char*>, 3> kMix = {{
+      {gnn::GnnModel::kGcn, "candidate-scoring/GCN"},
+      {gnn::GnnModel::kAgnn, "re-ranking/AGNN"},
+      {gnn::GnnModel::kGraphSagePool, "session/SAGE-Pool"},
+  }};
+  std::vector<core::ScheduledRequest> queue;
+  for (std::size_t i = 0; i < num_requests; ++i) {
+    const auto& [model, label] = kMix[i % kMix.size()];
+    queue.push_back({core::GnnJob::two_layer(model, graph_ds.spec, hidden),
+                     std::string(label) + " #" + std::to_string(i)});
+  }
+
+  const core::ScheduleResult result = scheduler.run(graph_ds, queue);
+
+  AsciiTable table({"request", "start", "finish", "latency (us)",
+                    "a:b split", "energy (uJ)"});
+  for (const auto& o : result.outcomes) {
+    table.add_row({o.label, std::to_string(o.start_cycle),
+                   std::to_string(o.finish_cycle),
+                   to_fixed(1e6 * static_cast<double>(o.latency()) /
+                                (config.frequency_mhz * 1e6),
+                            2),
+                   std::to_string(o.metrics.partition_a) + ":" +
+                       std::to_string(o.metrics.partition_b),
+                   to_fixed(o.metrics.energy.total_pj() * 1e-6, 1)});
+  }
+  table.print();
+  std::printf("\nmakespan: %llu cycles (%.2f us); overlap saved %llu cycles; "
+              "avg latency %.0f cycles\n",
+              static_cast<unsigned long long>(result.makespan),
+              1e6 * static_cast<double>(result.makespan) /
+                  (config.frequency_mhz * 1e6),
+              static_cast<unsigned long long>(result.overlap_savings),
+              result.avg_latency());
+  std::printf(
+      "Each request reconfigured the same silicon: compare the a:b splits.\n");
+  return 0;
+}

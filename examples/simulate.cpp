@@ -1,0 +1,210 @@
+// The full-featured simulator driver: pick a dataset (built-in or your own
+// edge list), a GNN model, a chip configuration (flags or INI file), an
+// execution engine, and get tables plus an optional JSON report.
+//
+//   ./examples/simulate --dataset=cora --model=GCN --scale=0.1
+//   ./examples/simulate --graph=my_edges.txt --model=GIN --mode=analytic
+//   ./examples/simulate --config=chip.ini --json=out.json --all-models
+//   ./examples/simulate --print-config        # dump the default chip INI
+#include <cstdio>
+#include <optional>
+#include <string>
+
+#include "common/cli.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "core/aurora.hpp"
+#include "core/config_io.hpp"
+#include "baselines/baseline.hpp"
+#include "core/report.hpp"
+#include "sim/trace.hpp"
+#include "graph/io.hpp"
+
+namespace {
+
+using namespace aurora;
+
+std::optional<graph::DatasetId> dataset_by_name(const std::string& name) {
+  for (graph::DatasetId id : graph::kAllDatasets) {
+    std::string n = graph::dataset_name(id);
+    for (char& ch : n) ch = static_cast<char>(std::tolower(ch));
+    if (n == name) return id;
+  }
+  return std::nullopt;
+}
+
+std::optional<gnn::GnnModel> model_by_name(const std::string& name) {
+  for (gnn::GnnModel m : gnn::kAllModels) {
+    if (name == gnn::model_name(m)) return m;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+
+  if (args.get_bool("help", false)) {
+    std::printf(
+        "simulate — Aurora GNN-accelerator simulator\n\n"
+        "  --dataset=<cora|citeseer|pubmed|nell|reddit>   built-in dataset\n"
+        "  --graph=<path>         load your own edge list instead\n"
+        "  --scale=<f>            dataset scale (built-ins only)\n"
+        "  --model=<name>         GNN model (see table1_coverage) or\n"
+        "  --all-models           run the whole zoo\n"
+        "  --hidden=<d>           hidden width (default 16)\n"
+        "  --mode=<cycle|analytic>\n"
+        "  --mapping=<degree-aware|hashing>\n"
+        "  --config=<path.ini>    chip configuration file\n"
+        "  --paper-chip           use the 32x32/100MB paper chip\n"
+        "  --json=<path>          write a JSON report\n"
+        "  --trace                print an ASCII event timeline (cycle mode)\n"
+        "  --counters             dump component event counters (cycle mode)\n"
+        "  --baselines            run the five baseline accelerators too\n"
+        "  --print-config         dump the effective chip INI and exit\n");
+    return 0;
+  }
+
+  // ---- chip configuration -------------------------------------------------
+  core::AuroraConfig config = args.get_bool("paper-chip", false)
+                                  ? core::AuroraConfig::paper()
+                                  : core::AuroraConfig::bench();
+  const std::string config_path = args.get_string("config", "");
+  if (!config_path.empty()) {
+    config = core::load_config(config_path, config);
+  }
+  const std::string mode = args.get_string("mode", "");
+  if (mode == "cycle") config.mode = core::SimMode::kCycleAccurate;
+  if (mode == "analytic") config.mode = core::SimMode::kAnalytic;
+  const std::string mapping = args.get_string("mapping", "");
+  if (mapping == "hashing") {
+    config.mapping_policy = core::MappingPolicy::kHashing;
+  }
+  if (args.get_bool("print-config", false)) {
+    std::fputs(core::config_to_ini(config).c_str(), stdout);
+    return 0;
+  }
+
+  // ---- dataset --------------------------------------------------------------
+  graph::Dataset ds;
+  const std::string graph_path = args.get_string("graph", "");
+  if (!graph_path.empty()) {
+    ds.spec.name = "custom";
+    ds.spec.feature_dim =
+        static_cast<std::uint32_t>(args.get_int("features", 64));
+    ds.spec.feature_density = 1.0;
+    ds.spec.num_classes = 8;
+    ds.graph = graph::load_edge_list(graph_path);
+    ds.degree_stats = graph::compute_degree_stats(ds.graph);
+  } else {
+    const std::string name = args.get_string("dataset", "cora");
+    const auto id = dataset_by_name(name);
+    if (!id.has_value()) {
+      std::fprintf(stderr, "unknown dataset '%s'\n", name.c_str());
+      return 1;
+    }
+    const double default_scale =
+        config.mode == core::SimMode::kCycleAccurate ? 0.1 : 1.0;
+    ds = graph::make_dataset(*id, args.get_double("scale", default_scale),
+                             static_cast<std::uint64_t>(args.get_int("seed", 7)));
+  }
+  std::printf("dataset %s: %u vertices, %llu directed edges, mean degree "
+              "%.1f, gini %.2f\n",
+              ds.spec.name, ds.num_vertices(),
+              static_cast<unsigned long long>(ds.num_edges()),
+              ds.degree_stats.mean_degree, ds.degree_stats.gini);
+  std::printf("chip: %ux%u PEs, %s/PE buffer, %s engine, %s mapping\n\n",
+              config.array_dim, config.array_dim,
+              human_bytes(config.pe.bank_buffer_bytes).c_str(),
+              config.mode == core::SimMode::kCycleAccurate ? "cycle-accurate"
+                                                           : "analytic",
+              config.mapping_policy == core::MappingPolicy::kDegreeAware
+                  ? "degree-aware"
+                  : "hashing");
+
+  // ---- models ----------------------------------------------------------------
+  std::vector<gnn::GnnModel> models;
+  if (args.get_bool("all-models", false)) {
+    models.assign(gnn::kAllModels.begin(), gnn::kAllModels.end());
+  } else {
+    const std::string name = args.get_string("model", "GCN");
+    const auto model = model_by_name(name);
+    if (!model.has_value()) {
+      std::fprintf(stderr, "unknown model '%s' (try --all-models)\n",
+                   name.c_str());
+      return 1;
+    }
+    models.push_back(*model);
+  }
+
+  // ---- run --------------------------------------------------------------------
+  core::AuroraAccelerator accel(config);
+  sim::Tracer tracer;
+  if (args.get_bool("trace", false)) {
+    tracer.enable();
+    accel.set_tracer(&tracer);
+  }
+  const auto hidden = static_cast<std::uint32_t>(args.get_int("hidden", 16));
+  AsciiTable table({"model", "a:b", "tiles", "cycles", "time (us)", "DRAM",
+                    "avg hops", "energy (uJ)"});
+  std::vector<core::NamedRun> runs;
+  for (gnn::GnnModel model : models) {
+    const gnn::LayerConfig layer{hidden, hidden};
+    const auto m = accel.run_layer(ds, model, layer, 1);
+    table.add_row({gnn::model_name(model),
+                   std::to_string(m.partition_a) + ":" +
+                       std::to_string(m.partition_b),
+                   std::to_string(m.num_subgraphs),
+                   std::to_string(m.total_cycles),
+                   to_fixed(1e6 * m.total_seconds(config.frequency_mhz), 2),
+                   human_bytes(m.dram_bytes), to_fixed(m.avg_hops, 2),
+                   to_fixed(m.energy.total_pj() * 1e-6, 1)});
+    runs.push_back({gnn::model_name(model), ds.spec.name, m});
+  }
+  table.print();
+
+  if (args.get_bool("baselines", false)) {
+    std::printf("\nbaseline accelerators (same workload, normalized chip):\n");
+    const auto chip = baselines::chip_params_matching(
+        config.array_dim, config.pe.datapath.num_multipliers,
+        config.pe.bank_buffer_bytes);
+    AsciiTable bl({"accelerator", "model", "cycles", "DRAM", "energy (uJ)",
+                   "native"});
+    for (gnn::GnnModel model : models) {
+      const auto wf = gnn::generate_workflow(model, {hidden, hidden},
+                                             ds.num_vertices(),
+                                             ds.num_edges());
+      for (baselines::BaselineId id : baselines::kAllBaselines) {
+        const auto accel_b = baselines::make_baseline(id, chip);
+        const auto mb = accel_b->run_layer(ds, wf, {});
+        bl.add_row({accel_b->name(), gnn::model_name(model),
+                    std::to_string(mb.total_cycles),
+                    human_bytes(mb.dram_bytes),
+                    to_fixed(mb.energy.total_pj() * 1e-6, 1),
+                    accel_b->supports(model) ? "yes" : "no (host)"});
+      }
+    }
+    bl.print();
+  }
+
+  if (args.get_bool("counters", false) && !runs.empty()) {
+    std::printf("\ncomponent counters (last run):\n");
+    for (const auto& [name, value] : runs.back().metrics.counters.all()) {
+      std::printf("  %-26s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    }
+  }
+
+  if (tracer.enabled() && tracer.size() > 0) {
+    std::printf("\nevent timeline (last run):\n%s",
+                tracer.render_timeline().c_str());
+  }
+
+  const std::string json_path = args.get_string("json", "");
+  if (!json_path.empty()) {
+    core::write_json_file(json_path, core::runs_to_json(runs));
+    std::printf("\nJSON report: %s\n", json_path.c_str());
+  }
+  return 0;
+}

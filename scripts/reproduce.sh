@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Regenerate every result in EXPERIMENTS.md: build, run the full test suite,
+# then every table/figure bench, capturing outputs at the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/*; do
+  [ -x "$b" ] && [ -f "$b" ] || continue
+  echo "===== $b =====" | tee -a bench_output.txt
+  "$b" 2>&1 | tee -a bench_output.txt
+done
+echo "done: test_output.txt + bench_output.txt"

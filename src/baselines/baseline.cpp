@@ -1,0 +1,173 @@
+#include "baselines/baseline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "baselines/models.hpp"
+
+namespace aurora::baselines {
+
+const char* baseline_name(BaselineId id) {
+  switch (id) {
+    case BaselineId::kHyGcn:
+      return "HyGCN";
+    case BaselineId::kAwbGcn:
+      return "AWB-GCN";
+    case BaselineId::kGcnax:
+      return "GCNAX";
+    case BaselineId::kRegnn:
+      return "ReGNN";
+    case BaselineId::kFlowGnn:
+      return "FlowGNN";
+  }
+  throw Error("invalid BaselineId");
+}
+
+bool AcceleratorModel::supports(gnn::GnnModel model) const {
+  const CoverageRow row = coverage();
+  switch (gnn::model_category(model)) {
+    case gnn::GnnCategory::kConvolutional:
+      return row.c_gnn;
+    case gnn::GnnCategory::kAttentional:
+      return row.a_gnn;
+    case gnn::GnnCategory::kMessagePassing:
+      return row.mp_gnn;
+  }
+  throw Error("invalid category");
+}
+
+double AcceleratorModel::dense_feature_bytes(const graph::Dataset& ds,
+                                             std::uint32_t dim) const {
+  return static_cast<double>(ds.num_vertices()) * dim *
+         static_cast<double>(chip_.element_bytes);
+}
+
+double AcceleratorModel::stored_feature_bytes(
+    const graph::Dataset& ds, std::uint32_t dim,
+    const core::DramTrafficParams& traffic) const {
+  return static_cast<double>(ds.num_vertices()) *
+         static_cast<double>(core::feature_vector_bytes(dim, traffic));
+}
+
+double AcceleratorModel::capacity_refetch(double working_set, double usable,
+                                          double alpha) {
+  AURORA_CHECK(usable > 0.0);
+  return 1.0 + std::min(7.0, alpha * std::max(0.0, working_set / usable - 1.0));
+}
+
+double AcceleratorModel::gather_miss_bytes(double num_edges,
+                                           double stored_vec_bytes,
+                                           double onchip_matrix_bytes,
+                                           double usable, double beta) {
+  AURORA_CHECK(usable > 0.0);
+  const double hit_rate =
+      std::clamp(usable / std::max(1.0, onchip_matrix_bytes), 0.05, 0.95);
+  return beta * num_edges * stored_vec_bytes * (1.0 - hit_rate);
+}
+
+double AcceleratorModel::adjacency_bytes(const graph::Dataset& ds) {
+  return static_cast<double>(ds.num_vertices()) * 8.0 +
+         static_cast<double>(ds.num_edges()) * 4.0;
+}
+
+core::RunMetrics AcceleratorModel::assemble(
+    const Estimates& est, const gnn::Workflow& workflow) const {
+  core::RunMetrics m;
+  double dram_bytes = est.dram_bytes;
+  double compute_cycles = est.compute_cycles;
+  double serial_extra = 0.0;
+
+  // Models with per-edge state (attention coefficients, gated messages,
+  // EdgeConv features) read and write it every layer regardless of the
+  // architecture executing them.
+  if (gnn::model_has_edge_embeddings(workflow.model)) {
+    dram_bytes += 2.0 * static_cast<double>(workflow.num_edges) *
+                  static_cast<double>(workflow.edge_feature_dim) *
+                  static_cast<double>(chip_.element_bytes);
+  }
+
+  // Phases outside the architecture's native coverage (Table I) fall back to
+  // host-side decomposition: the edge-update operands and results round-trip
+  // DRAM and the host executes at a fraction of the chip's throughput.
+  if (!supports(workflow.model)) {
+    const auto& eu = workflow.phase(gnn::Phase::kEdgeUpdate);
+    if (eu.present) {
+      constexpr double kHostThroughputFraction = 0.1;
+      serial_extra += static_cast<double>(eu.total_ops) /
+                      (chip_.peak_ops_per_cycle() * kHostThroughputFraction);
+      dram_bytes += 2.0 * static_cast<double>(eu.num_messages) *
+                    static_cast<double>(eu.message_bytes);
+    }
+  }
+
+  m.compute_cycles = static_cast<Cycle>(compute_cycles + serial_extra);
+  m.onchip_comm_cycles = static_cast<Cycle>(est.comm_cycles);
+  const double dram_cycles = dram_bytes / chip_.dram_bytes_per_cycle;
+  m.dram_cycles = static_cast<Cycle>(dram_cycles);
+
+  // Composition: the overlappable portion of compute hides behind the
+  // larger of DRAM and communication; the serial fraction and any host
+  // round-trips add on top.
+  const double overlapped =
+      std::max({dram_cycles, est.comm_cycles,
+                compute_cycles * (1.0 - est.serial_fraction)});
+  m.total_cycles = static_cast<Cycle>(
+      overlapped + compute_cycles * est.serial_fraction + serial_extra);
+
+  m.dram_bytes = static_cast<Bytes>(dram_bytes);
+  m.dram_accesses = m.dram_bytes / 64;
+  m.avg_hops = est.avg_hops;
+
+  const OpCount ops = est.total_ops > 0 ? est.total_ops : workflow.total_ops();
+  m.events.fp_multiplies = ops / 2;
+  m.events.fp_adds = ops - m.events.fp_multiplies;
+  m.events.dram_bytes = m.dram_bytes;
+  // On-chip movement: aggregation payload crossing the interconnect.
+  const double payload =
+      static_cast<double>(workflow.phase(gnn::Phase::kAggregation).num_messages) *
+      static_cast<double>(workflow.phase(gnn::Phase::kAggregation).message_bytes);
+  m.events.noc_link_bytes = static_cast<Bytes>(payload * est.avg_hops);
+  m.events.router_bytes = static_cast<Bytes>(payload * est.avg_hops);
+  // Buffer traffic: staging amplification on the DRAM stream plus the
+  // read-modify-write of the per-vertex accumulator on every gather (the
+  // same charge Aurora's accounting carries).
+  m.events.sram_large_bytes = static_cast<Bytes>(
+      dram_bytes * est.sram_amplification + 2.0 * payload);
+  m.events.active_cycles = m.total_cycles;
+  m.energy = energy::compute_energy(m.events, energy::EnergyTable{});
+  m.utilization = est.compute_cycles > 0
+                      ? static_cast<double>(workflow.total_ops()) /
+                            (est.compute_cycles * chip_.peak_ops_per_cycle())
+                      : 0.0;
+  return m;
+}
+
+std::unique_ptr<AcceleratorModel> make_baseline(BaselineId id,
+                                                const ChipParams& chip) {
+  switch (id) {
+    case BaselineId::kHyGcn:
+      return std::make_unique<HyGcnModel>(chip);
+    case BaselineId::kAwbGcn:
+      return std::make_unique<AwbGcnModel>(chip);
+    case BaselineId::kGcnax:
+      return std::make_unique<GcnaxModel>(chip);
+    case BaselineId::kRegnn:
+      return std::make_unique<RegnnModel>(chip);
+    case BaselineId::kFlowGnn:
+      return std::make_unique<FlowGnnModel>(chip);
+  }
+  throw Error("invalid BaselineId");
+}
+
+ChipParams chip_params_matching(std::uint32_t array_dim,
+                                std::uint32_t macs_per_pe,
+                                Bytes pe_buffer_bytes) {
+  ChipParams chip;
+  chip.num_multipliers = array_dim * array_dim * macs_per_pe;
+  chip.onchip_buffer_bytes =
+      static_cast<Bytes>(array_dim) * array_dim * pe_buffer_bytes;
+  return chip;
+}
+
+}  // namespace aurora::baselines

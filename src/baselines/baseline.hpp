@@ -1,0 +1,150 @@
+// Baseline accelerator cost models.
+//
+// Substitution note (DESIGN.md §1): none of the five comparison accelerators
+// has a public cycle model, so each is reconstructed from its paper as a
+// behavioral cost model over the same inputs Aurora sees. All baselines are
+// normalised to Aurora's resources, following the Aurora paper's
+// methodology: same multiplier count, same DRAM bandwidth, same 100 MB
+// on-chip storage, double precision.
+//
+// Each model makes its paper's *dataflow decisions* explicit:
+//   HyGCN    — tandem SIMD+systolic engines split 1:7, sliding-window edge
+//              sharding, dense input features, inter-engine buffering;
+//   AWB-GCN  — column-wise-product SpMM with runtime workload rebalancing,
+//              weights duplicated per PE group, X*W intermediate spill;
+//   GCNAX    — flexible loop order + tiling search minimising DRAM volume,
+//              phase-separated execution (aggregation buffer spill);
+//   ReGNN    — redundancy-eliminated neighborhood aggregation with
+//              heterogeneous engines;
+//   FlowGNN  — message-passing dataflow with node/edge queues, multi-level
+//              parallelism, mux-based interconnect, weight duplication.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/dram_traffic.hpp"
+#include "core/metrics.hpp"
+#include "gnn/workflow.hpp"
+#include "graph/datasets.hpp"
+
+namespace aurora::baselines {
+
+enum class BaselineId : std::uint8_t {
+  kHyGcn,
+  kAwbGcn,
+  kGcnax,
+  kRegnn,
+  kFlowGnn,
+};
+
+inline constexpr std::array<BaselineId, 5> kAllBaselines = {
+    BaselineId::kHyGcn, BaselineId::kAwbGcn, BaselineId::kGcnax,
+    BaselineId::kRegnn, BaselineId::kFlowGnn};
+
+[[nodiscard]] const char* baseline_name(BaselineId id);
+
+/// Resources every accelerator is normalised to (paper Sec VI-A).
+struct ChipParams {
+  /// Total multipliers (Aurora: 1024 PEs x 8).
+  std::uint32_t num_multipliers = 8192;
+  /// Ops per multiplier per cycle (MAC = multiply + add).
+  double ops_per_multiplier = 2.0;
+  Bytes onchip_buffer_bytes = 100ull * 1024 * 1024;
+  /// Sustained DRAM bandwidth in bytes per core cycle (match Aurora's DRAM
+  /// model at its calibrated efficiency).
+  double dram_bytes_per_cycle = 54.4;  // 4 ch x 16 B/cyc x 0.85
+  Bytes element_bytes = 8;
+
+  [[nodiscard]] double peak_ops_per_cycle() const {
+    return num_multipliers * ops_per_multiplier;
+  }
+};
+
+/// Feature coverage (paper Table I).
+struct CoverageRow {
+  bool c_gnn = false;
+  bool a_gnn = false;
+  bool mp_gnn = false;
+  bool flexible_in_unified = false;
+  bool flexible_dataflow = false;
+  bool flexible_noc = false;
+  bool message_passing = false;
+};
+
+class AcceleratorModel {
+ public:
+  explicit AcceleratorModel(const ChipParams& chip) : chip_(chip) {}
+  virtual ~AcceleratorModel() = default;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+  [[nodiscard]] virtual CoverageRow coverage() const = 0;
+
+  /// Whether the architecture natively supports the model (Table I); all
+  /// models still *execute* (the host decomposes unsupported phases), at the
+  /// penalty each cost model charges.
+  [[nodiscard]] bool supports(gnn::GnnModel model) const;
+
+  [[nodiscard]] virtual core::RunMetrics run_layer(
+      const graph::Dataset& dataset, const gnn::Workflow& workflow,
+      const core::DramTrafficParams& traffic) const = 0;
+
+  [[nodiscard]] const ChipParams& chip() const { return chip_; }
+
+ protected:
+  /// Shared metric assembly: converts the model's primitive estimates into
+  /// RunMetrics with the common energy accounting.
+  struct Estimates {
+    double compute_cycles = 0.0;
+    double comm_cycles = 0.0;
+    double dram_bytes = 0.0;
+    /// Fraction of compute that cannot overlap communication (phase
+    /// serialisation in non-pipelined designs).
+    double serial_fraction = 0.3;
+    /// On-chip bytes moved per payload byte (duplication, spills).
+    double sram_amplification = 2.0;
+    /// Average interconnect hops (for NoC energy).
+    double avg_hops = 2.0;
+    /// Total arithmetic ops actually executed (ReGNN eliminates some).
+    OpCount total_ops = 0;
+  };
+  [[nodiscard]] core::RunMetrics assemble(const Estimates& est,
+                                          const gnn::Workflow& workflow) const;
+
+  /// Dense feature-matrix bytes (baselines without sparse-input handling).
+  [[nodiscard]] double dense_feature_bytes(const graph::Dataset& ds,
+                                           std::uint32_t dim) const;
+  /// Capacity-pressure re-read multiplier: 1 while `working_set` fits in
+  /// `usable` buffer bytes, growing with slope `alpha` beyond (capped 8x).
+  [[nodiscard]] static double capacity_refetch(double working_set,
+                                               double usable, double alpha);
+  /// Gather-miss DRAM bytes: aggregation fetches one far-endpoint feature
+  /// vector per edge; the fraction missing on chip is set by how much of
+  /// the (dense, on-chip format) feature matrix the usable buffer holds.
+  /// `beta` is the architecture's gather efficiency (prefetch, coalescing).
+  [[nodiscard]] static double gather_miss_bytes(double num_edges,
+                                                double stored_vec_bytes,
+                                                double onchip_matrix_bytes,
+                                                double usable, double beta);
+  /// Feature bytes honouring the sparse input format of layer 0.
+  [[nodiscard]] double stored_feature_bytes(
+      const graph::Dataset& ds, std::uint32_t dim,
+      const core::DramTrafficParams& traffic) const;
+  /// CSR adjacency bytes.
+  [[nodiscard]] static double adjacency_bytes(const graph::Dataset& ds);
+
+  ChipParams chip_;
+};
+
+[[nodiscard]] std::unique_ptr<AcceleratorModel> make_baseline(
+    BaselineId id, const ChipParams& chip = {});
+
+/// Chip parameters equivalent to an Aurora configuration (for fair
+/// normalisation in the benches).
+[[nodiscard]] ChipParams chip_params_matching(std::uint32_t array_dim,
+                                              std::uint32_t macs_per_pe,
+                                              Bytes pe_buffer_bytes);
+
+}  // namespace aurora::baselines

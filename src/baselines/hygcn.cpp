@@ -1,0 +1,93 @@
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/models.hpp"
+
+namespace aurora::baselines {
+
+CoverageRow HyGcnModel::coverage() const {
+  CoverageRow row;
+  row.c_gnn = true;  // C-GCN only; no edge embeddings, no message passing
+  return row;
+}
+
+core::RunMetrics HyGcnModel::run_layer(
+    const graph::Dataset& ds, const gnn::Workflow& wf,
+    const core::DramTrafficParams& traffic) const {
+  const double eb = static_cast<double>(chip_.element_bytes);
+  const double n = ds.num_vertices();
+  const double f = wf.layer.in_dim;
+  const double gini = ds.degree_stats.gini;
+
+  // Fixed buffer partition between the two engines mirrors the fixed 1:7
+  // compute split; neither side can borrow the other's idle capacity.
+  const double agg_buffer = 0.4 * static_cast<double>(chip_.onchip_buffer_bytes);
+  const double comb_buffer = 0.6 * static_cast<double>(chip_.onchip_buffer_bytes);
+
+  // --- DRAM ---------------------------------------------------------------
+  // Features live densely on chip (HyGCN's interval-shard format), so the
+  // fixed 40 % aggregation buffer covers little of the matrix; edge-centric
+  // gathers miss accordingly, and capacity pressure re-reads the stored X.
+  const double x_stored = stored_feature_bytes(ds, wf.layer.in_dim, traffic);
+  const double x_onchip = dense_feature_bytes(ds, wf.layer.in_dim);
+  const double vec_stored = x_stored / n;
+  const double feature_reads =
+      x_stored * capacity_refetch(x_onchip, agg_buffer, 0.8) +
+      gather_miss_bytes(static_cast<double>(ds.num_edges()), vec_stored,
+                        x_onchip, agg_buffer, 1.0);
+  // Aggregated (dense, F-wide) vectors cross engines through a bounded
+  // buffer; the overflow round-trips DRAM — the inter-phase spill Aurora's
+  // fused sub-accelerators avoid entirely.
+  const double m_v = n * f * eb;
+  const double spill = 1.2 * std::max(0.0, m_v - 0.5 * comb_buffer);
+  // The systolic engine reloads the weight tile per vertex shard.
+  const double shards = std::max(1.0, std::ceil(m_v / comb_buffer));
+  const double weight_reads =
+      static_cast<double>(wf.phase(gnn::Phase::kVertexUpdate).weight_bytes +
+                          wf.phase(gnn::Phase::kEdgeUpdate).weight_bytes) *
+      shards;
+  const double outputs = n * wf.layer.out_dim * eb;
+
+  Estimates est;
+  est.dram_bytes =
+      feature_reads + adjacency_bytes(ds) + spill + weight_reads + outputs;
+
+  // --- compute --------------------------------------------------------------
+  // Tandem engines at the fixed 1:7 multiplier split: the phase whose share
+  // mismatches its engine stalls the pipeline. Phases HyGCN has no engine
+  // for (edge updates) fall onto the SIMD cores at half efficiency.
+  const double peak = chip_.peak_ops_per_cycle();
+  const double ops_agg =
+      static_cast<double>(wf.phase(gnn::Phase::kAggregation).total_ops) +
+      2.0 * static_cast<double>(wf.phase(gnn::Phase::kEdgeUpdate).total_ops);
+  const double ops_comb =
+      static_cast<double>(wf.phase(gnn::Phase::kVertexUpdate).total_ops);
+  est.compute_cycles =
+      std::max(ops_agg / (peak / 8.0), ops_comb / (peak * 7.0 / 8.0));
+  // The edge-centric sliding window walks one vertex interval at a time;
+  // each window pays a fixed setup/drain cost, which dominates on small
+  // graphs (the paper's Cora case, HyGCN's worst).
+  constexpr double kWindowSetupCycles = 48.0;
+  est.compute_cycles += n * kWindowSetupCycles;
+
+  // --- on-chip communication -------------------------------------------------
+  // Gathered neighbor vectors plus the inter-engine stream cross a crossbar
+  // of bounded width; power-law skew concentrates the traffic.
+  const double gather_bytes =
+      static_cast<double>(wf.phase(gnn::Phase::kAggregation).num_messages) *
+      static_cast<double>(wf.phase(gnn::Phase::kAggregation).message_bytes);
+  // Gathers contend on the crossbar; the inter-engine m_v stream rides a
+  // dedicated coordination buffer port.
+  const double xbar_bytes_per_cycle = 512.0;
+  const double inter_engine_bytes_per_cycle = 2048.0;
+  est.comm_cycles =
+      gather_bytes / xbar_bytes_per_cycle * (1.0 + 1.5 * gini) +
+      m_v / inter_engine_bytes_per_cycle;
+
+  est.serial_fraction = 0.35;  // shard-granular overlap only
+  est.sram_amplification = 2.5;
+  est.avg_hops = 2.0;
+  return assemble(est, wf);
+}
+
+}  // namespace aurora::baselines

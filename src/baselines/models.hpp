@@ -1,0 +1,76 @@
+// Concrete baseline accelerator models. See baseline.hpp for the modeling
+// approach and per-baseline dataflow summaries.
+#pragma once
+
+#include "baselines/baseline.hpp"
+
+namespace aurora::baselines {
+
+/// HyGCN (Yan et al., HPCA 2020): hybrid architecture with a SIMD
+/// aggregation engine and a systolic combination engine in tandem,
+/// multipliers split 1:7 (its original configuration, kept by the Aurora
+/// paper's normalisation), edge-centric sliding-window sharding.
+class HyGcnModel final : public AcceleratorModel {
+ public:
+  using AcceleratorModel::AcceleratorModel;
+  [[nodiscard]] const char* name() const override { return "HyGCN"; }
+  [[nodiscard]] CoverageRow coverage() const override;
+  [[nodiscard]] core::RunMetrics run_layer(
+      const graph::Dataset& dataset, const gnn::Workflow& workflow,
+      const core::DramTrafficParams& traffic) const override;
+};
+
+/// AWB-GCN (Geng et al., MICRO 2020): column-wise-product SpMM with runtime
+/// autotuned workload rebalancing (distribution smoothing, remote
+/// switching, evil-row handling); weights duplicated per PE group;
+/// X*W intermediate staged through DRAM between the two SpMM passes.
+class AwbGcnModel final : public AcceleratorModel {
+ public:
+  using AcceleratorModel::AcceleratorModel;
+  [[nodiscard]] const char* name() const override { return "AWB-GCN"; }
+  [[nodiscard]] CoverageRow coverage() const override;
+  [[nodiscard]] core::RunMetrics run_layer(
+      const graph::Dataset& dataset, const gnn::Workflow& workflow,
+      const core::DramTrafficParams& traffic) const override;
+};
+
+/// GCNAX (Li et al., HPCA 2021): flexible loop order and tiling chosen per
+/// dataset to minimise DRAM volume; phase-separated execution with a small
+/// intermediate spill; no message passing / edge updates.
+class GcnaxModel final : public AcceleratorModel {
+ public:
+  using AcceleratorModel::AcceleratorModel;
+  [[nodiscard]] const char* name() const override { return "GCNAX"; }
+  [[nodiscard]] CoverageRow coverage() const override;
+  [[nodiscard]] core::RunMetrics run_layer(
+      const graph::Dataset& dataset, const gnn::Workflow& workflow,
+      const core::DramTrafficParams& traffic) const override;
+};
+
+/// ReGNN (Chen et al., HPCA 2022): redundancy-eliminated neighborhood
+/// message passing — overlapping neighborhoods are aggregated once and
+/// reused — on heterogeneous graph/neural engines.
+class RegnnModel final : public AcceleratorModel {
+ public:
+  using AcceleratorModel::AcceleratorModel;
+  [[nodiscard]] const char* name() const override { return "ReGNN"; }
+  [[nodiscard]] CoverageRow coverage() const override;
+  [[nodiscard]] core::RunMetrics run_layer(
+      const graph::Dataset& dataset, const gnn::Workflow& workflow,
+      const core::DramTrafficParams& traffic) const override;
+};
+
+/// FlowGNN (Sarkar et al., HPCA 2023): generic message-passing dataflow
+/// with node/edge queues and multi-level parallelism; real-time oriented —
+/// streams dense features, no graph preprocessing, mux-based interconnect.
+class FlowGnnModel final : public AcceleratorModel {
+ public:
+  using AcceleratorModel::AcceleratorModel;
+  [[nodiscard]] const char* name() const override { return "FlowGNN"; }
+  [[nodiscard]] CoverageRow coverage() const override;
+  [[nodiscard]] core::RunMetrics run_layer(
+      const graph::Dataset& dataset, const gnn::Workflow& workflow,
+      const core::DramTrafficParams& traffic) const override;
+};
+
+}  // namespace aurora::baselines

@@ -1,0 +1,30 @@
+// Minimal --key=value command-line parsing for examples and bench binaries.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace aurora {
+
+/// Parses flags of the form `--name=value` or boolean `--name`. Positional
+/// arguments are rejected: every bench is fully flag-driven so runs are
+/// self-describing.
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace aurora

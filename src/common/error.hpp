@@ -1,0 +1,44 @@
+// Lightweight invariant checking used throughout the library.
+//
+// AURORA_CHECK is active in all build types: simulator correctness depends on
+// these invariants and their cost is negligible next to cycle simulation.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace aurora {
+
+/// Exception thrown when a library invariant or precondition is violated.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void fail_check(const char* expr, const char* file, int line,
+                                    const std::string& msg) {
+  std::ostringstream os;
+  os << "AURORA_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace aurora
+
+#define AURORA_CHECK(cond)                                                  \
+  do {                                                                      \
+    if (!(cond)) ::aurora::detail::fail_check(#cond, __FILE__, __LINE__, {}); \
+  } while (false)
+
+#define AURORA_CHECK_MSG(cond, msg)                                       \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::ostringstream os_;                                             \
+      os_ << msg;                                                         \
+      ::aurora::detail::fail_check(#cond, __FILE__, __LINE__, os_.str()); \
+    }                                                                     \
+  } while (false)

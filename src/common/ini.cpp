@@ -1,0 +1,95 @@
+#include "common/ini.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace aurora {
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto first = s.find_first_not_of(" \t\r");
+  if (first == std::string::npos) return "";
+  const auto last = s.find_last_not_of(" \t\r");
+  return s.substr(first, last - first + 1);
+}
+
+std::string strip_comment(const std::string& s) {
+  const auto pos = s.find_first_of(";#");
+  return pos == std::string::npos ? s : s.substr(0, pos);
+}
+
+}  // namespace
+
+IniFile IniFile::parse(std::istream& in) {
+  IniFile ini;
+  std::string line;
+  std::string section;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string body = trim(strip_comment(line));
+    if (body.empty()) continue;
+    if (body.front() == '[') {
+      AURORA_CHECK_MSG(body.back() == ']',
+                       "unterminated section header at line " << line_no);
+      section = trim(body.substr(1, body.size() - 2));
+      AURORA_CHECK_MSG(!section.empty(), "empty section at line " << line_no);
+      ini.sections_[section];  // sections may be empty
+      continue;
+    }
+    const auto eq = body.find('=');
+    AURORA_CHECK_MSG(eq != std::string::npos,
+                     "expected key = value at line " << line_no << ": '"
+                                                     << body << "'");
+    const std::string key = trim(body.substr(0, eq));
+    const std::string value = trim(body.substr(eq + 1));
+    AURORA_CHECK_MSG(!key.empty(), "empty key at line " << line_no);
+    ini.sections_[section][key] = value;
+  }
+  return ini;
+}
+
+IniFile IniFile::load(const std::string& path) {
+  std::ifstream in(path);
+  AURORA_CHECK_MSG(in.is_open(), "cannot open config file: " << path);
+  return parse(in);
+}
+
+bool IniFile::has(const std::string& section, const std::string& key) const {
+  const auto sit = sections_.find(section);
+  return sit != sections_.end() && sit->second.count(key) > 0;
+}
+
+std::string IniFile::get_string(const std::string& section,
+                                const std::string& key,
+                                const std::string& fallback) const {
+  const auto sit = sections_.find(section);
+  if (sit == sections_.end()) return fallback;
+  const auto kit = sit->second.find(key);
+  return kit == sit->second.end() ? fallback : kit->second;
+}
+
+std::int64_t IniFile::get_int(const std::string& section,
+                              const std::string& key,
+                              std::int64_t fallback) const {
+  if (!has(section, key)) return fallback;
+  return std::strtoll(get_string(section, key, "").c_str(), nullptr, 10);
+}
+
+double IniFile::get_double(const std::string& section, const std::string& key,
+                           double fallback) const {
+  if (!has(section, key)) return fallback;
+  return std::strtod(get_string(section, key, "").c_str(), nullptr);
+}
+
+bool IniFile::get_bool(const std::string& section, const std::string& key,
+                       bool fallback) const {
+  if (!has(section, key)) return fallback;
+  const std::string v = get_string(section, key, "");
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+}  // namespace aurora

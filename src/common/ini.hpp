@@ -1,0 +1,41 @@
+// Minimal INI parsing for accelerator configuration files.
+//
+//   [section]
+//   key = value      ; or # starts a comment
+//
+// Values are strings; typed accessors convert on demand.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+
+namespace aurora {
+
+class IniFile {
+ public:
+  /// Parse from a stream; throws on malformed lines.
+  static IniFile parse(std::istream& in);
+  static IniFile load(const std::string& path);
+
+  [[nodiscard]] bool has(const std::string& section,
+                         const std::string& key) const;
+  [[nodiscard]] std::string get_string(const std::string& section,
+                                       const std::string& key,
+                                       const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& section,
+                                     const std::string& key,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& section,
+                                  const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& section,
+                              const std::string& key, bool fallback) const;
+
+  [[nodiscard]] std::size_t num_sections() const { return sections_.size(); }
+
+ private:
+  std::map<std::string, std::map<std::string, std::string>> sections_;
+};
+
+}  // namespace aurora

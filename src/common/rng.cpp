@@ -1,0 +1,122 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace aurora {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  AURORA_CHECK(bound > 0);
+  // Lemire's nearly-divisionless rejection method.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::next_range(std::int64_t lo, std::int64_t hi) {
+  AURORA_CHECK(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::next_double(double lo, double hi) {
+  AURORA_CHECK(lo <= hi);
+  return lo + (hi - lo) * next_double();
+}
+
+bool Rng::next_bool(double p_true) { return next_double() < p_true; }
+
+double Rng::next_normal() {
+  if (have_spare_normal_) {
+    have_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u, v, s;
+  do {
+    u = next_double(-1.0, 1.0);
+    v = next_double(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double k = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * k;
+  have_spare_normal_ = true;
+  return u * k;
+}
+
+std::size_t Rng::next_weighted(const std::vector<double>& weights) {
+  AURORA_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    AURORA_CHECK(w >= 0.0);
+    total += w;
+  }
+  AURORA_CHECK(total > 0.0);
+  double r = next_double() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::uint64_t Rng::next_power_law(double alpha, std::uint64_t x_max) {
+  AURORA_CHECK(alpha > 1.0);
+  AURORA_CHECK(x_max >= 1);
+  // Inverse-CDF sampling of the continuous Pareto, rounded down and clamped;
+  // rejection keeps the tail bounded at x_max without distorting the head.
+  for (;;) {
+    const double u = 1.0 - next_double();  // (0, 1]
+    const double x = std::pow(u, -1.0 / (alpha - 1.0));
+    if (x <= static_cast<double>(x_max)) {
+      return static_cast<std::uint64_t>(x);
+    }
+  }
+}
+
+Rng Rng::fork() { return Rng(next_u64()); }
+
+}  // namespace aurora

@@ -1,0 +1,67 @@
+// Deterministic random number generation.
+//
+// All stochastic pieces of the library (graph generators, traffic generators,
+// tie-breaking) draw from Rng so a fixed seed reproduces a run bit-for-bit.
+// The engine is xoshiro256** seeded via SplitMix64 — fast, high quality, and
+// independent of the standard library's unspecified distributions.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace aurora {
+
+/// xoshiro256** engine with SplitMix64 seeding and explicit, portable
+/// distribution implementations.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Raw 64 random bits.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform double in [lo, hi).
+  double next_double(double lo, double hi);
+
+  /// Bernoulli trial.
+  bool next_bool(double p_true);
+
+  /// Standard normal via Box-Muller.
+  double next_normal();
+
+  /// Sample an index from the (unnormalised, non-negative) weight vector.
+  std::size_t next_weighted(const std::vector<double>& weights);
+
+  /// Discrete power-law sample in [1, x_max]: P(x) ∝ x^-alpha.
+  /// Used to synthesise realistic vertex degree distributions.
+  std::uint64_t next_power_law(double alpha, std::uint64_t x_max);
+
+  /// Split off an independent stream (for parallel generation).
+  Rng fork();
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace aurora

@@ -1,0 +1,102 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace aurora {
+
+void RunningStat::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::mean() const { return n_ == 0 ? 0.0 : mean_; }
+
+double RunningStat::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double RunningStat::min() const { return min_; }
+
+double RunningStat::max() const { return max_; }
+
+void RunningStat::merge(const RunningStat& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(n_);
+  const auto n2 = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = n1 + n2;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  mean_ = (mean_ * n1 + other.mean_ * n2) / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void RunningStat::reset() { *this = RunningStat{}; }
+
+Histogram::Histogram(double bucket_width, std::size_t num_buckets)
+    : width_(bucket_width), counts_(num_buckets, 0) {
+  AURORA_CHECK(bucket_width > 0.0);
+  AURORA_CHECK(num_buckets > 0);
+}
+
+void Histogram::add(double x) {
+  AURORA_CHECK(x >= 0.0);
+  auto idx = static_cast<std::size_t>(x / width_);
+  idx = std::min(idx, counts_.size() - 1);
+  ++counts_[idx];
+  ++total_;
+}
+
+std::uint64_t Histogram::bucket_count(std::size_t i) const {
+  AURORA_CHECK(i < counts_.size());
+  return counts_[i];
+}
+
+double Histogram::quantile(double q) const {
+  AURORA_CHECK(q >= 0.0 && q <= 1.0);
+  if (total_ == 0) return 0.0;
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total_));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cum += counts_[i];
+    if (cum >= target) return (static_cast<double>(i) + 1.0) * width_;
+  }
+  return static_cast<double>(counts_.size()) * width_;
+}
+
+void CounterSet::inc(const std::string& name, std::uint64_t by) {
+  counters_[name] += by;
+}
+
+std::uint64_t CounterSet::get(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void CounterSet::merge(const CounterSet& other) {
+  for (const auto& [k, v] : other.counters_) counters_[k] += v;
+}
+
+void CounterSet::reset() { counters_.clear(); }
+
+}  // namespace aurora

@@ -1,0 +1,70 @@
+// Statistics primitives used by the simulator for metric collection.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace aurora {
+
+/// Online mean/variance/min/max accumulator (Welford).
+class RunningStat {
+ public:
+  void add(double x);
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const { return sum_; }
+  void merge(const RunningStat& other);
+  void reset();
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Fixed-bucket histogram over [0, bucket_width * num_buckets); the last
+/// bucket also absorbs overflow so totals are exact.
+class Histogram {
+ public:
+  Histogram(double bucket_width, std::size_t num_buckets);
+
+  void add(double x);
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const;
+  [[nodiscard]] std::size_t num_buckets() const { return counts_.size(); }
+  [[nodiscard]] double bucket_width() const { return width_; }
+  /// Value below which `q` (0..1) of the samples fall (bucket-resolution).
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Named monotonic counters; every simulator component registers its event
+/// counts here so tests and benches read one consolidated view.
+class CounterSet {
+ public:
+  void inc(const std::string& name, std::uint64_t by = 1);
+  [[nodiscard]] std::uint64_t get(const std::string& name) const;
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& all() const {
+    return counters_;
+  }
+  void merge(const CounterSet& other);
+  void reset();
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+}  // namespace aurora

@@ -1,0 +1,46 @@
+#include "common/strings.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace aurora {
+
+std::string to_fixed(double x, int digits) {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.*f", digits, x);
+  return buf.data();
+}
+
+std::string human_bytes(std::uint64_t bytes) {
+  static constexpr std::array<const char*, 5> kUnits = {"B", "KB", "MB", "GB",
+                                                        "TB"};
+  double v = static_cast<double>(bytes);
+  std::size_t unit = 0;
+  while (v >= 1024.0 && unit + 1 < kUnits.size()) {
+    v /= 1024.0;
+    ++unit;
+  }
+  const int digits = unit == 0 ? 0 : (v < 10 ? 2 : 1);
+  return to_fixed(v, digits) + " " + kUnits[unit];
+}
+
+std::string human_count(double value) {
+  static constexpr std::array<const char*, 4> kUnits = {"", " K", " M", " G"};
+  double v = value;
+  std::size_t unit = 0;
+  while (v >= 1000.0 && unit + 1 < kUnits.size()) {
+    v /= 1000.0;
+    ++unit;
+  }
+  return to_fixed(v, v < 10 ? 2 : 1) + kUnits[unit];
+}
+
+std::string pad_right(const std::string& s, std::size_t width) {
+  return s.size() >= width ? s : s + std::string(width - s.size(), ' ');
+}
+
+std::string pad_left(const std::string& s, std::size_t width) {
+  return s.size() >= width ? s : std::string(width - s.size(), ' ') + s;
+}
+
+}  // namespace aurora

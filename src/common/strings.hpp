@@ -1,0 +1,24 @@
+// Small string/formatting helpers shared by benches and reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace aurora {
+
+/// Format `x` with `digits` decimal places.
+std::string to_fixed(double x, int digits);
+
+/// "12.3 KB" / "4.56 GB" style humanisation of a byte count.
+std::string human_bytes(std::uint64_t bytes);
+
+/// "1.23 M" / "45.6 K" humanisation of a plain count.
+std::string human_count(double value);
+
+/// Multiply suffix padding: pad `s` on the right to `width` columns.
+std::string pad_right(const std::string& s, std::size_t width);
+
+/// Pad `s` on the left to `width` columns.
+std::string pad_left(const std::string& s, std::size_t width);
+
+}  // namespace aurora

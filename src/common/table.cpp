@@ -1,0 +1,52 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace aurora {
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  AURORA_CHECK(!header_.empty());
+}
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+  AURORA_CHECK_MSG(cells.size() == header_.size(),
+                   "row width " << cells.size() << " != header width "
+                                << header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string AsciiTable::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      // First column is the label column: left-align it, right-align numbers.
+      os << (c == 0 ? pad_right(row[c], widths[c]) : pad_left(row[c], widths[c]));
+    }
+    os << " |\n";
+  };
+  emit_row(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << (c == 0 ? "|-" : "-|-") << std::string(widths[c], '-');
+  }
+  os << "-|\n";
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+void AsciiTable::print() const { std::fputs(to_string().c_str(), stdout); }
+
+}  // namespace aurora

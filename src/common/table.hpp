@@ -1,0 +1,28 @@
+// ASCII table rendering for the figure/table bench harnesses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace aurora {
+
+/// Column-aligned ASCII table. Rows are added as strings; numeric helpers
+/// format doubles consistently. Used by every bench binary so figure output
+/// is uniform and diff-able.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Render with a header rule and column padding.
+  [[nodiscard]] std::string to_string() const;
+  void print() const;
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace aurora

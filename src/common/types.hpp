@@ -1,0 +1,22 @@
+// Core scalar type aliases shared across all Aurora modules.
+#pragma once
+
+#include <cstdint>
+
+namespace aurora {
+
+/// Vertex identifier within a graph (or subgraph-local index).
+using VertexId = std::uint32_t;
+/// Edge identifier (index into CSR adjacency arrays).
+using EdgeId = std::uint64_t;
+/// Simulation time in accelerator clock cycles.
+using Cycle = std::uint64_t;
+/// Size or address in bytes.
+using Bytes = std::uint64_t;
+/// Operation counts (MACs, flops, ...).
+using OpCount = std::uint64_t;
+
+/// Sentinel for "no vertex".
+inline constexpr VertexId kInvalidVertex = 0xFFFFFFFFu;
+
+}  // namespace aurora

@@ -1,0 +1,76 @@
+// Top-level Aurora accelerator configuration (paper Sec VI-A).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "dram/dram.hpp"
+#include "noc/network.hpp"
+#include "pe/pe.hpp"
+
+namespace aurora::core {
+
+/// How a run is executed.
+enum class SimMode : std::uint8_t {
+  /// Full flit/task-level simulation of NoC + PEs + DRAM. Exact but only
+  /// practical at reduced dataset scales.
+  kCycleAccurate,
+  /// Closed-form model driven by the same mapping/partition/tiling decisions
+  /// and the same traffic counts, with contention factors calibrated against
+  /// the cycle-accurate engine. Practical at full dataset scale.
+  kAnalytic,
+};
+
+/// Vertex placement policy (Sec IV; the hashing policy is the CGRA-ME
+/// baseline used by the mapping ablation).
+enum class MappingPolicy : std::uint8_t {
+  kDegreeAware,
+  kHashing,
+};
+
+struct AuroraConfig {
+  /// PE array dimension K (paper: 32; bench default 16 to keep the
+  /// cycle-accurate engine fast on laptop-class hosts).
+  std::uint32_t array_dim = 16;
+  /// Core clock in MHz (for reporting; the simulator is cycle-based).
+  double frequency_mhz = 700.0;
+  /// Element width: the paper evaluates double precision.
+  Bytes element_bytes = 8;
+
+  pe::PeModelParams pe;
+  noc::NocParams noc;
+  dram::DramConfig dram;
+
+  SimMode mode = SimMode::kCycleAccurate;
+  MappingPolicy mapping_policy = MappingPolicy::kDegreeAware;
+
+  /// Weight-stationary ring size in sub-accelerator B (rings never span
+  /// rows, so this is clamped to K).
+  std::uint32_t ring_size = 8;
+  /// Fraction of the distributed buffer usable for a tile's working set
+  /// (the rest holds weights, edge embeddings and double-buffered staging).
+  double buffer_fill_fraction = 0.5;
+  /// Operations per cycle per PE (the paper's Flops parameter): one MAC per
+  /// multiplier per cycle = 2 ops x 8 multipliers... kept explicit.
+  double flops_per_pe = 16.0;
+
+  [[nodiscard]] std::uint32_t num_pes() const { return array_dim * array_dim; }
+  [[nodiscard]] Bytes total_buffer_bytes() const {
+    return static_cast<Bytes>(num_pes()) * pe.bank_buffer_bytes;
+  }
+
+  /// NoC/PE reconfiguration latency (paper: 2K-1 cycles, 63 for K=32).
+  [[nodiscard]] Cycle reconfiguration_cycles() const {
+    return 2ull * array_dim - 1;
+  }
+  /// Mapping + partition heuristic latency (paper: ~100 cycles).
+  static constexpr Cycle kHeuristicCycles = 100;
+
+  /// The paper's hardware configuration: 32 x 32 PEs, 100 KB buffer per PE.
+  [[nodiscard]] static AuroraConfig paper();
+  /// Bench-friendly configuration: 16 x 16 PEs (used by tests and default
+  /// bench runs so the cycle engine stays fast).
+  [[nodiscard]] static AuroraConfig bench();
+};
+
+}  // namespace aurora::core

@@ -1,0 +1,123 @@
+#include "core/config_io.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace aurora::core {
+
+AuroraConfig config_from_ini(const IniFile& ini, AuroraConfig base) {
+  AuroraConfig c = base;
+  auto u32 = [&](const char* sec, const char* key, std::uint32_t fallback) {
+    return static_cast<std::uint32_t>(ini.get_int(sec, key, fallback));
+  };
+
+  c.array_dim = u32("chip", "array_dim", c.array_dim);
+  c.noc.k = c.array_dim;
+  c.frequency_mhz = ini.get_double("chip", "frequency_mhz", c.frequency_mhz);
+  c.element_bytes = u32("chip", "element_bytes",
+                        static_cast<std::uint32_t>(c.element_bytes));
+  c.ring_size = u32("chip", "ring_size", c.ring_size);
+  c.buffer_fill_fraction =
+      ini.get_double("chip", "buffer_fill_fraction", c.buffer_fill_fraction);
+  c.flops_per_pe = ini.get_double("chip", "flops_per_pe", c.flops_per_pe);
+  const std::string mode = ini.get_string(
+      "chip", "mode",
+      c.mode == SimMode::kCycleAccurate ? "cycle" : "analytic");
+  AURORA_CHECK_MSG(mode == "cycle" || mode == "analytic",
+                   "chip.mode must be 'cycle' or 'analytic', got " << mode);
+  c.mode = mode == "cycle" ? SimMode::kCycleAccurate : SimMode::kAnalytic;
+  const std::string mapping = ini.get_string(
+      "chip", "mapping",
+      c.mapping_policy == MappingPolicy::kDegreeAware ? "degree-aware"
+                                                      : "hashing");
+  AURORA_CHECK_MSG(mapping == "degree-aware" || mapping == "hashing",
+                   "chip.mapping must be 'degree-aware' or 'hashing'");
+  c.mapping_policy = mapping == "degree-aware" ? MappingPolicy::kDegreeAware
+                                               : MappingPolicy::kHashing;
+
+  c.pe.datapath.num_multipliers =
+      u32("pe", "multipliers", c.pe.datapath.num_multipliers);
+  c.pe.datapath.num_adders = u32("pe", "adders", c.pe.datapath.num_adders);
+  c.pe.datapath.pipeline_depth =
+      u32("pe", "pipeline_depth",
+          static_cast<std::uint32_t>(c.pe.datapath.pipeline_depth));
+  c.pe.bank_buffer_bytes =
+      1024ull * u32("pe", "bank_buffer_kib",
+                    static_cast<std::uint32_t>(c.pe.bank_buffer_bytes / 1024));
+  c.pe.bank_count = u32("pe", "bank_count", c.pe.bank_count);
+  c.pe.reuse_fifo_entries =
+      u32("pe", "reuse_fifo_entries", c.pe.reuse_fifo_entries);
+
+  c.noc.flit_bytes = u32("noc", "flit_bytes",
+                         static_cast<std::uint32_t>(c.noc.flit_bytes));
+  c.noc.num_vcs = u32("noc", "num_vcs", c.noc.num_vcs);
+  c.noc.input_buffer_flits =
+      u32("noc", "input_buffer_flits", c.noc.input_buffer_flits);
+  c.noc.router_delay = u32("noc", "router_delay",
+                           static_cast<std::uint32_t>(c.noc.router_delay));
+
+  c.dram.num_channels = u32("dram", "channels", c.dram.num_channels);
+  c.dram.banks_per_channel = u32("dram", "banks", c.dram.banks_per_channel);
+  c.dram.row_bytes = u32("dram", "row_bytes",
+                         static_cast<std::uint32_t>(c.dram.row_bytes));
+  c.dram.burst_bytes = u32("dram", "burst_bytes",
+                           static_cast<std::uint32_t>(c.dram.burst_bytes));
+  auto cyc = [&](const char* key, Cycle fallback) {
+    return static_cast<Cycle>(
+        ini.get_int("dram", key, static_cast<std::int64_t>(fallback)));
+  };
+  c.dram.timing.t_rcd = cyc("t_rcd", c.dram.timing.t_rcd);
+  c.dram.timing.t_rp = cyc("t_rp", c.dram.timing.t_rp);
+  c.dram.timing.t_cl = cyc("t_cl", c.dram.timing.t_cl);
+  c.dram.timing.t_burst = cyc("t_burst", c.dram.timing.t_burst);
+  c.dram.timing.t_refi = cyc("t_refi", c.dram.timing.t_refi);
+  c.dram.timing.t_rfc = cyc("t_rfc", c.dram.timing.t_rfc);
+  return c;
+}
+
+AuroraConfig load_config(const std::string& path, AuroraConfig base) {
+  return config_from_ini(IniFile::load(path), base);
+}
+
+std::string config_to_ini(const AuroraConfig& c) {
+  std::ostringstream os;
+  os << "[chip]\n"
+     << "array_dim = " << c.array_dim << "\n"
+     << "frequency_mhz = " << c.frequency_mhz << "\n"
+     << "element_bytes = " << c.element_bytes << "\n"
+     << "ring_size = " << c.ring_size << "\n"
+     << "buffer_fill_fraction = " << c.buffer_fill_fraction << "\n"
+     << "flops_per_pe = " << c.flops_per_pe << "\n"
+     << "mode = "
+     << (c.mode == SimMode::kCycleAccurate ? "cycle" : "analytic") << "\n"
+     << "mapping = "
+     << (c.mapping_policy == MappingPolicy::kDegreeAware ? "degree-aware"
+                                                         : "hashing")
+     << "\n\n[pe]\n"
+     << "multipliers = " << c.pe.datapath.num_multipliers << "\n"
+     << "adders = " << c.pe.datapath.num_adders << "\n"
+     << "pipeline_depth = " << c.pe.datapath.pipeline_depth << "\n"
+     << "bank_buffer_kib = " << c.pe.bank_buffer_bytes / 1024 << "\n"
+     << "bank_count = " << c.pe.bank_count << "\n"
+     << "reuse_fifo_entries = " << c.pe.reuse_fifo_entries << "\n"
+     << "\n[noc]\n"
+     << "flit_bytes = " << c.noc.flit_bytes << "\n"
+     << "num_vcs = " << c.noc.num_vcs << "\n"
+     << "input_buffer_flits = " << c.noc.input_buffer_flits << "\n"
+     << "router_delay = " << c.noc.router_delay << "\n"
+     << "\n[dram]\n"
+     << "channels = " << c.dram.num_channels << "\n"
+     << "banks = " << c.dram.banks_per_channel << "\n"
+     << "row_bytes = " << c.dram.row_bytes << "\n"
+     << "burst_bytes = " << c.dram.burst_bytes << "\n"
+     << "t_rcd = " << c.dram.timing.t_rcd << "\n"
+     << "t_rp = " << c.dram.timing.t_rp << "\n"
+     << "t_cl = " << c.dram.timing.t_cl << "\n"
+     << "t_burst = " << c.dram.timing.t_burst << "\n"
+     << "t_refi = " << c.dram.timing.t_refi << "\n"
+     << "t_rfc = " << c.dram.timing.t_rfc << "\n";
+  return os.str();
+}
+
+}  // namespace aurora::core

@@ -1,0 +1,33 @@
+// AuroraConfig <-> INI file bridge, so experiments can pin chip
+// configurations in version-controlled files.
+//
+// Recognised keys (all optional; unset keys keep their defaults):
+//   [chip]  array_dim, frequency_mhz, element_bytes, ring_size,
+//           buffer_fill_fraction, flops_per_pe, mode (cycle|analytic),
+//           mapping (degree-aware|hashing)
+//   [pe]    multipliers, adders, bank_buffer_kib, bank_count,
+//           reuse_fifo_entries, pipeline_depth
+//   [noc]   flit_bytes, num_vcs, input_buffer_flits, router_delay
+//   [dram]  channels, banks, row_bytes, burst_bytes, t_rcd, t_rp, t_cl,
+//           t_burst, t_refi, t_rfc
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/ini.hpp"
+#include "core/config.hpp"
+
+namespace aurora::core {
+
+/// Apply an INI file on top of `base` (defaults for anything unset).
+[[nodiscard]] AuroraConfig config_from_ini(const IniFile& ini,
+                                           AuroraConfig base = {});
+
+[[nodiscard]] AuroraConfig load_config(const std::string& path,
+                                       AuroraConfig base = {});
+
+/// Serialise every recognised key (round-trips through config_from_ini).
+[[nodiscard]] std::string config_to_ini(const AuroraConfig& config);
+
+}  // namespace aurora::core

@@ -1,0 +1,91 @@
+#include "core/controllers.hpp"
+
+#include "common/error.hpp"
+
+namespace aurora::core {
+
+const char* instr_kind_name(InstrKind k) {
+  switch (k) {
+    case InstrKind::kConfigureNoc:
+      return "CONFIGURE_NOC";
+    case InstrKind::kConfigurePes:
+      return "CONFIGURE_PES";
+    case InstrKind::kLoadSubgraph:
+      return "LOAD_SUBGRAPH";
+    case InstrKind::kRunEdgeUpdate:
+      return "RUN_EDGE_UPDATE";
+    case InstrKind::kRunAggregation:
+      return "RUN_AGGREGATION";
+    case InstrKind::kRunVertexUpdate:
+      return "RUN_VERTEX_UPDATE";
+    case InstrKind::kStoreOutputs:
+      return "STORE_OUTPUTS";
+  }
+  throw Error("invalid InstrKind");
+}
+
+void RequestDispatcher::submit(HostRequest request) {
+  request.request_id = ++accepted_;
+  queue_.push_back(request);
+}
+
+HostRequest RequestDispatcher::next() {
+  AURORA_CHECK_MSG(!queue_.empty(), "no pending host request");
+  HostRequest r = queue_.front();
+  queue_.pop_front();
+  return r;
+}
+
+InstructionBuffer::InstructionBuffer(std::size_t capacity)
+    : capacity_(capacity) {
+  AURORA_CHECK(capacity > 0);
+}
+
+bool InstructionBuffer::push(Instruction instr) {
+  if (full()) return false;
+  buffer_.push_back(instr);
+  return true;
+}
+
+bool InstructionBuffer::pop(Instruction& instr) {
+  if (buffer_.empty()) return false;
+  instr = buffer_.front();
+  buffer_.pop_front();
+  return true;
+}
+
+std::vector<Instruction> build_instruction_stream(
+    const gnn::Workflow& workflow, std::uint32_t num_subgraphs) {
+  AURORA_CHECK(num_subgraphs >= 1);
+  std::vector<Instruction> stream;
+  for (std::uint32_t sg = 0; sg < num_subgraphs; ++sg) {
+    stream.push_back({InstrKind::kConfigureNoc, sg});
+    stream.push_back({InstrKind::kConfigurePes, sg});
+    stream.push_back({InstrKind::kLoadSubgraph, sg});
+    if (workflow.needs_edge_update()) {
+      stream.push_back({InstrKind::kRunEdgeUpdate, sg});
+    }
+    stream.push_back({InstrKind::kRunAggregation, sg});
+    if (workflow.needs_vertex_update()) {
+      stream.push_back({InstrKind::kRunVertexUpdate, sg});
+    }
+    stream.push_back({InstrKind::kStoreOutputs, sg});
+  }
+  return stream;
+}
+
+ConfigurationUnit::ConfigurationUnit(std::uint32_t array_dim)
+    : array_dim_(array_dim), current_(array_dim) {
+  AURORA_CHECK(array_dim >= 1);
+}
+
+std::uint64_t ConfigurationUnit::apply(const noc::NocConfig& config) {
+  const std::uint64_t writes =
+      noc::NocConfig::switch_writes_between(current_, config);
+  current_ = config;
+  ++count_;
+  switch_writes_ += writes;
+  return writes;
+}
+
+}  // namespace aurora::core

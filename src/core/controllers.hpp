@@ -1,0 +1,115 @@
+// Front-end controllers of the Aurora accelerator (paper Fig 3 (a) and the
+// walk-through of Sec III-E): request dispatcher, instruction buffer,
+// instruction dispatcher and the NoC/PE configuration unit.
+//
+// The heavy lifting (mapping, partition, workflow generation) lives in its
+// own modules; these classes model the control-plane sequencing and its
+// (small) timing and energy contribution.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "gnn/models.hpp"
+#include "gnn/workflow.hpp"
+#include "graph/datasets.hpp"
+#include "noc/config.hpp"
+
+namespace aurora::core {
+
+/// A host request: run one GNN layer over one graph (Sec III-E step 1).
+struct HostRequest {
+  gnn::GnnModel model{};
+  gnn::LayerConfig layer;
+  std::uint64_t request_id = 0;
+};
+
+/// Decoded control instructions (Sec III-E step 2); the instruction
+/// dispatcher issues them per subgraph.
+enum class InstrKind : std::uint8_t {
+  kConfigureNoc,
+  kConfigurePes,
+  kLoadSubgraph,
+  kRunEdgeUpdate,
+  kRunAggregation,
+  kRunVertexUpdate,
+  kStoreOutputs,
+};
+
+[[nodiscard]] const char* instr_kind_name(InstrKind k);
+
+struct Instruction {
+  InstrKind kind{};
+  std::uint32_t subgraph = 0;
+};
+
+/// Accepts host requests and hands them to the pipeline in FIFO order.
+class RequestDispatcher {
+ public:
+  void submit(HostRequest request);
+  [[nodiscard]] bool has_pending() const { return !queue_.empty(); }
+  [[nodiscard]] HostRequest next();
+  [[nodiscard]] std::uint64_t accepted() const { return accepted_; }
+
+ private:
+  std::deque<HostRequest> queue_;
+  std::uint64_t accepted_ = 0;
+};
+
+/// Fixed-capacity instruction buffer fed by the host (step 2) and drained by
+/// the instruction dispatcher (step 7).
+class InstructionBuffer {
+ public:
+  explicit InstructionBuffer(std::size_t capacity);
+
+  [[nodiscard]] bool push(Instruction instr);
+  [[nodiscard]] bool pop(Instruction& instr);
+  [[nodiscard]] bool empty() const { return buffer_.empty(); }
+  [[nodiscard]] bool full() const { return buffer_.size() >= capacity_; }
+  [[nodiscard]] std::size_t size() const { return buffer_.size(); }
+
+ private:
+  std::size_t capacity_;
+  std::deque<Instruction> buffer_;
+};
+
+/// Emits the per-subgraph instruction sequence for a workflow: configure,
+/// load, run present phases, store.
+[[nodiscard]] std::vector<Instruction> build_instruction_stream(
+    const gnn::Workflow& workflow, std::uint32_t num_subgraphs);
+
+/// The NoC/PE configuration unit: applies a configuration and tracks the
+/// cumulative reconfiguration cost (2K-1 cycles each, paper Sec VI-D; the
+/// cost is overlapped with the previous subgraph's compute except for the
+/// very first configuration).
+class ConfigurationUnit {
+ public:
+  explicit ConfigurationUnit(std::uint32_t array_dim);
+
+  /// Record a reconfiguration to `config`. Returns the switch writes.
+  std::uint64_t apply(const noc::NocConfig& config);
+
+  [[nodiscard]] Cycle latency_per_reconfiguration() const {
+    return 2ull * array_dim_ - 1;
+  }
+  /// Cycles NOT hidden by compute overlap (the first configuration).
+  [[nodiscard]] Cycle exposed_cycles() const {
+    return count_ == 0 ? 0 : latency_per_reconfiguration();
+  }
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t total_switch_writes() const {
+    return switch_writes_;
+  }
+  [[nodiscard]] const noc::NocConfig& current() const { return current_; }
+
+ private:
+  std::uint32_t array_dim_;
+  noc::NocConfig current_;
+  std::uint64_t count_ = 0;
+  std::uint64_t switch_writes_ = 0;
+};
+
+}  // namespace aurora::core

@@ -1,0 +1,563 @@
+#include "core/cycle_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "common/error.hpp"
+#include "core/controllers.hpp"
+#include "core/sub_accelerators.hpp"
+#include "dram/dram.hpp"
+#include "mapping/mapper.hpp"
+#include "noc/network.hpp"
+#include "partition/partition.hpp"
+#include "pe/pe.hpp"
+#include "sim/simulator.hpp"
+
+namespace aurora::core {
+namespace {
+
+/// What to do when a PE task or a NoC packet finishes — the dataflow's
+/// dependency edges. Tags index into the run's action table.
+enum class ActionType : std::uint8_t {
+  kEdgeUpdateDone,  // PE: edge feature computed at the source PE
+  kAggMessage,      // NoC: edge feature arrived at the owner PE
+  kAccumulateDone,  // PE: one neighbor folded into the aggregate
+  kSliceMessage,    // NoC: an m_v slice arrived at its weight-stationary PE
+  kRingMessage,     // NoC: the rotating H-wide partial reached the next PE
+  kRingStageDone,   // PE: one weight-stationary slice computed
+  kXformMessage,    // NoC: (update-first) a transformed vector reached its
+                    // owner PE in sub-A and can fan out along its edges
+};
+
+struct Action {
+  ActionType type{};
+  VertexId v_local = 0;
+  noc::NodeId src_pe = 0;
+  noc::NodeId dst_pe = 0;
+  std::uint32_t ring_stage = 0;
+};
+
+/// Fold an arbitrary per-item op count into a datapath micro-op whose cycle
+/// cost matches `ops / flops_per_pe`. The multipliers-only wiring executes
+/// `length` ops in length / num_multipliers cycles, so length = ops / 2
+/// reproduces a full MAC pipe's throughput.
+pe::MicroOp synth_op(OpCount ops, pe::PeConfigKind kind) {
+  pe::MicroOp op;
+  op.kind = kind;
+  op.length = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(ops / 2));
+  return op;
+}
+
+}  // namespace
+
+struct CycleEngine::Impl {};  // all state is local to run_layer
+
+CycleEngine::CycleEngine(const AuroraConfig& config)
+    : impl_(std::make_unique<Impl>()), config_(config) {
+  AURORA_CHECK(config.array_dim >= 2);
+  AURORA_CHECK(config.noc.k == config.array_dim);
+}
+
+CycleEngine::~CycleEngine() = default;
+
+RunMetrics CycleEngine::run_layer(const graph::Dataset& dataset,
+                                  const gnn::Workflow& wf,
+                                  const DramTrafficParams& traffic_params) {
+  const AuroraConfig& cfg = config_;
+  const graph::CsrGraph& g = dataset.graph;
+  const std::uint32_t k = cfg.array_dim;
+  const Bytes elem = cfg.element_bytes;
+  const auto fv = wf.edge_feature_dim;           // aggregation vector width
+  const auto out_dim = wf.layer.out_dim;
+
+  // ---- decisions: partition, plan, tiling --------------------------------
+  const auto split = partition::partition(
+      partition::partition_input_from_workflow(wf, cfg.num_pes(),
+                                               cfg.flops_per_pe));
+  const SubAcceleratorPlan plan = make_plan(cfg, split);
+
+  graph::TilingParams tparams;
+  tparams.feature_bytes =
+      feature_vector_bytes(wf.layer.in_dim, traffic_params);
+  tparams.edge_bytes = 8;
+  // Tiles size against the WHOLE distributed buffer: features spread across
+  // both sub-accelerators (the DRAM crossbar feeds every PE row), with
+  // weights confined to sub-B (paper Sec VI-B: "fully utilize the on-chip
+  // buffer capacity").
+  tparams.capacity_bytes = static_cast<Bytes>(
+      cfg.buffer_fill_fraction * static_cast<double>(cfg.total_buffer_bytes()));
+  const graph::Tiling tiling = graph::tile_graph(g, tparams);
+  const DramTraffic traffic =
+      aurora_dram_traffic(dataset, wf, tiling, traffic_params);
+
+  // ---- components --------------------------------------------------------
+  sim::Simulator sim;
+  noc::Network net(cfg.noc);
+  dram::DramModel dram(cfg.dram);
+  std::vector<std::unique_ptr<pe::PeModel>> pes;
+  pes.reserve(cfg.num_pes());
+  for (std::uint32_t i = 0; i < cfg.num_pes(); ++i) {
+    pes.push_back(std::make_unique<pe::PeModel>("pe" + std::to_string(i),
+                                                cfg.pe));
+  }
+  sim.add(&net);
+  sim.add(&dram);
+  for (auto& p : pes) sim.add(p.get());
+
+  ConfigurationUnit config_unit(k);
+
+  // ---- per-tile dataflow state -------------------------------------------
+  std::vector<Action> actions;
+  std::vector<std::uint32_t> pending;   // remaining accumulations per vertex
+  std::vector<noc::NodeId> vertex_pe;   // owner PE per tile-local vertex
+  // ring_deps[v][stage]: inputs a weight-stationary stage still waits for —
+  // its m_v slice, plus (for stage > 0) the rotating partial.
+  std::vector<std::vector<std::uint8_t>> ring_deps;
+  VertexId tile_begin = 0;
+  VertexId tile_end = 0;
+  std::uint64_t vertices_remaining = 0;
+
+  const OpCount m_total = std::max<OpCount>(1, wf.num_edges);
+  const OpCount n_total = std::max<OpCount>(1, wf.num_vertices);
+  const OpCount eu_ops_per_edge =
+      wf.phase(gnn::Phase::kEdgeUpdate).total_ops / m_total;
+  const OpCount vu_ops_per_vertex =
+      wf.phase(gnn::Phase::kVertexUpdate).total_ops / n_total;
+
+  const bool has_eu = wf.needs_edge_update();
+  const bool has_vu = wf.needs_vertex_update();
+  // Aggregation messages travel in their stored format: sparse input
+  // features stay compressed on chip unless an edge-update transform
+  // densifies them (MatVec-style edge updates do; scalar/dot ones do not).
+  const bool update_first = wf.update_first;
+  const auto& eu_op_list = wf.phase(gnn::Phase::kEdgeUpdate).ops;
+  const bool eu_densifies =
+      std::find(eu_op_list.begin(), eu_op_list.end(), gnn::OpKind::kMatVec) !=
+      eu_op_list.end();
+  // Update-first traffic is dense H-wide transformed vectors; otherwise raw
+  // features travel in stored (possibly sparse) form unless densified.
+  const Bytes agg_msg_bytes =
+      (update_first || eu_densifies)
+          ? static_cast<Bytes>(fv) * elem
+          : feature_vector_bytes(wf.layer.in_dim, traffic_params);
+  const auto& vu_ops = wf.phase(gnn::Phase::kVertexUpdate).ops;
+  const bool vu_has_act = std::find(vu_ops.begin(), vu_ops.end(),
+                                    gnn::OpKind::kActivation) != vu_ops.end();
+  const pe::Activation vu_act =
+      vu_has_act
+          ? (gnn::model_category(wf.model) == gnn::GnnCategory::kAttentional
+                 ? pe::Activation::kSoftmax
+                 : pe::Activation::kRelu)
+          : pe::Activation::kNone;
+
+  auto new_action = [&](ActionType type, VertexId v, noc::NodeId src,
+                        noc::NodeId dst, std::uint32_t stage = 0) {
+    actions.push_back({type, v, src, dst, stage});
+    return static_cast<std::uint64_t>(actions.size() - 1);
+  };
+
+  auto submit_accumulate = [&](noc::NodeId at, VertexId v) {
+    pe::PeTask task;
+    task.op.kind = pe::PeConfigKind::kAccumulate;
+    task.op.length = fv;
+    task.buffer_read_bytes = agg_msg_bytes;
+    task.buffer_write_bytes = agg_msg_bytes;
+    task.tag = new_action(ActionType::kAccumulateDone, v, at, at);
+    pes[at]->submit(std::move(task));
+  };
+
+  auto submit_ring_stage = [&](noc::NodeId at, VertexId v,
+                               std::uint32_t stage) {
+    const auto& ring = plan.ring_for(tile_begin + v);
+    const auto s = static_cast<std::uint32_t>(ring.nodes.size());
+    pe::PeTask task;
+    task.op.kind = pe::PeConfigKind::kMatVec;
+    task.op.rows = std::max<std::uint32_t>(1, out_dim);
+    task.op.length = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(vu_ops_per_vertex / s /
+                                      (2 * std::max<std::uint32_t>(
+                                               1, out_dim))));
+    if (stage + 1 == s) task.post_activation = vu_act;
+    task.buffer_read_bytes =
+        static_cast<Bytes>(task.op.length + out_dim) * elem;
+    task.buffer_write_bytes = static_cast<Bytes>(out_dim) * elem;
+    task.tag = new_action(ActionType::kRingStageDone, v, at, at, stage);
+    pes[at]->submit(std::move(task));
+  };
+
+  auto vertex_done = [&]() {
+    AURORA_CHECK(vertices_remaining > 0);
+    --vertices_remaining;
+  };
+
+  auto ring_dep_arrived = [&](VertexId v, std::uint32_t stage) {
+    AURORA_CHECK(ring_deps[v][stage] > 0);
+    if (--ring_deps[v][stage] == 0) {
+      const auto& ring = plan.ring_for(tile_begin + v);
+      submit_ring_stage(ring.nodes[stage], v, stage);
+    }
+  };
+
+  // Fan a transformed (update-first) or raw vector of vertex u out along
+  // its edges: local neighbors accumulate directly, remote ones get a
+  // message.
+  std::function<void(VertexId, Cycle)> fan_out_edges;
+
+  // Weight-stationary hand-off: each ring PE holds its weight column slice;
+  // the owner PE scatters the matching m_v slices directly, and only the
+  // H-wide partial result rotates around the ring.
+  auto aggregation_done = [&](VertexId v, Cycle now) {
+    if (!has_vu || update_first) {
+      vertex_done();  // update-first: the transform already ran in sub-B
+      return;
+    }
+    const auto& ring = plan.ring_for(tile_begin + v);
+    const auto s = static_cast<std::uint32_t>(ring.nodes.size());
+    const std::uint32_t slice = (fv + s - 1) / s;
+    const noc::NodeId src = vertex_pe[v];
+    ring_deps[v].assign(s, 2);
+    ring_deps[v][0] = 1;  // stage 0 waits only for its slice
+    for (std::uint32_t j = 0; j < s; ++j) {
+      const std::uint32_t lo = j * slice;
+      const std::uint32_t len = lo < fv ? std::min(slice, fv - lo) : 0;
+      net.send(src, ring.nodes[j],
+               static_cast<Bytes>(std::max<std::uint32_t>(1, len)) * elem,
+               new_action(ActionType::kSliceMessage, v, src, ring.nodes[j], j),
+               now);
+    }
+  };
+
+  auto ring_stage_done = [&](const Action& a, Cycle now) {
+    const auto& ring = plan.ring_for(tile_begin + a.v_local);
+    const auto s = static_cast<std::uint32_t>(ring.nodes.size());
+    if (a.ring_stage + 1 >= s) {
+      if (update_first) {
+        // Transformed vector streams back to the owner PE in sub-A.
+        const noc::NodeId owner = vertex_pe[a.v_local];
+        net.send(a.dst_pe, owner, static_cast<Bytes>(out_dim) * elem,
+                 new_action(ActionType::kXformMessage, a.v_local, a.dst_pe,
+                            owner),
+                 now);
+      } else {
+        vertex_done();
+      }
+      return;
+    }
+    const noc::NodeId next = ring.nodes[a.ring_stage + 1];
+    net.send(a.dst_pe, next, static_cast<Bytes>(out_dim) * elem,
+             new_action(ActionType::kRingMessage, a.v_local, a.dst_pe, next,
+                        a.ring_stage + 1),
+             now);
+  };
+
+  fan_out_edges = [&](VertexId ul, Cycle now) {
+    const VertexId u = tile_begin + ul;
+    const noc::NodeId src = vertex_pe[ul];
+    for (VertexId w : g.neighbors(u)) {
+      if (w < tile_begin || w >= tile_end) continue;
+      const VertexId wl = w - tile_begin;
+      const noc::NodeId dst = vertex_pe[wl];
+      if (src == dst) {
+        submit_accumulate(dst, wl);
+      } else {
+        net.send(src, dst, agg_msg_bytes,
+                 new_action(ActionType::kAggMessage, wl, src, dst), now);
+      }
+    }
+  };
+
+  // PE completions and NoC deliveries drive the dependency graph.
+  auto on_pe_complete = [&](std::uint64_t tag, Cycle now) {
+    const Action a = actions[tag];
+    if (tracer_ != nullptr) {
+      tracer_->record(now, sim::TraceEvent::kTaskComplete,
+                      static_cast<std::uint64_t>(a.type), a.dst_pe);
+    }
+    switch (a.type) {
+      case ActionType::kEdgeUpdateDone:
+        if (a.src_pe == a.dst_pe) {
+          submit_accumulate(a.dst_pe, a.v_local);
+        } else {
+          net.send(a.src_pe, a.dst_pe, agg_msg_bytes,
+                   new_action(ActionType::kAggMessage, a.v_local, a.src_pe,
+                              a.dst_pe),
+                   now);
+        }
+        return;
+      case ActionType::kAccumulateDone:
+        AURORA_CHECK(pending[a.v_local] > 0);
+        if (--pending[a.v_local] == 0) aggregation_done(a.v_local, now);
+        return;
+      case ActionType::kRingStageDone:
+        ring_stage_done(a, now);
+        return;
+      default:
+        throw Error("unexpected PE completion action");
+    }
+  };
+  for (auto& p : pes) p->set_completion_callback(on_pe_complete);
+
+  net.set_delivery_callback([&](const noc::Packet& pkt, Cycle now) {
+    if (tracer_ != nullptr) {
+      tracer_->record(pkt.injected_at, sim::TraceEvent::kPacketInjected,
+                      pkt.src, pkt.payload_bytes);
+      tracer_->record(now, sim::TraceEvent::kPacketDelivered, pkt.dst,
+                      pkt.payload_bytes);
+    }
+    const Action a = actions[pkt.tag];
+    switch (a.type) {
+      case ActionType::kAggMessage:
+        submit_accumulate(a.dst_pe, a.v_local);
+        return;
+      case ActionType::kSliceMessage:
+      case ActionType::kRingMessage:
+        ring_dep_arrived(a.v_local, a.ring_stage);
+        return;
+      case ActionType::kXformMessage:
+        fan_out_edges(a.v_local, now);
+        return;
+      default:
+        (void)now;
+        throw Error("unexpected NoC delivery action");
+    }
+  });
+
+  // ---- run tiles through the load/compute pipeline ------------------------
+  RunMetrics metrics;
+  metrics.partition_a = plan.sub_a_pes();
+  metrics.partition_b = plan.sub_b_pes();
+  metrics.num_subgraphs = static_cast<std::uint32_t>(tiling.num_tiles());
+  metrics.utilization = split.single_accelerator ? 1.0 : split.utilization();
+
+  mapping::MapperParams mparams;
+  mparams.region = plan.sub_a;
+  // C_PE: buffer capacity reserved per S_PE for high-degree vertices,
+  // capped so hotspot vertices spread over the S_PEs instead of piling onto
+  // a few (Algorithm 1 maps them round-robin).
+  mparams.c_pe_slots = std::clamp<std::uint32_t>(
+      static_cast<std::uint32_t>(cfg.pe.bank_buffer_bytes /
+                                 std::max<Bytes>(1, tparams.feature_bytes) /
+                                 16),
+      1, 8);
+
+  Bytes next_addr = 0;
+  auto enqueue_stream = [&](Bytes bytes) {
+    // Chunk a bulk transfer into 4 KiB requests at sequential addresses.
+    constexpr Bytes kChunk = 4096;
+    Cycle now = sim.now();
+    if (tracer_ != nullptr) {
+      tracer_->record(now, sim::TraceEvent::kDramRequest, next_addr, bytes);
+    }
+    while (bytes > 0) {
+      const Bytes take = std::min(bytes, kChunk);
+      dram::DramRequest req;
+      req.addr = next_addr;
+      req.bytes = take;
+      dram.enqueue(std::move(req), now);
+      next_addr += take;
+      bytes -= take;
+    }
+  };
+
+  Cycle dram_free = 0;
+  Cycle compute_free = 0;
+  const Cycle kGuard = 200'000'000ull;
+
+  for (std::size_t ti = 0; ti < tiling.tiles.size(); ++ti) {
+    const graph::Tile& tile = tiling.tiles[ti];
+    tile_begin = tile.vertex_begin;
+    tile_end = tile.vertex_end;
+    const VertexId tile_n = tile.num_vertices();
+
+    // -- mapping + NoC reconfiguration (overlapped except for tile 0).
+    mparams.pe_vertex_slots =
+        std::max<std::uint32_t>(4, 2 * tile_n / plan.sub_a_pes() + 2);
+    const mapping::Mapping map =
+        cfg.mapping_policy == MappingPolicy::kDegreeAware
+            ? mapping::degree_aware_map(g, tile.vertex_begin, tile.vertex_end,
+                                        mparams)
+            : mapping::hashing_map(g, tile.vertex_begin, tile.vertex_end,
+                                   mparams);
+    // The hashing mapping has no S_PEs, so compose yields a plain mesh plus
+    // the sub-B rings — exactly the CGRA-ME baseline configuration.
+    const noc::NocConfig noc_cfg = compose_noc_config(plan, map);
+    const std::uint64_t writes = config_unit.apply(noc_cfg);
+    metrics.switch_writes += writes;
+    net.configure(noc_cfg);
+    ++metrics.reconfigurations;
+    if (tracer_ != nullptr) {
+      tracer_->record(sim.now(), sim::TraceEvent::kReconfigure, ti, writes);
+      tracer_->record(sim.now(), sim::TraceEvent::kTileStart, ti, tile_n);
+    }
+
+    // -- DRAM load of this tile's working set.
+    Bytes load_bytes =
+        static_cast<Bytes>(tile_n + tile.num_halo_vertices) *
+            tparams.feature_bytes +
+        static_cast<Bytes>(tile_n) * 8 + tile.num_edges * 4;
+    if (gnn::model_has_edge_embeddings(wf.model)) {
+      load_bytes += tile.num_edges * static_cast<Bytes>(fv) * elem;
+    }
+    if (ti == 0) load_bytes += traffic.weights;  // weights once per layer
+    const Cycle load_start = sim.now();
+    enqueue_stream(load_bytes);
+    sim.run_until_idle(kGuard);
+    const Cycle load_cycles = sim.now() - load_start;
+
+    // -- seed the tile's dataflow.
+    actions.clear();
+    pending.assign(tile_n, 0);
+    ring_deps.assign(tile_n, {});
+    vertex_pe.assign(map.vertex_to_pe.begin(), map.vertex_to_pe.end());
+    vertices_remaining = tile_n;
+
+    const Cycle compute_start = sim.now();
+    const Cycle net_busy_before = net.stats().busy_cycles;
+    if (update_first && has_vu) {
+      // Update-first: every vertex's transform ring chain starts right away
+      // (its feature slices are already resident in the ring PEs' buffers).
+      for (VertexId v = tile.vertex_begin; v < tile.vertex_end; ++v) {
+        const VertexId vl = v - tile.vertex_begin;
+        const auto& ring = plan.ring_for(v);
+        const auto s = static_cast<std::uint32_t>(ring.nodes.size());
+        ring_deps[vl].assign(s, 1);
+        ring_deps[vl][0] = 0;
+        submit_ring_stage(ring.nodes[0], vl, 0);
+      }
+    }
+    for (VertexId v = tile.vertex_begin; v < tile.vertex_end; ++v) {
+      const VertexId vl = v - tile.vertex_begin;
+      const auto nb = g.neighbors(v);
+      pending[vl] = static_cast<std::uint32_t>(nb.size());
+      if (nb.empty()) {
+        aggregation_done(vl, sim.now());
+        continue;
+      }
+      for (VertexId u : nb) {
+        const bool u_local = (u >= tile.vertex_begin && u < tile.vertex_end);
+        const noc::NodeId dst = vertex_pe[vl];
+        const noc::NodeId src =
+            u_local ? vertex_pe[u - tile.vertex_begin] : dst;
+        if (update_first && has_vu) {
+          // In-tile contributions flow after u's transform completes (the
+          // fan-out above); halo contributions are staged locally at load.
+          if (!u_local) submit_accumulate(dst, vl);
+          continue;
+        }
+        if (has_eu) {
+          pe::PeTask task;
+          task.op = synth_op(std::max<OpCount>(1, eu_ops_per_edge),
+                             pe::PeConfigKind::kVecVec);
+          task.buffer_read_bytes =
+              static_cast<Bytes>(wf.layer.in_dim) * elem;
+          task.buffer_write_bytes = static_cast<Bytes>(fv) * elem;
+          task.tag =
+              new_action(ActionType::kEdgeUpdateDone, vl, src, dst);
+          pes[src]->submit(std::move(task));
+        } else if (src == dst) {
+          submit_accumulate(dst, vl);
+        } else {
+          net.send(src, dst, agg_msg_bytes,
+                   new_action(ActionType::kAggMessage, vl, src, dst),
+                   sim.now());
+        }
+      }
+    }
+    sim.run_until_idle(kGuard);
+    AURORA_CHECK_MSG(vertices_remaining == 0,
+                     "tile " << ti << " finished with "
+                             << vertices_remaining << " vertices stuck");
+    const Cycle compute_cycles = sim.now() - compute_start;
+    metrics.onchip_comm_cycles += net.stats().busy_cycles - net_busy_before;
+
+    // -- writeback of this tile's outputs (streams while the next tile
+    //    loads; accounted on the DRAM timeline).
+    Bytes store_bytes =
+        static_cast<Bytes>(tile_n) * out_dim * elem;
+    if (gnn::model_has_edge_embeddings(wf.model)) {
+      store_bytes += tile.num_edges * static_cast<Bytes>(fv) * elem;
+    }
+    const Cycle store_start = sim.now();
+    enqueue_stream(store_bytes);
+    sim.run_until_idle(kGuard);
+    const Cycle store_cycles = sim.now() - store_start;
+
+    // -- pipeline composition: tile loads overlap the previous compute.
+    const Cycle load_done = std::max(dram_free, compute_free) + load_cycles;
+    dram_free = load_done + store_cycles;
+    const Cycle start = std::max(compute_free, load_done);
+    compute_free = start + compute_cycles;
+
+    metrics.compute_cycles += compute_cycles;
+    metrics.dram_cycles += load_cycles + store_cycles;
+  }
+
+  // ---- final metrics ------------------------------------------------------
+  metrics.total_cycles = std::max(compute_free, dram_free) +
+                         config_unit.exposed_cycles() +
+                         AuroraConfig::kHeuristicCycles;
+  metrics.reconfig_cycles =
+      config_unit.exposed_cycles() + AuroraConfig::kHeuristicCycles;
+
+  metrics.noc_heatmap = net.render_load_heatmap();
+  net.export_counters(metrics.counters);
+  dram.export_counters(metrics.counters);
+  for (const auto& p : pes) p->export_counters(metrics.counters);
+  {
+    // Per-PE busy heatmap + mean utilization over the run.
+    static constexpr const char* kGlyphs = " .:-=+*#%@";
+    Cycle peak = 0;
+    double busy_sum = 0.0;
+    for (const auto& p : pes) {
+      peak = std::max(peak, p->stats().busy_cycles);
+      busy_sum += static_cast<double>(p->stats().busy_cycles);
+    }
+    std::string heat;
+    for (std::uint32_t r = 0; r < k; ++r) {
+      heat.push_back('|');
+      for (std::uint32_t c = 0; c < k; ++c) {
+        const Cycle b = pes[r * k + c]->stats().busy_cycles;
+        const auto level =
+            peak == 0 || b == 0
+                ? 0
+                : 1 + static_cast<std::size_t>(8.0 * static_cast<double>(b) /
+                                               static_cast<double>(peak));
+        heat.push_back(kGlyphs[std::min<std::size_t>(level, 9)]);
+      }
+      heat.append("|\n");
+    }
+    metrics.pe_heatmap = std::move(heat);
+    metrics.pe_utilization =
+        busy_sum / (static_cast<double>(cfg.num_pes()) *
+                    std::max(1.0, static_cast<double>(metrics.total_cycles)));
+  }
+  metrics.dram_bytes = traffic.total();
+  metrics.dram_accesses = dram.stats().bursts;
+  metrics.noc_messages = net.stats().packets_injected;
+  metrics.avg_hops = net.stats().avg_hops();
+  metrics.bypass_messages = net.stats().bypass_flit_hops;
+
+  // Energy events: exact op counts from the workflow, measured traffic from
+  // the component stats (see DESIGN.md §2, energy row).
+  metrics.events.fp_multiplies = wf.total_ops() / 2;
+  metrics.events.fp_adds = wf.total_ops() - metrics.events.fp_multiplies;
+  metrics.events.dram_bytes = metrics.dram_bytes;
+  metrics.events.noc_link_bytes = net.stats().link_bytes;
+  metrics.events.bypass_link_bytes = net.stats().bypass_bytes;
+  metrics.events.router_bytes =
+      net.stats().router_traversals * cfg.noc.flit_bytes;
+  Bytes sram_bytes = 0;
+  for (const auto& p : pes) {
+    sram_bytes += p->bank_buffer().bytes_read() +
+                  p->bank_buffer().bytes_written();
+  }
+  metrics.events.sram_large_bytes = sram_bytes;
+  metrics.events.reconfig_switch_writes = metrics.switch_writes;
+  metrics.events.active_cycles = metrics.total_cycles;
+  metrics.energy = energy::compute_energy(metrics.events, energy::EnergyTable{});
+  return metrics;
+}
+
+}  // namespace aurora::core

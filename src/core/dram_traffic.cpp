@@ -1,0 +1,49 @@
+#include "core/dram_traffic.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace aurora::core {
+
+Bytes feature_vector_bytes(std::uint32_t feature_dim,
+                           const DramTrafficParams& params) {
+  if (!params.sparse_input_features) {
+    return static_cast<Bytes>(feature_dim) * params.element_bytes;
+  }
+  // Sparse rows store (index, value) pairs for the nonzeros.
+  const double nnz = params.input_feature_density * feature_dim;
+  const auto pair_bytes = static_cast<double>(params.element_bytes + 4);
+  return static_cast<Bytes>(std::ceil(nnz * pair_bytes));
+}
+
+DramTraffic aurora_dram_traffic(const graph::Dataset& dataset,
+                                const gnn::Workflow& workflow,
+                                const graph::Tiling& tiling,
+                                const DramTrafficParams& params) {
+  AURORA_CHECK(!tiling.tiles.empty());
+  DramTraffic t;
+  const auto n = static_cast<Bytes>(dataset.num_vertices());
+  const auto m = static_cast<Bytes>(dataset.num_edges());
+  const Bytes in_vec = feature_vector_bytes(workflow.layer.in_dim, params);
+
+  t.input_features = n * in_vec;
+  t.halo_features =
+      static_cast<Bytes>(tiling.total_halo_vertices()) * in_vec;
+  // CSR metadata: 8-byte row offsets + 4-byte column ids.
+  t.adjacency = n * 8 + m * 4;
+  if (gnn::model_has_edge_embeddings(workflow.model)) {
+    // Edge features are produced by the edge-update phase and written back
+    // for the next layer: one read of the previous value + one write.
+    t.edge_embeddings = 2 * m *
+                        static_cast<Bytes>(workflow.edge_feature_dim) *
+                        params.element_bytes;
+  }
+  for (const auto& phase : workflow.phases) t.weights += phase.weight_bytes;
+  t.output_features = n *
+                      static_cast<Bytes>(workflow.layer.out_dim) *
+                      params.element_bytes;
+  return t;
+}
+
+}  // namespace aurora::core

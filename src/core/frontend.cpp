@@ -1,0 +1,31 @@
+#include "core/frontend.hpp"
+
+#include "common/error.hpp"
+
+namespace aurora::core {
+
+InstructionDispatcher::InstructionDispatcher(InstructionBuffer& buffer,
+                                             Cycle decode_cycles)
+    : sim::Component("instruction-dispatcher"),
+      buffer_(buffer),
+      decode_cycles_(decode_cycles) {
+  AURORA_CHECK(decode_cycles >= 1);
+}
+
+void InstructionDispatcher::tick(Cycle now) {
+  if (buffer_.empty()) return;
+  if (externally_stalled_ || now < next_issue_at_) {
+    ++stall_cycles_;
+    return;
+  }
+  Instruction instr;
+  const bool ok = buffer_.pop(instr);
+  AURORA_CHECK(ok);
+  ++issued_;
+  next_issue_at_ = now + decode_cycles_;
+  if (on_issue_) on_issue_(instr, now);
+}
+
+bool InstructionDispatcher::idle() const { return buffer_.empty(); }
+
+}  // namespace aurora::core

@@ -1,0 +1,45 @@
+// The instruction-dispatch front end (paper Fig 3 (a), step 7 of the
+// walk-through): once the NoC/PE configuration unit finishes, the dispatcher
+// drains the instruction buffer and issues instructions "as conventional
+// accelerators" — one decode per cycle group, stalling when the buffer runs
+// dry or the back end is busy.
+#pragma once
+
+#include <functional>
+
+#include "core/controllers.hpp"
+#include "sim/component.hpp"
+
+namespace aurora::core {
+
+class InstructionDispatcher final : public sim::Component {
+ public:
+  using IssueCallback = std::function<void(const Instruction&, Cycle)>;
+
+  /// `buffer` outlives the dispatcher. `decode_cycles` is the issue cadence.
+  InstructionDispatcher(InstructionBuffer& buffer, Cycle decode_cycles = 1);
+
+  void set_issue_callback(IssueCallback cb) { on_issue_ = std::move(cb); }
+
+  /// Block issue (back end busy / configuration in flight).
+  void set_stalled(bool stalled) { externally_stalled_ = stalled; }
+
+  void tick(Cycle now) override;
+  [[nodiscard]] bool idle() const override;
+
+  [[nodiscard]] std::uint64_t issued() const { return issued_; }
+  /// Cycles spent unable to issue (empty buffer or external stall) while
+  /// work remained outstanding at some point.
+  [[nodiscard]] Cycle stall_cycles() const { return stall_cycles_; }
+
+ private:
+  InstructionBuffer& buffer_;
+  Cycle decode_cycles_;
+  Cycle next_issue_at_ = 0;
+  bool externally_stalled_ = false;
+  IssueCallback on_issue_;
+  std::uint64_t issued_ = 0;
+  Cycle stall_cycles_ = 0;
+};
+
+}  // namespace aurora::core

@@ -1,0 +1,65 @@
+// Run metrics reported by the Aurora simulator and by the baseline models —
+// the quantities every figure of the paper is built from.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "energy/energy_model.hpp"
+
+namespace aurora::core {
+
+/// Metrics of one layer (or one full run when layers are accumulated).
+struct RunMetrics {
+  /// End-to-end execution time in accelerator cycles (Fig 9).
+  Cycle total_cycles = 0;
+  /// Cycle breakdown.
+  Cycle compute_cycles = 0;
+  Cycle onchip_comm_cycles = 0;  // Fig 8
+  Cycle dram_cycles = 0;
+  Cycle reconfig_cycles = 0;     // non-overlapped reconfiguration time
+
+  /// Off-package traffic (Fig 7): total bytes moved and burst-granular
+  /// access count.
+  Bytes dram_bytes = 0;
+  std::uint64_t dram_accesses = 0;
+
+  /// On-chip traffic detail.
+  std::uint64_t noc_messages = 0;
+  double avg_hops = 0.0;
+  std::uint64_t bypass_messages = 0;
+
+  /// Raw event counts + converted energy (Fig 10).
+  energy::EnergyEvents events;
+  energy::EnergyBreakdown energy;
+
+  /// Decisions taken.
+  std::uint32_t partition_a = 0;
+  std::uint32_t partition_b = 0;
+  std::uint32_t num_subgraphs = 0;
+  std::uint64_t reconfigurations = 0;
+  std::uint64_t switch_writes = 0;
+
+  /// Pipeline utilisation estimate (1.0 = perfectly balanced stages).
+  double utilization = 0.0;
+
+  /// ASCII router-load heatmap (cycle engine only; empty otherwise).
+  std::string noc_heatmap;
+  /// ASCII per-PE busy-cycle heatmap (cycle engine only).
+  std::string pe_heatmap;
+  /// Fine-grained component event counters (cycle engine only).
+  CounterSet counters;
+  /// Mean fraction of execution time the PEs spent busy (cycle engine).
+  double pe_utilization = 0.0;
+
+  RunMetrics& operator+=(const RunMetrics& other);
+
+  [[nodiscard]] double total_seconds(double frequency_mhz) const {
+    return static_cast<double>(total_cycles) / (frequency_mhz * 1e6);
+  }
+};
+
+}  // namespace aurora::core

@@ -1,0 +1,68 @@
+#include "core/roofline.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace aurora::core {
+
+const char* bound_name(Bound b) {
+  switch (b) {
+    case Bound::kCompute:
+      return "compute-bound";
+    case Bound::kDram:
+      return "DRAM-bound";
+    case Bound::kNoc:
+      return "NoC-bound";
+  }
+  throw Error("invalid Bound");
+}
+
+RooflineAnalysis analyze_roofline(const RunMetrics& m,
+                                  const AuroraConfig& config) {
+  AURORA_CHECK(m.total_cycles > 0);
+  RooflineAnalysis a;
+  const double ops = static_cast<double>(m.events.fp_multiplies +
+                                         m.events.fp_adds);
+  const double dram_bytes = std::max(1.0, static_cast<double>(m.dram_bytes));
+  a.arithmetic_intensity = ops / dram_bytes;
+  a.peak_ops_per_cycle =
+      static_cast<double>(config.num_pes()) * config.flops_per_pe;
+  a.dram_ceiling_ops_per_cycle =
+      a.arithmetic_intensity * config.dram.peak_bytes_per_cycle();
+  a.achieved_ops_per_cycle = ops / static_cast<double>(m.total_cycles);
+
+  // Which ceiling binds: the lower of compute and DRAM rooflines; a run
+  // whose communication time dominates both is NoC-bound.
+  const double roof =
+      std::min(a.peak_ops_per_cycle, a.dram_ceiling_ops_per_cycle);
+  const bool comm_dominates =
+      m.onchip_comm_cycles > m.dram_cycles &&
+      m.onchip_comm_cycles > m.compute_cycles &&
+      m.onchip_comm_cycles * 2 > m.total_cycles;
+  if (comm_dominates) {
+    a.bound = Bound::kNoc;
+  } else if (a.dram_ceiling_ops_per_cycle < a.peak_ops_per_cycle) {
+    a.bound = Bound::kDram;
+  } else {
+    a.bound = Bound::kCompute;
+  }
+  a.efficiency = roof > 0.0 ? a.achieved_ops_per_cycle / roof : 0.0;
+  return a;
+}
+
+std::string RooflineAnalysis::summary() const {
+  std::ostringstream os;
+  os << bound_name(bound) << ": " << to_fixed(achieved_ops_per_cycle, 1)
+     << " ops/cycle achieved, roof "
+     << to_fixed(std::min(peak_ops_per_cycle, dram_ceiling_ops_per_cycle), 1)
+     << " (compute " << to_fixed(peak_ops_per_cycle, 0) << ", DRAM "
+     << to_fixed(dram_ceiling_ops_per_cycle, 1) << " at AI "
+     << to_fixed(arithmetic_intensity, 2) << " ops/B), efficiency "
+     << to_fixed(100.0 * efficiency, 1) << " %";
+  return os.str();
+}
+
+}  // namespace aurora::core

@@ -1,0 +1,42 @@
+// Roofline analysis: classify a run as compute-, DRAM- or NoC-bound and
+// report how close it came to each ceiling — the standard lens for judging
+// whether the accelerator configuration matches the workload.
+#pragma once
+
+#include <string>
+
+#include "core/config.hpp"
+#include "core/metrics.hpp"
+
+namespace aurora::core {
+
+enum class Bound : std::uint8_t {
+  kCompute,
+  kDram,
+  kNoc,
+};
+
+[[nodiscard]] const char* bound_name(Bound b);
+
+struct RooflineAnalysis {
+  /// Arithmetic intensity: ops per DRAM byte.
+  double arithmetic_intensity = 0.0;
+  /// Ops/cycle the chip could sustain at peak.
+  double peak_ops_per_cycle = 0.0;
+  /// Ops/cycle the DRAM stream permits at this intensity.
+  double dram_ceiling_ops_per_cycle = 0.0;
+  /// Achieved ops/cycle.
+  double achieved_ops_per_cycle = 0.0;
+  /// Which ceiling the run sat under.
+  Bound bound{};
+  /// Achieved / min(applicable ceiling): 1.0 = at the roof.
+  double efficiency = 0.0;
+
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Analyse a finished run under `config`'s ceilings.
+[[nodiscard]] RooflineAnalysis analyze_roofline(const RunMetrics& metrics,
+                                                const AuroraConfig& config);
+
+}  // namespace aurora::core

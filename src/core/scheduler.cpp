@@ -1,0 +1,52 @@
+#include "core/scheduler.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace aurora::core {
+
+double ScheduleResult::avg_latency() const {
+  if (outcomes.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& o : outcomes) total += static_cast<double>(o.latency());
+  return total / static_cast<double>(outcomes.size());
+}
+
+ScheduleResult Scheduler::run(const graph::Dataset& dataset,
+                              std::vector<ScheduledRequest> queue) {
+  AURORA_CHECK(!queue.empty());
+  ScheduleResult result;
+  Cycle timeline = 0;
+  Cycle prev_compute_tail = 0;
+
+  for (auto& req : queue) {
+    RequestOutcome outcome;
+    outcome.label = std::move(req.label);
+    outcome.metrics = accelerator_.run(dataset, req.job);
+
+    // The request's leading DRAM phase can hide under the previous
+    // request's trailing compute (the PE array is still busy while the DRAM
+    // channels idle out).
+    const Cycle lead_dram =
+        outcome.metrics.dram_cycles /
+        std::max<Cycle>(1, outcome.metrics.num_subgraphs);
+    const Cycle overlap = std::min(prev_compute_tail, lead_dram);
+    result.overlap_savings += overlap;
+
+    outcome.start_cycle = timeline >= overlap ? timeline - overlap : 0;
+    outcome.finish_cycle = outcome.start_cycle + outcome.metrics.total_cycles;
+    timeline = outcome.finish_cycle;
+
+    // Tail compute of this request (last tile's compute not overlapped with
+    // any following DRAM yet).
+    prev_compute_tail =
+        outcome.metrics.compute_cycles /
+        std::max<Cycle>(1, outcome.metrics.num_subgraphs);
+    result.outcomes.push_back(std::move(outcome));
+  }
+  result.makespan = timeline;
+  return result;
+}
+
+}  // namespace aurora::core

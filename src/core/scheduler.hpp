@@ -1,0 +1,58 @@
+// Multi-request scheduling on one Aurora chip.
+//
+// The paper's front end accepts a queue of host requests (Fig 3 (a));
+// because mapping/partition/reconfiguration overlap with compute, the next
+// request's DRAM prefetch can also ride under the current request's compute
+// tail. This scheduler sequences a queue of multi-layer jobs, applying that
+// overlap, and reports per-request latencies plus the makespan — the numbers
+// a serving deployment cares about.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/aurora.hpp"
+
+namespace aurora::core {
+
+struct ScheduledRequest {
+  GnnJob job;
+  std::string label;
+};
+
+struct RequestOutcome {
+  std::string label;
+  RunMetrics metrics;
+  /// When the request started/finished on the shared chip timeline.
+  Cycle start_cycle = 0;
+  Cycle finish_cycle = 0;
+
+  [[nodiscard]] Cycle latency() const { return finish_cycle - start_cycle; }
+};
+
+struct ScheduleResult {
+  std::vector<RequestOutcome> outcomes;
+  Cycle makespan = 0;
+  /// Cycles saved by overlapping consecutive requests' DRAM and compute,
+  /// relative to running them back to back.
+  Cycle overlap_savings = 0;
+
+  [[nodiscard]] double avg_latency() const;
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(AuroraAccelerator& accelerator)
+      : accelerator_(accelerator) {}
+
+  /// Run the queue in order on `dataset`. Consecutive requests overlap: the
+  /// next request's DRAM loading hides under the tail of the current
+  /// request's compute, bounded by the smaller of the two.
+  [[nodiscard]] ScheduleResult run(const graph::Dataset& dataset,
+                                   std::vector<ScheduledRequest> queue);
+
+ private:
+  AuroraAccelerator& accelerator_;
+};
+
+}  // namespace aurora::core

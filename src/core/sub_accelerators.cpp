@@ -1,0 +1,84 @@
+#include "core/sub_accelerators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace aurora::core {
+
+const noc::RingConfig& SubAcceleratorPlan::ring_for(VertexId v) const {
+  AURORA_CHECK_MSG(!rings.empty(), "plan has no vertex-update rings");
+  return rings[v % rings.size()];
+}
+
+SubAcceleratorPlan make_plan(const AuroraConfig& config,
+                             const partition::PartitionResult& split) {
+  const std::uint32_t k = config.array_dim;
+  AURORA_CHECK(k >= 2);
+  SubAcceleratorPlan plan;
+
+  if (split.single_accelerator) {
+    plan.single_accelerator = true;
+    plan.sub_a = mapping::PeRegion::full(k);
+    plan.sub_b = {k, 0, 0};
+    return plan;
+  }
+
+  // Quantise the PE split to rows, keeping at least one row per side.
+  const double frac = static_cast<double>(split.a) /
+                      static_cast<double>(split.a + split.b);
+  auto rows_a = static_cast<std::uint32_t>(
+      std::lround(frac * static_cast<double>(k)));
+  rows_a = std::clamp<std::uint32_t>(rows_a, 1, k - 1);
+  plan.sub_a = {k, 0, rows_a};
+  plan.sub_b = {k, rows_a, k};
+
+  // Rings: split each sub-B row into chunks of ring_size consecutive PEs.
+  const std::uint32_t ring_size = std::clamp<std::uint32_t>(
+      std::min(config.ring_size, k), 2, k);
+  for (std::uint32_t row = rows_a; row < k; ++row) {
+    std::uint32_t col = 0;
+    while (col < k) {
+      std::uint32_t len = std::min(ring_size, k - col);
+      // A trailing single PE cannot form a ring; fold it into the previous
+      // chunk by extending this one.
+      if (k - col - len == 1) ++len;
+      noc::RingConfig ring;
+      for (std::uint32_t c = col; c < col + len && c < k; ++c) {
+        ring.nodes.push_back(row * k + c);
+      }
+      if (ring.nodes.size() >= 2) {
+        plan.rings.push_back(std::move(ring));
+      }
+      col += len;
+    }
+  }
+  AURORA_CHECK(!plan.rings.empty());
+  return plan;
+}
+
+noc::NocConfig compose_noc_config(const SubAcceleratorPlan& plan,
+                                  const mapping::Mapping& mapping) {
+  // Start from the degree-aware bypass configuration for sub-A...
+  noc::NocConfig config = mapping::make_bypass_config(mapping);
+  if (plan.single_accelerator) return config;
+
+  // ...then add the ring wrap segments and ring overlays for sub-B. Rings of
+  // length 2 wrap over the mesh link itself and need no segment.
+  for (const auto& ring : plan.rings) {
+    const auto k = mapping.region.mesh_k;
+    const noc::NodeId first = ring.nodes.front();
+    const noc::NodeId last = ring.nodes.back();
+    const std::uint32_t row = first / k;
+    const std::uint32_t c0 = first % k;
+    const std::uint32_t c1 = last % k;
+    if (c1 - c0 >= 2) {
+      config.add_row_segment({row, c0, c1});
+    }
+    config.add_ring(ring);
+  }
+  return config;
+}
+
+}  // namespace aurora::core

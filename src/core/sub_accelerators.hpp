@@ -1,0 +1,47 @@
+// Sub-accelerator formation: turning Algorithm 2's PE split into concrete
+// mesh regions, weight-stationary rings, and a composed NoC configuration.
+//
+// Sub-accelerator A (edge update + aggregation) takes the top rows of the
+// mesh; sub-accelerator B (vertex update) the remaining rows, organised into
+// per-row rings whose wrap links ride the row bypass wires. Regions are
+// row-granular because the DRAM crossbar feeds whole PE rows.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+#include "mapping/mapper.hpp"
+#include "mapping/region.hpp"
+#include "noc/config.hpp"
+#include "partition/partition.hpp"
+
+namespace aurora::core {
+
+struct SubAcceleratorPlan {
+  mapping::PeRegion sub_a;
+  /// Invalid (rows() == 0) when the partition formed a single accelerator.
+  mapping::PeRegion sub_b;
+  bool single_accelerator = false;
+  /// Weight-stationary rings within sub-B, row-major order.
+  std::vector<noc::RingConfig> rings;
+
+  [[nodiscard]] std::uint32_t sub_a_pes() const { return sub_a.num_pes(); }
+  [[nodiscard]] std::uint32_t sub_b_pes() const {
+    return single_accelerator ? 0 : sub_b.num_pes();
+  }
+  /// Ring handling vertex v (round-robin assignment).
+  [[nodiscard]] const noc::RingConfig& ring_for(VertexId v) const;
+};
+
+/// Quantise the partition split to rows and build the rings.
+[[nodiscard]] SubAcceleratorPlan make_plan(
+    const AuroraConfig& config, const partition::PartitionResult& split);
+
+/// Compose the full NoC configuration for one subgraph: sub-A bypass
+/// segments from the degree-aware mapping plus sub-B ring wrap segments and
+/// ring overlays.
+[[nodiscard]] noc::NocConfig compose_noc_config(
+    const SubAcceleratorPlan& plan, const mapping::Mapping& mapping);
+
+}  // namespace aurora::core

@@ -1,0 +1,194 @@
+#include "dram/dram.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace aurora::dram {
+
+DramModel::DramModel(const DramConfig& config)
+    : sim::Component("dram"), config_(config) {
+  AURORA_CHECK(config.num_channels > 0);
+  AURORA_CHECK(config.banks_per_channel > 0);
+  AURORA_CHECK(config.burst_bytes > 0);
+  AURORA_CHECK(config.row_bytes % config.burst_bytes == 0);
+  channels_.resize(config.num_channels);
+  for (auto& ch : channels_) {
+    ch.banks.resize(config.banks_per_channel);
+    ch.next_refresh_at = config.timing.t_refi;
+  }
+}
+
+std::uint32_t DramModel::channel_of(Bytes addr) const {
+  // Burst-interleaved channel mapping spreads sequential streams across all
+  // channels, the common high-bandwidth accelerator configuration.
+  return static_cast<std::uint32_t>((addr / config_.burst_bytes) %
+                                    config_.num_channels);
+}
+
+std::uint32_t DramModel::bank_of(Bytes addr) const {
+  // Row-granular bank mapping: a sequential stream fills a whole row in one
+  // bank before moving on, preserving row-buffer locality.
+  return static_cast<std::uint32_t>(
+      (addr / (config_.row_bytes * config_.num_channels)) %
+      config_.banks_per_channel);
+}
+
+Bytes DramModel::row_of(Bytes addr) const {
+  return addr / (config_.row_bytes * config_.num_channels *
+                 config_.banks_per_channel);
+}
+
+void DramModel::enqueue(DramRequest request, Cycle now) {
+  AURORA_CHECK(request.bytes > 0);
+  const Bytes first = request.addr / config_.burst_bytes;
+  const Bytes last = (request.addr + request.bytes - 1) / config_.burst_bytes;
+  const auto num_bursts = static_cast<std::uint32_t>(last - first + 1);
+
+  Inflight inf;
+  inf.request = std::move(request);
+  inf.bursts_remaining = num_bursts;
+  inf.enqueued_at = now;
+  const auto parent = static_cast<std::uint32_t>(inflight_.size());
+  const bool is_write = inf.request.is_write;
+  const Bytes base_addr = inf.request.addr;
+  inflight_.push_back(std::move(inf));
+
+  for (std::uint32_t i = 0; i < num_bursts; ++i) {
+    Burst b;
+    b.addr = (first + i) * config_.burst_bytes;
+    b.is_write = is_write;
+    b.enqueued_at = now;
+    b.parent = parent;
+    channels_[channel_of(b.addr)].queue.push_back(b);
+    ++pending_bursts_;
+  }
+  (void)base_addr;
+  ++stats_.requests;
+  stats_.bursts += num_bursts;
+  if (is_write) {
+    stats_.bytes_written += inflight_[parent].request.bytes;
+  } else {
+    stats_.bytes_read += inflight_[parent].request.bytes;
+  }
+}
+
+void DramModel::try_issue(Channel& ch, Cycle now) {
+  // Refresh: at each t_refi boundary the channel blocks for t_rfc and every
+  // row buffer closes.
+  const DramTiming& timing = config_.timing;
+  if (timing.t_refi > 0 && now >= ch.next_refresh_at) {
+    ch.refresh_until = now + timing.t_rfc;
+    ch.next_refresh_at = now + timing.t_refi;
+    for (auto& bank : ch.banks) {
+      bank.row_open = false;
+      bank.ready_at = std::max(bank.ready_at, ch.refresh_until);
+    }
+    ++stats_.refreshes;
+  }
+  if (now < ch.refresh_until) return;
+  if (ch.queue.empty()) return;
+  // Column commands pipeline ahead of the data bus, but only within a short
+  // booking horizon — deep command queues ahead of data would be optimistic.
+  // The horizon must cover CAS latency plus one burst or the bus can never
+  // be fully saturated.
+  if (ch.bus_free_at >
+      now + config_.timing.t_cl + 2 * config_.timing.t_burst) {
+    return;
+  }
+
+  const std::size_t window = std::min<std::size_t>(ch.queue.size(),
+                                                   config_.queue_depth);
+  // FR-FCFS: oldest row-hit burst first; if none is ready, oldest burst whose
+  // bank can accept a command.
+  std::size_t pick = window;  // sentinel: nothing issuable
+  for (std::size_t i = 0; i < window; ++i) {
+    const Burst& b = ch.queue[i];
+    const BankState& bank = ch.banks[bank_of(b.addr)];
+    if (bank.ready_at > now) continue;
+    if (bank.row_open && bank.open_row == row_of(b.addr)) {
+      pick = i;
+      break;  // first ready row hit wins
+    }
+    if (pick == window) pick = i;  // remember oldest ready as fallback
+  }
+  if (pick == window) return;
+
+  const Burst burst = ch.queue[pick];
+  ch.queue.erase(ch.queue.begin() + static_cast<std::ptrdiff_t>(pick));
+
+  BankState& bank = ch.banks[bank_of(burst.addr)];
+  const Bytes row = row_of(burst.addr);
+  const DramTiming& t = config_.timing;
+  Cycle access_delay;
+  if (bank.row_open && bank.open_row == row) {
+    access_delay = t.t_cl;
+    ++stats_.row_hits;
+  } else if (!bank.row_open) {
+    access_delay = t.t_rcd + t.t_cl;
+    ++stats_.row_misses;
+  } else {
+    access_delay = t.t_rp + t.t_rcd + t.t_cl;
+    ++stats_.row_conflicts;
+  }
+  bank.row_open = true;
+  bank.open_row = row;
+
+  // Read<->write switches pay the bus turnaround penalty.
+  Cycle turnaround = 0;
+  if (ch.bus_used && ch.last_was_write != burst.is_write) {
+    turnaround = t.t_turnaround;
+    ++stats_.bus_turnarounds;
+  }
+  ch.last_was_write = burst.is_write;
+  ch.bus_used = true;
+
+  const Cycle data_start =
+      std::max(now + access_delay, ch.bus_free_at + turnaround);
+  const Cycle completion = data_start + t.t_burst;
+  ch.bus_free_at = completion;
+  // Column commands to an open row pipeline at the burst rate (tCCD); only
+  // the activate/precharge portion of the access serialises the bank.
+  bank.ready_at = now + (access_delay - t.t_cl) + t.t_burst;
+  last_completion_ = std::max(last_completion_, completion);
+
+  complete_burst(burst, completion);
+}
+
+void DramModel::complete_burst(const Burst& burst, Cycle completion) {
+  --pending_bursts_;
+  Inflight& inf = inflight_[burst.parent];
+  AURORA_CHECK(inf.bursts_remaining > 0);
+  if (--inf.bursts_remaining == 0) {
+    inf.done = true;
+    stats_.request_latency.add(static_cast<double>(completion - inf.enqueued_at));
+    if (inf.request.on_complete) inf.request.on_complete(completion);
+    inf.request.on_complete = nullptr;  // release captured state
+  }
+}
+
+void DramModel::tick(Cycle now) {
+  for (auto& ch : channels_) try_issue(ch, now);
+  // The model stays busy until the last scheduled data beat has returned,
+  // even though completions are computed at issue time.
+  busy_ = pending_bursts_ > 0 || now + 1 < last_completion_;
+  // Compact the inflight table opportunistically once everything drained,
+  // keeping long simulations from growing without bound.
+  if (pending_bursts_ == 0 && inflight_.size() > 4096) inflight_.clear();
+}
+
+bool DramModel::idle() const { return !busy_ && pending_bursts_ == 0; }
+
+void DramModel::export_counters(CounterSet& out) const {
+  out.inc("dram.requests", stats_.requests);
+  out.inc("dram.bursts", stats_.bursts);
+  out.inc("dram.row_hits", stats_.row_hits);
+  out.inc("dram.row_misses", stats_.row_misses);
+  out.inc("dram.row_conflicts", stats_.row_conflicts);
+  out.inc("dram.refreshes", stats_.refreshes);
+  out.inc("dram.bus_turnarounds", stats_.bus_turnarounds);
+  out.inc("dram.bytes_read", stats_.bytes_read);
+  out.inc("dram.bytes_written", stats_.bytes_written);
+}
+
+}  // namespace aurora::dram

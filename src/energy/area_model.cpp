@@ -1,0 +1,45 @@
+#include "energy/area_model.hpp"
+
+#include "common/error.hpp"
+
+namespace aurora::energy {
+
+AreaReport compute_area(const AreaParams& p) {
+  AURORA_CHECK(p.array_dim > 0 && p.macs_per_pe > 0);
+  AreaReport r;
+
+  const double mac_array = p.macs_per_pe * p.mac_mm2;
+  const double memory = p.pe_buffer_kib * p.sram_mm2_per_kib;
+  const double control = p.pe_control_mm2;
+  const double misc = p.pe_misc_mm2;
+  r.pe_total_mm2 = mac_array + memory + control + misc;
+  auto pe_frac = [&](double a) { return a / r.pe_total_mm2; };
+  r.pe_components = {
+      {"MAC array", mac_array, pe_frac(mac_array)},
+      {"memory (SMB + IDMB/ODMB)", memory, pe_frac(memory)},
+      {"PE control + reconfigurable switches", control, pe_frac(control)},
+      {"router interface + reuse FIFO + PPU", misc, pe_frac(misc)},
+  };
+
+  const double num_pes = static_cast<double>(p.array_dim) * p.array_dim;
+  const double pe_array = num_pes * r.pe_total_mm2;
+  const double routers = num_pes * p.router_mm2;
+  // One bypass link per row and per column.
+  const double bypass = 2.0 * p.array_dim * p.bypass_link_mm2_per_row;
+  const double interconnect = routers + bypass;
+  const double controller = p.controller_mm2;
+  const double dram_xbar = p.array_dim * p.dram_xbar_mm2_per_pe_row;
+  r.chip_total_mm2 = pe_array + interconnect + controller + dram_xbar;
+  auto chip_frac = [&](double a) { return a / r.chip_total_mm2; };
+  r.chip_components = {
+      {"PE array", pe_array, chip_frac(pe_array)},
+      {"flexible interconnect (routers + bypass links)", interconnect,
+       chip_frac(interconnect)},
+      {"controller", controller, chip_frac(controller)},
+      {"DRAM-interface crossbar + global wiring", dram_xbar,
+       chip_frac(dram_xbar)},
+  };
+  return r;
+}
+
+}  // namespace aurora::energy

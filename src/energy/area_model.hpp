@@ -1,0 +1,53 @@
+// Parametric area model (paper Sec VI-F).
+//
+// Substitution note (DESIGN.md §1): the paper reports component ratios from
+// Synopsys Design Compiler synthesis at TSMC 40 nm. We reproduce the same
+// breakdown with an explicit parametric model: per-unit areas are calibrated
+// so that the default configuration (32x32 PEs, 8 DP MACs and 100 KB buffer
+// per PE) lands on the published ratios — MAC array 7.1 % of PE area, memory
+// 82.9 %, control + reconfigurable switches 3.7 %; at chip level PE array
+// 62.74 %, controller 0.9 %, flexible interconnect 5.2 %.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace aurora::energy {
+
+/// Knobs of the area model. Defaults are the paper configuration.
+struct AreaParams {
+  std::uint32_t array_dim = 32;          // K (K x K PEs)
+  std::uint32_t macs_per_pe = 8;         // double-precision MAC units per PE
+  std::uint32_t pe_buffer_kib = 100;     // distributed bank buffer per PE
+
+  // Per-unit areas in mm^2 at 40 nm (calibrated, see header comment).
+  double mac_mm2 = 0.00214;              // one DP multiplier + adder
+  double sram_mm2_per_kib = 0.0020;      // bank-buffer SRAM density
+  double pe_control_mm2 = 0.00893;       // PE control + reconfig switches
+  double pe_misc_mm2 = 0.01520;          // router interface, reuse FIFO, PPU
+  double router_mm2 = 0.0166;            // one flexible router
+  double bypass_link_mm2_per_row = 0.0543;  // segmented bypass wire + switches
+  double controller_mm2 = 3.544;         // global controller block
+  double dram_xbar_mm2_per_pe_row = 3.834;  // DRAM-interface crossbar slice
+};
+
+/// One line of the area report.
+struct AreaComponent {
+  std::string name;
+  double mm2 = 0.0;
+  double fraction_of_parent = 0.0;
+};
+
+struct AreaReport {
+  // PE-level breakdown.
+  double pe_total_mm2 = 0.0;
+  std::vector<AreaComponent> pe_components;
+  // Chip-level breakdown.
+  double chip_total_mm2 = 0.0;
+  std::vector<AreaComponent> chip_components;
+};
+
+[[nodiscard]] AreaReport compute_area(const AreaParams& params);
+
+}  // namespace aurora::energy

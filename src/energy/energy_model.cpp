@@ -1,0 +1,45 @@
+#include "energy/energy_model.hpp"
+
+namespace aurora::energy {
+
+EnergyEvents& EnergyEvents::operator+=(const EnergyEvents& other) {
+  fp_multiplies += other.fp_multiplies;
+  fp_adds += other.fp_adds;
+  sram_small_bytes += other.sram_small_bytes;
+  sram_large_bytes += other.sram_large_bytes;
+  dram_bytes += other.dram_bytes;
+  noc_link_bytes += other.noc_link_bytes;
+  router_bytes += other.router_bytes;
+  bypass_link_bytes += other.bypass_link_bytes;
+  reconfig_switch_writes += other.reconfig_switch_writes;
+  active_cycles += other.active_cycles;
+  return *this;
+}
+
+EnergyBreakdown& EnergyBreakdown::operator+=(const EnergyBreakdown& other) {
+  compute_pj += other.compute_pj;
+  sram_pj += other.sram_pj;
+  dram_pj += other.dram_pj;
+  noc_pj += other.noc_pj;
+  reconfig_pj += other.reconfig_pj;
+  leakage_pj += other.leakage_pj;
+  return *this;
+}
+
+EnergyBreakdown compute_energy(const EnergyEvents& e, const EnergyTable& t) {
+  EnergyBreakdown b;
+  b.compute_pj = static_cast<double>(e.fp_multiplies) * t.fp_mul_pj +
+                 static_cast<double>(e.fp_adds) * t.fp_add_pj;
+  b.sram_pj = static_cast<double>(e.sram_small_bytes) * t.sram_small_pj_per_byte +
+              static_cast<double>(e.sram_large_bytes) * t.sram_large_pj_per_byte;
+  b.dram_pj = static_cast<double>(e.dram_bytes) * t.dram_pj_per_byte;
+  b.noc_pj = static_cast<double>(e.noc_link_bytes) * t.noc_link_pj_per_byte +
+             static_cast<double>(e.router_bytes) * t.router_pj_per_byte +
+             static_cast<double>(e.bypass_link_bytes) * t.bypass_link_pj_per_byte;
+  b.reconfig_pj =
+      static_cast<double>(e.reconfig_switch_writes) * t.reconfig_pj_per_switch;
+  b.leakage_pj = static_cast<double>(e.active_cycles) * t.leakage_pj_per_cycle;
+  return b;
+}
+
+}  // namespace aurora::energy

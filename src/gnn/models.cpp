@@ -1,0 +1,129 @@
+#include "gnn/models.hpp"
+
+#include <map>
+
+#include "common/error.hpp"
+
+namespace aurora::gnn {
+
+const char* model_name(GnnModel m) {
+  switch (m) {
+    case GnnModel::kGcn:
+      return "GCN";
+    case GnnModel::kGraphSageMean:
+      return "GraphSAGE-Mean";
+    case GnnModel::kGin:
+      return "GIN";
+    case GnnModel::kCommNet:
+      return "CommNet";
+    case GnnModel::kVanillaAttention:
+      return "Vanilla-Attention";
+    case GnnModel::kAgnn:
+      return "AGNN";
+    case GnnModel::kGGcn:
+      return "G-GCN";
+    case GnnModel::kGraphSagePool:
+      return "GraphSAGE-Pool";
+    case GnnModel::kEdgeConv1:
+      return "EdgeConv-1";
+    case GnnModel::kEdgeConv5:
+      return "EdgeConv-5";
+  }
+  throw Error("invalid GnnModel");
+}
+
+const char* category_name(GnnCategory c) {
+  switch (c) {
+    case GnnCategory::kConvolutional:
+      return "C-GNN";
+    case GnnCategory::kAttentional:
+      return "A-GNN";
+    case GnnCategory::kMessagePassing:
+      return "MP-GNN";
+  }
+  throw Error("invalid GnnCategory");
+}
+
+GnnCategory model_category(GnnModel m) {
+  switch (m) {
+    case GnnModel::kGcn:
+    case GnnModel::kGraphSageMean:
+    case GnnModel::kGin:
+    case GnnModel::kCommNet:
+      return GnnCategory::kConvolutional;
+    case GnnModel::kVanillaAttention:
+    case GnnModel::kAgnn:
+      return GnnCategory::kAttentional;
+    case GnnModel::kGGcn:
+    case GnnModel::kGraphSagePool:
+    case GnnModel::kEdgeConv1:
+    case GnnModel::kEdgeConv5:
+      return GnnCategory::kMessagePassing;
+  }
+  throw Error("invalid GnnModel");
+}
+
+bool model_has_edge_embeddings(GnnModel m) {
+  switch (m) {
+    case GnnModel::kVanillaAttention:
+    case GnnModel::kAgnn:
+    case GnnModel::kGGcn:
+    case GnnModel::kEdgeConv1:
+    case GnnModel::kEdgeConv5:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const PhaseOps& ModelOps::for_phase(Phase p) const {
+  switch (p) {
+    case Phase::kEdgeUpdate:
+      return edge_update;
+    case Phase::kAggregation:
+      return aggregation;
+    case Phase::kVertexUpdate:
+      return vertex_update;
+  }
+  throw Error("invalid Phase");
+}
+
+const ModelOps& model_ops(GnnModel m) {
+  // Transcription of Table II. Aggregation is ΣV for every model (element
+  // wise max for the pooling/EdgeConv aggregators).
+  static const std::map<GnnModel, ModelOps> kTable = [] {
+    using K = OpKind;
+    std::map<GnnModel, ModelOps> t;
+    auto entry = [&](GnnModel model, std::vector<K> eu, std::vector<K> agg,
+                     std::vector<K> vu) {
+      ModelOps ops;
+      ops.edge_update = {Phase::kEdgeUpdate, std::move(eu)};
+      ops.aggregation = {Phase::kAggregation, std::move(agg)};
+      ops.vertex_update = {Phase::kVertexUpdate, std::move(vu)};
+      t.emplace(model, std::move(ops));
+    };
+    entry(GnnModel::kGcn, {K::kScalarVec}, {K::kAccumulate},
+          {K::kMatVec, K::kActivation});
+    entry(GnnModel::kGraphSageMean, {}, {K::kAccumulate}, {K::kMatVec});
+    entry(GnnModel::kGin, {}, {K::kAccumulate}, {K::kMatVec});
+    entry(GnnModel::kCommNet, {}, {K::kAccumulate}, {K::kMatVec});
+    entry(GnnModel::kVanillaAttention, {K::kScalarVec, K::kDotProduct},
+          {K::kAccumulate}, {K::kMatVec, K::kActivation});
+    entry(GnnModel::kAgnn, {K::kScalarVec, K::kDotProduct}, {K::kAccumulate},
+          {K::kMatVec, K::kActivation});
+    entry(GnnModel::kGGcn, {K::kMatVec, K::kElementwiseMul, K::kActivation},
+          {K::kAccumulate}, {K::kMatVec, K::kActivation});
+    entry(GnnModel::kGraphSagePool, {K::kMatVec, K::kActivation},
+          {K::kElementwiseMax},
+          {K::kMatVec, K::kConcat, K::kActivation});
+    entry(GnnModel::kEdgeConv1, {K::kMatVec}, {K::kElementwiseMax}, {});
+    entry(GnnModel::kEdgeConv5, {K::kMatVec, K::kActivation},
+          {K::kElementwiseMax}, {});
+    return t;
+  }();
+  auto it = kTable.find(m);
+  AURORA_CHECK(it != kTable.end());
+  return it->second;
+}
+
+}  // namespace aurora::gnn

@@ -1,0 +1,60 @@
+// The GNN model zoo (paper Sec II + Table II).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "gnn/ops.hpp"
+
+namespace aurora::gnn {
+
+/// Every model the paper's Table II enumerates.
+enum class GnnModel : std::uint8_t {
+  kGcn,              // Kipf & Welling GCN          (C-GNN)
+  kGraphSageMean,    // GraphSAGE, mean aggregator  (C-GNN)
+  kGin,              // Graph Isomorphism Network   (C-GNN)
+  kCommNet,          // CommNet                     (C-GNN)
+  kVanillaAttention, // dot-product attention       (A-GNN)
+  kAgnn,             // Attention-based GNN         (A-GNN)
+  kGGcn,             // Gated GCN                   (MP-GNN)
+  kGraphSagePool,    // GraphSAGE, pooling aggr.    (MP-GNN)
+  kEdgeConv1,        // EdgeConv, 1-layer MLP       (MP-GNN)
+  kEdgeConv5,        // EdgeConv, 5-layer MLP       (MP-GNN)
+};
+
+inline constexpr std::array<GnnModel, 10> kAllModels = {
+    GnnModel::kGcn,           GnnModel::kGraphSageMean,
+    GnnModel::kGin,           GnnModel::kCommNet,
+    GnnModel::kVanillaAttention, GnnModel::kAgnn,
+    GnnModel::kGGcn,          GnnModel::kGraphSagePool,
+    GnnModel::kEdgeConv1,     GnnModel::kEdgeConv5};
+
+/// Taxonomy by the form of the vertex-update coefficient (paper Sec II):
+/// fixed scalar (C-GNN), learnable scalar (A-GNN), learnable vector (MP-GNN).
+enum class GnnCategory : std::uint8_t {
+  kConvolutional,
+  kAttentional,
+  kMessagePassing,
+};
+
+[[nodiscard]] const char* model_name(GnnModel m);
+[[nodiscard]] const char* category_name(GnnCategory c);
+[[nodiscard]] GnnCategory model_category(GnnModel m);
+
+/// Whether the model carries per-edge embeddings through the layer (needed
+/// by the tiler and the DRAM traffic model).
+[[nodiscard]] bool model_has_edge_embeddings(GnnModel m);
+
+/// The per-phase operation mix — the contents of Table II.
+struct ModelOps {
+  PhaseOps edge_update;
+  PhaseOps aggregation;
+  PhaseOps vertex_update;
+
+  [[nodiscard]] const PhaseOps& for_phase(Phase p) const;
+};
+
+[[nodiscard]] const ModelOps& model_ops(GnnModel m);
+
+}  // namespace aurora::gnn

@@ -1,0 +1,83 @@
+#include "gnn/ops.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace aurora::gnn {
+
+const char* phase_name(Phase p) {
+  switch (p) {
+    case Phase::kEdgeUpdate:
+      return "EdgeUpdate";
+    case Phase::kAggregation:
+      return "Aggregation";
+    case Phase::kVertexUpdate:
+      return "VertexUpdate";
+  }
+  throw Error("invalid Phase");
+}
+
+const char* op_kind_name(OpKind k) {
+  switch (k) {
+    case OpKind::kMatVec:
+      return "MatVec";
+    case OpKind::kVecVec:
+      return "VecVec";
+    case OpKind::kDotProduct:
+      return "DotProduct";
+    case OpKind::kScalarVec:
+      return "ScalarVec";
+    case OpKind::kElementwiseMul:
+      return "ElementwiseMul";
+    case OpKind::kAccumulate:
+      return "Accumulate";
+    case OpKind::kActivation:
+      return "Activation";
+    case OpKind::kConcat:
+      return "Concat";
+    case OpKind::kElementwiseMax:
+      return "ElementwiseMax";
+  }
+  throw Error("invalid OpKind");
+}
+
+const char* op_kind_symbol(OpKind k) {
+  switch (k) {
+    case OpKind::kMatVec:
+      return "MxV";
+    case OpKind::kVecVec:
+      return "VxV";
+    case OpKind::kDotProduct:
+      return "V.V";
+    case OpKind::kScalarVec:
+      return "Scalar x V";
+    case OpKind::kElementwiseMul:
+      return "V(.)V";
+    case OpKind::kAccumulate:
+      return "Sum V";
+    case OpKind::kActivation:
+      return "alpha";
+    case OpKind::kConcat:
+      return "V||V";
+    case OpKind::kElementwiseMax:
+      return "max";
+  }
+  throw Error("invalid OpKind");
+}
+
+bool PhaseOps::uses(OpKind k) const {
+  return std::find(ops.begin(), ops.end(), k) != ops.end();
+}
+
+std::string format_ops(const PhaseOps& phase_ops) {
+  if (phase_ops.ops.empty()) return "Null";
+  std::string out;
+  for (std::size_t i = 0; i < phase_ops.ops.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += op_kind_symbol(phase_ops.ops[i]);
+  }
+  return out;
+}
+
+}  // namespace aurora::gnn

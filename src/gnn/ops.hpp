@@ -1,0 +1,55 @@
+// Operation and phase taxonomy (paper Table II).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace aurora::gnn {
+
+/// The three GNN execution phases of the message-passing abstraction
+/// (paper Fig 1).
+enum class Phase : std::uint8_t {
+  kEdgeUpdate,
+  kAggregation,
+  kVertexUpdate,
+};
+
+inline constexpr std::array<Phase, 3> kAllPhases = {
+    Phase::kEdgeUpdate, Phase::kAggregation, Phase::kVertexUpdate};
+
+[[nodiscard]] const char* phase_name(Phase p);
+
+/// Fundamental operation kinds a PE datapath must support (Table II legend).
+enum class OpKind : std::uint8_t {
+  kMatVec,         // M × V
+  kVecVec,         // V × V (element-wise producing partial products fed to adders)
+  kDotProduct,     // V · V
+  kScalarVec,      // Scalar × V
+  kElementwiseMul, // V ⊙ V
+  kAccumulate,     // Σ V
+  kActivation,     // α (ReLU / sigmoid / softmax)
+  kConcat,         // V || V
+  kElementwiseMax, // max (GraphSAGE-Pool / EdgeConv aggregation)
+};
+
+[[nodiscard]] const char* op_kind_name(OpKind k);
+/// Table II symbol, e.g. "M×V" or "Σ V".
+[[nodiscard]] const char* op_kind_symbol(OpKind k);
+
+/// The operation mix of one phase of one model.
+struct PhaseOps {
+  Phase phase{};
+  /// Empty means the phase is absent ("Null" in Table II).
+  std::vector<OpKind> ops;
+
+  [[nodiscard]] bool present() const { return !ops.empty(); }
+  [[nodiscard]] bool uses(OpKind k) const;
+};
+
+/// Render the op list like the paper's Table II cell, e.g.
+/// "Scalar×V, V·V" or "Null".
+[[nodiscard]] std::string format_ops(const PhaseOps& ops);
+
+}  // namespace aurora::gnn

@@ -1,0 +1,320 @@
+#include "gnn/reference.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace aurora::gnn {
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  m.randomize(rng);
+  return m;
+}
+
+Vector random_vector(std::size_t n, Rng& rng) {
+  Vector v(n);
+  for (double& x : v) x = rng.next_double(-1.0, 1.0);
+  return v;
+}
+
+Vector row_vec(const Matrix& m, std::size_t r) {
+  const auto row = m.row(r);
+  return {row.begin(), row.end()};
+}
+
+}  // namespace
+
+std::size_t reference_output_dim(GnnModel model, std::size_t in_dim,
+                                 std::size_t out_dim) {
+  switch (model) {
+    case GnnModel::kEdgeConv1:
+    case GnnModel::kEdgeConv5:
+      return out_dim;  // no vertex update; output is the aggregated edge feature
+    default:
+      (void)in_dim;
+      return out_dim;
+  }
+}
+
+ReferenceParams make_reference_params(GnnModel model, std::size_t in_dim,
+                                      std::size_t out_dim, Rng& rng) {
+  ReferenceParams p;
+  switch (model) {
+    case GnnModel::kGcn:
+      p.w = random_matrix(out_dim, in_dim, rng);
+      p.bias = random_vector(out_dim, rng);
+      break;
+    case GnnModel::kGraphSageMean:
+    case GnnModel::kCommNet:
+      p.w = random_matrix(out_dim, in_dim, rng);
+      break;
+    case GnnModel::kGin:
+      p.w = random_matrix(out_dim, in_dim, rng);
+      p.bias = random_vector(out_dim, rng);
+      p.w2 = random_matrix(out_dim, out_dim, rng);
+      p.bias2 = random_vector(out_dim, rng);
+      break;
+    case GnnModel::kVanillaAttention:
+    case GnnModel::kAgnn:
+      p.w = random_matrix(out_dim, in_dim, rng);
+      break;
+    case GnnModel::kGGcn:
+      p.w = random_matrix(out_dim, in_dim, rng);
+      p.w_u = random_matrix(in_dim, in_dim, rng);
+      p.w_v = random_matrix(in_dim, in_dim, rng);
+      break;
+    case GnnModel::kGraphSagePool:
+      p.w = random_matrix(out_dim, 2 * in_dim, rng);
+      p.bias = random_vector(out_dim, rng);
+      p.w_pool = random_matrix(in_dim, in_dim, rng);
+      p.bias_pool = random_vector(in_dim, rng);
+      break;
+    case GnnModel::kEdgeConv1:
+      p.mlp.push_back(random_matrix(out_dim, in_dim, rng));
+      break;
+    case GnnModel::kEdgeConv5:
+      p.mlp.push_back(random_matrix(out_dim, in_dim, rng));
+      for (int i = 1; i < 5; ++i) {
+        p.mlp.push_back(random_matrix(out_dim, out_dim, rng));
+      }
+      break;
+  }
+  return p;
+}
+
+Matrix reference_layer(GnnModel model, const graph::CsrGraph& graph,
+                       const Matrix& x, const ReferenceParams& params) {
+  const std::size_t n = graph.num_vertices();
+  AURORA_CHECK(x.rows() == n);
+  const std::size_t f = x.cols();
+
+  switch (model) {
+    case GnnModel::kGcn: {
+      // m_v = Σ_{u ∈ N(v) ∪ {v}} x_u / sqrt(D_u D_v); x' = ReLU(W m_v + b).
+      // Degrees include the self edge, as in the renormalisation trick.
+      Matrix out(n, params.w.rows());
+      for (VertexId v = 0; v < n; ++v) {
+        const double dv = static_cast<double>(graph.degree(v)) + 1.0;
+        Vector m(f, 0.0);
+        accumulate(m, scalar_mul(1.0 / dv, x.row(v)));
+        for (VertexId u : graph.neighbors(v)) {
+          const double du = static_cast<double>(graph.degree(u)) + 1.0;
+          accumulate(m, scalar_mul(1.0 / std::sqrt(du * dv), x.row(u)));
+        }
+        Vector y = add(mat_vec(params.w, m), params.bias);
+        y = relu(y);
+        std::copy(y.begin(), y.end(), out.row(v).begin());
+      }
+      return out;
+    }
+    case GnnModel::kGraphSageMean: {
+      Matrix out(n, params.w.rows());
+      for (VertexId v = 0; v < n; ++v) {
+        Vector m(f, 0.0);
+        const auto nb = graph.neighbors(v);
+        if (nb.empty()) {
+          m = row_vec(x, v);
+        } else {
+          for (VertexId u : nb) accumulate(m, x.row(u));
+          m = scalar_mul(1.0 / static_cast<double>(nb.size()), m);
+        }
+        const Vector y = mat_vec(params.w, m);
+        std::copy(y.begin(), y.end(), out.row(v).begin());
+      }
+      return out;
+    }
+    case GnnModel::kGin: {
+      // m_v = (1 + eps) x_v + Σ x_u; x' = MLP(m_v), 2 layers with ReLU.
+      Matrix out(n, params.w2.rows());
+      for (VertexId v = 0; v < n; ++v) {
+        Vector m = scalar_mul(1.0 + params.epsilon, x.row(v));
+        for (VertexId u : graph.neighbors(v)) accumulate(m, x.row(u));
+        Vector h1 = relu(add(mat_vec(params.w, m), params.bias));
+        Vector y = add(mat_vec(params.w2, h1), params.bias2);
+        std::copy(y.begin(), y.end(), out.row(v).begin());
+      }
+      return out;
+    }
+    case GnnModel::kCommNet: {
+      Matrix out(n, params.w.rows());
+      for (VertexId v = 0; v < n; ++v) {
+        Vector m(f, 0.0);
+        for (VertexId u : graph.neighbors(v)) accumulate(m, x.row(u));
+        const Vector y = mat_vec(params.w, m);
+        std::copy(y.begin(), y.end(), out.row(v).begin());
+      }
+      return out;
+    }
+    case GnnModel::kVanillaAttention:
+    case GnnModel::kAgnn: {
+      // m_v = Σ (x_v · x_u) x_u; x' = SoftMax(W m_v).
+      Matrix out(n, params.w.rows());
+      for (VertexId v = 0; v < n; ++v) {
+        Vector m(f, 0.0);
+        for (VertexId u : graph.neighbors(v)) {
+          const double a = dot(x.row(v), x.row(u));
+          accumulate(m, scalar_mul(a, x.row(u)));
+        }
+        const Vector y = softmax(mat_vec(params.w, m));
+        std::copy(y.begin(), y.end(), out.row(v).begin());
+      }
+      return out;
+    }
+    case GnnModel::kGGcn: {
+      // m_v = Σ sigma(W_u x_u + W_v x_v) ⊙ x_u; x' = ReLU(W m_v).
+      // Hoist the per-vertex transforms, exactly as the accelerator does.
+      Matrix gu(n, f), gv(n, f);
+      for (VertexId v = 0; v < n; ++v) {
+        Vector a = mat_vec(params.w_u, x.row(v));
+        Vector b = mat_vec(params.w_v, x.row(v));
+        std::copy(a.begin(), a.end(), gu.row(v).begin());
+        std::copy(b.begin(), b.end(), gv.row(v).begin());
+      }
+      Matrix out(n, params.w.rows());
+      for (VertexId v = 0; v < n; ++v) {
+        Vector m(f, 0.0);
+        for (VertexId u : graph.neighbors(v)) {
+          const Vector gate = sigmoid(add(gu.row(u), gv.row(v)));
+          accumulate(m, elementwise_mul(gate, x.row(u)));
+        }
+        const Vector y = relu(mat_vec(params.w, m));
+        std::copy(y.begin(), y.end(), out.row(v).begin());
+      }
+      return out;
+    }
+    case GnnModel::kGraphSagePool: {
+      // pool_u = sigma(W_pl x_u + b); m_v = Concat(max_u pool_u, x_v);
+      // x' = ReLU(W m_v + b2).
+      Matrix pooled(n, f);
+      for (VertexId v = 0; v < n; ++v) {
+        Vector p = sigmoid(add(mat_vec(params.w_pool, x.row(v)),
+                               params.bias_pool));
+        std::copy(p.begin(), p.end(), pooled.row(v).begin());
+      }
+      Matrix out(n, params.w.rows());
+      for (VertexId v = 0; v < n; ++v) {
+        Vector mx(f, 0.0);
+        bool first = true;
+        for (VertexId u : graph.neighbors(v)) {
+          if (first) {
+            mx = row_vec(pooled, u);
+            first = false;
+          } else {
+            elementwise_max(mx, pooled.row(u));
+          }
+        }
+        const Vector m = concat(mx, x.row(v));
+        const Vector y = relu(add(mat_vec(params.w, m), params.bias));
+        std::copy(y.begin(), y.end(), out.row(v).begin());
+      }
+      return out;
+    }
+    case GnnModel::kEdgeConv1:
+    case GnnModel::kEdgeConv5: {
+      // e_uv = MLP(x_u - x_v); x'_v = max_{u ∈ N(v)} e_uv. No vertex update.
+      AURORA_CHECK(!params.mlp.empty());
+      const std::size_t h = params.mlp.back().rows();
+      Matrix out(n, h);
+      for (VertexId v = 0; v < n; ++v) {
+        Vector mx(h, 0.0);
+        bool first = true;
+        for (VertexId u : graph.neighbors(v)) {
+          Vector diff(f);
+          const auto xu = x.row(u);
+          const auto xv = x.row(v);
+          for (std::size_t i = 0; i < f; ++i) diff[i] = xu[i] - xv[i];
+          Vector e = mat_vec(params.mlp[0], diff);
+          for (std::size_t l = 1; l < params.mlp.size(); ++l) {
+            e = mat_vec(params.mlp[l], relu(e));
+          }
+          if (first) {
+            mx = e;
+            first = false;
+          } else {
+            elementwise_max(mx, e);
+          }
+        }
+        std::copy(mx.begin(), mx.end(), out.row(v).begin());
+      }
+      return out;
+    }
+  }
+  throw Error("invalid GnnModel");
+}
+
+Matrix kernel_gramschmidt(const Matrix& a, Matrix* r_out) {
+  const std::size_t n = a.rows();
+  const std::size_t k = a.cols();
+  Matrix q = a;
+  Matrix r(k, k);
+  for (std::size_t j = 0; j < k; ++j) {
+    double norm_sq = 0.0;
+    for (std::size_t i = 0; i < n; ++i) norm_sq += q.at(i, j) * q.at(i, j);
+    const double norm = std::sqrt(norm_sq);
+    AURORA_CHECK_MSG(norm > 1e-12, "rank-deficient input to gramschmidt");
+    r.at(j, j) = norm;
+    for (std::size_t i = 0; i < n; ++i) q.at(i, j) /= norm;
+    for (std::size_t l = j + 1; l < k; ++l) {
+      double proj = 0.0;
+      for (std::size_t i = 0; i < n; ++i) proj += q.at(i, j) * q.at(i, l);
+      r.at(j, l) = proj;
+      for (std::size_t i = 0; i < n; ++i) q.at(i, l) -= proj * q.at(i, j);
+    }
+  }
+  if (r_out != nullptr) *r_out = std::move(r);
+  return q;
+}
+
+void kernel_mvt(const Matrix& a, Vector& x1, Vector& x2, const Vector& y1,
+                const Vector& y2) {
+  const std::size_t n = a.rows();
+  AURORA_CHECK(a.cols() == n);
+  AURORA_CHECK(x1.size() == n && x2.size() == n);
+  AURORA_CHECK(y1.size() == n && y2.size() == n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) x1[i] += a.at(i, j) * y1[j];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) x2[i] += a.at(j, i) * y2[j];
+  }
+}
+
+void kernel_gemver(double alpha, double beta, Matrix& a, const Vector& u1,
+                   const Vector& v1, const Vector& u2, const Vector& v2,
+                   Vector& w, Vector& x, const Vector& y, const Vector& z) {
+  const std::size_t n = a.rows();
+  AURORA_CHECK(a.cols() == n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      a.at(i, j) += u1[i] * v1[j] + u2[i] * v2[j];
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) x[i] += beta * a.at(j, i) * y[j];
+  }
+  for (std::size_t i = 0; i < n; ++i) x[i] += z[i];
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) w[i] += alpha * a.at(i, j) * x[j];
+  }
+}
+
+Vector kernel_gesummv(double alpha, double beta, const Matrix& a,
+                      const Matrix& b, const Vector& x) {
+  AURORA_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  AURORA_CHECK(a.cols() == x.size());
+  Vector y(a.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double tmp = 0.0;
+    double yb = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      tmp += a.at(i, j) * x[j];
+      yb += b.at(i, j) * x[j];
+    }
+    y[i] = alpha * tmp + beta * yb;
+  }
+  return y;
+}
+
+}  // namespace aurora::gnn

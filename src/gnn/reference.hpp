@@ -1,0 +1,68 @@
+// Dense functional (golden) executor for every model in the zoo, plus the
+// PolyBench kernels the paper uses as phase benchmarks.
+//
+// The reference executor computes GNN layers exactly, with plain loops on the
+// CPU. Tests run the cycle simulator's functional PE datapaths against these
+// results; they must agree to double-precision round-off.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "gnn/models.hpp"
+#include "gnn/tensor.hpp"
+#include "graph/csr.hpp"
+
+namespace aurora::gnn {
+
+/// Learnable state a reference layer may need; unused members stay empty.
+struct ReferenceParams {
+  Matrix w;            // main vertex-update weight (shape depends on model)
+  Vector bias;
+  Matrix w2;           // second MLP layer (GIN)
+  Vector bias2;
+  Matrix w_u, w_v;     // G-GCN gate transforms
+  Matrix w_pool;       // GraphSAGE-Pool projection
+  Vector bias_pool;
+  std::vector<Matrix> mlp;  // EdgeConv-5 MLP stack
+  double epsilon = 0.1;     // GIN epsilon
+};
+
+/// Feature width the layer outputs (2F concat handling, EdgeConv H, ...).
+[[nodiscard]] std::size_t reference_output_dim(GnnModel model,
+                                               std::size_t in_dim,
+                                               std::size_t out_dim);
+
+/// Randomly initialised parameters of the right shapes (deterministic).
+[[nodiscard]] ReferenceParams make_reference_params(GnnModel model,
+                                                    std::size_t in_dim,
+                                                    std::size_t out_dim,
+                                                    Rng& rng);
+
+/// Execute one layer of `model` on `graph` with input features `x`
+/// (num_vertices rows, in_dim columns). Returns the output feature matrix.
+[[nodiscard]] Matrix reference_layer(GnnModel model,
+                                     const graph::CsrGraph& graph,
+                                     const Matrix& x,
+                                     const ReferenceParams& params);
+
+// ---- PolyBench benchmark kernels (paper Sec VI-A "Benchmark") -----------
+
+/// gramschmidt: QR decomposition by classical Gram-Schmidt. Returns Q with
+/// orthonormal columns; `r` (k x k upper triangular) is filled if non-null.
+[[nodiscard]] Matrix kernel_gramschmidt(const Matrix& a, Matrix* r = nullptr);
+
+/// mvt: x1 += A y1 ; x2 += A^T y2.
+void kernel_mvt(const Matrix& a, Vector& x1, Vector& x2, const Vector& y1,
+                const Vector& y2);
+
+/// gemver: A' = A + u1 v1^T + u2 v2^T ; x = beta A'^T y + z ; w = alpha A' x.
+void kernel_gemver(double alpha, double beta, Matrix& a, const Vector& u1,
+                   const Vector& v1, const Vector& u2, const Vector& v2,
+                   Vector& w, Vector& x, const Vector& y, const Vector& z);
+
+/// gesummv: y = alpha A x + beta B x.
+[[nodiscard]] Vector kernel_gesummv(double alpha, double beta, const Matrix& a,
+                                    const Matrix& b, const Vector& x);
+
+}  // namespace aurora::gnn

@@ -1,0 +1,115 @@
+#include "gnn/sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace aurora::gnn {
+
+SparseMatrix::SparseMatrix(std::size_t rows, std::size_t cols) : cols_(cols) {
+  row_ptr_.assign(rows + 1, 0);
+}
+
+std::span<const std::uint32_t> SparseMatrix::row_indices(std::size_t r) const {
+  AURORA_CHECK(r + 1 < row_ptr_.size());
+  return {col_idx_.data() + row_ptr_[r], col_idx_.data() + row_ptr_[r + 1]};
+}
+
+std::span<const double> SparseMatrix::row_values(std::size_t r) const {
+  AURORA_CHECK(r + 1 < row_ptr_.size());
+  return {values_.data() + row_ptr_[r], values_.data() + row_ptr_[r + 1]};
+}
+
+void SparseMatrix::append_row(const std::vector<std::uint32_t>& idx,
+                              const std::vector<double>& val) {
+  AURORA_CHECK(idx.size() == val.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    AURORA_CHECK(idx[i] < cols_);
+    if (i > 0) AURORA_CHECK_MSG(idx[i - 1] < idx[i], "unsorted sparse row");
+    col_idx_.push_back(idx[i]);
+    values_.push_back(val[i]);
+  }
+  row_ptr_.push_back(col_idx_.size());
+}
+
+Matrix SparseMatrix::to_dense() const {
+  Matrix dense(rows(), cols_);
+  for (std::size_t r = 0; r < rows(); ++r) {
+    const auto idx = row_indices(r);
+    const auto val = row_values(r);
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      dense.at(r, idx[i]) = val[i];
+    }
+  }
+  return dense;
+}
+
+SparseMatrix SparseMatrix::from_dense(const Matrix& dense,
+                                      double zero_epsilon) {
+  SparseMatrix s(0, dense.cols());
+  s.row_ptr_.assign(1, 0);
+  for (std::size_t r = 0; r < dense.rows(); ++r) {
+    std::vector<std::uint32_t> idx;
+    std::vector<double> val;
+    const auto row = dense.row(r);
+    for (std::size_t c = 0; c < dense.cols(); ++c) {
+      if (std::abs(row[c]) > zero_epsilon) {
+        idx.push_back(static_cast<std::uint32_t>(c));
+        val.push_back(row[c]);
+      }
+    }
+    s.append_row(idx, val);
+  }
+  return s;
+}
+
+SparseMatrix SparseMatrix::random(std::size_t rows, std::size_t cols,
+                                  double density, Rng& rng) {
+  AURORA_CHECK(density > 0.0 && density <= 1.0);
+  SparseMatrix s(0, cols);
+  s.row_ptr_.assign(1, 0);
+  const auto nnz_per_row = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(density *
+                                               static_cast<double>(cols))));
+  std::vector<std::uint32_t> all(cols);
+  for (std::size_t c = 0; c < cols; ++c) all[c] = static_cast<std::uint32_t>(c);
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::vector<std::uint32_t> pick = all;
+    rng.shuffle(pick);
+    pick.resize(std::min(nnz_per_row, pick.size()));
+    std::sort(pick.begin(), pick.end());
+    std::vector<double> val(pick.size());
+    for (double& v : val) v = rng.next_double(-1.0, 1.0);
+    s.append_row(pick, val);
+  }
+  return s;
+}
+
+Vector SparseMatrix::row_mat_vec(const Matrix& w, std::size_t r) const {
+  AURORA_CHECK(w.cols() == cols_);
+  Vector y(w.rows(), 0.0);
+  const auto idx = row_indices(r);
+  const auto val = row_values(r);
+  for (std::size_t out = 0; out < w.rows(); ++out) {
+    double acc = 0.0;
+    const auto wrow = w.row(out);
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      acc += wrow[idx[i]] * val[i];
+    }
+    y[out] = acc;
+  }
+  return y;
+}
+
+void SparseMatrix::add_scaled_row(Vector& acc, double scalar,
+                                  std::size_t r) const {
+  AURORA_CHECK(acc.size() == cols_);
+  const auto idx = row_indices(r);
+  const auto val = row_values(r);
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    acc[idx[i]] += scalar * val[i];
+  }
+}
+
+}  // namespace aurora::gnn

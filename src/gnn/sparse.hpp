@@ -1,0 +1,70 @@
+// Sparse feature matrices (CSR-of-rows).
+//
+// Layer-0 inputs of the citation datasets are 1-10 % dense; the accelerator
+// moves and stores them compressed (the traffic models already account for
+// this). This module supplies the matching *value* representation: a
+// compressed feature matrix, generators matched to a dataset's density, and
+// sparse-aware kernels that must agree with their dense counterparts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "gnn/tensor.hpp"
+
+namespace aurora::gnn {
+
+/// Row-compressed sparse matrix: per row, sorted column indices + values.
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+  SparseMatrix(std::size_t rows, std::size_t cols);
+
+  [[nodiscard]] std::size_t rows() const { return row_ptr_.size() - 1; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t nnz() const { return values_.size(); }
+  [[nodiscard]] double density() const {
+    return rows() * cols_ == 0
+               ? 0.0
+               : static_cast<double>(nnz()) /
+                     (static_cast<double>(rows()) * static_cast<double>(cols_));
+  }
+
+  /// Entries of one row: parallel spans of column indices and values.
+  [[nodiscard]] std::span<const std::uint32_t> row_indices(
+      std::size_t r) const;
+  [[nodiscard]] std::span<const double> row_values(std::size_t r) const;
+
+  /// Stored bytes in (index, value) pair format.
+  [[nodiscard]] Bytes stored_bytes(Bytes element_bytes = 8) const {
+    return nnz() * (element_bytes + 4);
+  }
+
+  [[nodiscard]] Matrix to_dense() const;
+  [[nodiscard]] static SparseMatrix from_dense(const Matrix& dense,
+                                               double zero_epsilon = 0.0);
+
+  /// Random sparse matrix with ~`density` nonzeros per row, values in
+  /// [-1, 1). Deterministic in `rng`.
+  [[nodiscard]] static SparseMatrix random(std::size_t rows, std::size_t cols,
+                                           double density, Rng& rng);
+
+  /// y = W * x_row (sparse row): only the nonzero columns contribute.
+  [[nodiscard]] Vector row_mat_vec(const Matrix& w, std::size_t r) const;
+
+  /// acc += scalar * row r (sparse axpy).
+  void add_scaled_row(Vector& acc, double scalar, std::size_t r) const;
+
+ private:
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_ptr_ = {0};
+  std::vector<std::uint32_t> col_idx_;
+  std::vector<double> values_;
+
+  void append_row(const std::vector<std::uint32_t>& idx,
+                  const std::vector<double>& val);
+};
+
+}  // namespace aurora::gnn

@@ -1,0 +1,103 @@
+#include "gnn/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aurora::gnn {
+
+void Matrix::randomize(Rng& rng) {
+  for (double& x : data_) x = rng.next_double(-1.0, 1.0);
+}
+
+Vector mat_vec(const Matrix& m, std::span<const double> x) {
+  AURORA_CHECK(m.cols() == x.size());
+  Vector y(m.rows(), 0.0);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    double acc = 0.0;
+    const auto row = m.row(r);
+    for (std::size_t c = 0; c < m.cols(); ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+Vector elementwise_mul(std::span<const double> a, std::span<const double> b) {
+  AURORA_CHECK(a.size() == b.size());
+  Vector y(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) y[i] = a[i] * b[i];
+  return y;
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  AURORA_CHECK(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+Vector scalar_mul(double s, std::span<const double> a) {
+  Vector y(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) y[i] = s * a[i];
+  return y;
+}
+
+Vector add(std::span<const double> a, std::span<const double> b) {
+  AURORA_CHECK(a.size() == b.size());
+  Vector y(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) y[i] = a[i] + b[i];
+  return y;
+}
+
+void accumulate(Vector& acc, std::span<const double> a) {
+  AURORA_CHECK(acc.size() == a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) acc[i] += a[i];
+}
+
+void elementwise_max(Vector& acc, std::span<const double> a) {
+  AURORA_CHECK(acc.size() == a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) acc[i] = std::max(acc[i], a[i]);
+}
+
+Vector concat(std::span<const double> a, std::span<const double> b) {
+  Vector y;
+  y.reserve(a.size() + b.size());
+  y.insert(y.end(), a.begin(), a.end());
+  y.insert(y.end(), b.begin(), b.end());
+  return y;
+}
+
+Vector relu(std::span<const double> a) {
+  Vector y(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) y[i] = std::max(0.0, a[i]);
+  return y;
+}
+
+Vector sigmoid(std::span<const double> a) {
+  Vector y(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) y[i] = 1.0 / (1.0 + std::exp(-a[i]));
+  return y;
+}
+
+Vector softmax(std::span<const double> a) {
+  AURORA_CHECK(!a.empty());
+  const double m = *std::max_element(a.begin(), a.end());
+  Vector y(a.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    y[i] = std::exp(a[i] - m);
+    total += y[i];
+  }
+  for (double& v : y) v /= total;
+  return y;
+}
+
+double max_abs_diff(std::span<const double> a, std::span<const double> b) {
+  AURORA_CHECK(a.size() == b.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+}  // namespace aurora::gnn

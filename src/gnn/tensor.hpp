@@ -1,0 +1,93 @@
+// Minimal dense tensor types for the functional (golden) GNN executor.
+//
+// These are deliberately simple row-major containers: the reference executor
+// exists to verify the simulated PE datapaths, not to be fast.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace aurora::gnn {
+
+using Vector = std::vector<double>;
+
+/// Row-major dense matrix.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  [[nodiscard]] double& at(std::size_t r, std::size_t c) {
+    AURORA_CHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const {
+    AURORA_CHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] std::span<double> row(std::size_t r) {
+    AURORA_CHECK(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const double> row(std::size_t r) const {
+    AURORA_CHECK(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  [[nodiscard]] const std::vector<double>& data() const { return data_; }
+
+  /// Fill with uniform values in [-1, 1) from `rng` (deterministic).
+  void randomize(Rng& rng);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// ---- vector kernels (shared by reference executor and PE functional model)
+
+/// y = M * x (rows(M) results).
+[[nodiscard]] Vector mat_vec(const Matrix& m, std::span<const double> x);
+
+/// Element-wise a * b.
+[[nodiscard]] Vector elementwise_mul(std::span<const double> a,
+                                     std::span<const double> b);
+
+/// a · b.
+[[nodiscard]] double dot(std::span<const double> a, std::span<const double> b);
+
+/// s * a.
+[[nodiscard]] Vector scalar_mul(double s, std::span<const double> a);
+
+/// a + b.
+[[nodiscard]] Vector add(std::span<const double> a, std::span<const double> b);
+
+/// acc += a (in place).
+void accumulate(Vector& acc, std::span<const double> a);
+
+/// Element-wise max(acc, a) in place.
+void elementwise_max(Vector& acc, std::span<const double> a);
+
+/// Concatenate a ++ b.
+[[nodiscard]] Vector concat(std::span<const double> a,
+                            std::span<const double> b);
+
+[[nodiscard]] Vector relu(std::span<const double> a);
+[[nodiscard]] Vector sigmoid(std::span<const double> a);
+[[nodiscard]] Vector softmax(std::span<const double> a);
+
+/// Max-norm difference between two vectors (test helper).
+[[nodiscard]] double max_abs_diff(std::span<const double> a,
+                                  std::span<const double> b);
+
+}  // namespace aurora::gnn

@@ -1,0 +1,160 @@
+#include "gnn/workflow.hpp"
+
+#include "common/error.hpp"
+
+namespace aurora::gnn {
+
+OpCount Workflow::total_ops() const {
+  OpCount total = 0;
+  for (const auto& p : phases) total += p.total_ops;
+  return total;
+}
+
+namespace {
+
+/// MLP depth of the vertex/edge update where the model defines one.
+constexpr std::uint32_t kGinMlpLayers = 2;
+constexpr std::uint32_t kEdgeConv5MlpLayers = 5;
+
+}  // namespace
+
+Workflow generate_workflow(GnnModel model, const LayerConfig& layer,
+                           VertexId num_vertices, EdgeId num_edges) {
+  AURORA_CHECK(layer.in_dim > 0 && layer.out_dim > 0);
+  AURORA_CHECK(num_vertices > 0);
+
+  const auto n = static_cast<OpCount>(num_vertices);
+  const auto m = static_cast<OpCount>(num_edges);
+  const auto f = static_cast<OpCount>(layer.in_dim);
+  const auto h = static_cast<OpCount>(layer.out_dim);
+  const Bytes eb = layer.element_bytes;
+
+  Workflow wf;
+  wf.model = model;
+  wf.layer = layer;
+  wf.num_vertices = num_vertices;
+  wf.num_edges = num_edges;
+  wf.edge_feature_dim = layer.in_dim;
+
+  const ModelOps& ops = model_ops(model);
+  for (Phase p : kAllPhases) {
+    auto& pw = wf.phase(p);
+    pw.phase = p;
+    pw.ops = ops.for_phase(p).ops;
+    pw.present = !pw.ops.empty();
+  }
+
+  auto& eu = wf.phase(Phase::kEdgeUpdate);
+  auto& agg = wf.phase(Phase::kAggregation);
+  auto& vu = wf.phase(Phase::kVertexUpdate);
+
+  // --- per-model operation counting ------------------------------------
+  // Conventions: one multiply = one op, one add = one op (so a length-k dot
+  // product is 2k ops and an (r x c) mat-vec is 2rc), one activation
+  // evaluation = one op. Per-vertex linear transforms that a dataflow can
+  // hoist out of the per-edge loop (G-GCN gates, GraphSAGE-Pool projections)
+  // are counted once per vertex, matching how the accelerator executes them.
+  switch (model) {
+    case GnnModel::kGcn:
+      eu.total_ops = m * f;                    // 1/sqrt(DuDv) * x_u per edge
+      agg.total_ops = m * f;                   // Σ over incident edges
+      vu.total_ops = 2 * n * f * h + 2 * n * h;  // W m_v + b, ReLU
+      vu.weight_bytes = (f * h + h) * eb;
+      break;
+    case GnnModel::kGraphSageMean:
+      agg.total_ops = m * f + n * f;           // Σ + 1/deg scaling
+      vu.total_ops = 2 * n * f * h;
+      vu.weight_bytes = f * h * eb;
+      break;
+    case GnnModel::kGin:
+      agg.total_ops = m * f + n * f;           // Σ + (1+eps) x_v
+      // 2-layer MLP: F->H then H->H, ReLU between.
+      vu.total_ops = 2 * n * f * h + (kGinMlpLayers - 1) * 2 * n * h * h + n * h;
+      vu.weight_bytes = (f * h + (kGinMlpLayers - 1) * h * h) * eb;
+      break;
+    case GnnModel::kCommNet:
+      agg.total_ops = m * f;
+      vu.total_ops = 2 * n * f * h;
+      vu.weight_bytes = f * h * eb;
+      break;
+    case GnnModel::kVanillaAttention:
+    case GnnModel::kAgnn:
+      eu.total_ops = 3 * m * f;                // dot (2f) + scalar*V (f) per edge
+      agg.total_ops = m * f;
+      vu.total_ops = 2 * n * f * h + 3 * n * h;  // W m_v, softmax (~3 ops/elem)
+      vu.weight_bytes = f * h * eb;
+      break;
+    case GnnModel::kGGcn:
+      // Per-vertex gate transforms W_u x_u, W_v x_v (hoisted), then per edge:
+      // add + sigmoid + elementwise multiply.
+      eu.total_ops = 4 * n * f * f + 3 * m * f;
+      eu.weight_bytes = 2 * f * f * eb;
+      agg.total_ops = m * f;
+      vu.total_ops = 2 * n * f * h + n * h;
+      vu.weight_bytes = f * h * eb;
+      break;
+    case GnnModel::kGraphSagePool:
+      // Hoisted pooling projection sigma(W_pl x_u + b) per vertex.
+      eu.total_ops = 2 * n * f * f + 2 * n * f;
+      eu.weight_bytes = (f * f + f) * eb;
+      agg.total_ops = m * f;                   // element-wise max per edge
+      // Concat(max-pool, x_v) -> W is (2F x H).
+      vu.total_ops = 4 * n * f * h + 2 * n * h;
+      vu.weight_bytes = (2 * f * h + h) * eb;
+      break;
+    case GnnModel::kEdgeConv1:
+      // Theta (x_u - x_v) per edge: subtract (f) + mat-vec (2fh).
+      eu.total_ops = m * (f + 2 * f * h);
+      eu.weight_bytes = f * h * eb;
+      agg.total_ops = m * h;                   // max over incident edges
+      wf.edge_feature_dim = layer.out_dim;
+      break;
+    case GnnModel::kEdgeConv5:
+      eu.total_ops =
+          m * (f + 2 * f * h + (kEdgeConv5MlpLayers - 1) * 2 * h * h +
+               kEdgeConv5MlpLayers * h);
+      eu.weight_bytes =
+          (f * h + (kEdgeConv5MlpLayers - 1) * h * h) * eb;
+      agg.total_ops = m * h;
+      wf.edge_feature_dim = layer.out_dim;
+      break;
+  }
+
+  // --- flexible-dataflow reordering ----------------------------------------
+  // Convolutional vertex updates are linear in the aggregate, so they
+  // commute with the sum; applying them first pays off whenever they shrink
+  // the feature width. Attention and MP models need raw neighbor features
+  // at the edges and keep the aggregation-first order.
+  if (model_category(model) == GnnCategory::kConvolutional && vu.present &&
+      h < f && m > 0) {
+    wf.update_first = true;
+    wf.edge_feature_dim = layer.out_dim;
+    // Per-edge work in edge update and aggregation now touches H-wide
+    // vectors instead of F-wide ones.
+    eu.total_ops = eu.total_ops * h / f;
+    agg.total_ops = agg.total_ops * h / f;
+  }
+
+  // --- message volumes ---------------------------------------------------
+  // Edge update & aggregation move one feature vector per directed edge;
+  // the phase boundary crossing streams one vector per vertex (aggregated
+  // m_v into sub-B, or — update-first — the transformed vector into sub-A).
+  const Bytes edge_vec_bytes = static_cast<Bytes>(wf.edge_feature_dim) * eb;
+  if (eu.present) {
+    eu.num_messages = m;
+    eu.message_bytes =
+        wf.update_first ? edge_vec_bytes : static_cast<Bytes>(f) * eb;
+  }
+  agg.num_messages = m;
+  agg.message_bytes = edge_vec_bytes;
+  if (vu.present) {
+    vu.num_messages = n;
+    vu.message_bytes = edge_vec_bytes;
+  }
+
+  // Aggregation is always present in the models of Table II.
+  AURORA_CHECK(agg.present);
+  return wf;
+}
+
+}  // namespace aurora::gnn

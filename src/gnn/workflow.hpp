@@ -1,0 +1,90 @@
+// The Adaptive Workflow Generator (paper Fig 3 (a), step 3).
+//
+// Given a GNN model, a layer shape and the graph's vertex/edge counts, it
+// produces the per-phase workload description consumed by the partition
+// algorithm (Algorithm 2), the mapper, the NoC configuration unit and the
+// baseline cost models: which phases exist, which datapath ops they need,
+// how many arithmetic operations they perform and how much state they move.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "gnn/models.hpp"
+#include "gnn/ops.hpp"
+
+namespace aurora::gnn {
+
+/// Shape of one GNN layer.
+struct LayerConfig {
+  /// Input feature width (F).
+  std::uint32_t in_dim = 0;
+  /// Output feature width (H).
+  std::uint32_t out_dim = 0;
+  /// Element width in bytes; the paper evaluates in double precision.
+  Bytes element_bytes = 8;
+};
+
+/// Workload of one execution phase of one layer.
+struct PhaseWorkload {
+  Phase phase{};
+  bool present = false;
+  std::vector<OpKind> ops;
+  /// Total scalar arithmetic operations (multiplies + adds + activation
+  /// evaluations), the paper's "number of operations" O_ue / O_a / O_uv.
+  OpCount total_ops = 0;
+  /// Weight bytes that must be resident while the phase runs.
+  Bytes weight_bytes = 0;
+  /// Number of NoC messages the phase generates...
+  std::uint64_t num_messages = 0;
+  /// ...and the payload size of each.
+  Bytes message_bytes = 0;
+};
+
+/// Full per-layer workflow.
+struct Workflow {
+  GnnModel model{};
+  LayerConfig layer;
+  VertexId num_vertices = 0;
+  EdgeId num_edges = 0;
+  std::array<PhaseWorkload, 3> phases;  // indexed by Phase
+
+  [[nodiscard]] const PhaseWorkload& phase(Phase p) const {
+    return phases[static_cast<std::size_t>(p)];
+  }
+  [[nodiscard]] PhaseWorkload& phase(Phase p) {
+    return phases[static_cast<std::size_t>(p)];
+  }
+
+  /// Width of the feature vector that flows edge→aggregation (E_f in
+  /// Algorithm 2): the updated edge feature for MP-GNNs, else the vertex
+  /// feature width.
+  std::uint32_t edge_feature_dim = 0;
+
+  /// Flexible-dataflow reordering (Table I "flexible dataflow in unified
+  /// architecture"): for convolutional models the vertex-update transform
+  /// commutes with the linear aggregation, so when it *shrinks* the feature
+  /// (H < F) the generator schedules it first — sub-B transforms raw
+  /// features, and sub-A aggregates the narrow H-wide vectors, slashing
+  /// on-chip traffic (the A(XW) vs (AX)W loop-ordering choice).
+  bool update_first = false;
+
+  [[nodiscard]] OpCount total_ops() const;
+  [[nodiscard]] bool needs_edge_update() const {
+    return phase(Phase::kEdgeUpdate).present;
+  }
+  [[nodiscard]] bool needs_vertex_update() const {
+    return phase(Phase::kVertexUpdate).present;
+  }
+};
+
+/// Build the workflow for (model, layer, graph size). Deterministic and
+/// purely analytical — this mirrors the hardware unit, which runs on CSR
+/// metadata only, before any feature data arrives.
+[[nodiscard]] Workflow generate_workflow(GnnModel model,
+                                         const LayerConfig& layer,
+                                         VertexId num_vertices,
+                                         EdgeId num_edges);
+
+}  // namespace aurora::gnn

@@ -1,0 +1,56 @@
+#include "graph/batch.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace aurora::graph {
+
+std::size_t Batch::member_of(VertexId v) const {
+  AURORA_CHECK(!offsets.empty() && v < offsets.back());
+  const auto it = std::upper_bound(offsets.begin(), offsets.end(), v);
+  return static_cast<std::size_t>(it - offsets.begin()) - 1;
+}
+
+VertexId Batch::local_id(VertexId v) const {
+  return v - offsets[member_of(v)];
+}
+
+Batch make_batch(const std::vector<CsrGraph>& members) {
+  AURORA_CHECK_MSG(!members.empty(), "batch needs at least one graph");
+  Batch batch;
+  batch.offsets.push_back(0);
+  VertexId total = 0;
+  for (const auto& g : members) {
+    total += g.num_vertices();
+    batch.offsets.push_back(total);
+  }
+  CsrBuilder b(total);
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    const VertexId base = batch.offsets[i];
+    const CsrGraph& g = members[i];
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      for (VertexId u : g.neighbors(v)) b.add_edge(base + v, base + u);
+    }
+  }
+  batch.graph = std::move(b).build();
+  return batch;
+}
+
+CsrGraph extract_member(const Batch& batch, std::size_t i) {
+  AURORA_CHECK(i < batch.num_members());
+  const VertexId begin = batch.offsets[i];
+  const VertexId end = batch.offsets[i + 1];
+  AURORA_CHECK(end > begin);
+  CsrBuilder b(end - begin);
+  for (VertexId v = begin; v < end; ++v) {
+    for (VertexId u : batch.graph.neighbors(v)) {
+      AURORA_CHECK_MSG(u >= begin && u < end,
+                       "batch member has a cross-member edge");
+      b.add_edge(v - begin, u - begin);
+    }
+  }
+  return std::move(b).build();
+}
+
+}  // namespace aurora::graph

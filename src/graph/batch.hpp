@@ -1,0 +1,36 @@
+// Graph batching: merging many small graphs into one block-diagonal graph.
+//
+// Graph-level workloads (point clouds, molecules) process thousands of small
+// independent graphs; accelerators batch them into one disconnected graph so
+// a single mapping/tiling pass covers the batch (the standard PyG trick).
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/csr.hpp"
+
+namespace aurora::graph {
+
+struct Batch {
+  CsrGraph graph;
+  /// Vertex-id offset of each member graph; offsets[i+1] - offsets[i] is
+  /// member i's vertex count (offsets.size() == members + 1).
+  std::vector<VertexId> offsets;
+
+  [[nodiscard]] std::size_t num_members() const {
+    return offsets.empty() ? 0 : offsets.size() - 1;
+  }
+  /// Member index owning vertex v.
+  [[nodiscard]] std::size_t member_of(VertexId v) const;
+  /// Member-local id of vertex v.
+  [[nodiscard]] VertexId local_id(VertexId v) const;
+};
+
+/// Concatenate graphs block-diagonally (no cross-member edges).
+[[nodiscard]] Batch make_batch(const std::vector<CsrGraph>& members);
+
+/// Extract member i back out of the batch (inverse of make_batch).
+[[nodiscard]] CsrGraph extract_member(const Batch& batch, std::size_t i);
+
+}  // namespace aurora::graph

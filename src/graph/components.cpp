@@ -1,0 +1,55 @@
+#include "graph/components.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/error.hpp"
+
+namespace aurora::graph {
+
+ComponentStats connected_components(const CsrGraph& g) {
+  const VertexId n = g.num_vertices();
+  AURORA_CHECK(n > 0);
+  ComponentStats stats;
+  stats.component_of.assign(n, 0xFFFFFFFFu);
+
+  // Union endpoints in both directions: build reverse adjacency counts so a
+  // one-directional edge still joins its endpoints.
+  std::vector<std::vector<VertexId>> reverse(n);
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId u : g.neighbors(v)) reverse[u].push_back(v);
+  }
+
+  std::uint32_t current = 0;
+  std::deque<VertexId> frontier;
+  std::vector<VertexId> sizes;
+  for (VertexId root = 0; root < n; ++root) {
+    if (stats.component_of[root] != 0xFFFFFFFFu) continue;
+    VertexId size = 0;
+    frontier.push_back(root);
+    stats.component_of[root] = current;
+    while (!frontier.empty()) {
+      const VertexId v = frontier.front();
+      frontier.pop_front();
+      ++size;
+      auto visit = [&](VertexId u) {
+        if (stats.component_of[u] == 0xFFFFFFFFu) {
+          stats.component_of[u] = current;
+          frontier.push_back(u);
+        }
+      };
+      for (VertexId u : g.neighbors(v)) visit(u);
+      for (VertexId u : reverse[v]) visit(u);
+    }
+    sizes.push_back(size);
+    ++current;
+  }
+  stats.num_components = sizes.size();
+  stats.largest_component = *std::max_element(sizes.begin(), sizes.end());
+  for (VertexId v = 0; v < n; ++v) {
+    stats.isolated_vertices += (g.degree(v) == 0 && reverse[v].empty());
+  }
+  return stats;
+}
+
+}  // namespace aurora::graph

@@ -1,0 +1,26 @@
+// Connected-component analysis. Synthetic generators can leave isolated
+// vertices or fragments; tiling, mapping and the functional engine must all
+// behave on disconnected inputs, and dataset diagnostics report the
+// component structure.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/csr.hpp"
+
+namespace aurora::graph {
+
+struct ComponentStats {
+  std::size_t num_components = 0;
+  VertexId largest_component = 0;
+  VertexId isolated_vertices = 0;  // degree-0 vertices
+  /// Component id per vertex (ids are dense, assigned in discovery order).
+  std::vector<std::uint32_t> component_of;
+};
+
+/// Union of undirected components (edges are treated as bidirectional even
+/// if only one direction is materialised).
+[[nodiscard]] ComponentStats connected_components(const CsrGraph& g);
+
+}  // namespace aurora::graph

@@ -1,0 +1,71 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace aurora::graph {
+
+CsrGraph::CsrGraph(std::vector<EdgeId> row_ptr, std::vector<VertexId> col_idx)
+    : row_ptr_(std::move(row_ptr)), col_idx_(std::move(col_idx)) {
+  validate();
+}
+
+bool CsrGraph::has_edge(VertexId u, VertexId v) const {
+  const auto nb = neighbors(u);
+  return std::binary_search(nb.begin(), nb.end(), v);
+}
+
+void CsrGraph::validate() const {
+  AURORA_CHECK(!row_ptr_.empty());
+  AURORA_CHECK(row_ptr_.front() == 0);
+  AURORA_CHECK(row_ptr_.back() == col_idx_.size());
+  const VertexId n = num_vertices();
+  for (VertexId v = 0; v < n; ++v) {
+    AURORA_CHECK_MSG(row_ptr_[v] <= row_ptr_[v + 1],
+                     "row_ptr not monotone at vertex " << v);
+    const auto nb = neighbors(v);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      AURORA_CHECK_MSG(nb[i] < n, "neighbor out of range at vertex " << v);
+      AURORA_CHECK_MSG(nb[i] != v, "self loop at vertex " << v);
+      if (i > 0) {
+        AURORA_CHECK_MSG(nb[i - 1] < nb[i],
+                         "unsorted or duplicate neighbor at vertex " << v);
+      }
+    }
+  }
+}
+
+CsrBuilder::CsrBuilder(VertexId num_vertices) : n_(num_vertices) {
+  AURORA_CHECK(num_vertices > 0);
+}
+
+void CsrBuilder::add_edge(VertexId u, VertexId v) {
+  AURORA_CHECK(u < n_ && v < n_);
+  if (u == v) return;
+  edges_.emplace_back(u, v);
+}
+
+void CsrBuilder::add_undirected_edge(VertexId u, VertexId v) {
+  add_edge(u, v);
+  add_edge(v, u);
+}
+
+CsrGraph CsrBuilder::build() && {
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  std::vector<EdgeId> row_ptr(static_cast<std::size_t>(n_) + 1, 0);
+  for (const auto& [u, v] : edges_) {
+    (void)v;
+    ++row_ptr[u + 1];
+  }
+  for (VertexId v = 0; v < n_; ++v) row_ptr[v + 1] += row_ptr[v];
+
+  std::vector<VertexId> col_idx(edges_.size());
+  for (std::size_t i = 0; i < edges_.size(); ++i) col_idx[i] = edges_[i].second;
+
+  return CsrGraph(std::move(row_ptr), std::move(col_idx));
+}
+
+}  // namespace aurora::graph

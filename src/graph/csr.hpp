@@ -1,0 +1,80 @@
+// Compressed-sparse-row graph representation.
+//
+// This is the graph substrate every other module consumes. Graphs are
+// immutable after construction (built through CsrBuilder), matching the
+// paper's setting where the host ships CSR metadata to the accelerator.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace aurora::graph {
+
+/// Immutable directed graph in CSR form. GNN datasets are stored with both
+/// edge directions materialised, so `neighbors(v)` is the in/out neighborhood
+/// used by aggregation.
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+  CsrGraph(std::vector<EdgeId> row_ptr, std::vector<VertexId> col_idx);
+
+  [[nodiscard]] VertexId num_vertices() const {
+    return row_ptr_.empty() ? 0 : static_cast<VertexId>(row_ptr_.size() - 1);
+  }
+  [[nodiscard]] EdgeId num_edges() const {
+    return row_ptr_.empty() ? 0 : row_ptr_.back();
+  }
+
+  [[nodiscard]] EdgeId degree(VertexId v) const {
+    return row_ptr_[v + 1] - row_ptr_[v];
+  }
+
+  /// Sorted neighbor list of v.
+  [[nodiscard]] std::span<const VertexId> neighbors(VertexId v) const {
+    return {col_idx_.data() + row_ptr_[v],
+            col_idx_.data() + row_ptr_[v + 1]};
+  }
+
+  /// Offset of v's first edge — edge ids are CSR positions.
+  [[nodiscard]] EdgeId edge_begin(VertexId v) const { return row_ptr_[v]; }
+  [[nodiscard]] EdgeId edge_end(VertexId v) const { return row_ptr_[v + 1]; }
+
+  [[nodiscard]] const std::vector<EdgeId>& row_ptr() const { return row_ptr_; }
+  [[nodiscard]] const std::vector<VertexId>& col_idx() const { return col_idx_; }
+
+  [[nodiscard]] bool has_edge(VertexId u, VertexId v) const;
+
+  /// Structural validation: monotone row_ptr, in-range and sorted columns,
+  /// no self loops, no duplicate edges. Throws on violation.
+  void validate() const;
+
+ private:
+  std::vector<EdgeId> row_ptr_;   // size n+1
+  std::vector<VertexId> col_idx_; // size m
+};
+
+/// Incremental COO builder that deduplicates, removes self loops, optionally
+/// symmetrises, and emits a validated CsrGraph.
+class CsrBuilder {
+ public:
+  explicit CsrBuilder(VertexId num_vertices);
+
+  /// Queue one directed edge u -> v. Self loops are dropped.
+  void add_edge(VertexId u, VertexId v);
+
+  /// Queue both u -> v and v -> u.
+  void add_undirected_edge(VertexId u, VertexId v);
+
+  [[nodiscard]] VertexId num_vertices() const { return n_; }
+
+  /// Sort, deduplicate, and build. The builder is consumed.
+  [[nodiscard]] CsrGraph build() &&;
+
+ private:
+  VertexId n_;
+  std::vector<std::pair<VertexId, VertexId>> edges_;
+};
+
+}  // namespace aurora::graph

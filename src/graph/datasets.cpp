@@ -1,0 +1,69 @@
+#include "graph/datasets.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+
+namespace aurora::graph {
+namespace {
+
+// Published statistics; directed edge counts follow the convention of the
+// GNN accelerator literature (both directions counted). Degree exponents are
+// fit so the synthetic graphs reproduce each dataset's skew: citation graphs
+// are strongly heavy-tailed, Reddit is dense with an enormous mean degree.
+constexpr std::array<DatasetSpec, 5> kSpecs = {{
+    {DatasetId::kCora, "Cora", 2708, 10556, 1433, 0.0127, 7, 2.4, 0.70},
+    {DatasetId::kCiteseer, "Citeseer", 3327, 9104, 3703, 0.0085, 6, 2.6, 0.72},
+    {DatasetId::kPubmed, "Pubmed", 19717, 88648, 500, 0.1000, 3, 2.3, 0.68},
+    {DatasetId::kNell, "Nell", 65755, 251550, 5414, 0.0011, 210, 2.2, 0.65},
+    {DatasetId::kReddit, "Reddit", 232965, 114615892, 602, 0.5160, 41, 1.9,
+     0.55},
+}};
+
+}  // namespace
+
+const char* dataset_name(DatasetId id) { return dataset_spec(id).name; }
+
+const DatasetSpec& dataset_spec(DatasetId id) {
+  for (const auto& spec : kSpecs) {
+    if (spec.id == id) return spec;
+  }
+  throw Error("unknown dataset id");
+}
+
+Dataset make_dataset(DatasetId id, double scale, std::uint64_t seed) {
+  AURORA_CHECK_MSG(scale > 0.0 && scale <= 1.0,
+                   "dataset scale must be in (0, 1], got " << scale);
+  const DatasetSpec& spec = dataset_spec(id);
+
+  const auto n = std::max<VertexId>(
+      32, static_cast<VertexId>(static_cast<double>(spec.num_vertices) * scale));
+  const EdgeId undirected_full = spec.num_directed_edges / 2;
+  auto undirected =
+      std::max<EdgeId>(static_cast<EdgeId>(n),
+                       static_cast<EdgeId>(static_cast<double>(undirected_full) *
+                                           scale));
+  // A scaled graph cannot hold more than n*(n-1)/2 undirected edges; this
+  // only binds for aggressive down-scales of the dense Reddit graph.
+  const EdgeId max_edges =
+      static_cast<EdgeId>(n) * (static_cast<EdgeId>(n) - 1) / 2;
+  undirected = std::min(undirected, max_edges / 2);
+
+  Rng rng(seed ^ (static_cast<std::uint64_t>(id) << 32));
+  PowerLawParams params;
+  params.n = n;
+  params.undirected_edges = undirected;
+  params.alpha = spec.degree_alpha;
+  params.locality = spec.locality;
+
+  Dataset ds;
+  ds.spec = spec;
+  ds.scale = scale;
+  ds.graph = generate_power_law(params, rng);
+  ds.degree_stats = compute_degree_stats(ds.graph);
+  return ds;
+}
+
+}  // namespace aurora::graph

@@ -1,0 +1,79 @@
+// The five evaluation datasets of the Aurora paper, synthesised to match
+// their published statistics.
+//
+// Substitution note (see DESIGN.md §1): the paper evaluates on the real
+// Cora/Citeseer/Pubmed/Nell/Reddit graphs. This repository ships no dataset
+// files; each dataset is generated deterministically with a power-law degree
+// distribution matched to the real graph's vertex count, edge count, feature
+// width, feature density and degree skew. A `scale` knob shrinks vertex and
+// edge counts proportionally (preserving average degree and feature width)
+// so the cycle-accurate simulator finishes quickly; scale = 1 reproduces the
+// full published sizes.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "graph/csr.hpp"
+#include "graph/degree.hpp"
+
+namespace aurora::graph {
+
+enum class DatasetId {
+  kCora,
+  kCiteseer,
+  kPubmed,
+  kNell,
+  kReddit,
+};
+
+inline constexpr std::array<DatasetId, 5> kAllDatasets = {
+    DatasetId::kCora, DatasetId::kCiteseer, DatasetId::kPubmed,
+    DatasetId::kNell, DatasetId::kReddit};
+
+[[nodiscard]] const char* dataset_name(DatasetId id);
+
+/// Published statistics of the real dataset (directed edge counts, i.e. both
+/// directions of each undirected edge).
+struct DatasetSpec {
+  DatasetId id{};
+  const char* name = "";
+  VertexId num_vertices = 0;
+  EdgeId num_directed_edges = 0;
+  std::uint32_t feature_dim = 0;
+  /// Fraction of nonzero entries in the input feature matrix.
+  double feature_density = 0.0;
+  std::uint32_t num_classes = 0;
+  /// Power-law exponent used for the synthetic degree distribution.
+  double degree_alpha = 0.0;
+  /// Fraction of edges drawn within a local id window (community structure
+  /// / post-reordering locality of the real graph).
+  double locality = 0.0;
+};
+
+[[nodiscard]] const DatasetSpec& dataset_spec(DatasetId id);
+
+/// A generated dataset instance: structure plus feature metadata.
+struct Dataset {
+  DatasetSpec spec;
+  /// Actual generated sizes (== spec sizes when scale == 1).
+  double scale = 1.0;
+  CsrGraph graph;
+  DegreeStats degree_stats;
+
+  [[nodiscard]] VertexId num_vertices() const { return graph.num_vertices(); }
+  [[nodiscard]] EdgeId num_edges() const { return graph.num_edges(); }
+  /// Bytes of one dense feature vector at the given element width.
+  [[nodiscard]] Bytes feature_bytes(Bytes element_bytes) const {
+    return static_cast<Bytes>(spec.feature_dim) * element_bytes;
+  }
+};
+
+/// Generate a dataset at `scale` in (0, 1]. Deterministic in (id, scale,
+/// seed). Vertex/edge counts scale together so the average degree — the
+/// statistic that drives aggregation traffic — is preserved; feature width,
+/// density and class count are never scaled.
+[[nodiscard]] Dataset make_dataset(DatasetId id, double scale = 1.0,
+                                   std::uint64_t seed = 7);
+
+}  // namespace aurora::graph

@@ -1,0 +1,55 @@
+#include "graph/degree.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace aurora::graph {
+
+DegreeStats compute_degree_stats(const CsrGraph& g) {
+  const VertexId n = g.num_vertices();
+  AURORA_CHECK(n > 0);
+  std::vector<EdgeId> degrees(n);
+  RunningStat rs;
+  for (VertexId v = 0; v < n; ++v) {
+    degrees[v] = g.degree(v);
+    rs.add(static_cast<double>(degrees[v]));
+  }
+  std::sort(degrees.begin(), degrees.end());
+
+  DegreeStats s;
+  s.min_degree = degrees.front();
+  s.max_degree = degrees.back();
+  s.mean_degree = rs.mean();
+  s.stddev_degree = rs.stddev();
+  s.p99_degree = degrees[static_cast<std::size_t>(0.99 * (n - 1))];
+
+  // Gini over the sorted degree sequence:
+  //   G = (2 * sum_i i*d_i) / (n * sum_i d_i) - (n + 1) / n, i is 1-based.
+  double weighted = 0.0;
+  double total = 0.0;
+  for (VertexId i = 0; i < n; ++i) {
+    weighted += static_cast<double>(i + 1) * static_cast<double>(degrees[i]);
+    total += static_cast<double>(degrees[i]);
+  }
+  if (total > 0.0) {
+    const double dn = static_cast<double>(n);
+    s.gini = (2.0 * weighted) / (dn * total) - (dn + 1.0) / dn;
+  }
+  return s;
+}
+
+std::vector<VertexId> vertices_by_degree(const CsrGraph& g, std::size_t top_k) {
+  std::vector<VertexId> order(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) order[v] = v;
+  std::stable_sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    if (g.degree(a) != g.degree(b)) return g.degree(a) > g.degree(b);
+    return a < b;
+  });
+  if (top_k > 0 && top_k < order.size()) order.resize(top_k);
+  return order;
+}
+
+}  // namespace aurora::graph

@@ -1,0 +1,33 @@
+// Degree-distribution statistics used by the mapping heuristics and dataset
+// generators.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/csr.hpp"
+
+namespace aurora::graph {
+
+/// Summary of a graph's degree distribution.
+struct DegreeStats {
+  EdgeId min_degree = 0;
+  EdgeId max_degree = 0;
+  double mean_degree = 0.0;
+  double stddev_degree = 0.0;
+  /// Degree below which 99 % of vertices fall.
+  EdgeId p99_degree = 0;
+  /// Gini coefficient of the degree distribution — 0 is perfectly balanced,
+  /// values near 1 indicate extreme skew (power-law graphs score high).
+  double gini = 0.0;
+};
+
+[[nodiscard]] DegreeStats compute_degree_stats(const CsrGraph& g);
+
+/// Vertex ids ordered by descending degree (ties by ascending id, so results
+/// are deterministic). `top_k == 0` returns all vertices.
+[[nodiscard]] std::vector<VertexId> vertices_by_degree(const CsrGraph& g,
+                                                       std::size_t top_k = 0);
+
+}  // namespace aurora::graph

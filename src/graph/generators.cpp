@@ -1,0 +1,162 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace aurora::graph {
+
+CsrGraph generate_erdos_renyi(VertexId n, EdgeId undirected_edges, Rng& rng) {
+  AURORA_CHECK(n >= 2);
+  const EdgeId max_edges =
+      static_cast<EdgeId>(n) * (static_cast<EdgeId>(n) - 1) / 2;
+  AURORA_CHECK_MSG(undirected_edges <= max_edges,
+                   "too many edges requested for n=" << n);
+  CsrBuilder b(n);
+  std::set<std::pair<VertexId, VertexId>> seen;
+  while (seen.size() < undirected_edges) {
+    auto u = static_cast<VertexId>(rng.next_below(n));
+    auto v = static_cast<VertexId>(rng.next_below(n));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    if (seen.emplace(u, v).second) b.add_undirected_edge(u, v);
+  }
+  return std::move(b).build();
+}
+
+CsrGraph generate_power_law(const PowerLawParams& params, Rng& rng) {
+  AURORA_CHECK(params.n >= 2);
+  AURORA_CHECK(params.undirected_edges >= 1);
+  AURORA_CHECK(params.alpha > 1.0);
+
+  const VertexId n = params.n;
+  const auto max_weight = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(params.max_weight_fraction *
+                                    static_cast<double>(n)));
+
+  // Draw Pareto weights, then build an alias-free cumulative table for
+  // weighted endpoint sampling.
+  std::vector<double> weights(n);
+  for (VertexId v = 0; v < n; ++v) {
+    weights[v] =
+        static_cast<double>(rng.next_power_law(params.alpha, max_weight));
+  }
+  std::vector<double> cum(n);
+  double total = 0.0;
+  for (VertexId v = 0; v < n; ++v) {
+    total += weights[v];
+    cum[v] = total;
+  }
+
+  auto sample_vertex = [&]() -> VertexId {
+    const double r = rng.next_double() * total;
+    const auto it = std::lower_bound(cum.begin(), cum.end(), r);
+    return static_cast<VertexId>(it - cum.begin());
+  };
+
+  const auto window = std::max<std::int64_t>(
+      2, static_cast<std::int64_t>(params.locality_window *
+                                   static_cast<double>(n)));
+  auto sample_local = [&](VertexId u) -> VertexId {
+    const auto base = static_cast<std::int64_t>(u);
+    const std::int64_t lo = std::max<std::int64_t>(0, base - window);
+    const std::int64_t hi =
+        std::min<std::int64_t>(static_cast<std::int64_t>(n) - 1, base + window);
+    return static_cast<VertexId>(rng.next_range(lo, hi));
+  };
+
+  CsrBuilder b(n);
+  std::set<std::pair<VertexId, VertexId>> seen;
+  // Bound the rejection loop: very dense requests on tiny graphs could
+  // otherwise spin forever once the weighted pairs are exhausted.
+  const EdgeId max_attempts = params.undirected_edges * 64;
+  EdgeId attempts = 0;
+  while (seen.size() < params.undirected_edges && attempts < max_attempts) {
+    ++attempts;
+    auto u = sample_vertex();
+    auto v = (params.locality > 0.0 && rng.next_bool(params.locality))
+                 ? sample_local(u)
+                 : sample_vertex();
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    if (seen.emplace(u, v).second) b.add_undirected_edge(u, v);
+  }
+  AURORA_CHECK_MSG(!seen.empty(), "power-law generator produced no edges");
+  return std::move(b).build();
+}
+
+CsrGraph generate_rmat(const RmatParams& params, Rng& rng) {
+  AURORA_CHECK(params.scale >= 2 && params.scale <= 26);
+  AURORA_CHECK(params.undirected_edges >= 1);
+  const double d = 1.0 - params.a - params.b - params.c;
+  AURORA_CHECK_MSG(params.a > 0 && params.b >= 0 && params.c >= 0 && d > 0,
+                   "R-MAT quadrant probabilities must form a distribution");
+  const VertexId n = VertexId{1} << params.scale;
+
+  auto draw_endpoint_pair = [&]() {
+    VertexId u = 0, v = 0;
+    for (std::uint32_t level = 0; level < params.scale; ++level) {
+      const double r = rng.next_double();
+      const VertexId bit = VertexId{1} << (params.scale - 1 - level);
+      if (r < params.a) {
+        // top-left: neither bit set
+      } else if (r < params.a + params.b) {
+        v |= bit;
+      } else if (r < params.a + params.b + params.c) {
+        u |= bit;
+      } else {
+        u |= bit;
+        v |= bit;
+      }
+    }
+    return std::pair<VertexId, VertexId>{u, v};
+  };
+
+  CsrBuilder b(n);
+  std::set<std::pair<VertexId, VertexId>> seen;
+  const EdgeId max_attempts = params.undirected_edges * 64;
+  EdgeId attempts = 0;
+  while (seen.size() < params.undirected_edges && attempts < max_attempts) {
+    ++attempts;
+    auto [u, v] = draw_endpoint_pair();
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    if (seen.emplace(u, v).second) b.add_undirected_edge(u, v);
+  }
+  AURORA_CHECK_MSG(!seen.empty(), "R-MAT generator produced no edges");
+  return std::move(b).build();
+}
+
+CsrGraph generate_grid(VertexId rows, VertexId cols) {
+  AURORA_CHECK(rows >= 1 && cols >= 1);
+  AURORA_CHECK(static_cast<EdgeId>(rows) * cols >= 2);
+  CsrBuilder b(rows * cols);
+  auto id = [cols](VertexId r, VertexId c) { return r * cols + c; };
+  for (VertexId r = 0; r < rows; ++r) {
+    for (VertexId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_undirected_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) b.add_undirected_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return std::move(b).build();
+}
+
+CsrGraph generate_star(VertexId n) {
+  AURORA_CHECK(n >= 2);
+  CsrBuilder b(n);
+  for (VertexId v = 1; v < n; ++v) b.add_undirected_edge(0, v);
+  return std::move(b).build();
+}
+
+CsrGraph generate_ring(VertexId n) {
+  AURORA_CHECK(n >= 3);
+  CsrBuilder b(n);
+  for (VertexId v = 0; v < n; ++v) {
+    b.add_undirected_edge(v, static_cast<VertexId>((v + 1) % n));
+  }
+  return std::move(b).build();
+}
+
+}  // namespace aurora::graph

@@ -1,0 +1,69 @@
+// Synthetic graph generators.
+//
+// Real GNN benchmark graphs (Cora, Reddit, ...) are not shipped with this
+// repository; instead the dataset layer (datasets.hpp) instantiates these
+// generators with parameters matched to each dataset's published statistics.
+// All generators are deterministic given a seed.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "graph/csr.hpp"
+
+namespace aurora::graph {
+
+/// Erdos-Renyi G(n, m): m undirected edges chosen uniformly.
+[[nodiscard]] CsrGraph generate_erdos_renyi(VertexId n, EdgeId undirected_edges,
+                                            Rng& rng);
+
+/// Chung-Lu power-law graph: vertex weights w_i ~ power-law(alpha) capped at
+/// `max_degree`, edges sampled with probability proportional to w_u * w_v.
+/// Produces the heavy-tailed degree distributions of citation/social graphs.
+struct PowerLawParams {
+  VertexId n = 0;
+  EdgeId undirected_edges = 0;
+  /// Pareto exponent of the weight distribution (2.0-3.0 for real graphs;
+  /// smaller = heavier tail).
+  double alpha = 2.3;
+  /// Cap on any single vertex weight, as a fraction of n (guards against a
+  /// single vertex absorbing most edges in small scaled graphs).
+  double max_weight_fraction = 0.25;
+  /// Fraction of edges whose far endpoint is drawn from a local id window —
+  /// models the community structure (locality after reordering) of real
+  /// graphs, which bounds tile halo sizes. 0 disables locality.
+  double locality = 0.0;
+  /// Half-width of the local window as a fraction of n.
+  double locality_window = 0.04;
+};
+
+[[nodiscard]] CsrGraph generate_power_law(const PowerLawParams& params,
+                                          Rng& rng);
+
+/// Recursive-matrix (R-MAT) generator — the Graph500 standard for scale-free
+/// graphs. Edge endpoints are drawn by recursively descending a 2x2
+/// probability matrix (a, b, c, d); a > d skews mass toward low vertex ids,
+/// producing power-law degrees with natural community structure.
+struct RmatParams {
+  /// log2 of the vertex count (n = 2^scale).
+  std::uint32_t scale = 10;
+  EdgeId undirected_edges = 0;
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;  // d = 1 - a - b - c
+};
+
+[[nodiscard]] CsrGraph generate_rmat(const RmatParams& params, Rng& rng);
+
+/// 2-D grid graph (4-neighborhood) — a pathological *low-variance* degree
+/// case used by tests and the mapping ablation.
+[[nodiscard]] CsrGraph generate_grid(VertexId rows, VertexId cols);
+
+/// Star graph: vertex 0 connected to all others — the extreme high-degree
+/// hotspot case.
+[[nodiscard]] CsrGraph generate_star(VertexId n);
+
+/// Ring (cycle) graph.
+[[nodiscard]] CsrGraph generate_ring(VertexId n);
+
+}  // namespace aurora::graph

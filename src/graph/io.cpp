@@ -1,0 +1,134 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace aurora::graph {
+namespace {
+
+constexpr char kMagic[4] = {'A', 'C', 'S', 'R'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  AURORA_CHECK_MSG(static_cast<bool>(in), "truncated CSR binary stream");
+  return value;
+}
+
+}  // namespace
+
+CsrGraph read_edge_list(std::istream& in, bool symmetrize,
+                        VertexId num_vertices) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  VertexId max_id = 0;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream ls(line);
+    std::uint64_t u = 0, v = 0;
+    AURORA_CHECK_MSG(static_cast<bool>(ls >> u >> v),
+                     "malformed edge-list line " << line_no << ": '" << line
+                                                 << "'");
+    AURORA_CHECK_MSG(u < kInvalidVertex && v < kInvalidVertex,
+                     "vertex id out of range at line " << line_no);
+    edges.emplace_back(static_cast<VertexId>(u), static_cast<VertexId>(v));
+    max_id = std::max({max_id, static_cast<VertexId>(u),
+                       static_cast<VertexId>(v)});
+  }
+  AURORA_CHECK_MSG(!edges.empty(), "edge list contains no edges");
+  const VertexId n = std::max<VertexId>(num_vertices, max_id + 1);
+  CsrBuilder b(n);
+  for (const auto& [u, v] : edges) {
+    if (symmetrize) {
+      b.add_undirected_edge(u, v);
+    } else {
+      b.add_edge(u, v);
+    }
+  }
+  return std::move(b).build();
+}
+
+CsrGraph load_edge_list(const std::string& path, bool symmetrize,
+                        VertexId num_vertices) {
+  std::ifstream in(path);
+  AURORA_CHECK_MSG(in.is_open(), "cannot open edge list: " << path);
+  return read_edge_list(in, symmetrize, num_vertices);
+}
+
+void write_edge_list(std::ostream& out, const CsrGraph& g) {
+  out << "# " << g.num_vertices() << " vertices, " << g.num_edges()
+      << " directed edges\n";
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (VertexId u : g.neighbors(v)) out << v << ' ' << u << '\n';
+  }
+}
+
+void save_edge_list(const std::string& path, const CsrGraph& g) {
+  std::ofstream out(path);
+  AURORA_CHECK_MSG(out.is_open(), "cannot write edge list: " << path);
+  write_edge_list(out, g);
+}
+
+void write_csr_binary(std::ostream& out, const CsrGraph& g) {
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, kVersion);
+  write_pod(out, static_cast<std::uint64_t>(g.num_vertices()));
+  write_pod(out, static_cast<std::uint64_t>(g.num_edges()));
+  out.write(reinterpret_cast<const char*>(g.row_ptr().data()),
+            static_cast<std::streamsize>(g.row_ptr().size() * sizeof(EdgeId)));
+  out.write(reinterpret_cast<const char*>(g.col_idx().data()),
+            static_cast<std::streamsize>(g.col_idx().size() *
+                                         sizeof(VertexId)));
+  AURORA_CHECK_MSG(static_cast<bool>(out), "CSR binary write failed");
+}
+
+CsrGraph read_csr_binary(std::istream& in) {
+  char magic[4] = {};
+  in.read(magic, sizeof(magic));
+  AURORA_CHECK_MSG(static_cast<bool>(in) &&
+                       std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+                   "not an ACSR file");
+  const auto version = read_pod<std::uint32_t>(in);
+  AURORA_CHECK_MSG(version == kVersion,
+                   "unsupported ACSR version " << version);
+  const auto n = read_pod<std::uint64_t>(in);
+  const auto m = read_pod<std::uint64_t>(in);
+  AURORA_CHECK(n >= 1 && n < kInvalidVertex);
+  std::vector<EdgeId> row_ptr(n + 1);
+  in.read(reinterpret_cast<char*>(row_ptr.data()),
+          static_cast<std::streamsize>(row_ptr.size() * sizeof(EdgeId)));
+  std::vector<VertexId> col_idx(m);
+  in.read(reinterpret_cast<char*>(col_idx.data()),
+          static_cast<std::streamsize>(col_idx.size() * sizeof(VertexId)));
+  AURORA_CHECK_MSG(static_cast<bool>(in), "truncated ACSR file");
+  return CsrGraph(std::move(row_ptr), std::move(col_idx));
+}
+
+void save_csr_binary(const std::string& path, const CsrGraph& g) {
+  std::ofstream out(path, std::ios::binary);
+  AURORA_CHECK_MSG(out.is_open(), "cannot write CSR binary: " << path);
+  write_csr_binary(out, g);
+}
+
+CsrGraph load_csr_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  AURORA_CHECK_MSG(in.is_open(), "cannot open CSR binary: " << path);
+  return read_csr_binary(in);
+}
+
+}  // namespace aurora::graph

@@ -1,0 +1,35 @@
+// Graph file I/O: plain edge lists (one "u v" pair per line, '#' comments)
+// and a compact binary CSR container. Lets users run the simulator on their
+// own graphs instead of the synthetic dataset models.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/csr.hpp"
+
+namespace aurora::graph {
+
+/// Parse an edge-list stream. Lines: "u v" (whitespace separated); blank
+/// lines and lines starting with '#' are skipped. Vertex ids are 0-based;
+/// the vertex count is max id + 1 unless `num_vertices` forces more.
+/// With `symmetrize` every edge is added in both directions (the usual GNN
+/// convention).
+[[nodiscard]] CsrGraph read_edge_list(std::istream& in, bool symmetrize = true,
+                                      VertexId num_vertices = 0);
+[[nodiscard]] CsrGraph load_edge_list(const std::string& path,
+                                      bool symmetrize = true,
+                                      VertexId num_vertices = 0);
+
+/// Write "u v" lines (every directed edge).
+void write_edge_list(std::ostream& out, const CsrGraph& g);
+void save_edge_list(const std::string& path, const CsrGraph& g);
+
+/// Binary CSR container: magic "ACSR", version, n, m, row_ptr, col_idx.
+/// Round-trips exactly.
+void write_csr_binary(std::ostream& out, const CsrGraph& g);
+[[nodiscard]] CsrGraph read_csr_binary(std::istream& in);
+void save_csr_binary(const std::string& path, const CsrGraph& g);
+[[nodiscard]] CsrGraph load_csr_binary(const std::string& path);
+
+}  // namespace aurora::graph

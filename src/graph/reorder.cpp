@@ -1,0 +1,92 @@
+#include "graph/reorder.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <deque>
+
+#include "common/error.hpp"
+
+namespace aurora::graph {
+
+std::vector<VertexId> bfs_order(const CsrGraph& g, VertexId start) {
+  const VertexId n = g.num_vertices();
+  AURORA_CHECK(start < n);
+  std::vector<VertexId> order;
+  order.reserve(n);
+  std::vector<bool> visited(n, false);
+  std::deque<VertexId> frontier;
+
+  auto visit_from = [&](VertexId root) {
+    frontier.push_back(root);
+    visited[root] = true;
+    while (!frontier.empty()) {
+      const VertexId v = frontier.front();
+      frontier.pop_front();
+      order.push_back(v);
+      for (VertexId u : g.neighbors(v)) {
+        if (!visited[u]) {
+          visited[u] = true;
+          frontier.push_back(u);
+        }
+      }
+    }
+  };
+
+  visit_from(start);
+  for (VertexId v = 0; v < n; ++v) {
+    if (!visited[v]) visit_from(v);
+  }
+  AURORA_CHECK(order.size() == n);
+  return order;
+}
+
+std::vector<VertexId> degree_order(const CsrGraph& g) {
+  std::vector<VertexId> order(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) order[v] = v;
+  std::stable_sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    return g.degree(a) > g.degree(b);
+  });
+  return order;
+}
+
+CsrGraph apply_order(const CsrGraph& g, const std::vector<VertexId>& order) {
+  const VertexId n = g.num_vertices();
+  AURORA_CHECK_MSG(order.size() == n, "order size mismatch");
+  // new_id[old] inverts order (order[new] = old).
+  std::vector<VertexId> new_id(n, kInvalidVertex);
+  for (VertexId i = 0; i < n; ++i) {
+    AURORA_CHECK_MSG(order[i] < n && new_id[order[i]] == kInvalidVertex,
+                     "order is not a permutation");
+    new_id[order[i]] = i;
+  }
+  CsrBuilder b(n);
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId u : g.neighbors(v)) b.add_edge(new_id[v], new_id[u]);
+  }
+  return std::move(b).build();
+}
+
+double locality_score(const CsrGraph& g, VertexId window) {
+  if (g.num_edges() == 0) return 0.0;
+  EdgeId local = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (VertexId u : g.neighbors(v)) {
+      const auto d = v > u ? v - u : u - v;
+      local += (d <= window);
+    }
+  }
+  return static_cast<double>(local) / static_cast<double>(g.num_edges());
+}
+
+double mean_id_distance(const CsrGraph& g) {
+  if (g.num_edges() == 0) return 0.0;
+  double total = 0.0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (VertexId u : g.neighbors(v)) {
+      total += static_cast<double>(v > u ? v - u : u - v);
+    }
+  }
+  return total / static_cast<double>(g.num_edges());
+}
+
+}  // namespace aurora::graph

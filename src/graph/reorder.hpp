@@ -1,0 +1,37 @@
+// Vertex reordering utilities.
+//
+// The tiling/halo and mapping-locality behaviour of the accelerator depends
+// on vertex ids being community-local (DESIGN.md §1). Real graph pipelines
+// achieve this by reordering; these utilities provide the standard
+// renumberings plus the locality metric the rest of the stack cares about.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/csr.hpp"
+
+namespace aurora::graph {
+
+/// BFS order from `start` (unreached components appended in id order). The
+/// classic locality-restoring renumbering: neighbors get nearby ids.
+[[nodiscard]] std::vector<VertexId> bfs_order(const CsrGraph& g,
+                                              VertexId start = 0);
+
+/// Vertices sorted by descending degree (ids of equal degree keep id order).
+/// Groups hubs together — good for hub-caching schemes, bad for locality.
+[[nodiscard]] std::vector<VertexId> degree_order(const CsrGraph& g);
+
+/// Renumber: `order[i]` is the OLD id that becomes new id `i`. `order` must
+/// be a permutation of [0, n).
+[[nodiscard]] CsrGraph apply_order(const CsrGraph& g,
+                                   const std::vector<VertexId>& order);
+
+/// Fraction of directed edges whose endpoints' ids differ by at most
+/// `window` — the statistic the tiler and the sequential mapper exploit.
+[[nodiscard]] double locality_score(const CsrGraph& g, VertexId window);
+
+/// Average |u - v| over all directed edges (lower = more local).
+[[nodiscard]] double mean_id_distance(const CsrGraph& g);
+
+}  // namespace aurora::graph

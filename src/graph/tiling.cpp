@@ -1,0 +1,95 @@
+#include "graph/tiling.hpp"
+
+#include "common/error.hpp"
+
+namespace aurora::graph {
+
+EdgeId Tiling::total_cut_edges() const {
+  EdgeId total = 0;
+  for (const auto& t : tiles) total += t.num_cut_edges;
+  return total;
+}
+
+VertexId Tiling::total_halo_vertices() const {
+  VertexId total = 0;
+  for (const auto& t : tiles) total += t.num_halo_vertices;
+  return total;
+}
+
+Bytes tile_footprint_bytes(const Tile& tile, const TilingParams& params) {
+  return (static_cast<Bytes>(tile.num_vertices()) + tile.num_halo_vertices) *
+             params.feature_bytes +
+         tile.num_edges * params.edge_bytes;
+}
+
+Tiling tile_graph(const CsrGraph& g, const TilingParams& params) {
+  AURORA_CHECK(params.capacity_bytes > 0);
+  AURORA_CHECK(params.feature_bytes > 0);
+  const VertexId n = g.num_vertices();
+
+  // last_seen[v] = tile index that most recently counted v as halo/owned;
+  // gives O(m) halo counting without per-tile hash sets.
+  std::vector<std::uint32_t> last_seen(n, 0xFFFFFFFFu);
+
+  Tiling tiling;
+  VertexId v = 0;
+  while (v < n) {
+    const auto tile_idx = static_cast<std::uint32_t>(tiling.tiles.size());
+    Tile tile;
+    tile.vertex_begin = v;
+    Bytes used = 0;
+    while (v < n) {
+      // Cost of admitting v: its feature vector, its adjacency, plus halo
+      // features for neighbors not yet resident in this tile. Neighbors with
+      // id >= current end may become owned later; counting them as halo
+      // first makes the estimate conservative (never under-capacity).
+      Bytes add = params.feature_bytes + g.degree(v) * params.edge_bytes;
+      VertexId new_halo = 0;
+      for (VertexId u : g.neighbors(v)) {
+        if (last_seen[u] != tile_idx) ++new_halo;
+      }
+      add += static_cast<Bytes>(new_halo) * params.feature_bytes;
+
+      if (used + add > params.capacity_bytes && tile.vertex_end > tile.vertex_begin) {
+        break;  // tile full; v starts the next tile
+      }
+      // A single vertex whose neighborhood exceeds capacity gets a tile of
+      // its own; its halo features stream through the buffer in passes
+      // instead of being resident (giant hubs in power-law graphs).
+      for (VertexId u : g.neighbors(v)) last_seen[u] = tile_idx;
+      last_seen[v] = tile_idx;
+      used += add;
+      tile.num_edges += g.degree(v);
+      tile.vertex_end = v + 1;
+      ++v;
+    }
+
+    // Second pass over the finished tile for exact cut/halo counts.
+    std::vector<std::uint32_t> halo_seen;
+    tile.num_cut_edges = 0;
+    VertexId halo = 0;
+    for (VertexId w = tile.vertex_begin; w < tile.vertex_end; ++w) {
+      for (VertexId u : g.neighbors(w)) {
+        if (u >= tile.vertex_begin && u < tile.vertex_end) continue;
+        ++tile.num_cut_edges;
+        if (last_seen[u] == tile_idx) {
+          last_seen[u] = tile_idx | 0x80000000u;  // mark counted once
+          ++halo;
+        }
+      }
+    }
+    tile.num_halo_vertices = halo;
+    tiling.tiles.push_back(tile);
+  }
+
+  // Invariant: tiles cover [0, n) without gaps or overlap.
+  AURORA_CHECK(!tiling.tiles.empty());
+  AURORA_CHECK(tiling.tiles.front().vertex_begin == 0);
+  AURORA_CHECK(tiling.tiles.back().vertex_end == n);
+  for (std::size_t i = 1; i < tiling.tiles.size(); ++i) {
+    AURORA_CHECK(tiling.tiles[i].vertex_begin == tiling.tiles[i - 1].vertex_end);
+  }
+  return tiling;
+}
+
+}  // namespace aurora::graph

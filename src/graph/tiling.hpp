@@ -1,0 +1,60 @@
+// Graph tiling: splitting a large graph into subgraphs that fit on-chip.
+//
+// The paper tiles graphs "based on on-chip memory size" and re-runs the
+// mapping/partition heuristics per subgraph (Sec IV). A tile owns a
+// contiguous vertex range; edges whose far endpoint lies outside the tile
+// reference *halo* vertices whose features must be fetched from DRAM.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/csr.hpp"
+
+namespace aurora::graph {
+
+/// One tile of a tiled graph.
+struct Tile {
+  VertexId vertex_begin = 0;
+  VertexId vertex_end = 0;  // exclusive
+  /// Edges incident to owned vertices (every owned vertex's full adjacency).
+  EdgeId num_edges = 0;
+  /// Edges whose far endpoint is owned by another tile.
+  EdgeId num_cut_edges = 0;
+  /// Distinct non-owned endpoints referenced by this tile's edges.
+  VertexId num_halo_vertices = 0;
+
+  [[nodiscard]] VertexId num_vertices() const {
+    return vertex_end - vertex_begin;
+  }
+};
+
+struct TilingParams {
+  /// On-chip bytes available for one tile's working set.
+  Bytes capacity_bytes = 0;
+  /// Bytes of one vertex feature vector.
+  Bytes feature_bytes = 0;
+  /// Bytes of adjacency metadata per edge (CSR column index + edge feature
+  /// slot if the model keeps edge embeddings).
+  Bytes edge_bytes = 8;
+};
+
+struct Tiling {
+  std::vector<Tile> tiles;
+
+  [[nodiscard]] std::size_t num_tiles() const { return tiles.size(); }
+  [[nodiscard]] EdgeId total_cut_edges() const;
+  [[nodiscard]] VertexId total_halo_vertices() const;
+};
+
+/// Working-set bytes of a tile: owned features + halo features + adjacency.
+[[nodiscard]] Bytes tile_footprint_bytes(const Tile& tile,
+                                         const TilingParams& params);
+
+/// Greedy contiguous tiling: grow each tile until adding the next vertex
+/// would exceed `capacity_bytes`. Every tile holds at least one vertex, so
+/// the tiling always succeeds (a single vertex larger than capacity is a
+/// configuration error and throws).
+[[nodiscard]] Tiling tile_graph(const CsrGraph& g, const TilingParams& params);
+
+}  // namespace aurora::graph

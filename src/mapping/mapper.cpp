@@ -1,0 +1,198 @@
+#include "mapping/mapper.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "mapping/nqueen.hpp"
+
+namespace aurora::mapping {
+namespace {
+
+void check_range(const graph::CsrGraph& g, VertexId begin, VertexId end,
+                 const MapperParams& params) {
+  params.region.validate();
+  AURORA_CHECK(begin < end);
+  AURORA_CHECK(end <= g.num_vertices());
+  const std::uint64_t capacity =
+      static_cast<std::uint64_t>(params.region.num_pes()) *
+      params.pe_vertex_slots;
+  AURORA_CHECK_MSG(end - begin <= capacity,
+                   "subgraph of " << (end - begin)
+                                  << " vertices exceeds PE region capacity "
+                                  << capacity);
+}
+
+/// Region-local PE index (0..num_pes) for iteration order (row-major).
+noc::NodeId region_node(const PeRegion& region, std::uint32_t idx) {
+  return region.node(idx / region.cols(), idx % region.cols());
+}
+
+/// Interleave the low 16 bits of x and y (Morton / Z-order code).
+std::uint32_t morton2(std::uint32_t x, std::uint32_t y) {
+  auto spread = [](std::uint32_t v) {
+    v &= 0xFFFF;
+    v = (v | (v << 8)) & 0x00FF00FF;
+    v = (v | (v << 4)) & 0x0F0F0F0F;
+    v = (v | (v << 2)) & 0x33333333;
+    v = (v | (v << 1)) & 0x55555555;
+    return v;
+  };
+  return spread(x) | (spread(y) << 1);
+}
+
+/// Region PEs in Z-order: consecutive fill indices land on mesh-adjacent or
+/// near-adjacent PEs, so vertex-id locality becomes 2-D mesh locality.
+std::vector<noc::NodeId> zorder_nodes(const PeRegion& region) {
+  std::vector<std::pair<std::uint32_t, noc::NodeId>> keyed;
+  keyed.reserve(region.num_pes());
+  for (std::uint32_t r = 0; r < region.rows(); ++r) {
+    for (std::uint32_t c = 0; c < region.cols(); ++c) {
+      keyed.emplace_back(morton2(c, r), region.node(r, c));
+    }
+  }
+  std::sort(keyed.begin(), keyed.end());
+  std::vector<noc::NodeId> order;
+  order.reserve(keyed.size());
+  for (const auto& [key, node] : keyed) order.push_back(node);
+  return order;
+}
+
+}  // namespace
+
+Mapping degree_aware_map(const graph::CsrGraph& g, VertexId begin,
+                         VertexId end, const MapperParams& params) {
+  check_range(g, begin, end, params);
+  const VertexId n = end - begin;
+  const PeRegion& region = params.region;
+  const std::uint32_t num_pes = region.num_pes();
+
+  Mapping m;
+  m.region = region;
+  m.vertex_to_pe.assign(n, 0);
+  m.s_pes = identify_s_pes(region);
+
+  // --- High-degree vertex identification (Algorithm 1 lines 13-25).
+  const std::uint64_t n_hn_cap =
+      static_cast<std::uint64_t>(m.s_pes.size()) * params.c_pe_slots;
+  std::vector<VertexId> order(n);
+  for (VertexId i = 0; i < n; ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    const auto da = g.degree(begin + a);
+    const auto db = g.degree(begin + b);
+    if (da != db) return da > db;
+    return a < b;
+  });
+  const auto n_hn = static_cast<VertexId>(std::min<std::uint64_t>(n_hn_cap, n));
+  m.high_degree_vertices.assign(order.begin(), order.begin() + n_hn);
+
+  // --- Placement. High-degree vertices go to S_PEs hash-sequentially
+  // (round-robin keeps every bypass wire equally loaded); the rest fill
+  // regular PEs along the Z-order curve.
+  const std::vector<noc::NodeId> pe_order = zorder_nodes(region);
+  std::vector<std::uint32_t> pos_of_node(
+      static_cast<std::size_t>(region.mesh_k) * region.mesh_k, 0);
+  for (std::uint32_t i = 0; i < num_pes; ++i) pos_of_node[pe_order[i]] = i;
+
+  std::vector<std::uint32_t> load(num_pes, 0);
+  std::vector<bool> is_s_pe(num_pes, false);
+  for (const auto& c : m.s_pes) {
+    is_s_pe[pos_of_node[noc::to_node(c, region.mesh_k)]] = true;
+  }
+
+  for (VertexId i = 0; i < n_hn; ++i) {
+    const auto& coord = m.s_pes[i % m.s_pes.size()];
+    const noc::NodeId pe = noc::to_node(coord, region.mesh_k);
+    m.vertex_to_pe[m.high_degree_vertices[i]] = pe;
+    ++load[pos_of_node[pe]];
+  }
+
+  // Low-degree vertices map "sequentially" (Algorithm 1): in vertex-id
+  // order, filling one PE before moving to the next. Consecutive ids — which
+  // share most of their neighborhoods in reordered real graphs — land on the
+  // same or adjacent PEs, keeping hop counts short. Per-PE fill is levelled
+  // so the tail of the id range does not overload the last PEs.
+  const VertexId n_low = n - n_hn;
+  const std::uint32_t fill_target = std::max<std::uint32_t>(
+      1, (n_low + num_pes - 1) / num_pes);
+  std::vector<bool> is_high(n, false);
+  for (VertexId hv : m.high_degree_vertices) is_high[hv] = true;
+  std::uint32_t cursor = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (is_high[v]) continue;
+    // Advance past PEs that reached their fill target (or hard limit).
+    std::uint32_t placed = num_pes;
+    for (std::uint32_t probe = 0; probe < num_pes; ++probe) {
+      const std::uint32_t pe = (cursor + probe) % num_pes;
+      const std::uint32_t limit =
+          is_s_pe[pe] ? params.pe_vertex_slots + params.c_pe_slots
+                      : params.pe_vertex_slots;
+      const std::uint32_t target = std::min(limit, fill_target +
+                                                       (is_s_pe[pe]
+                                                            ? params.c_pe_slots
+                                                            : 0));
+      if (load[pe] < target) {
+        placed = pe;
+        cursor = pe;  // keep filling this PE until its target is reached
+        break;
+      }
+    }
+    if (placed == num_pes) {
+      // All PEs hit the levelled target; fall back to the hard limits.
+      for (std::uint32_t probe = 0; probe < num_pes; ++probe) {
+        const std::uint32_t pe = (cursor + probe) % num_pes;
+        const std::uint32_t limit =
+            is_s_pe[pe] ? params.pe_vertex_slots + params.c_pe_slots
+                        : params.pe_vertex_slots;
+        if (load[pe] < limit) {
+          placed = pe;
+          cursor = pe;
+          break;
+        }
+      }
+    }
+    AURORA_CHECK_MSG(placed < num_pes, "no PE slot available for vertex " << v);
+    m.vertex_to_pe[v] = pe_order[placed];
+    ++load[placed];
+  }
+  return m;
+}
+
+Mapping hashing_map(const graph::CsrGraph& g, VertexId begin, VertexId end,
+                    const MapperParams& params) {
+  check_range(g, begin, end, params);
+  const VertexId n = end - begin;
+  Mapping m;
+  m.region = params.region;
+  m.vertex_to_pe.resize(n);
+  const std::uint32_t num_pes = params.region.num_pes();
+  for (VertexId i = 0; i < n; ++i) {
+    m.vertex_to_pe[i] = region_node(params.region, i % num_pes);
+  }
+  return m;
+}
+
+noc::NocConfig make_bypass_config(const Mapping& mapping) {
+  const PeRegion& region = mapping.region;
+  region.validate();
+  const std::uint32_t k = region.mesh_k;
+  noc::NocConfig config(k);
+  if (k < 3) return config;  // segments need length >= 2
+  // One segment per wire: if a (degenerate) placement puts several S_PEs on
+  // one row or column, the shared wire is configured once.
+  std::vector<bool> row_done(k, false), col_done(k, false);
+  for (const auto& s : mapping.s_pes) {
+    if (!row_done[s.row]) {
+      config.add_row_segment({s.row, 0, k - 1});
+      row_done[s.row] = true;
+    }
+    // Column segments stay within the region so the wire below remains free
+    // for the other sub-accelerator's rings.
+    if (!col_done[s.col] && region.row_end - 1 >= region.row_begin + 2) {
+      config.add_col_segment({s.col, region.row_begin, region.row_end - 1});
+      col_done[s.col] = true;
+    }
+  }
+  return config;
+}
+
+}  // namespace aurora::mapping

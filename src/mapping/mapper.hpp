@@ -1,0 +1,69 @@
+// Vertex-to-PE mapping policies: the paper's degree-aware mapping
+// (Algorithm 1) and the CGRA-ME-style hashing baseline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/csr.hpp"
+#include "mapping/region.hpp"
+#include "noc/config.hpp"
+#include "noc/types.hpp"
+
+namespace aurora::mapping {
+
+struct MapperParams {
+  /// The PE slice this subgraph maps onto (sub-accelerator A's allocation).
+  PeRegion region;
+  /// High-degree vertex slots per S_PE (C_PE): bank-buffer capacity divided
+  /// by the feature-vector footprint.
+  std::uint32_t c_pe_slots = 4;
+  /// Vertex capacity of a regular PE (bounds low-degree packing).
+  std::uint32_t pe_vertex_slots = 64;
+
+  /// Convenience: square region over the whole mesh.
+  [[nodiscard]] static MapperParams square(std::uint32_t k) {
+    MapperParams p;
+    p.region = PeRegion::full(k);
+    return p;
+  }
+};
+
+/// Result of mapping one subgraph's vertices onto the PE region.
+struct Mapping {
+  /// Full-mesh PE node per subgraph-local vertex.
+  std::vector<noc::NodeId> vertex_to_pe;
+  /// S_PE coordinates in full-mesh space (empty for the hashing policy).
+  std::vector<noc::Coord> s_pes;
+  /// Subgraph-local ids of the vertices classified as high degree.
+  std::vector<VertexId> high_degree_vertices;
+  PeRegion region;
+
+  [[nodiscard]] std::size_t num_vertices() const {
+    return vertex_to_pe.size();
+  }
+};
+
+/// Algorithm 1: place S_PEs by N-queen, classify the top
+/// N_SPE * C_PE vertices by degree as high-degree, map them to S_PEs
+/// hash-sequentially, then pack the rest onto PEs with free slots.
+/// The vertex range [begin, end) selects the subgraph within `g`; degrees
+/// come from the full graph.
+[[nodiscard]] Mapping degree_aware_map(const graph::CsrGraph& g,
+                                       VertexId begin, VertexId end,
+                                       const MapperParams& params);
+
+/// CGRA-ME-style baseline: vertex i -> region PE (i mod num_pes),
+/// degree-blind.
+[[nodiscard]] Mapping hashing_map(const graph::CsrGraph& g, VertexId begin,
+                                  VertexId end, const MapperParams& params);
+
+/// NoC configuration that backs a degree-aware mapping: a full-width bypass
+/// segment for every S_PE row and a region-height column segment for every
+/// S_PE column (the paper's "bridge the longest communications" rule). The
+/// N-queen placement guarantees one segment per wire. Wires outside the
+/// region stay free for other sub-accelerators.
+[[nodiscard]] noc::NocConfig make_bypass_config(const Mapping& mapping);
+
+}  // namespace aurora::mapping

@@ -1,0 +1,82 @@
+#include "mapping/nqueen.hpp"
+
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace aurora::mapping {
+namespace {
+
+bool can_place(const std::vector<std::uint32_t>& cols, std::uint32_t row,
+               std::uint32_t col) {
+  for (std::uint32_t r = 0; r < row; ++r) {
+    const std::uint32_t c = cols[r];
+    if (c == col) return false;
+    const auto dr = row - r;
+    const auto dc = c > col ? c - col : col - c;
+    if (dr == dc) return false;
+  }
+  return true;
+}
+
+bool queen(std::vector<std::uint32_t>& cols, std::uint32_t row,
+           std::uint32_t rows, std::uint32_t num_cols) {
+  if (row == rows) return true;
+  for (std::uint32_t c = 0; c < num_cols; ++c) {
+    if (can_place(cols, row, c)) {
+      cols[row] = c;
+      if (queen(cols, row + 1, rows, num_cols)) return true;
+    }
+  }
+  return false;
+}
+
+/// Queen columns for `rows` queens on a rows x cols board, or a staggered
+/// fallback when no solution exists (tiny boards only).
+std::vector<std::uint32_t> queen_columns(std::uint32_t rows,
+                                         std::uint32_t num_cols) {
+  AURORA_CHECK(rows >= 1 && num_cols >= 1);
+  AURORA_CHECK(rows <= num_cols);
+  std::vector<std::uint32_t> cols(rows, 0);
+  if (queen(cols, 0, rows, num_cols)) return cols;
+  // No solution (e.g. 2x2, 3x3, 2x3): stagger columns so rows and columns
+  // stay distinct even though diagonals may touch.
+  for (std::uint32_t r = 0; r < rows; ++r) cols[r] = r % num_cols;
+  return cols;
+}
+
+}  // namespace
+
+std::vector<noc::Coord> identify_s_pes(std::uint32_t k) {
+  return identify_s_pes(PeRegion::full(k));
+}
+
+std::vector<noc::Coord> identify_s_pes(const PeRegion& region) {
+  region.validate();
+  const std::uint32_t rows = std::min(region.rows(), region.cols());
+  const auto cols = queen_columns(rows, region.cols());
+  std::vector<noc::Coord> result;
+  result.reserve(rows);
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    result.push_back({region.row_begin + r, cols[r]});
+  }
+  return result;
+}
+
+bool is_valid_queen_placement(const std::vector<noc::Coord>& placement) {
+  for (std::size_t i = 0; i < placement.size(); ++i) {
+    for (std::size_t j = i + 1; j < placement.size(); ++j) {
+      const auto& a = placement[i];
+      const auto& b = placement[j];
+      if (a.row == b.row || a.col == b.col) return false;
+      const auto dr =
+          a.row > b.row ? a.row - b.row : b.row - a.row;
+      const auto dc =
+          a.col > b.col ? a.col - b.col : b.col - a.col;
+      if (dr == dc) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace aurora::mapping

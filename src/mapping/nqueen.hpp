@@ -1,0 +1,32 @@
+// N-Queen placement of the special PEs (paper Algorithm 1, lines 1-12).
+//
+// S_PEs host high-degree vertices. Placing them like non-attacking queens —
+// no two in the same row, column or diagonal — guarantees each bypass wire
+// (one per row, one per column) serves at most one hotspot.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mapping/region.hpp"
+#include "noc/types.hpp"
+
+namespace aurora::mapping {
+
+/// First solution of the K-queens problem by the recursive backtracking in
+/// Algorithm 1 ("Queen(k)"), one S_PE per row. K in {2, 3} has no solution;
+/// those sizes fall back to a simple staggered diagonal (documented
+/// deviation — a 2x2 or 3x3 array is below any practical configuration).
+[[nodiscard]] std::vector<noc::Coord> identify_s_pes(std::uint32_t k);
+
+/// Rectangular variant for a sub-accelerator region: places
+/// min(rows, cols) S_PEs, one per region row, mutually non-attacking.
+/// Returned coordinates are in FULL-MESH space. Falls back to a stagger when
+/// backtracking finds no solution (possible only for tiny regions).
+[[nodiscard]] std::vector<noc::Coord> identify_s_pes(const PeRegion& region);
+
+/// True when no two coordinates share a row, column or diagonal.
+[[nodiscard]] bool is_valid_queen_placement(
+    const std::vector<noc::Coord>& placement);
+
+}  // namespace aurora::mapping

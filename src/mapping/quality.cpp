@@ -1,0 +1,80 @@
+#include "mapping/quality.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "noc/routing.hpp"
+
+namespace aurora::mapping {
+
+MappingQuality evaluate_mapping(const graph::CsrGraph& g, VertexId begin,
+                                VertexId end, const Mapping& mapping,
+                                const noc::NocConfig& config) {
+  AURORA_CHECK(end > begin);
+  AURORA_CHECK(mapping.vertex_to_pe.size() == end - begin);
+  AURORA_CHECK(config.k() == mapping.region.mesh_k);
+  const std::uint32_t k = mapping.region.mesh_k;
+  const std::uint32_t num_pes = k * k;
+
+  MappingQuality q;
+  std::vector<std::uint64_t> pe_load(num_pes, 0);
+  std::vector<std::uint64_t> row_load(k, 0);
+
+  // Hop distances repeat heavily (few distinct PE pairs matter); memoise.
+  std::vector<std::int32_t> hop_cache(
+      static_cast<std::size_t>(num_pes) * num_pes, -1);
+  std::vector<std::uint8_t> bypass_cache(
+      static_cast<std::size_t>(num_pes) * num_pes, 0);
+
+  for (VertexId v = begin; v < end; ++v) {
+    const noc::NodeId src = mapping.vertex_to_pe[v - begin];
+    for (VertexId u : g.neighbors(v)) {
+      if (u < begin || u >= end) continue;  // halo traffic goes via DRAM
+      const noc::NodeId dst = mapping.vertex_to_pe[u - begin];
+      if (src == dst) {
+        ++q.local_edges;
+        continue;
+      }
+      ++q.cross_pe_messages;
+      ++pe_load[src];
+      ++pe_load[dst];
+      ++row_load[src / k];
+      if (dst / k != src / k) ++row_load[dst / k];
+
+      const std::size_t key = static_cast<std::size_t>(src) * num_pes + dst;
+      if (hop_cache[key] < 0) {
+        std::uint32_t hops = 0;
+        bool used_bypass = false;
+        noc::NodeId cur = src;
+        while (cur != dst) {
+          const noc::Port out = noc::route_output(cur, dst, config);
+          const noc::Hop hop = noc::resolve_hop(cur, out, config);
+          used_bypass = used_bypass || hop.via_bypass;
+          cur = hop.next_node;
+          ++hops;
+        }
+        hop_cache[key] = static_cast<std::int32_t>(hops);
+        bypass_cache[key] = used_bypass ? 1 : 0;
+      }
+      q.total_hops += static_cast<std::uint64_t>(hop_cache[key]);
+      q.bypass_messages += bypass_cache[key];
+    }
+  }
+
+  if (q.cross_pe_messages > 0) {
+    q.avg_hops = static_cast<double>(q.total_hops) /
+                 static_cast<double>(q.cross_pe_messages);
+  }
+  // Loads average over the PEs/rows the mapping actually uses — the region —
+  // not the full mesh, or imbalance would be inflated by idle PEs.
+  q.max_pe_load = *std::max_element(pe_load.begin(), pe_load.end());
+  q.mean_pe_load = 0.0;
+  for (const auto l : pe_load) q.mean_pe_load += static_cast<double>(l);
+  q.mean_pe_load /= static_cast<double>(mapping.region.num_pes());
+  q.max_row_load = *std::max_element(row_load.begin(), row_load.end());
+  for (const auto l : row_load) q.mean_row_load += static_cast<double>(l);
+  q.mean_row_load /= static_cast<double>(mapping.region.rows());
+  return q;
+}
+
+}  // namespace aurora::mapping

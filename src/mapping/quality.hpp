@@ -1,0 +1,49 @@
+// Mapping quality metrics: communication load balance and hop counts under a
+// given NoC configuration. Used by the mapping ablation (paper Sec VI-C) and
+// by the analytic performance model.
+#pragma once
+
+#include "graph/csr.hpp"
+#include "mapping/mapper.hpp"
+#include "noc/config.hpp"
+
+namespace aurora::mapping {
+
+struct MappingQuality {
+  /// Messages (directed edges crossing PEs) in the subgraph.
+  std::uint64_t cross_pe_messages = 0;
+  /// Edges whose endpoints share a PE (no NoC traffic).
+  std::uint64_t local_edges = 0;
+  /// Total and average hop count over all cross-PE messages.
+  std::uint64_t total_hops = 0;
+  double avg_hops = 0.0;
+  /// Messages that traverse at least one bypass segment.
+  std::uint64_t bypass_messages = 0;
+  /// Communication load of the busiest PE (incident cross-PE messages) vs
+  /// the mean — the imbalance the degree-aware mapping attacks.
+  std::uint64_t max_pe_load = 0;
+  double mean_pe_load = 0.0;
+  /// Busiest mesh row load (messages whose source or destination sits in
+  /// that row) vs the mean row load.
+  std::uint64_t max_row_load = 0;
+  double mean_row_load = 0.0;
+
+  [[nodiscard]] double pe_load_imbalance() const {
+    return mean_pe_load > 0.0
+               ? static_cast<double>(max_pe_load) / mean_pe_load
+               : 0.0;
+  }
+  [[nodiscard]] double row_load_imbalance() const {
+    return mean_row_load > 0.0
+               ? static_cast<double>(max_row_load) / mean_row_load
+               : 0.0;
+  }
+};
+
+/// Evaluate `mapping` of subgraph [begin, end) of `g` routed under `config`.
+[[nodiscard]] MappingQuality evaluate_mapping(const graph::CsrGraph& g,
+                                              VertexId begin, VertexId end,
+                                              const Mapping& mapping,
+                                              const noc::NocConfig& config);
+
+}  // namespace aurora::mapping

@@ -1,0 +1,45 @@
+// A rectangular PE region within the full mesh — the resource slice the
+// partition algorithm hands to a sub-accelerator.
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "noc/types.hpp"
+
+namespace aurora::mapping {
+
+/// Rows [row_begin, row_end) x all K columns of a K x K mesh. Sub-
+/// accelerators are row-granular because the DRAM crossbar feeds PE rows
+/// (paper Sec III-A).
+struct PeRegion {
+  std::uint32_t mesh_k = 0;
+  std::uint32_t row_begin = 0;
+  std::uint32_t row_end = 0;  // exclusive
+
+  [[nodiscard]] static PeRegion full(std::uint32_t k) { return {k, 0, k}; }
+
+  [[nodiscard]] std::uint32_t rows() const { return row_end - row_begin; }
+  [[nodiscard]] std::uint32_t cols() const { return mesh_k; }
+  [[nodiscard]] std::uint32_t num_pes() const { return rows() * cols(); }
+
+  /// Mesh node id of region-local coordinates.
+  [[nodiscard]] noc::NodeId node(std::uint32_t local_row,
+                                 std::uint32_t local_col) const {
+    AURORA_CHECK(local_row < rows() && local_col < cols());
+    return (row_begin + local_row) * mesh_k + local_col;
+  }
+
+  [[nodiscard]] bool contains(noc::NodeId n) const {
+    const auto row = n / mesh_k;
+    return row >= row_begin && row < row_end;
+  }
+
+  void validate() const {
+    AURORA_CHECK(mesh_k >= 1);
+    AURORA_CHECK(row_begin < row_end);
+    AURORA_CHECK(row_end <= mesh_k);
+  }
+};
+
+}  // namespace aurora::mapping

@@ -1,0 +1,151 @@
+#include "noc/config.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace aurora::noc {
+namespace {
+
+void check_segment(const BypassSegment& s, std::uint32_t k,
+                   const std::vector<BypassSegment>& existing) {
+  AURORA_CHECK_MSG(k > 0, "NocConfig not initialised with a mesh size");
+  AURORA_CHECK_MSG(s.line < k, "segment line out of range");
+  AURORA_CHECK_MSG(s.from < s.to, "segment must span at least one tile");
+  AURORA_CHECK_MSG(s.to < k, "segment end out of range");
+  AURORA_CHECK_MSG(s.length() >= 2,
+                   "length-1 segments duplicate the mesh link; not allowed");
+  for (const auto& other : existing) {
+    if (other.line != s.line) continue;
+    const bool disjoint = s.to < other.from || other.to < s.from;
+    AURORA_CHECK_MSG(disjoint, "bypass segments overlap on line " << s.line);
+  }
+}
+
+}  // namespace
+
+void NocConfig::add_row_segment(BypassSegment segment) {
+  check_segment(segment, k_, row_segments_);
+  row_segments_.push_back(segment);
+}
+
+void NocConfig::add_col_segment(BypassSegment segment) {
+  check_segment(segment, k_, col_segments_);
+  col_segments_.push_back(segment);
+}
+
+bool NocConfig::physically_linked(NodeId a, NodeId b) const {
+  const Coord ca = to_coord(a, k_);
+  const Coord cb = to_coord(b, k_);
+  if (ca.row == cb.row) {
+    const auto lo = std::min(ca.col, cb.col);
+    const auto hi = std::max(ca.col, cb.col);
+    if (hi - lo == 1) return true;
+    for (const auto& s : row_segments_) {
+      if (s.line == ca.row && s.from == lo && s.to == hi) return true;
+    }
+  }
+  if (ca.col == cb.col) {
+    const auto lo = std::min(ca.row, cb.row);
+    const auto hi = std::max(ca.row, cb.row);
+    if (hi - lo == 1) return true;
+    for (const auto& s : col_segments_) {
+      if (s.line == ca.col && s.from == lo && s.to == hi) return true;
+    }
+  }
+  return false;
+}
+
+void NocConfig::add_ring(RingConfig ring) {
+  AURORA_CHECK_MSG(ring.nodes.size() >= 2, "ring needs at least two nodes");
+  for (NodeId n : ring.nodes) {
+    AURORA_CHECK_MSG(n < k_ * k_, "ring node out of range");
+    AURORA_CHECK_MSG(!ring_of(n).has_value(),
+                     "node " << n << " already belongs to a ring");
+  }
+  for (std::size_t i = 0; i < ring.nodes.size(); ++i) {
+    const NodeId a = ring.nodes[i];
+    const NodeId b = ring.nodes[(i + 1) % ring.nodes.size()];
+    AURORA_CHECK_MSG(a != b, "duplicate consecutive ring node");
+    AURORA_CHECK_MSG(physically_linked(a, b),
+                     "ring nodes " << a << " and " << b
+                                   << " are not physically linked");
+  }
+  rings_.push_back(std::move(ring));
+}
+
+std::optional<BypassSegment> NocConfig::row_segment_at(
+    std::uint32_t row, std::uint32_t col) const {
+  for (const auto& s : row_segments_) {
+    if (s.line == row && (s.from == col || s.to == col)) return s;
+  }
+  return std::nullopt;
+}
+
+std::optional<BypassSegment> NocConfig::col_segment_at(
+    std::uint32_t col, std::uint32_t row) const {
+  for (const auto& s : col_segments_) {
+    if (s.line == col && (s.from == row || s.to == row)) return s;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> NocConfig::ring_of(NodeId node) const {
+  for (std::size_t i = 0; i < rings_.size(); ++i) {
+    const auto& nodes = rings_[i].nodes;
+    if (std::find(nodes.begin(), nodes.end(), node) != nodes.end()) return i;
+  }
+  return std::nullopt;
+}
+
+NodeId NocConfig::ring_successor(NodeId node) const {
+  const auto ring = ring_of(node);
+  AURORA_CHECK_MSG(ring.has_value(), "node " << node << " not in any ring");
+  const auto& nodes = rings_[*ring].nodes;
+  const auto it = std::find(nodes.begin(), nodes.end(), node);
+  const auto idx = static_cast<std::size_t>(it - nodes.begin());
+  return nodes[(idx + 1) % nodes.size()];
+}
+
+std::uint64_t NocConfig::total_switch_states() const {
+  // Each active segment closes its interior link switches and opens the two
+  // boundary ones (~length states); each ring node programs one mux.
+  std::uint64_t states = 0;
+  for (const auto& s : row_segments_) states += s.length() + 1;
+  for (const auto& s : col_segments_) states += s.length() + 1;
+  for (const auto& r : rings_) states += r.nodes.size();
+  return states;
+}
+
+std::uint64_t NocConfig::switch_writes_between(const NocConfig& from,
+                                               const NocConfig& to) {
+  // Conservative estimate: tear down what is no longer present and program
+  // what is new. Segments/rings present in both cost nothing.
+  std::uint64_t writes = 0;
+  auto segment_cost = [](const std::vector<BypassSegment>& a,
+                         const std::vector<BypassSegment>& b) {
+    std::uint64_t cost = 0;
+    for (const auto& s : a) {
+      if (std::find(b.begin(), b.end(), s) == b.end()) cost += s.length() + 1;
+    }
+    return cost;
+  };
+  writes += segment_cost(from.row_segments_, to.row_segments_);
+  writes += segment_cost(to.row_segments_, from.row_segments_);
+  writes += segment_cost(from.col_segments_, to.col_segments_);
+  writes += segment_cost(to.col_segments_, from.col_segments_);
+  auto ring_cost = [](const std::vector<RingConfig>& a,
+                      const std::vector<RingConfig>& b) {
+    std::uint64_t cost = 0;
+    for (const auto& r : a) {
+      if (std::find(b.begin(), b.end(), r) == b.end()) cost += r.nodes.size();
+    }
+    return cost;
+  };
+  writes += ring_cost(from.rings_, to.rings_);
+  writes += ring_cost(to.rings_, from.rings_);
+  return writes;
+}
+
+}  // namespace aurora::noc

@@ -1,0 +1,294 @@
+#include "noc/network.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace aurora::noc {
+
+Network::Network(const NocParams& params)
+    : sim::Component("noc"), params_(params), config_(params.k) {
+  AURORA_CHECK(params.k >= 2);
+  AURORA_CHECK(params.flit_bytes > 0);
+  AURORA_CHECK(params.input_buffer_flits >= 2);
+  AURORA_CHECK_MSG(params.num_vcs >= 1 && params.num_vcs <= kMaxVcs,
+                   "num_vcs must be in [1, " << kMaxVcs << "]");
+  routers_.resize(num_nodes());
+  router_occupancy_.assign(num_nodes(), 0);
+  router_load_.assign(num_nodes(), 0);
+  for (auto& r : routers_) {
+    for (auto& per_port : r.credits) per_port.fill(params.input_buffer_flits);
+  }
+}
+
+std::uint64_t Network::configure(NocConfig config) {
+  AURORA_CHECK_MSG(idle(), "reconfiguration requires a drained network");
+  AURORA_CHECK_MSG(config.k() == params_.k,
+                   "configuration mesh size mismatch");
+  const std::uint64_t writes =
+      NocConfig::switch_writes_between(config_, config);
+  config_ = std::move(config);
+  return writes;
+}
+
+std::uint64_t Network::send(NodeId src, NodeId dst, Bytes payload_bytes,
+                            std::uint64_t tag, Cycle now) {
+  AURORA_CHECK(src < num_nodes() && dst < num_nodes());
+  Packet p;
+  p.id = next_packet_id_++;
+  p.src = src;
+  p.dst = dst;
+  p.payload_bytes = payload_bytes;
+  p.num_flits = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>((payload_bytes + params_.flit_bytes - 1) /
+                                    params_.flit_bytes));
+  p.injected_at = now;
+  p.tag = tag;
+
+  // VC allocation at injection: packets spread round-robin over the VCs and
+  // keep their channel end to end (no mid-route reallocation needed under
+  // monotone XY + bypass routing).
+  const auto vc = static_cast<std::uint8_t>(p.id % params_.num_vcs);
+  auto& source_queue =
+      routers_[src].in[static_cast<std::size_t>(Port::kLocal)][vc];
+  for (std::uint32_t i = 0; i < p.num_flits; ++i) {
+    TimedFlit tf;
+    tf.flit.packet_id = p.id;
+    tf.flit.seq = i;
+    tf.flit.vc = vc;
+    tf.flit.is_head = (i == 0);
+    tf.flit.is_tail = (i + 1 == p.num_flits);
+    tf.ready_at = now + 1;
+    source_queue.fifo.push_back(tf);
+    ++flits_in_flight_;
+    ++router_occupancy_[src];
+  }
+  live_packets_.emplace(p.id, PacketRecord{p, 0, 0});
+  ++stats_.packets_injected;
+  return p.id;
+}
+
+void Network::return_credit(NodeId node, Port in_port, std::uint8_t vc) {
+  // The local port is the injection queue — unbounded, no credits.
+  if (in_port == Port::kLocal) return;
+  const std::uint32_t k = params_.k;
+  const Coord c = to_coord(node, k);
+  NodeId upstream = 0;
+  Port up_out = Port::kLocal;
+  switch (in_port) {
+    case Port::kWest:  // fed by the west neighbor's east output
+      upstream = to_node({c.row, c.col - 1}, k);
+      up_out = Port::kEast;
+      break;
+    case Port::kEast:
+      upstream = to_node({c.row, c.col + 1}, k);
+      up_out = Port::kWest;
+      break;
+    case Port::kNorth:  // fed by the north neighbor's south output
+      upstream = to_node({c.row - 1, c.col}, k);
+      up_out = Port::kSouth;
+      break;
+    case Port::kSouth:
+      upstream = to_node({c.row + 1, c.col}, k);
+      up_out = Port::kNorth;
+      break;
+    case Port::kBypassRow: {
+      const auto seg = config_.row_segment_at(c.row, c.col);
+      AURORA_CHECK(seg.has_value());
+      const std::uint32_t far = (seg->from == c.col) ? seg->to : seg->from;
+      upstream = to_node({c.row, far}, k);
+      up_out = Port::kBypassRow;
+      break;
+    }
+    case Port::kBypassCol: {
+      const auto seg = config_.col_segment_at(c.col, c.row);
+      AURORA_CHECK(seg.has_value());
+      const std::uint32_t far = (seg->from == c.row) ? seg->to : seg->from;
+      upstream = to_node({far, c.col}, k);
+      up_out = Port::kBypassCol;
+      break;
+    }
+    case Port::kLocal:
+      return;
+  }
+  ++routers_[upstream].credits[static_cast<std::size_t>(up_out)][vc];
+}
+
+void Network::eject_flit(NodeId node, const Flit& flit, Cycle now) {
+  auto it = live_packets_.find(flit.packet_id);
+  AURORA_CHECK(it != live_packets_.end());
+  PacketRecord& rec = it->second;
+  ++rec.flits_ejected;
+  if (flit.is_tail) {
+    AURORA_CHECK_MSG(rec.flits_ejected == rec.packet.num_flits,
+                     "tail ejected before all body flits");
+    AURORA_CHECK(node == rec.packet.dst);
+    ++stats_.packets_delivered;
+    stats_.packet_latency.add(
+        static_cast<double>(now - rec.packet.injected_at));
+    stats_.packet_hops.add(static_cast<double>(rec.hops));
+    if (on_delivery_) on_delivery_(rec.packet, now);
+    delivered_.push_back(rec.packet);
+    live_packets_.erase(it);
+  }
+}
+
+void Network::route_one_output(Router& router, NodeId node, Port out,
+                               Cycle now) {
+  const auto out_idx = static_cast<std::size_t>(out);
+  const std::uint32_t nv = params_.num_vcs;
+  const std::uint32_t lanes = static_cast<std::uint32_t>(kNumPorts) * nv;
+
+  // Switch allocation: scan (port, vc) lanes round-robin and take the first
+  // one that can actually move a flit through this output THIS cycle.
+  // Locks are held per (output, vc): a packet's flits stay contiguous within
+  // its virtual channel, while different VCs interleave on the link.
+  for (std::uint32_t i = 0; i < lanes; ++i) {
+    const std::uint32_t lane = (router.rr[out_idx] + i) % lanes;
+    const std::size_t p = lane / nv;
+    const auto v = static_cast<std::uint8_t>(lane % nv);
+    InputBuffer& in = router.in[p][v];
+    const auto in_port = static_cast<Port>(p);
+
+    if (in.fifo.empty()) continue;
+    if (router.last_port_pop[p] == now) continue;  // crossbar input busy
+    const TimedFlit& tf = in.fifo.front();
+    if (tf.ready_at > now) continue;
+
+    const bool holds_lock = (in.locked_output == out);
+    if (!holds_lock) {
+      if (in.locked_output.has_value()) continue;  // locked elsewhere
+      if (!tf.flit.is_head) continue;
+      const Packet& pkt = live_packets_.at(tf.flit.packet_id).packet;
+      if (route_output(node, pkt.dst, config_) != out) continue;
+      // (out, vc) may carry only one packet at a time: the downstream VC
+      // buffer must receive contiguous flits.
+      bool vc_taken = false;
+      for (std::size_t q = 0; q < kNumPorts; ++q) {
+        if (q != p && router.in[q][v].locked_output == out) vc_taken = true;
+      }
+      if (vc_taken) continue;
+    }
+    if (out != Port::kLocal && router.credits[out_idx][v] == 0) continue;
+
+    // This lane wins the switch this cycle.
+    if (!holds_lock) in.locked_output = out;
+    router.rr[out_idx] = static_cast<std::uint8_t>((lane + 1) % lanes);
+    const TimedFlit moving = in.fifo.front();
+    in.fifo.pop_front();
+    router.last_port_pop[p] = now;
+    if (moving.flit.is_tail) in.locked_output.reset();
+    return_credit(node, in_port, v);
+
+    if (out == Port::kLocal) {
+      --flits_in_flight_;
+      --router_occupancy_[node];
+      eject_flit(node, moving.flit, now);
+      return;
+    }
+
+    --router.credits[out_idx][v];
+    const Hop hop = resolve_hop(node, out, config_);
+    Cycle delay = params_.router_delay + params_.link_delay;
+    if (hop.via_bypass) {
+      delay += hop.length / 4;  // repeater-spaced wire delay on long segments
+    }
+    const bool turn = is_horizontal(in_port) != is_horizontal(out) &&
+                      in_port != Port::kLocal;
+    if (turn) delay += params_.turn_delay;
+
+    TimedFlit forwarded = moving;
+    forwarded.ready_at = now + delay;
+    routers_[hop.next_node]
+        .in[static_cast<std::size_t>(hop.next_in_port)][v]
+        .fifo.push_back(forwarded);
+    --router_occupancy_[node];
+    ++router_occupancy_[hop.next_node];
+
+    ++stats_.flit_hops;
+    ++stats_.router_traversals;
+    ++router_load_[node];
+    stats_.link_bytes += hop.via_bypass ? 0 : params_.flit_bytes;
+    if (hop.via_bypass) {
+      ++stats_.bypass_flit_hops;
+      stats_.bypass_bytes += params_.flit_bytes;
+    }
+    if (moving.flit.is_head) {
+      ++live_packets_.at(moving.flit.packet_id).hops;
+    }
+    return;
+  }
+}
+
+void Network::tick(Cycle now) {
+  static constexpr std::array<Port, kNumPorts> kOutputs = {
+      Port::kLocal,     Port::kNorth,     Port::kEast,     Port::kSouth,
+      Port::kWest,      Port::kBypassRow, Port::kBypassCol};
+  if (flits_in_flight_ == 0) return;
+  ++stats_.busy_cycles;
+  for (NodeId node = 0; node < num_nodes(); ++node) {
+    if (router_occupancy_[node] == 0) continue;
+    Router& router = routers_[node];
+    for (Port out : kOutputs) route_one_output(router, node, out, now);
+  }
+}
+
+bool Network::idle() const { return flits_in_flight_ == 0; }
+
+std::string Network::render_load_heatmap() const {
+  static constexpr const char* kGlyphs = " .:-=+*#%@";
+  std::uint64_t peak = 0;
+  for (const auto l : router_load_) peak = std::max(peak, l);
+  std::string out;
+  for (std::uint32_t r = 0; r < params_.k; ++r) {
+    out.push_back('|');
+    for (std::uint32_t c = 0; c < params_.k; ++c) {
+      const auto l = router_load_[r * params_.k + c];
+      const auto level =
+          peak == 0 || l == 0
+              ? 0
+              : 1 + static_cast<std::size_t>(8.0 * static_cast<double>(l) /
+                                             static_cast<double>(peak));
+      out.push_back(kGlyphs[std::min<std::size_t>(level, 9)]);
+    }
+    out.append("|\n");
+  }
+  return out;
+}
+
+void Network::export_counters(CounterSet& out) const {
+  out.inc("noc.packets_injected", stats_.packets_injected);
+  out.inc("noc.packets_delivered", stats_.packets_delivered);
+  out.inc("noc.flit_hops", stats_.flit_hops);
+  out.inc("noc.bypass_flit_hops", stats_.bypass_flit_hops);
+  out.inc("noc.router_traversals", stats_.router_traversals);
+  out.inc("noc.busy_cycles", stats_.busy_cycles);
+}
+
+std::vector<Packet> Network::drain_delivered() {
+  std::vector<Packet> out;
+  out.swap(delivered_);
+  return out;
+}
+
+const char* port_name(Port p) {
+  switch (p) {
+    case Port::kLocal:
+      return "local";
+    case Port::kNorth:
+      return "north";
+    case Port::kEast:
+      return "east";
+    case Port::kSouth:
+      return "south";
+    case Port::kWest:
+      return "west";
+    case Port::kBypassRow:
+      return "bypass-row";
+    case Port::kBypassCol:
+      return "bypass-col";
+  }
+  throw Error("invalid port");
+}
+
+}  // namespace aurora::noc

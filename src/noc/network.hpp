@@ -1,0 +1,157 @@
+// Flit-level network simulation: K x K mesh of reconfigurable routers with
+// wormhole switching, credit-based flow control and the bypass/ring overlays.
+//
+// Router microarchitecture (paper Fig 4) is modelled as:
+//   * one input FIFO per port with credit-based backpressure;
+//   * per-output round-robin switch allocation, one flit per output/cycle;
+//   * wormhole locking: a granted input->output pairing persists until the
+//     packet's tail flit passes;
+//   * a two-stage (horizontal/vertical) crossbar: flits that turn between
+//     dimensions pay one extra pipeline cycle;
+//   * bypass ports attach to the segmented per-row/per-column bypass wires.
+// Each physical port carries `num_vcs` virtual channels (allocated to a
+// packet at injection, kept end to end); XY ordering plus monotone bypass
+// jumps keep the channel dependency graph acyclic (see routing.hpp).
+#pragma once
+
+#include <array>
+#include <deque>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "noc/config.hpp"
+#include "noc/routing.hpp"
+#include "noc/types.hpp"
+#include "sim/component.hpp"
+
+namespace aurora::noc {
+
+struct NocParams {
+  std::uint32_t k = 8;
+  Bytes flit_bytes = 32;
+  /// Virtual channels per physical port (paper Fig 4: VC buffers + VA).
+  std::uint32_t num_vcs = 2;
+  std::uint32_t input_buffer_flits = 8;
+  /// Router pipeline depth in cycles (RC/SA + ST).
+  Cycle router_delay = 2;
+  /// Extra cycle for flits turning between the horizontal and vertical
+  /// stages of the decomposed crossbar.
+  Cycle turn_delay = 1;
+  /// Wire delay of one tile span; bypass segments pay length/4 extra.
+  Cycle link_delay = 1;
+};
+
+struct NocStats {
+  std::uint64_t packets_injected = 0;
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t flit_hops = 0;          // flit traversals over any wire
+  std::uint64_t bypass_flit_hops = 0;   // subset over bypass segments
+  std::uint64_t router_traversals = 0;  // flits passing through a router
+  Bytes link_bytes = 0;                 // payload bytes x mesh-link hops
+  Bytes bypass_bytes = 0;               // payload bytes x bypass hops
+  /// Cycles during which at least one flit was in flight — the network's
+  /// contribution to "on-chip communication time".
+  Cycle busy_cycles = 0;
+  RunningStat packet_latency;
+  RunningStat packet_hops;
+
+  [[nodiscard]] double avg_hops() const { return packet_hops.mean(); }
+};
+
+/// The network component. Clients inject packets with `send` and receive
+/// them through the delivery callback (or poll `drain_delivered`).
+class Network final : public sim::Component {
+ public:
+  explicit Network(const NocParams& params);
+
+  /// Apply a new configuration. Only legal while the network is drained.
+  /// Returns the number of switch writes (for reconfiguration energy).
+  std::uint64_t configure(NocConfig config);
+
+  [[nodiscard]] const NocConfig& config() const { return config_; }
+  [[nodiscard]] const NocParams& params() const { return params_; }
+
+  /// Inject a packet at `src`'s local port. Returns the packet id.
+  std::uint64_t send(NodeId src, NodeId dst, Bytes payload_bytes,
+                     std::uint64_t tag, Cycle now);
+
+  void set_delivery_callback(DeliveryCallback cb) {
+    on_delivery_ = std::move(cb);
+  }
+
+  /// Packets delivered since the last call (alternative to the callback).
+  [[nodiscard]] std::vector<Packet> drain_delivered();
+
+  void tick(Cycle now) override;
+  [[nodiscard]] bool idle() const override;
+
+  [[nodiscard]] const NocStats& stats() const { return stats_; }
+  [[nodiscard]] std::uint32_t num_nodes() const {
+    return params_.k * params_.k;
+  }
+
+  /// Flits forwarded by each router since construction (congestion map).
+  [[nodiscard]] const std::vector<std::uint64_t>& router_load() const {
+    return router_load_;
+  }
+  /// K x K ASCII heatmap of router load (glyph darkness ~ traffic share) —
+  /// makes the Fig 2 congestion story visible in a terminal.
+  [[nodiscard]] std::string render_load_heatmap() const;
+
+  /// Merge this component's event counts into `out` (prefixed "noc.").
+  void export_counters(CounterSet& out) const;
+
+ private:
+  struct TimedFlit {
+    Flit flit;
+    Cycle ready_at = 0;
+  };
+  struct InputBuffer {
+    std::deque<TimedFlit> fifo;
+    /// Output port this buffer's current packet is locked to (wormhole),
+    /// or empty when the next head flit still needs switch allocation.
+    std::optional<Port> locked_output;
+  };
+  static constexpr std::uint32_t kMaxVcs = 4;
+  struct Router {
+    /// One buffer per (physical port, virtual channel).
+    std::array<std::array<InputBuffer, kMaxVcs>, kNumPorts> in;
+    /// Credits toward each downstream (port, vc) buffer.
+    std::array<std::array<std::uint32_t, kMaxVcs>, kNumPorts> credits{};
+    /// Round-robin pointers over (port, vc) pairs, one per output port.
+    std::array<std::uint8_t, kNumPorts> rr{};
+    /// One flit per physical input port per cycle through the crossbar.
+    std::array<std::optional<Cycle>, kNumPorts> last_port_pop;
+  };
+  struct PacketRecord {
+    Packet packet;
+    std::uint32_t hops = 0;
+    std::uint32_t flits_ejected = 0;
+  };
+
+  void route_one_output(Router& router, NodeId node, Port out, Cycle now);
+  void return_credit(NodeId node, Port in_port, std::uint8_t vc);
+  [[nodiscard]] bool is_horizontal(Port p) const {
+    return p == Port::kEast || p == Port::kWest || p == Port::kBypassRow;
+  }
+  void eject_flit(NodeId node, const Flit& flit, Cycle now);
+
+  NocParams params_;
+  NocConfig config_;
+  std::vector<Router> routers_;
+  /// Buffered-flit count per router — lets tick() skip empty routers.
+  std::vector<std::uint32_t> router_occupancy_;
+  /// Flits forwarded per router (lifetime).
+  std::vector<std::uint64_t> router_load_;
+  std::unordered_map<std::uint64_t, PacketRecord> live_packets_;
+  std::vector<Packet> delivered_;
+  DeliveryCallback on_delivery_;
+  std::uint64_t next_packet_id_ = 1;
+  std::uint64_t flits_in_flight_ = 0;
+  NocStats stats_;
+};
+
+}  // namespace aurora::noc

@@ -1,0 +1,149 @@
+#include "noc/routing.hpp"
+
+#include "common/error.hpp"
+
+namespace aurora::noc {
+namespace {
+
+/// Opposite input port seen by the receiver of a mesh link.
+Port opposite(Port out) {
+  switch (out) {
+    case Port::kNorth:
+      return Port::kSouth;
+    case Port::kSouth:
+      return Port::kNorth;
+    case Port::kEast:
+      return Port::kWest;
+    case Port::kWest:
+      return Port::kEast;
+    case Port::kBypassRow:
+      return Port::kBypassRow;
+    case Port::kBypassCol:
+      return Port::kBypassCol;
+    case Port::kLocal:
+      return Port::kLocal;
+  }
+  throw Error("invalid port");
+}
+
+}  // namespace
+
+Port route_output(NodeId node, NodeId dst, const NocConfig& config) {
+  AURORA_CHECK(config.k() > 0);
+  if (node == dst) return Port::kLocal;
+  const std::uint32_t k = config.k();
+  const Coord cur = to_coord(node, k);
+  const Coord target = to_coord(dst, k);
+
+  // Ring overlay takes priority: weight-stationary traffic circulates.
+  const auto ring = config.ring_of(node);
+  if (ring.has_value() && config.ring_of(dst) == ring) {
+    const NodeId succ = config.ring_successor(node);
+    const Coord sc = to_coord(succ, k);
+    if (sc.row == cur.row) {
+      if (sc.col == cur.col + 1) return Port::kEast;
+      if (sc.col + 1 == cur.col) return Port::kWest;
+      return Port::kBypassRow;  // wrap-around over the segment
+    }
+    if (sc.row == cur.row + 1) return Port::kSouth;
+    if (sc.row + 1 == cur.row) return Port::kNorth;
+    return Port::kBypassCol;
+  }
+
+  // Correct one dimension fully, then the other (order set by the routing
+  // policy). Bypass segments are taken when their far endpoint moves toward
+  // the destination without overshooting.
+  auto step_x = [&]() -> Port {
+    const auto seg = config.row_segment_at(cur.row, cur.col);
+    if (seg.has_value()) {
+      const std::uint32_t far = (seg->from == cur.col) ? seg->to : seg->from;
+      const bool toward_and_within =
+          (target.col > cur.col && far > cur.col && far <= target.col) ||
+          (target.col < cur.col && far < cur.col && far >= target.col);
+      if (toward_and_within && seg->length() >= 2) return Port::kBypassRow;
+    }
+    return target.col > cur.col ? Port::kEast : Port::kWest;
+  };
+  auto step_y = [&]() -> Port {
+    const auto seg = config.col_segment_at(cur.col, cur.row);
+    if (seg.has_value()) {
+      const std::uint32_t far = (seg->from == cur.row) ? seg->to : seg->from;
+      const bool toward_and_within =
+          (target.row > cur.row && far > cur.row && far <= target.row) ||
+          (target.row < cur.row && far < cur.row && far >= target.row);
+      if (toward_and_within && seg->length() >= 2) return Port::kBypassCol;
+    }
+    return target.row > cur.row ? Port::kSouth : Port::kNorth;
+  };
+
+  if (config.routing() == RoutingPolicy::kXYFirst) {
+    if (cur.col != target.col) return step_x();
+    return step_y();
+  }
+  if (cur.row != target.row) return step_y();
+  return step_x();
+}
+
+Hop resolve_hop(NodeId node, Port out, const NocConfig& config) {
+  const std::uint32_t k = config.k();
+  const Coord cur = to_coord(node, k);
+  Hop hop;
+  hop.next_in_port = opposite(out);
+  switch (out) {
+    case Port::kEast:
+      AURORA_CHECK(cur.col + 1 < k);
+      hop.next_node = to_node({cur.row, cur.col + 1}, k);
+      return hop;
+    case Port::kWest:
+      AURORA_CHECK(cur.col > 0);
+      hop.next_node = to_node({cur.row, cur.col - 1}, k);
+      return hop;
+    case Port::kSouth:
+      AURORA_CHECK(cur.row + 1 < k);
+      hop.next_node = to_node({cur.row + 1, cur.col}, k);
+      return hop;
+    case Port::kNorth:
+      AURORA_CHECK(cur.row > 0);
+      hop.next_node = to_node({cur.row - 1, cur.col}, k);
+      return hop;
+    case Port::kBypassRow: {
+      const auto seg = config.row_segment_at(cur.row, cur.col);
+      AURORA_CHECK_MSG(seg.has_value(),
+                       "no row bypass endpoint at node " << node);
+      const std::uint32_t far = (seg->from == cur.col) ? seg->to : seg->from;
+      hop.next_node = to_node({cur.row, far}, k);
+      hop.length = seg->length();
+      hop.via_bypass = true;
+      return hop;
+    }
+    case Port::kBypassCol: {
+      const auto seg = config.col_segment_at(cur.col, cur.row);
+      AURORA_CHECK_MSG(seg.has_value(),
+                       "no column bypass endpoint at node " << node);
+      const std::uint32_t far = (seg->from == cur.row) ? seg->to : seg->from;
+      hop.next_node = to_node({far, cur.col}, k);
+      hop.length = seg->length();
+      hop.via_bypass = true;
+      return hop;
+    }
+    case Port::kLocal:
+      break;
+  }
+  throw Error("resolve_hop called with local port");
+}
+
+std::uint32_t path_hops(NodeId src, NodeId dst, const NocConfig& config) {
+  std::uint32_t hops = 0;
+  NodeId cur = src;
+  const std::uint32_t limit = 4 * config.k() + 8;
+  while (cur != dst) {
+    const Port out = route_output(cur, dst, config);
+    cur = resolve_hop(cur, out, config).next_node;
+    ++hops;
+    AURORA_CHECK_MSG(hops <= limit, "routing loop between " << src << " and "
+                                                            << dst);
+  }
+  return hops;
+}
+
+}  // namespace aurora::noc

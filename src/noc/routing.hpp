@@ -1,0 +1,41 @@
+// Routing decisions for the reconfigurable mesh.
+//
+// Baseline is dimension-order XY (column first, then row) — deadlock-free
+// under wormhole flow control. Two overlays modify it:
+//   * bypass segments: when the flit sits at a segment endpoint and the
+//     segment jumps toward the destination without overshooting, take it;
+//   * rings: traffic between two members of the same ring follows the ring
+//     successor order (used by the weight-stationary vertex-update flow).
+// Both overlays preserve monotone progress in the current dimension for
+// XY traffic, so the channel dependency graph stays acyclic.
+#pragma once
+
+#include "noc/config.hpp"
+#include "noc/types.hpp"
+
+namespace aurora::noc {
+
+/// Where a flit leaving `node` through `port` lands.
+struct Hop {
+  NodeId next_node = 0;
+  Port next_in_port = Port::kLocal;
+  /// Wire length in tile spans (1 for mesh links; segment length for bypass).
+  std::uint32_t length = 1;
+  bool via_bypass = false;
+};
+
+/// Output port a flit at `node` heading to `dst` should request.
+/// Returns Port::kLocal when node == dst (ejection).
+[[nodiscard]] Port route_output(NodeId node, NodeId dst,
+                                const NocConfig& config);
+
+/// Resolve the physical hop for (node, output port). Throws if the port is
+/// not wired under `config` (e.g. bypass port with no segment endpoint).
+[[nodiscard]] Hop resolve_hop(NodeId node, Port out, const NocConfig& config);
+
+/// Number of hops a packet will take from src to dst (follows route_output
+/// until arrival; used by tests and the analytic model).
+[[nodiscard]] std::uint32_t path_hops(NodeId src, NodeId dst,
+                                      const NocConfig& config);
+
+}  // namespace aurora::noc

@@ -1,0 +1,45 @@
+// Synthetic traffic patterns and throughput measurement for NoC evaluation —
+// the classic kit (uniform random, transpose, bit-complement, hotspot,
+// neighbor) plus a saturation-throughput probe.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/rng.hpp"
+#include "noc/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace aurora::noc {
+
+enum class TrafficPattern : std::uint8_t {
+  kUniformRandom,
+  kTranspose,      // (r, c) -> (c, r)
+  kBitComplement,  // id -> ~id
+  kHotspot,        // half the traffic converges on node 0
+  kNeighbor,       // (r, c) -> (r, c+1 mod k)
+};
+
+[[nodiscard]] const char* traffic_pattern_name(TrafficPattern p);
+
+/// Destination of a packet from `src` under `pattern` (rng used only by the
+/// random/hotspot patterns).
+[[nodiscard]] NodeId traffic_destination(TrafficPattern pattern, NodeId src,
+                                         std::uint32_t k, Rng& rng);
+
+struct ThroughputResult {
+  /// Offered and accepted injection rates in flits/node/cycle.
+  double offered_rate = 0.0;
+  double accepted_rate = 0.0;
+  double avg_latency = 0.0;
+  bool saturated = false;  // network failed to keep up with the offer
+};
+
+/// Drive `pattern` at `offered_rate` (flits/node/cycle) for `warm + measure`
+/// cycles and report accepted throughput + latency. Deterministic in `seed`.
+[[nodiscard]] ThroughputResult measure_throughput(
+    const NocParams& params, TrafficPattern pattern, double offered_rate,
+    Cycle measure_cycles = 2000, std::uint64_t seed = 1,
+    Bytes packet_bytes = 64);
+
+}  // namespace aurora::noc

@@ -1,0 +1,79 @@
+#include "partition/partition.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace aurora::partition {
+
+PartitionInput partition_input_from_workflow(const gnn::Workflow& wf,
+                                             std::uint32_t total_pes,
+                                             double flops_per_pe) {
+  PartitionInput in;
+  in.ops_edge_update = wf.phase(gnn::Phase::kEdgeUpdate).total_ops;
+  in.ops_aggregation = wf.phase(gnn::Phase::kAggregation).total_ops;
+  in.ops_vertex_update = wf.phase(gnn::Phase::kVertexUpdate).total_ops;
+  in.edge_feature_dim = wf.edge_feature_dim;
+  in.num_edges = wf.num_edges;
+  in.total_pes = total_pes;
+  in.flops_per_pe = flops_per_pe;
+  return in;
+}
+
+double time_sub_a(const PartitionInput& in, std::uint32_t a) {
+  AURORA_CHECK(a >= 1);
+  AURORA_CHECK(in.flops_per_pe > 0.0);
+  const double capacity = static_cast<double>(a) * in.flops_per_pe;
+  // AComp1: edge update (0 when the model has no edge update).
+  const double comp1 = static_cast<double>(in.ops_edge_update) / capacity;
+  // AComp3: the edge-feature reduction that closes aggregation.
+  const auto edge_feature_ops =
+      static_cast<double>(in.edge_feature_dim) *
+      static_cast<double>(in.num_edges);
+  // AComp2: the remaining aggregation work; saturates at zero when the
+  // aggregation is exactly the edge-feature reduction.
+  const double remaining =
+      std::max(0.0, static_cast<double>(in.ops_aggregation) - edge_feature_ops);
+  const double comp2 = remaining / capacity;
+  const double comp3 = edge_feature_ops / capacity;
+  return std::max(comp1, comp2) + comp3;
+}
+
+double time_sub_b(const PartitionInput& in, std::uint32_t b) {
+  AURORA_CHECK(b >= 1);
+  return static_cast<double>(in.ops_vertex_update) /
+         (static_cast<double>(b) * in.flops_per_pe);
+}
+
+PartitionResult partition(const PartitionInput& in) {
+  AURORA_CHECK(in.total_pes >= 2);
+  PartitionResult best;
+
+  if (in.ops_vertex_update == 0) {
+    // EdgeConv-style models: the whole array runs edge update + aggregation.
+    best.a = in.total_pes;
+    best.b = 0;
+    best.t_a = time_sub_a(in, best.a);
+    best.t_b = 0.0;
+    best.diff = best.t_a;
+    best.single_accelerator = true;
+    return best;
+  }
+
+  best.diff = -1.0;
+  for (std::uint32_t a = 1; a <= in.total_pes - 1; ++a) {
+    const double t_a = time_sub_a(in, a);
+    const double t_b = time_sub_b(in, in.total_pes - a);
+    const double diff = std::abs(t_a - t_b);
+    if (best.diff < 0.0 || diff < best.diff) {
+      best.a = a;
+      best.b = in.total_pes - a;
+      best.t_a = t_a;
+      best.t_b = t_b;
+      best.diff = diff;
+    }
+  }
+  return best;
+}
+
+}  // namespace aurora::partition

@@ -1,0 +1,63 @@
+// The resource partition heuristic (paper Algorithm 2).
+//
+// Splits the P-PE array into sub-accelerator A (edge update + aggregation)
+// and sub-accelerator B (vertex update) so their pipeline stage times match,
+// maximising utilisation and minimising inter-phase stalls.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "gnn/workflow.hpp"
+
+namespace aurora::partition {
+
+struct PartitionInput {
+  /// O_ue, O_a, O_uv — per-phase scalar operation counts.
+  OpCount ops_edge_update = 0;
+  OpCount ops_aggregation = 0;
+  OpCount ops_vertex_update = 0;
+  /// E_f and m of Algorithm 2 (edge feature width, edge count).
+  std::uint32_t edge_feature_dim = 0;
+  EdgeId num_edges = 0;
+  /// P and Flops (operations per cycle per PE).
+  std::uint32_t total_pes = 0;
+  double flops_per_pe = 8.0;
+};
+
+/// Build the partition input straight from a workflow.
+[[nodiscard]] PartitionInput partition_input_from_workflow(
+    const gnn::Workflow& workflow, std::uint32_t total_pes,
+    double flops_per_pe);
+
+struct PartitionResult {
+  /// PEs assigned to sub-accelerator A / B (a + b == P).
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  /// Estimated stage times (cycles) at the chosen split.
+  double t_a = 0.0;
+  double t_b = 0.0;
+  /// |T_A - T_B| at the chosen split.
+  double diff = 0.0;
+  /// True when vertex update is absent and the whole array forms one
+  /// sub-accelerator (paper: "only one accelerator will be formed").
+  bool single_accelerator = false;
+
+  /// Pipeline stage time (the slower of the two stages).
+  [[nodiscard]] double stage_time() const { return t_a > t_b ? t_a : t_b; }
+  /// Utilisation of a balanced pipeline: useful work over capacity.
+  [[nodiscard]] double utilization() const {
+    const double total = t_a + t_b;
+    return total > 0.0 ? total / (2.0 * stage_time()) : 1.0;
+  }
+};
+
+/// T_A at a given sub-accelerator A size (Algorithm 2 lines 2-7).
+[[nodiscard]] double time_sub_a(const PartitionInput& in, std::uint32_t a);
+/// T_B at a given sub-accelerator B size (Algorithm 2 lines 9-11).
+[[nodiscard]] double time_sub_b(const PartitionInput& in, std::uint32_t b);
+
+/// Algorithm 2: scan a in [1, P-1] minimising |T_A - T_B|.
+[[nodiscard]] PartitionResult partition(const PartitionInput& in);
+
+}  // namespace aurora::partition

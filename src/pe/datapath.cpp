@@ -1,0 +1,204 @@
+#include "pe/datapath.hpp"
+
+#include "common/error.hpp"
+
+namespace aurora::pe {
+
+const char* pe_config_name(PeConfigKind k) {
+  switch (k) {
+    case PeConfigKind::kMatVec:
+      return "MxV";
+    case PeConfigKind::kDotProduct:
+      return "V.V";
+    case PeConfigKind::kVecVec:
+      return "VxV";
+    case PeConfigKind::kScalarVec:
+      return "ScalarxV";
+    case PeConfigKind::kElementwiseMul:
+      return "V(.)V";
+    case PeConfigKind::kAccumulate:
+      return "SumV";
+    case PeConfigKind::kBypass:
+      return "bypass";
+  }
+  throw Error("invalid PeConfigKind");
+}
+
+PeConfigKind config_for_op(gnn::OpKind op) {
+  switch (op) {
+    case gnn::OpKind::kMatVec:
+      return PeConfigKind::kMatVec;
+    case gnn::OpKind::kVecVec:
+      return PeConfigKind::kVecVec;
+    case gnn::OpKind::kDotProduct:
+      return PeConfigKind::kDotProduct;
+    case gnn::OpKind::kScalarVec:
+      return PeConfigKind::kScalarVec;
+    case gnn::OpKind::kElementwiseMul:
+      return PeConfigKind::kElementwiseMul;
+    case gnn::OpKind::kAccumulate:
+    case gnn::OpKind::kElementwiseMax:
+      return PeConfigKind::kAccumulate;
+    case gnn::OpKind::kActivation:
+    case gnn::OpKind::kConcat:
+      return PeConfigKind::kBypass;  // handled by the PPU
+  }
+  throw Error("invalid OpKind");
+}
+
+Cycle micro_op_cycles(const MicroOp& op, const PeParams& p) {
+  AURORA_CHECK(p.num_multipliers > 0 && p.num_adders > 0);
+  const auto mults = static_cast<Cycle>(p.num_multipliers);
+  const auto adders = static_cast<Cycle>(p.num_adders);
+  const auto len = static_cast<Cycle>(op.length);
+  const auto rows = static_cast<Cycle>(op.rows);
+  auto ceil_div = [](Cycle a, Cycle b) { return (a + b - 1) / b; };
+
+  switch (op.kind) {
+    case PeConfigKind::kMatVec:
+      // rows x len MACs streamed through the paired multiplier/adder chain.
+      return ceil_div(rows * len, mults) + p.pipeline_depth;
+    case PeConfigKind::kDotProduct:
+      // len products plus the sequential adder-chain drain.
+      return ceil_div(len, mults) + p.pipeline_depth;
+    case PeConfigKind::kVecVec:
+    case PeConfigKind::kScalarVec:
+    case PeConfigKind::kElementwiseMul:
+      // Multipliers write straight back; adders bypassed.
+      return ceil_div(len, mults) + 1;
+    case PeConfigKind::kAccumulate:
+      // Multipliers bypassed; adders consume one element per lane per cycle.
+      return ceil_div(len, adders) + 1;
+    case PeConfigKind::kBypass:
+      return ceil_div(len, mults + adders) + 1;
+  }
+  throw Error("invalid PeConfigKind");
+}
+
+energy::EnergyEvents micro_op_events(const MicroOp& op) {
+  energy::EnergyEvents e;
+  const auto len = static_cast<OpCount>(op.length);
+  const auto rows = static_cast<OpCount>(op.rows);
+  switch (op.kind) {
+    case PeConfigKind::kMatVec:
+      e.fp_multiplies = rows * len;
+      e.fp_adds = rows * len;  // chained accumulation
+      break;
+    case PeConfigKind::kDotProduct:
+      e.fp_multiplies = len;
+      e.fp_adds = len;
+      break;
+    case PeConfigKind::kVecVec:
+    case PeConfigKind::kScalarVec:
+    case PeConfigKind::kElementwiseMul:
+      e.fp_multiplies = len;
+      break;
+    case PeConfigKind::kAccumulate:
+      e.fp_adds = len;
+      break;
+    case PeConfigKind::kBypass:
+      break;
+  }
+  return e;
+}
+
+PeDatapath::PeDatapath(const PeParams& params) : params_(params) {
+  AURORA_CHECK(params.num_multipliers > 0);
+  AURORA_CHECK(params.num_adders > 0);
+}
+
+Cycle PeDatapath::configure(PeConfigKind kind) {
+  if (kind == config_) return 0;
+  config_ = kind;
+  ++reconfigs_;
+  return params_.reconfig_cycles;
+}
+
+void PeDatapath::require_config(PeConfigKind kind) const {
+  AURORA_CHECK_MSG(config_ == kind, "datapath configured as "
+                                        << pe_config_name(config_)
+                                        << " but op needs "
+                                        << pe_config_name(kind));
+}
+
+gnn::Vector PeDatapath::run_mat_vec(const gnn::Matrix& w,
+                                    std::span<const double> x) {
+  require_config(PeConfigKind::kMatVec);
+  AURORA_CHECK(w.cols() == x.size());
+  gnn::Vector y(w.rows(), 0.0);
+  const std::size_t lanes = params_.num_multipliers;
+  // Stream each row through the multiplier lanes; the adder chain reduces
+  // each group of lane products, then accumulates groups sequentially.
+  for (std::size_t r = 0; r < w.rows(); ++r) {
+    const auto row = w.row(r);
+    double acc = 0.0;
+    for (std::size_t base = 0; base < x.size(); base += lanes) {
+      const std::size_t end = std::min(base + lanes, x.size());
+      double group = 0.0;
+      for (std::size_t i = base; i < end; ++i) group += row[i] * x[i];
+      acc += group;
+    }
+    y[r] = acc;
+  }
+  return y;
+}
+
+double PeDatapath::run_dot(std::span<const double> a,
+                           std::span<const double> b) {
+  require_config(PeConfigKind::kDotProduct);
+  AURORA_CHECK(a.size() == b.size());
+  const std::size_t lanes = params_.num_multipliers;
+  double acc = 0.0;
+  for (std::size_t base = 0; base < a.size(); base += lanes) {
+    const std::size_t end = std::min(base + lanes, a.size());
+    double group = 0.0;
+    for (std::size_t i = base; i < end; ++i) group += a[i] * b[i];
+    acc += group;
+  }
+  return acc;
+}
+
+gnn::Vector PeDatapath::run_elementwise_mul(std::span<const double> a,
+                                            std::span<const double> b) {
+  AURORA_CHECK_MSG(config_ == PeConfigKind::kElementwiseMul ||
+                       config_ == PeConfigKind::kVecVec,
+                   "elementwise multiply needs the multipliers-only wiring");
+  AURORA_CHECK(a.size() == b.size());
+  gnn::Vector y(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) y[i] = a[i] * b[i];
+  return y;
+}
+
+gnn::Vector PeDatapath::run_scalar_vec(double scalar,
+                                       std::span<const double> x) {
+  require_config(PeConfigKind::kScalarVec);
+  gnn::Vector y(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = scalar * x[i];
+  return y;
+}
+
+void PeDatapath::run_accumulate(gnn::Vector& acc, std::span<const double> x) {
+  require_config(PeConfigKind::kAccumulate);
+  AURORA_CHECK(acc.size() == x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) acc[i] += x[i];
+}
+
+void PeDatapath::run_elementwise_max(gnn::Vector& acc,
+                                     std::span<const double> x) {
+  require_config(PeConfigKind::kAccumulate);
+  AURORA_CHECK(acc.size() == x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    acc[i] = acc[i] >= x[i] ? acc[i] : x[i];
+  }
+}
+
+gnn::Vector PeDatapath::run_subtract(std::span<const double> a,
+                                     std::span<const double> b) {
+  require_config(PeConfigKind::kAccumulate);
+  AURORA_CHECK(a.size() == b.size());
+  gnn::Vector y(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) y[i] = a[i] - b[i];
+  return y;
+}
+
+}  // namespace aurora::pe

@@ -1,0 +1,114 @@
+// The reconfigurable PE datapath (paper Fig 5/6).
+//
+// A PE holds `num_multipliers` multipliers and `num_adders` adders joined by
+// a reconfigurable interconnect. Each datapath configuration wires them
+// differently:
+//   * kMatVec / kDotProduct — multipliers paired into adders, adders chained
+//     for accumulation (Fig 6 a);
+//   * kVecVec / kElementwiseMul / kScalarVec — multipliers write straight
+//     back to the buffer, adders bypassed (Fig 6 b);
+//   * kAccumulate — multipliers bypassed, adders accumulate (Fig 6 c).
+// The structural model executes real arithmetic in that wiring so tests can
+// check it against the dense reference executor, and the cost model charges
+// cycles for exactly the lane counts the wiring exposes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "energy/energy_model.hpp"
+#include "gnn/ops.hpp"
+#include "gnn/tensor.hpp"
+
+namespace aurora::pe {
+
+/// Datapath configurations of Fig 6.
+enum class PeConfigKind : std::uint8_t {
+  kMatVec,         // M x V   (paired multipliers + adder chain)
+  kDotProduct,     // V . V   (same wiring, single output)
+  kVecVec,         // V x V   (multipliers only)
+  kScalarVec,      // Scalar x V (constant loaded into multipliers)
+  kElementwiseMul, // V (.) V (multipliers only)
+  kAccumulate,     // Sum V   (adders only)
+  kBypass,         // move data, no arithmetic
+};
+
+[[nodiscard]] const char* pe_config_name(PeConfigKind k);
+
+/// Datapath configuration required by a Table II op (activation/concat run
+/// in the PPU, not the MAC array).
+[[nodiscard]] PeConfigKind config_for_op(gnn::OpKind op);
+
+struct PeParams {
+  std::uint32_t num_multipliers = 8;
+  std::uint32_t num_adders = 8;
+  /// Extra pipeline cycles from buffer read to writeback.
+  Cycle pipeline_depth = 3;
+  /// Cycles to rewire the multiplier/adder interconnect.
+  Cycle reconfig_cycles = 2;
+};
+
+/// One vector operation submitted to the datapath.
+struct MicroOp {
+  PeConfigKind kind = PeConfigKind::kBypass;
+  /// Vector length (columns for kMatVec).
+  std::uint32_t length = 0;
+  /// Output rows; only used by kMatVec.
+  std::uint32_t rows = 1;
+};
+
+/// Cycle cost of `op` on a datapath with `params` (excludes reconfiguration).
+[[nodiscard]] Cycle micro_op_cycles(const MicroOp& op, const PeParams& params);
+
+/// Arithmetic event counts of `op` (for the energy model).
+[[nodiscard]] energy::EnergyEvents micro_op_events(const MicroOp& op);
+
+/// Structural functional model: executes arithmetic in the configured wiring.
+class PeDatapath {
+ public:
+  explicit PeDatapath(const PeParams& params);
+
+  /// Rewire to `kind`. Returns the reconfiguration cycles spent (0 when the
+  /// wiring is unchanged).
+  Cycle configure(PeConfigKind kind);
+
+  [[nodiscard]] PeConfigKind config() const { return config_; }
+  [[nodiscard]] const PeParams& params() const { return params_; }
+
+  /// M x V with the adder-chain wiring. w is row-major (rows x len).
+  [[nodiscard]] gnn::Vector run_mat_vec(const gnn::Matrix& w,
+                                        std::span<const double> x);
+  /// V . V.
+  [[nodiscard]] double run_dot(std::span<const double> a,
+                               std::span<const double> b);
+  /// V (.) V (also used for V x V).
+  [[nodiscard]] gnn::Vector run_elementwise_mul(std::span<const double> a,
+                                                std::span<const double> b);
+  /// Scalar x V.
+  [[nodiscard]] gnn::Vector run_scalar_vec(double scalar,
+                                           std::span<const double> x);
+  /// acc += x with the adders-only wiring.
+  void run_accumulate(gnn::Vector& acc, std::span<const double> x);
+
+  /// acc = max(acc, x) element-wise — the adders double as comparators in
+  /// the ΣV wiring (GraphSAGE-Pool / EdgeConv aggregation).
+  void run_elementwise_max(gnn::Vector& acc, std::span<const double> x);
+
+  /// a - b with the adders-only wiring (EdgeConv's x_u - x_v).
+  [[nodiscard]] gnn::Vector run_subtract(std::span<const double> a,
+                                         std::span<const double> b);
+
+  /// Cumulative reconfiguration count (ablation metric).
+  [[nodiscard]] std::uint64_t reconfigurations() const { return reconfigs_; }
+
+ private:
+  void require_config(PeConfigKind kind) const;
+
+  PeParams params_;
+  PeConfigKind config_ = PeConfigKind::kBypass;
+  std::uint64_t reconfigs_ = 0;
+};
+
+}  // namespace aurora::pe

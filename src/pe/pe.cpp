@@ -1,0 +1,85 @@
+#include "pe/pe.hpp"
+
+#include "common/error.hpp"
+
+namespace aurora::pe {
+
+PeModel::PeModel(std::string name, const PeModelParams& params)
+    : sim::Component(std::move(name)),
+      params_(params),
+      datapath_(params.datapath),
+      ppu_(params.ppu),
+      buffer_(params.bank_buffer_bytes, params.bank_count),
+      fifo_(params.reuse_fifo_entries) {}
+
+void PeModel::submit(PeTask task) {
+  AURORA_CHECK(task.op.length > 0 || task.op.kind == PeConfigKind::kBypass);
+  queue_.push_back(std::move(task));
+}
+
+Cycle PeModel::task_cycles(const PeTask& task, const PeModelParams& params,
+                           PeConfigKind current_config) {
+  Cycle cycles = 0;
+  if (task.op.kind != current_config) {
+    cycles += params.datapath.reconfig_cycles;
+  }
+  cycles += micro_op_cycles(task.op, params.datapath);
+  const Ppu ppu(params.ppu);
+  cycles += ppu.activation_cycles(task.post_activation, task.op.length);
+  // Bank-buffer traffic overlaps with compute except for the tail writeback.
+  const Bytes per_cycle = BankBuffer::kBankWidth * params.bank_count;
+  const Cycle write_tail =
+      (task.buffer_write_bytes + per_cycle - 1) / per_cycle;
+  return cycles + write_tail / 2;
+}
+
+void PeModel::tick(Cycle now) {
+  if (running_ && now >= finish_at_) {
+    running_ = false;
+    ++stats_.tasks_completed;
+    if (on_complete_) on_complete_(running_tag_, now);
+  }
+  if (!running_ && !queue_.empty()) {
+    const PeTask task = queue_.front();
+    queue_.pop_front();
+
+    Cycle cycles = 0;
+    const Cycle reconfig = datapath_.configure(task.op.kind);
+    cycles += reconfig;
+    stats_.reconfig_cycles += reconfig;
+    cycles += micro_op_cycles(task.op, params_.datapath);
+    cycles += ppu_.activation_cycles(task.post_activation, task.op.length);
+    if (task.buffer_read_bytes > 0) {
+      // Operand reads overlap with compute; charge energy only.
+      (void)buffer_.access(task.buffer_read_bytes, /*is_write=*/false);
+    }
+    if (task.buffer_write_bytes > 0) {
+      const Cycle wr = buffer_.access(task.buffer_write_bytes, true);
+      cycles += wr / 2;  // half the writeback drains after the last op
+    }
+    cycles = std::max<Cycle>(cycles, 1);
+
+    stats_.busy_cycles += cycles;
+    stats_.energy += micro_op_events(task.op);
+    stats_.energy.fp_adds +=
+        Ppu::activation_ops(task.post_activation, task.op.length);
+    stats_.energy.sram_large_bytes +=
+        task.buffer_read_bytes + task.buffer_write_bytes;
+
+    running_ = true;
+    finish_at_ = now + cycles;
+    running_tag_ = task.tag;
+  }
+}
+
+bool PeModel::idle() const { return !running_ && queue_.empty(); }
+
+void PeModel::export_counters(CounterSet& out) const {
+  out.inc("pe.tasks", stats_.tasks_completed);
+  out.inc("pe.busy_cycles", stats_.busy_cycles);
+  out.inc("pe.reconfig_cycles", stats_.reconfig_cycles);
+  out.inc("pe.buffer_bytes_read", buffer_.bytes_read());
+  out.inc("pe.buffer_bytes_written", buffer_.bytes_written());
+}
+
+}  // namespace aurora::pe

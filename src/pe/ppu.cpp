@@ -1,0 +1,67 @@
+#include "pe/ppu.hpp"
+
+#include "common/error.hpp"
+
+namespace aurora::pe {
+
+const char* activation_name(Activation a) {
+  switch (a) {
+    case Activation::kNone:
+      return "none";
+    case Activation::kRelu:
+      return "relu";
+    case Activation::kSigmoid:
+      return "sigmoid";
+    case Activation::kSoftmax:
+      return "softmax";
+  }
+  throw Error("invalid Activation");
+}
+
+Ppu::Ppu(const PpuParams& params) : params_(params) {
+  AURORA_CHECK(params.lanes > 0);
+}
+
+gnn::Vector Ppu::apply(Activation act, const gnn::Vector& x) const {
+  switch (act) {
+    case Activation::kNone:
+      return x;
+    case Activation::kRelu:
+      return gnn::relu(x);
+    case Activation::kSigmoid:
+      return gnn::sigmoid(x);
+    case Activation::kSoftmax:
+      return gnn::softmax(x);
+  }
+  throw Error("invalid Activation");
+}
+
+Cycle Ppu::activation_cycles(Activation act, std::uint32_t len) const {
+  if (act == Activation::kNone || len == 0) return 0;
+  const Cycle sweeps = (len + params_.lanes - 1) / params_.lanes;
+  if (act == Activation::kSoftmax) {
+    // exp sweep + normalisation sweep + reduction overhead.
+    return 2 * sweeps + params_.softmax_overhead;
+  }
+  return sweeps;
+}
+
+Cycle Ppu::concat_cycles(std::uint32_t total_len) const {
+  return (total_len + params_.lanes - 1) / params_.lanes;
+}
+
+OpCount Ppu::activation_ops(Activation act, std::uint32_t len) {
+  switch (act) {
+    case Activation::kNone:
+      return 0;
+    case Activation::kRelu:
+      return len;
+    case Activation::kSigmoid:
+      return 3ull * len;  // exp, add, divide
+    case Activation::kSoftmax:
+      return 3ull * len;
+  }
+  throw Error("invalid Activation");
+}
+
+}  // namespace aurora::pe

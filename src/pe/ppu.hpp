@@ -1,0 +1,51 @@
+// Post-Processing Unit (paper Fig 5): non-linear activation and vector
+// concatenation applied before writeback to the bank buffer.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "gnn/tensor.hpp"
+
+namespace aurora::pe {
+
+enum class Activation : std::uint8_t {
+  kNone,
+  kRelu,
+  kSigmoid,
+  kSoftmax,
+};
+
+[[nodiscard]] const char* activation_name(Activation a);
+
+struct PpuParams {
+  /// SIMD lanes of the PPU.
+  std::uint32_t lanes = 4;
+  /// Extra cycles per softmax pass (exp + normalise needs two sweeps).
+  Cycle softmax_overhead = 4;
+};
+
+/// Functional + timing model of the PPU.
+class Ppu {
+ public:
+  explicit Ppu(const PpuParams& params);
+
+  [[nodiscard]] gnn::Vector apply(Activation act,
+                                  const gnn::Vector& x) const;
+
+  /// Cycle cost of applying `act` to a length-`len` vector.
+  [[nodiscard]] Cycle activation_cycles(Activation act,
+                                        std::uint32_t len) const;
+
+  /// Cycle cost of concatenating two vectors (buffer-to-buffer move).
+  [[nodiscard]] Cycle concat_cycles(std::uint32_t total_len) const;
+
+  /// Scalar activation op count for the energy model.
+  [[nodiscard]] static OpCount activation_ops(Activation act,
+                                              std::uint32_t len);
+
+ private:
+  PpuParams params_;
+};
+
+}  // namespace aurora::pe

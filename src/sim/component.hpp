@@ -1,0 +1,37 @@
+// Cycle-driven component interface.
+//
+// Every hardware block (router, PE, DRAM channel, dispatcher) implements
+// Component. The Simulator advances all components one clock edge at a time;
+// within a cycle, components communicate through explicit queues so
+// evaluation order does not change behaviour (two-phase update: components
+// read inputs enqueued in cycle N-1 and enqueue outputs visible in N+1).
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace aurora::sim {
+
+class Component {
+ public:
+  explicit Component(std::string name) : name_(std::move(name)) {}
+  virtual ~Component() = default;
+
+  Component(const Component&) = delete;
+  Component& operator=(const Component&) = delete;
+
+  /// Advance one clock cycle. `now` is the cycle being executed.
+  virtual void tick(Cycle now) = 0;
+
+  /// True when the component has no pending work; the Simulator stops when
+  /// every component is idle and no external stimulus remains.
+  [[nodiscard]] virtual bool idle() const = 0;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace aurora::sim

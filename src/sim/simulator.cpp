@@ -1,0 +1,38 @@
+#include "sim/simulator.hpp"
+
+namespace aurora::sim {
+
+void Simulator::add(Component* c) {
+  AURORA_CHECK(c != nullptr);
+  components_.push_back(c);
+}
+
+bool Simulator::all_idle() const {
+  for (const auto* c : components_) {
+    if (!c->idle()) return false;
+  }
+  return true;
+}
+
+void Simulator::step() {
+  for (auto* c : components_) c->tick(now_);
+  ++now_;
+}
+
+void Simulator::run_cycles(Cycle n) {
+  for (Cycle i = 0; i < n; ++i) step();
+}
+
+Cycle Simulator::run_until_idle(Cycle max_cycles) {
+  const Cycle deadline = now_ + max_cycles;
+  while (!all_idle()) {
+    AURORA_CHECK_MSG(now_ < deadline,
+                     "simulation exceeded " << max_cycles
+                                            << " cycles without draining; "
+                                               "likely deadlock");
+    step();
+  }
+  return now_;
+}
+
+}  // namespace aurora::sim

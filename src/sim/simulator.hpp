@@ -1,0 +1,43 @@
+// The cycle-driven simulation scheduler.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "sim/component.hpp"
+
+namespace aurora::sim {
+
+/// Runs a set of Components in lockstep. Ownership of components stays with
+/// the caller (they are typically members of an accelerator object); the
+/// simulator only sequences them.
+class Simulator {
+ public:
+  /// Register a component. Components tick in registration order each cycle;
+  /// correctness must not depend on that order (enforced by the two-phase
+  /// queue discipline in each component).
+  void add(Component* c);
+
+  /// Run until all components are idle or `max_cycles` elapse.
+  /// Returns the cycle count at stop. Throws if the deadline is hit while
+  /// work remains (deadlock / livelock guard).
+  Cycle run_until_idle(Cycle max_cycles);
+
+  /// Run exactly `n` cycles regardless of idleness.
+  void run_cycles(Cycle n);
+
+  /// Step a single cycle.
+  void step();
+
+  [[nodiscard]] Cycle now() const { return now_; }
+  [[nodiscard]] bool all_idle() const;
+
+ private:
+  std::vector<Component*> components_;
+  Cycle now_ = 0;
+};
+
+}  // namespace aurora::sim

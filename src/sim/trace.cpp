@@ -1,0 +1,86 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <array>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace aurora::sim {
+
+const char* trace_event_name(TraceEvent e) {
+  switch (e) {
+    case TraceEvent::kPacketInjected:
+      return "packet-injected";
+    case TraceEvent::kPacketDelivered:
+      return "packet-delivered";
+    case TraceEvent::kTaskComplete:
+      return "task-complete";
+    case TraceEvent::kDramRequest:
+      return "dram-request";
+    case TraceEvent::kReconfigure:
+      return "reconfigure";
+    case TraceEvent::kTileStart:
+      return "tile-start";
+  }
+  throw Error("invalid TraceEvent");
+}
+
+std::uint64_t Tracer::count(TraceEvent kind) const {
+  std::uint64_t total = 0;
+  for (const auto& r : records_) total += (r.kind == kind);
+  return total;
+}
+
+std::string Tracer::render_timeline(std::size_t buckets) const {
+  AURORA_CHECK(buckets >= 2);
+  if (records_.empty()) return "(empty trace)\n";
+
+  Cycle max_cycle = 1;
+  for (const auto& r : records_) max_cycle = std::max(max_cycle, r.at);
+
+  static constexpr std::array<TraceEvent, 6> kKinds = {
+      TraceEvent::kTileStart,      TraceEvent::kReconfigure,
+      TraceEvent::kDramRequest,    TraceEvent::kPacketInjected,
+      TraceEvent::kPacketDelivered, TraceEvent::kTaskComplete};
+  static constexpr const char* kGlyphs = " .:-=+*#%@";
+
+  std::ostringstream os;
+  os << "cycles 0.." << max_cycle << " (" << buckets << " buckets)\n";
+  for (TraceEvent kind : kKinds) {
+    std::vector<std::uint64_t> hist(buckets, 0);
+    std::uint64_t total = 0;
+    for (const auto& r : records_) {
+      if (r.kind != kind) continue;
+      const auto b = static_cast<std::size_t>(
+          static_cast<double>(r.at) / static_cast<double>(max_cycle + 1) *
+          static_cast<double>(buckets));
+      ++hist[std::min(b, buckets - 1)];
+      ++total;
+    }
+    if (total == 0) continue;
+    const std::uint64_t peak = *std::max_element(hist.begin(), hist.end());
+    os << pad_right(trace_event_name(kind), 18) << " |";
+    for (const auto h : hist) {
+      const auto level =
+          h == 0 ? 0
+                 : 1 + static_cast<std::size_t>(8.0 * static_cast<double>(h) /
+                                                static_cast<double>(peak));
+      os << kGlyphs[std::min<std::size_t>(level, 9)];
+    }
+    os << "| " << total << " events\n";
+  }
+  return os.str();
+}
+
+void Tracer::write_csv(std::ostream& out) const {
+  out << "cycle,event,arg0,arg1\n";
+  for (const auto& r : records_) {
+    out << r.at << ',' << trace_event_name(r.kind) << ',' << r.arg0 << ','
+        << r.arg1 << '\n';
+  }
+}
+
+}  // namespace aurora::sim

@@ -1,0 +1,67 @@
+// Execution tracing for the cycle engine: a low-overhead event recorder and
+// an ASCII timeline renderer, so a run's phase structure (DRAM loads,
+// message waves, PE task bursts, reconfigurations) is inspectable without a
+// waveform viewer.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace aurora::sim {
+
+enum class TraceEvent : std::uint8_t {
+  kPacketInjected,
+  kPacketDelivered,
+  kTaskComplete,
+  kDramRequest,
+  kReconfigure,
+  kTileStart,
+};
+
+[[nodiscard]] const char* trace_event_name(TraceEvent e);
+
+struct TraceRecord {
+  Cycle at = 0;
+  TraceEvent kind{};
+  /// Event-specific payloads (node id, byte count, tile index, ...).
+  std::uint64_t arg0 = 0;
+  std::uint64_t arg1 = 0;
+};
+
+/// Event recorder. Disabled tracers drop events with a single branch, so a
+/// tracer can always be plumbed through and only pay when switched on.
+class Tracer {
+ public:
+  void enable(bool on = true) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void record(Cycle at, TraceEvent kind, std::uint64_t arg0 = 0,
+              std::uint64_t arg1 = 0) {
+    if (!enabled_) return;
+    records_.push_back({at, kind, arg0, arg1});
+  }
+
+  void clear() { records_.clear(); }
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  [[nodiscard]] const std::vector<TraceRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] std::uint64_t count(TraceEvent kind) const;
+
+  /// ASCII timeline: one row per event kind, `buckets` columns over the
+  /// run's cycle span, glyph darkness ~ event density.
+  [[nodiscard]] std::string render_timeline(std::size_t buckets = 64) const;
+
+  /// "cycle,event,arg0,arg1" rows with a header.
+  void write_csv(std::ostream& out) const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace aurora::sim

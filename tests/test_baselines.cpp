@@ -1,0 +1,186 @@
+// Tests for the baseline accelerator cost models: Table I coverage, basic
+// cost-model sanity, and the qualitative orderings the Aurora paper reports.
+#include <gtest/gtest.h>
+
+#include "baselines/baseline.hpp"
+#include "core/aurora.hpp"
+
+namespace aurora::baselines {
+namespace {
+
+ChipParams bench_chip() {
+  // Matches AuroraConfig::bench(): 16x16 PEs x 8 MACs, 100 KB per PE.
+  return chip_params_matching(16, 8, 100 * 1024);
+}
+
+graph::Dataset cora(double scale = 0.2) {
+  return graph::make_dataset(graph::DatasetId::kCora, scale);
+}
+
+gnn::Workflow gcn_workflow(const graph::Dataset& ds, std::uint32_t f = 64,
+                           std::uint32_t h = 16) {
+  return gnn::generate_workflow(gnn::GnnModel::kGcn, {f, h},
+                                ds.num_vertices(), ds.num_edges());
+}
+
+TEST(Baselines, NamesAndFactory) {
+  for (BaselineId id : kAllBaselines) {
+    const auto model = make_baseline(id, bench_chip());
+    EXPECT_STREQ(model->name(), baseline_name(id));
+  }
+}
+
+TEST(Baselines, TableICoverage) {
+  const auto chip = bench_chip();
+  // HyGCN / AWB-GCN / GCNAX: C-GCN only.
+  for (BaselineId id :
+       {BaselineId::kHyGcn, BaselineId::kAwbGcn, BaselineId::kGcnax}) {
+    const auto model = make_baseline(id, chip);
+    EXPECT_TRUE(model->supports(gnn::GnnModel::kGcn)) << model->name();
+    EXPECT_FALSE(model->supports(gnn::GnnModel::kVanillaAttention))
+        << model->name();
+    EXPECT_FALSE(model->supports(gnn::GnnModel::kEdgeConv1)) << model->name();
+  }
+  // ReGNN: C-GNN + MP-GNN, no attention.
+  const auto regnn = make_baseline(BaselineId::kRegnn, chip);
+  EXPECT_TRUE(regnn->supports(gnn::GnnModel::kGcn));
+  EXPECT_TRUE(regnn->supports(gnn::GnnModel::kGGcn));
+  EXPECT_FALSE(regnn->supports(gnn::GnnModel::kAgnn));
+  // FlowGNN: everything.
+  const auto flow = make_baseline(BaselineId::kFlowGnn, chip);
+  for (gnn::GnnModel m : gnn::kAllModels) {
+    EXPECT_TRUE(flow->supports(m)) << gnn::model_name(m);
+  }
+  // Only FlowGNN and ReGNN do message passing (Table I).
+  EXPECT_TRUE(flow->coverage().message_passing);
+  EXPECT_TRUE(regnn->coverage().message_passing);
+  EXPECT_FALSE(make_baseline(BaselineId::kHyGcn, chip)
+                   ->coverage()
+                   .message_passing);
+  // Nobody but GCNAX claims flexible dataflow; nobody has a flexible NoC.
+  for (BaselineId id : kAllBaselines) {
+    const auto model = make_baseline(id, chip);
+    EXPECT_FALSE(model->coverage().flexible_noc) << model->name();
+    EXPECT_FALSE(model->coverage().flexible_in_unified) << model->name();
+  }
+}
+
+class BaselineSanity : public ::testing::TestWithParam<BaselineId> {};
+
+TEST_P(BaselineSanity, ProducesPositiveMetrics) {
+  const auto model = make_baseline(GetParam(), bench_chip());
+  const auto ds = cora();
+  const auto wf = gcn_workflow(ds);
+  const auto m = model->run_layer(ds, wf, {});
+  EXPECT_GT(m.total_cycles, 0u);
+  EXPECT_GT(m.dram_bytes, 0u);
+  EXPECT_GT(m.onchip_comm_cycles, 0u);
+  EXPECT_GT(m.energy.total_pj(), 0.0);
+  // Total time can never be below any single component.
+  EXPECT_GE(m.total_cycles, m.dram_cycles);
+  EXPECT_GE(m.total_cycles, m.onchip_comm_cycles);
+}
+
+TEST_P(BaselineSanity, ScalesWithGraphSize) {
+  const auto model = make_baseline(GetParam(), bench_chip());
+  const auto small = cora(0.1);
+  const auto big = cora(0.4);
+  const auto ms = model->run_layer(small, gcn_workflow(small), {});
+  const auto mb = model->run_layer(big, gcn_workflow(big), {});
+  EXPECT_GT(mb.total_cycles, ms.total_cycles);
+  EXPECT_GT(mb.dram_bytes, ms.dram_bytes);
+}
+
+TEST_P(BaselineSanity, DeterministicModel) {
+  const auto model = make_baseline(GetParam(), bench_chip());
+  const auto ds = cora();
+  const auto wf = gcn_workflow(ds);
+  const auto a = model->run_layer(ds, wf, {});
+  const auto b = model->run_layer(ds, wf, {});
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+  EXPECT_EQ(a.dram_bytes, b.dram_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBaselines, BaselineSanity,
+                         ::testing::ValuesIn(kAllBaselines),
+                         [](const auto& param_info) {
+                           std::string n = baseline_name(param_info.param);
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+// ------------------------------------------------- paper-shape expectations
+
+TEST(BaselineShapes, AuroraBeatsEveryBaselineOnDram) {
+  core::AuroraConfig cfg = core::AuroraConfig::bench();
+  cfg.mode = core::SimMode::kAnalytic;
+  core::AuroraAccelerator aurora_accel(cfg);
+  const auto ds = cora(0.5);
+  const gnn::LayerConfig layer{ds.spec.feature_dim, 16};
+  const auto aurora_m = aurora_accel.run_layer(ds, gnn::GnnModel::kGcn, layer, 0);
+
+  const auto wf = gnn::generate_workflow(gnn::GnnModel::kGcn, layer,
+                                         ds.num_vertices(), ds.num_edges());
+  core::DramTrafficParams tp;
+  tp.sparse_input_features = true;
+  tp.input_feature_density = ds.spec.feature_density;
+  for (BaselineId id : kAllBaselines) {
+    const auto model = make_baseline(id, bench_chip());
+    const auto m = model->run_layer(ds, wf, tp);
+    EXPECT_GT(m.dram_bytes, aurora_m.dram_bytes) << model->name();
+  }
+}
+
+TEST(BaselineShapes, HyGcnIsTheSlowest) {
+  const auto ds = cora(0.5);
+  const gnn::LayerConfig layer{ds.spec.feature_dim, 16};
+  const auto wf = gnn::generate_workflow(gnn::GnnModel::kGcn, layer,
+                                         ds.num_vertices(), ds.num_edges());
+  core::DramTrafficParams tp;
+  tp.sparse_input_features = true;
+  tp.input_feature_density = ds.spec.feature_density;
+  const auto chip = bench_chip();
+  const auto hygcn =
+      make_baseline(BaselineId::kHyGcn, chip)->run_layer(ds, wf, tp);
+  for (BaselineId id : {BaselineId::kGcnax, BaselineId::kRegnn,
+                        BaselineId::kFlowGnn}) {
+    const auto m = make_baseline(id, chip)->run_layer(ds, wf, tp);
+    EXPECT_GT(hygcn.total_cycles, m.total_cycles) << baseline_name(id);
+  }
+}
+
+TEST(BaselineShapes, RedundancyEliminationCutsRegnnOps) {
+  const auto ds = cora(0.5);
+  const auto wf = gcn_workflow(ds);
+  const auto chip = bench_chip();
+  const auto regnn =
+      make_baseline(BaselineId::kRegnn, chip)->run_layer(ds, wf, {});
+  // ReGNN executes fewer arithmetic ops than the workflow demands.
+  EXPECT_LT(regnn.events.fp_multiplies + regnn.events.fp_adds,
+            wf.total_ops());
+}
+
+TEST(BaselineShapes, WeightDuplicationHurtsAwbOnBigFeatures) {
+  // With large feature matrices the duplication-shrunk buffer forces
+  // re-reads: AWB-GCN's DRAM grows faster than GCNAX's.
+  const auto chip = bench_chip();
+  const auto small_ds = cora(0.2);
+  const auto big_ds = graph::make_dataset(graph::DatasetId::kPubmed, 0.4);
+  const auto awb = make_baseline(BaselineId::kAwbGcn, chip);
+  const auto gcnax = make_baseline(BaselineId::kGcnax, chip);
+  const auto ratio = [&](const graph::Dataset& ds) {
+    const auto wf = gnn::generate_workflow(gnn::GnnModel::kGcn,
+                                           {ds.spec.feature_dim, 16},
+                                           ds.num_vertices(), ds.num_edges());
+    const auto a = awb->run_layer(ds, wf, {});
+    const auto g = gcnax->run_layer(ds, wf, {});
+    return static_cast<double>(a.dram_bytes) / static_cast<double>(g.dram_bytes);
+  };
+  EXPECT_GE(ratio(big_ds), 1.0);
+  (void)small_ds;
+}
+
+}  // namespace
+}  // namespace aurora::baselines

@@ -1,0 +1,230 @@
+// Unit tests for the common utility layer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+
+namespace aurora {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull}) {
+    for (int i = 0; i < 2000; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllValues) {
+  Rng rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextRangeInclusive) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.next_range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  RunningStat rs;
+  for (int i = 0; i < 50000; ++i) rs.add(rng.next_normal());
+  EXPECT_NEAR(rs.mean(), 0.0, 0.03);
+  EXPECT_NEAR(rs.stddev(), 1.0, 0.03);
+}
+
+TEST(Rng, PowerLawBoundsAndSkew) {
+  Rng rng(17);
+  RunningStat rs;
+  std::uint64_t ones = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const auto x = rng.next_power_law(2.5, 1000);
+    EXPECT_GE(x, 1u);
+    EXPECT_LE(x, 1000u);
+    rs.add(static_cast<double>(x));
+    ones += (x == 1);
+  }
+  // Pareto alpha=2.5: P(X rounds to 1) is large, mean small but > 1.
+  EXPECT_GT(ones, 10000u);
+  EXPECT_GT(rs.mean(), 1.0);
+  EXPECT_LT(rs.mean(), 5.0);
+}
+
+TEST(Rng, WeightedSamplingFollowsWeights) {
+  Rng rng(19);
+  const std::vector<double> w = {1.0, 0.0, 3.0};
+  std::array<int, 3> hits{};
+  for (int i = 0; i < 20000; ++i) ++hits[rng.next_weighted(w)];
+  EXPECT_EQ(hits[1], 0);
+  EXPECT_NEAR(static_cast<double>(hits[2]) / hits[0], 3.0, 0.3);
+}
+
+TEST(Rng, ForkIsIndependentStream) {
+  Rng a(23);
+  Rng b = a.fork();
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(29);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RunningStat, BasicMoments) {
+  RunningStat rs;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.add(x);
+  EXPECT_EQ(rs.count(), 8u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+  EXPECT_NEAR(rs.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.sum(), 40.0);
+}
+
+TEST(RunningStat, MergeMatchesCombined) {
+  RunningStat a, b, all;
+  Rng rng(31);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double(-5, 5);
+    (i % 2 == 0 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Histogram, BucketsAndOverflow) {
+  Histogram h(1.0, 4);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(3.5);
+  h.add(100.0);  // overflow -> last bucket
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(3), 2u);
+}
+
+TEST(Histogram, Quantile) {
+  Histogram h(1.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i % 10));
+  EXPECT_NEAR(h.quantile(0.5), 5.0, 1.0);
+  EXPECT_NEAR(h.quantile(1.0), 10.0, 1.0);
+}
+
+TEST(CounterSet, IncrementAndMerge) {
+  CounterSet a, b;
+  a.inc("x");
+  a.inc("x", 4);
+  b.inc("x");
+  b.inc("y", 2);
+  a.merge(b);
+  EXPECT_EQ(a.get("x"), 6u);
+  EXPECT_EQ(a.get("y"), 2u);
+  EXPECT_EQ(a.get("missing"), 0u);
+}
+
+TEST(Strings, ToFixed) {
+  EXPECT_EQ(to_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(to_fixed(2.0, 0), "2");
+}
+
+TEST(Strings, HumanBytes) {
+  EXPECT_EQ(human_bytes(512), "512 B");
+  EXPECT_EQ(human_bytes(2048), "2.00 KB");
+  EXPECT_EQ(human_bytes(100ull * 1024 * 1024), "100.0 MB");
+}
+
+TEST(Strings, Padding) {
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_left("abcdef", 4), "abcdef");
+}
+
+TEST(AsciiTable, RendersAlignedRows) {
+  AsciiTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "23456"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| alpha |     1 |"), std::string::npos);
+  EXPECT_NE(s.find("| b     | 23456 |"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(AsciiTable, RejectsMismatchedRow) {
+  AsciiTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Cli, ParsesFlagsAndDefaults) {
+  const char* argv[] = {"prog", "--scale=0.5", "--name=cora", "--verbose",
+                        "--count=42"};
+  CliArgs args(5, argv);
+  EXPECT_TRUE(args.has("scale"));
+  EXPECT_DOUBLE_EQ(args.get_double("scale", 1.0), 0.5);
+  EXPECT_EQ(args.get_string("name", "x"), "cora");
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  EXPECT_EQ(args.get_int("count", 0), 42);
+  EXPECT_EQ(args.get_int("missing", 7), 7);
+}
+
+TEST(Cli, RejectsPositional) {
+  const char* argv[] = {"prog", "positional"};
+  EXPECT_THROW(CliArgs(2, argv), Error);
+}
+
+TEST(Check, ThrowsWithMessage) {
+  try {
+    AURORA_CHECK_MSG(1 == 2, "custom " << 42);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("custom 42"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace aurora

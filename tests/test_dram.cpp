@@ -1,0 +1,242 @@
+// Unit tests for the cycle-level DRAM model: timing laws, FR-FCFS behaviour
+// and accounting.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dram/dram.hpp"
+#include "sim/simulator.hpp"
+
+namespace aurora::dram {
+namespace {
+
+struct Harness {
+  explicit Harness(DramConfig cfg = {}) : dram(cfg) { sim.add(&dram); }
+
+  /// Issue a request now and run to completion; returns completion cycle.
+  Cycle run_one(Bytes addr, Bytes bytes, bool write = false) {
+    Cycle done = 0;
+    DramRequest r;
+    r.addr = addr;
+    r.bytes = bytes;
+    r.is_write = write;
+    r.on_complete = [&](Cycle c) { done = c; };
+    dram.enqueue(std::move(r), sim.now());
+    sim.run_until_idle(1'000'000);
+    return done;
+  }
+
+  sim::Simulator sim;
+  DramModel dram;
+};
+
+DramConfig single_channel() {
+  DramConfig cfg;
+  cfg.num_channels = 1;
+  cfg.banks_per_channel = 4;
+  return cfg;
+}
+
+TEST(Dram, ColdReadLatencyIsActivatePlusCasPlusBurst) {
+  Harness h(single_channel());
+  const DramTiming& t = h.dram.config().timing;
+  const Cycle done = h.run_one(0, 64);
+  // Issue happens on the first tick (cycle 0): tRCD + tCL + tBURST.
+  EXPECT_EQ(done, t.t_rcd + t.t_cl + t.t_burst);
+}
+
+TEST(Dram, RowHitIsFasterThanRowMiss) {
+  Harness h(single_channel());
+  const Cycle first = h.run_one(0, 64);
+  const Cycle start = h.sim.now();
+  const Cycle second = h.run_one(64, 64);  // same row, already open
+  EXPECT_LT(second - start, first);
+  EXPECT_EQ(h.dram.stats().row_hits, 1u);
+}
+
+TEST(Dram, RowConflictPaysPrechargePenalty) {
+  DramConfig cfg = single_channel();
+  cfg.banks_per_channel = 1;  // force both rows onto one bank
+  Harness h(cfg);
+  h.run_one(0, 64);
+  const Cycle start = h.sim.now();
+  // Far-away address = different row on the same (only) bank.
+  const Cycle conflict = h.run_one(1 << 20, 64);
+  const DramTiming& t = h.dram.config().timing;
+  EXPECT_EQ(conflict - start, t.t_rp + t.t_rcd + t.t_cl + t.t_burst);
+  EXPECT_EQ(h.dram.stats().row_conflicts, 1u);
+}
+
+TEST(Dram, LargeRequestSplitsIntoBursts) {
+  Harness h(single_channel());
+  h.run_one(0, 1024);
+  EXPECT_EQ(h.dram.stats().requests, 1u);
+  EXPECT_EQ(h.dram.stats().bursts, 1024u / 64);
+  EXPECT_EQ(h.dram.stats().bytes_read, 1024u);
+}
+
+TEST(Dram, UnalignedRequestCoversAllTouchedBursts) {
+  Harness h(single_channel());
+  h.run_one(60, 8);  // straddles bursts [0,64) and [64,128)
+  EXPECT_EQ(h.dram.stats().bursts, 2u);
+}
+
+TEST(Dram, WriteAccounting) {
+  Harness h;
+  h.run_one(0, 256, /*write=*/true);
+  EXPECT_EQ(h.dram.stats().bytes_written, 256u);
+  EXPECT_EQ(h.dram.stats().bytes_read, 0u);
+}
+
+TEST(Dram, StreamingBandwidthApproachesDataBusLimit) {
+  DramConfig cfg = single_channel();
+  Harness h(cfg);
+  // 128 sequential row-hit bursts: steady state should be limited by the
+  // t_burst data-bus occupancy, not by bank timing.
+  const Bytes total = 128 * 64;
+  const Cycle done = h.run_one(0, total);
+  const double cycles_per_burst =
+      static_cast<double>(done) / 128.0;
+  EXPECT_LT(cycles_per_burst, cfg.timing.t_burst + 1.5);
+}
+
+TEST(Dram, MultiChannelDoublesThroughput) {
+  DramConfig one = single_channel();
+  DramConfig four;
+  four.num_channels = 4;
+  four.banks_per_channel = 4;
+  Harness h1(one), h4(four);
+  const Bytes total = 256 * 64;
+  const Cycle t1 = h1.run_one(0, total);
+  const Cycle t4 = h4.run_one(0, total);
+  EXPECT_LT(static_cast<double>(t4), 0.5 * static_cast<double>(t1));
+}
+
+TEST(Dram, FrFcfsPrefersRowHitOverOlderConflict) {
+  DramConfig cfg = single_channel();
+  cfg.banks_per_channel = 1;
+  Harness h(cfg);
+  // Open row 0 first.
+  h.run_one(0, 64);
+
+  // Enqueue a conflicting request (row far away) *then* a row hit.
+  Cycle conflict_done = 0, hit_done = 0;
+  DramRequest conflict;
+  conflict.addr = 1 << 20;
+  conflict.bytes = 64;
+  conflict.on_complete = [&](Cycle c) { conflict_done = c; };
+  DramRequest hit;
+  hit.addr = 128;
+  hit.bytes = 64;
+  hit.on_complete = [&](Cycle c) { hit_done = c; };
+  h.dram.enqueue(std::move(conflict), h.sim.now());
+  h.dram.enqueue(std::move(hit), h.sim.now());
+  h.sim.run_until_idle(1'000'000);
+  EXPECT_LT(hit_done, conflict_done);  // younger row hit bypassed the conflict
+}
+
+TEST(Dram, LatencyStatsArePopulated) {
+  Harness h;
+  h.run_one(0, 64);
+  h.run_one(4096, 64);
+  EXPECT_EQ(h.dram.stats().request_latency.count(), 2u);
+  EXPECT_GT(h.dram.stats().request_latency.mean(), 0.0);
+}
+
+TEST(Dram, PeakBandwidthFormula) {
+  DramConfig cfg;
+  cfg.num_channels = 2;
+  cfg.burst_bytes = 64;
+  cfg.timing.t_burst = 4;
+  EXPECT_DOUBLE_EQ(cfg.peak_bytes_per_cycle(), 32.0);
+}
+
+TEST(Dram, IdleAfterDrainAndReusable) {
+  Harness h;
+  EXPECT_TRUE(h.dram.idle());
+  h.run_one(0, 512);
+  EXPECT_TRUE(h.dram.idle());
+  const Cycle before = h.sim.now();
+  h.run_one(1 << 16, 64);
+  EXPECT_GT(h.sim.now(), before);
+}
+
+TEST(Dram, RejectsZeroByteRequest) {
+  Harness h;
+  DramRequest r;
+  r.addr = 0;
+  r.bytes = 0;
+  EXPECT_THROW(h.dram.enqueue(std::move(r), 0), Error);
+}
+
+
+TEST(Dram, RefreshBlocksChannelPeriodically) {
+  DramConfig cfg = single_channel();
+  cfg.timing.t_refi = 200;
+  cfg.timing.t_rfc = 50;
+  Harness with_refresh(cfg);
+  cfg.timing.t_refi = 0;  // disabled
+  Harness no_refresh(cfg);
+  const Bytes total = 256 * 64;  // long enough to straddle refreshes
+  const Cycle t_ref = with_refresh.run_one(0, total);
+  const Cycle t_free = no_refresh.run_one(0, total);
+  EXPECT_GT(t_ref, t_free);
+  EXPECT_GT(with_refresh.dram.stats().refreshes, 2u);
+  EXPECT_EQ(no_refresh.dram.stats().refreshes, 0u);
+}
+
+TEST(Dram, RefreshClosesRowBuffers) {
+  DramConfig cfg = single_channel();
+  cfg.timing.t_refi = 100;
+  cfg.timing.t_rfc = 20;
+  Harness h(cfg);
+  h.run_one(0, 64);           // opens a row
+  h.sim.run_cycles(150);      // ride through a refresh
+  const auto misses_before = h.dram.stats().row_misses;
+  h.run_one(64, 64);          // same row — but refresh closed it
+  EXPECT_EQ(h.dram.stats().row_misses, misses_before + 1);
+}
+
+TEST(Dram, RefreshOverheadIsBounded) {
+  // The steady-state throughput loss is ~t_rfc / t_refi.
+  DramConfig cfg = single_channel();
+  cfg.timing.t_refi = 500;
+  cfg.timing.t_rfc = 50;
+  Harness h(cfg);
+  cfg.timing.t_refi = 0;
+  Harness base(cfg);
+  const Bytes total = 1024 * 64;
+  const double slowdown = static_cast<double>(h.run_one(0, total)) /
+                          static_cast<double>(base.run_one(0, total));
+  EXPECT_LT(slowdown, 1.25);  // 10 % duty cycle + scheduling slack
+}
+
+
+TEST(Dram, BusTurnaroundPenalisesMixedReadWrite) {
+  DramConfig cfg = single_channel();
+  cfg.timing.t_refi = 0;
+  Harness h(cfg);
+  // Alternate reads and writes on the same row: every burst flips the bus.
+  for (int i = 0; i < 32; ++i) {
+    Cycle done = 0;
+    DramRequest r;
+    r.addr = static_cast<Bytes>(i) * 64;
+    r.bytes = 64;
+    r.is_write = (i % 2 == 1);
+    r.on_complete = [&](Cycle c) { done = c; };
+    h.dram.enqueue(std::move(r), h.sim.now());
+    h.sim.run_until_idle(100000);
+    (void)done;
+  }
+  EXPECT_GT(h.dram.stats().bus_turnarounds, 20u);
+
+  // Same traffic, reads only: no turnarounds.
+  Harness reads(cfg);
+  for (int i = 0; i < 32; ++i) {
+    reads.run_one(static_cast<Bytes>(i) * 64, 64, /*write=*/false);
+  }
+  EXPECT_EQ(reads.dram.stats().bus_turnarounds, 0u);
+}
+
+}  // namespace
+}  // namespace aurora::dram

@@ -1,0 +1,123 @@
+// Tests for energy accounting and the parametric area model.
+#include <gtest/gtest.h>
+
+#include "energy/area_model.hpp"
+#include "energy/energy_model.hpp"
+
+namespace aurora::energy {
+namespace {
+
+TEST(Energy, ZeroEventsZeroEnergy) {
+  EXPECT_DOUBLE_EQ(compute_energy(EnergyEvents{}, EnergyTable{}).total_pj(),
+                   0.0);
+}
+
+TEST(Energy, ComputeEnergyIsLinearInEvents) {
+  EnergyTable t;
+  EnergyEvents e;
+  e.fp_multiplies = 10;
+  e.fp_adds = 20;
+  const double single = compute_energy(e, t).compute_pj;
+  EnergyEvents e2 = e;
+  e2 += e;
+  EXPECT_DOUBLE_EQ(compute_energy(e2, t).compute_pj, 2.0 * single);
+}
+
+TEST(Energy, BreakdownMatchesTableEntries) {
+  EnergyTable t;
+  EnergyEvents e;
+  e.fp_multiplies = 3;
+  e.fp_adds = 5;
+  e.dram_bytes = 7;
+  e.noc_link_bytes = 11;
+  e.router_bytes = 13;
+  e.bypass_link_bytes = 17;
+  e.sram_large_bytes = 19;
+  e.reconfig_switch_writes = 2;
+  e.active_cycles = 23;
+  const EnergyBreakdown b = compute_energy(e, t);
+  EXPECT_DOUBLE_EQ(b.compute_pj, 3 * t.fp_mul_pj + 5 * t.fp_add_pj);
+  EXPECT_DOUBLE_EQ(b.dram_pj, 7 * t.dram_pj_per_byte);
+  EXPECT_DOUBLE_EQ(b.noc_pj, 11 * t.noc_link_pj_per_byte +
+                                 13 * t.router_pj_per_byte +
+                                 17 * t.bypass_link_pj_per_byte);
+  EXPECT_DOUBLE_EQ(b.sram_pj, 19 * t.sram_large_pj_per_byte);
+  EXPECT_DOUBLE_EQ(b.reconfig_pj, 2 * t.reconfig_pj_per_switch);
+  EXPECT_DOUBLE_EQ(b.leakage_pj, 23 * t.leakage_pj_per_cycle);
+  EXPECT_DOUBLE_EQ(b.total_pj(), b.compute_pj + b.sram_pj + b.dram_pj +
+                                     b.noc_pj + b.reconfig_pj + b.leakage_pj);
+}
+
+TEST(Energy, EventAccumulationSums) {
+  EnergyEvents a, b;
+  a.dram_bytes = 100;
+  a.active_cycles = 5;
+  b.dram_bytes = 50;
+  b.fp_adds = 7;
+  a += b;
+  EXPECT_EQ(a.dram_bytes, 150u);
+  EXPECT_EQ(a.fp_adds, 7u);
+  EXPECT_EQ(a.active_cycles, 5u);
+}
+
+TEST(Energy, BreakdownAccumulationSums) {
+  EnergyBreakdown a, b;
+  a.dram_pj = 1.0;
+  b.dram_pj = 2.0;
+  b.noc_pj = 3.0;
+  a += b;
+  EXPECT_DOUBLE_EQ(a.dram_pj, 3.0);
+  EXPECT_DOUBLE_EQ(a.total_pj(), 6.0);
+}
+
+// ---- area model: reproduce the paper's Sec VI-F ratios --------------------
+
+TEST(Area, PaperPeBreakdown) {
+  const AreaReport r = compute_area(AreaParams{});
+  ASSERT_EQ(r.pe_components.size(), 4u);
+  // MAC array 7.1 %, memory 82.9 %, control + switches 3.7 % (Sec VI-F).
+  EXPECT_NEAR(r.pe_components[0].fraction_of_parent, 0.071, 0.003);
+  EXPECT_NEAR(r.pe_components[1].fraction_of_parent, 0.829, 0.003);
+  EXPECT_NEAR(r.pe_components[2].fraction_of_parent, 0.037, 0.003);
+}
+
+TEST(Area, PaperChipBreakdown) {
+  const AreaReport r = compute_area(AreaParams{});
+  ASSERT_EQ(r.chip_components.size(), 4u);
+  // PE array 62.74 %, flexible interconnect 5.2 %, controller 0.9 %.
+  EXPECT_NEAR(r.chip_components[0].fraction_of_parent, 0.6274, 0.005);
+  EXPECT_NEAR(r.chip_components[1].fraction_of_parent, 0.052, 0.003);
+  EXPECT_NEAR(r.chip_components[2].fraction_of_parent, 0.009, 0.002);
+}
+
+TEST(Area, FractionsSumToOne) {
+  const AreaReport r = compute_area(AreaParams{});
+  double pe = 0.0, chip = 0.0;
+  for (const auto& c : r.pe_components) pe += c.fraction_of_parent;
+  for (const auto& c : r.chip_components) chip += c.fraction_of_parent;
+  EXPECT_NEAR(pe, 1.0, 1e-12);
+  EXPECT_NEAR(chip, 1.0, 1e-12);
+}
+
+TEST(Area, ScalesWithArrayDim) {
+  AreaParams small, big;
+  small.array_dim = 8;
+  big.array_dim = 16;
+  const double a8 = compute_area(small).chip_total_mm2;
+  const double a16 = compute_area(big).chip_total_mm2;
+  // PE count grows 4x; linear blocks (crossbar, bypass) grow 2x, the
+  // controller not at all — total lands strictly between.
+  EXPECT_GT(a16, 2.0 * a8);
+  EXPECT_LT(a16, 4.0 * a8);
+}
+
+TEST(Area, MoreBufferMeansMoreMemoryFraction) {
+  AreaParams lean, fat;
+  lean.pe_buffer_kib = 25;
+  fat.pe_buffer_kib = 200;
+  EXPECT_LT(compute_area(lean).pe_components[1].fraction_of_parent,
+            compute_area(fat).pe_components[1].fraction_of_parent);
+}
+
+}  // namespace
+}  // namespace aurora::energy

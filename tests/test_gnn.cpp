@@ -1,0 +1,424 @@
+// Unit and property tests for the GNN model zoo, workflow generator and the
+// dense reference executor.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "gnn/models.hpp"
+#include "gnn/ops.hpp"
+#include "gnn/reference.hpp"
+#include "gnn/tensor.hpp"
+#include "gnn/workflow.hpp"
+#include "graph/generators.hpp"
+
+namespace aurora::gnn {
+namespace {
+
+using graph::CsrBuilder;
+using graph::CsrGraph;
+using graph::generate_erdos_renyi;
+using graph::generate_star;
+
+// ---------------------------------------------------------------- Table II
+
+TEST(ModelOps, TableIIGcnRow) {
+  const ModelOps& ops = model_ops(GnnModel::kGcn);
+  EXPECT_EQ(format_ops(ops.edge_update), "Scalar x V");
+  EXPECT_EQ(format_ops(ops.aggregation), "Sum V");
+  EXPECT_EQ(format_ops(ops.vertex_update), "MxV, alpha");
+}
+
+TEST(ModelOps, TableIINullPhases) {
+  EXPECT_FALSE(model_ops(GnnModel::kGin).edge_update.present());
+  EXPECT_FALSE(model_ops(GnnModel::kGraphSageMean).edge_update.present());
+  EXPECT_FALSE(model_ops(GnnModel::kCommNet).edge_update.present());
+  EXPECT_FALSE(model_ops(GnnModel::kEdgeConv1).vertex_update.present());
+  EXPECT_FALSE(model_ops(GnnModel::kEdgeConv5).vertex_update.present());
+}
+
+TEST(ModelOps, TableIIAttentionRows) {
+  for (GnnModel m : {GnnModel::kVanillaAttention, GnnModel::kAgnn}) {
+    const ModelOps& ops = model_ops(m);
+    EXPECT_TRUE(ops.edge_update.uses(OpKind::kScalarVec));
+    EXPECT_TRUE(ops.edge_update.uses(OpKind::kDotProduct));
+    EXPECT_TRUE(ops.vertex_update.uses(OpKind::kMatVec));
+    EXPECT_TRUE(ops.vertex_update.uses(OpKind::kActivation));
+  }
+}
+
+TEST(ModelOps, TableIIGGcnRow) {
+  const ModelOps& ops = model_ops(GnnModel::kGGcn);
+  EXPECT_TRUE(ops.edge_update.uses(OpKind::kMatVec));
+  EXPECT_TRUE(ops.edge_update.uses(OpKind::kElementwiseMul));
+  EXPECT_TRUE(ops.edge_update.uses(OpKind::kActivation));
+}
+
+TEST(ModelOps, TableIIPoolConcat) {
+  const ModelOps& ops = model_ops(GnnModel::kGraphSagePool);
+  EXPECT_TRUE(ops.vertex_update.uses(OpKind::kConcat));
+}
+
+TEST(ModelCategory, MatchesPaperTaxonomy) {
+  EXPECT_EQ(model_category(GnnModel::kGcn), GnnCategory::kConvolutional);
+  EXPECT_EQ(model_category(GnnModel::kGin), GnnCategory::kConvolutional);
+  EXPECT_EQ(model_category(GnnModel::kVanillaAttention),
+            GnnCategory::kAttentional);
+  EXPECT_EQ(model_category(GnnModel::kGGcn), GnnCategory::kMessagePassing);
+  EXPECT_EQ(model_category(GnnModel::kEdgeConv5),
+            GnnCategory::kMessagePassing);
+}
+
+TEST(ModelNames, AllDistinct) {
+  std::set<std::string> names;
+  for (GnnModel m : kAllModels) names.insert(model_name(m));
+  EXPECT_EQ(names.size(), kAllModels.size());
+}
+
+// ------------------------------------------------------- workflow generator
+
+TEST(Workflow, GcnOpCountFormulas) {
+  // H >= F keeps the aggregation-first order, so the raw formulas apply.
+  const LayerConfig layer{.in_dim = 16, .out_dim = 16};
+  const Workflow wf = generate_workflow(GnnModel::kGcn, layer, 100, 400);
+  EXPECT_FALSE(wf.update_first);
+  EXPECT_EQ(wf.phase(Phase::kEdgeUpdate).total_ops, 400u * 16);
+  EXPECT_EQ(wf.phase(Phase::kAggregation).total_ops, 400u * 16);
+  EXPECT_EQ(wf.phase(Phase::kVertexUpdate).total_ops,
+            2u * 100 * 16 * 16 + 2u * 100 * 16);
+  EXPECT_EQ(wf.phase(Phase::kVertexUpdate).weight_bytes, (16u * 16 + 16) * 8);
+}
+
+TEST(Workflow, UpdateFirstReorderingForShrinkingConvLayers) {
+  // Flexible dataflow: C-GNN layers that shrink the feature width apply the
+  // transform first, so per-edge work and messages become H-wide.
+  const LayerConfig layer{.in_dim = 16, .out_dim = 8};
+  const Workflow wf = generate_workflow(GnnModel::kGcn, layer, 100, 400);
+  EXPECT_TRUE(wf.update_first);
+  EXPECT_EQ(wf.edge_feature_dim, 8u);
+  EXPECT_EQ(wf.phase(Phase::kEdgeUpdate).total_ops, 400u * 8);
+  EXPECT_EQ(wf.phase(Phase::kAggregation).total_ops, 400u * 8);
+  EXPECT_EQ(wf.phase(Phase::kAggregation).message_bytes, 8u * 8);
+  // Vertex-update work itself is order-invariant.
+  EXPECT_EQ(wf.phase(Phase::kVertexUpdate).total_ops,
+            2u * 100 * 16 * 8 + 2u * 100 * 8);
+}
+
+TEST(Workflow, NoReorderingForAttentionOrMpModels) {
+  const LayerConfig layer{.in_dim = 16, .out_dim = 8};
+  EXPECT_FALSE(generate_workflow(GnnModel::kVanillaAttention, layer, 100, 400)
+                   .update_first);
+  EXPECT_FALSE(generate_workflow(GnnModel::kGGcn, layer, 100, 400)
+                   .update_first);
+  EXPECT_FALSE(generate_workflow(GnnModel::kEdgeConv1, layer, 100, 400)
+                   .update_first);
+}
+
+TEST(Workflow, EdgeConvHasNoVertexUpdate) {
+  const LayerConfig layer{.in_dim = 8, .out_dim = 4};
+  const Workflow wf = generate_workflow(GnnModel::kEdgeConv1, layer, 50, 200);
+  EXPECT_FALSE(wf.needs_vertex_update());
+  EXPECT_TRUE(wf.needs_edge_update());
+  EXPECT_EQ(wf.phase(Phase::kEdgeUpdate).total_ops, 200u * (8 + 2 * 8 * 4));
+  // Edge features flowing to aggregation are H wide for EdgeConv.
+  EXPECT_EQ(wf.edge_feature_dim, 4u);
+}
+
+TEST(Workflow, GinHasNoEdgeUpdate) {
+  const LayerConfig layer{.in_dim = 8, .out_dim = 4};
+  const Workflow wf = generate_workflow(GnnModel::kGin, layer, 50, 200);
+  EXPECT_FALSE(wf.needs_edge_update());
+  EXPECT_EQ(wf.phase(Phase::kEdgeUpdate).total_ops, 0u);
+  EXPECT_GT(wf.phase(Phase::kVertexUpdate).total_ops, 0u);
+}
+
+TEST(Workflow, MessageVolumes) {
+  const LayerConfig layer{.in_dim = 4, .out_dim = 2};
+  const Workflow wf =
+      generate_workflow(GnnModel::kVanillaAttention, layer, 10, 30);
+  EXPECT_EQ(wf.phase(Phase::kAggregation).num_messages, 30u);
+  EXPECT_EQ(wf.phase(Phase::kAggregation).message_bytes, 4u * 8);
+  EXPECT_EQ(wf.phase(Phase::kVertexUpdate).num_messages, 10u);
+}
+
+class WorkflowAllModels : public ::testing::TestWithParam<GnnModel> {};
+
+TEST_P(WorkflowAllModels, ConsistentWithTableII) {
+  const LayerConfig layer{.in_dim = 32, .out_dim = 16};
+  const Workflow wf = generate_workflow(GetParam(), layer, 200, 1000);
+  const ModelOps& ops = model_ops(GetParam());
+  for (Phase p : kAllPhases) {
+    const bool should_exist = ops.for_phase(p).present();
+    EXPECT_EQ(wf.phase(p).present, should_exist) << phase_name(p);
+    if (should_exist && p != Phase::kAggregation) {
+      EXPECT_GT(wf.phase(p).total_ops, 0u) << phase_name(p);
+    }
+  }
+  // Aggregation always present and scales with edges.
+  EXPECT_TRUE(wf.phase(Phase::kAggregation).present);
+  EXPECT_GE(wf.phase(Phase::kAggregation).total_ops, 1000u);
+  EXPECT_GT(wf.total_ops(), 0u);
+}
+
+TEST_P(WorkflowAllModels, OpsScaleMonotonicallyWithGraph) {
+  const LayerConfig layer{.in_dim = 16, .out_dim = 16};
+  const Workflow small = generate_workflow(GetParam(), layer, 100, 500);
+  const Workflow big = generate_workflow(GetParam(), layer, 200, 1000);
+  EXPECT_GT(big.total_ops(), small.total_ops());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, WorkflowAllModels,
+                         ::testing::ValuesIn(kAllModels),
+                         [](const auto& param_info) {
+                           std::string n = model_name(param_info.param);
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+// ----------------------------------------------------------- tensor kernels
+
+TEST(Tensor, MatVec) {
+  Matrix m(2, 3);
+  m.at(0, 0) = 1;
+  m.at(0, 1) = 2;
+  m.at(0, 2) = 3;
+  m.at(1, 0) = 4;
+  m.at(1, 1) = 5;
+  m.at(1, 2) = 6;
+  const Vector x = {1, 1, 1};
+  const Vector y = mat_vec(m, x);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 15.0);
+}
+
+TEST(Tensor, DotAndElementwise) {
+  const Vector a = {1, 2, 3}, b = {4, 5, 6};
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+  const Vector m = elementwise_mul(a, b);
+  EXPECT_DOUBLE_EQ(m[2], 18.0);
+}
+
+TEST(Tensor, ActivationFunctions) {
+  const Vector x = {-1.0, 0.0, 2.0};
+  const Vector r = relu(x);
+  EXPECT_DOUBLE_EQ(r[0], 0.0);
+  EXPECT_DOUBLE_EQ(r[2], 2.0);
+  const Vector s = sigmoid(x);
+  EXPECT_NEAR(s[1], 0.5, 1e-12);
+  const Vector sm = softmax(x);
+  double total = 0.0;
+  for (double v : sm) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_GT(sm[2], sm[0]);
+}
+
+TEST(Tensor, ConcatAndMax) {
+  const Vector a = {1, 2}, b = {3};
+  const Vector c = concat(a, b);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_DOUBLE_EQ(c[2], 3.0);
+  Vector acc = {0, 5};
+  elementwise_max(acc, Vector{3, 1});
+  EXPECT_DOUBLE_EQ(acc[0], 3.0);
+  EXPECT_DOUBLE_EQ(acc[1], 5.0);
+}
+
+// ------------------------------------------------------------ PolyBench kernels
+
+TEST(Kernels, GramschmidtProducesOrthonormalColumns) {
+  Rng rng(41);
+  Matrix a(8, 4);
+  a.randomize(rng);
+  Matrix r;
+  const Matrix q = kernel_gramschmidt(a, &r);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      double d = 0.0;
+      for (std::size_t k = 0; k < 8; ++k) d += q.at(k, i) * q.at(k, j);
+      EXPECT_NEAR(d, i == j ? 1.0 : 0.0, 1e-9) << i << "," << j;
+    }
+  }
+  // Q * R reconstructs A.
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      double v = 0.0;
+      for (std::size_t k = 0; k < 4; ++k) v += q.at(i, k) * r.at(k, j);
+      EXPECT_NEAR(v, a.at(i, j), 1e-9);
+    }
+  }
+}
+
+TEST(Kernels, MvtMatchesDefinition) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 3;
+  a.at(1, 1) = 4;
+  Vector x1 = {1, 1}, x2 = {0, 0};
+  const Vector y1 = {1, 0}, y2 = {0, 1};
+  kernel_mvt(a, x1, x2, y1, y2);
+  EXPECT_DOUBLE_EQ(x1[0], 2.0);  // 1 + A[0][0]*1
+  EXPECT_DOUBLE_EQ(x1[1], 4.0);
+  EXPECT_DOUBLE_EQ(x2[0], 3.0);  // A^T row: A[1][0]
+  EXPECT_DOUBLE_EQ(x2[1], 4.0);
+}
+
+TEST(Kernels, GesummvMatchesDefinition) {
+  Matrix a(2, 2, 1.0), b(2, 2, 2.0);
+  const Vector x = {1, 2};
+  const Vector y = kernel_gesummv(2.0, 0.5, a, b, x);
+  // alpha*A*x = 2*[3,3]=[6,6]; beta*B*x = 0.5*[6,6]=[3,3].
+  EXPECT_DOUBLE_EQ(y[0], 9.0);
+  EXPECT_DOUBLE_EQ(y[1], 9.0);
+}
+
+TEST(Kernels, GemverRunsAndUpdatesA) {
+  Matrix a(3, 3, 0.0);
+  const Vector u1 = {1, 0, 0}, v1 = {0, 1, 0}, u2 = {0, 0, 1}, v2 = {1, 0, 0};
+  Vector w(3, 0.0), x(3, 0.0);
+  const Vector y = {1, 1, 1}, z = {0.5, 0.5, 0.5};
+  kernel_gemver(1.0, 1.0, a, u1, v1, u2, v2, w, x, y, z);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(a.at(2, 0), 1.0);
+  // x = A'^T y + z: column sums + 0.5.
+  EXPECT_DOUBLE_EQ(x[1], 1.5);
+}
+
+// --------------------------------------------------------- reference layers
+
+CsrGraph triangle_graph() {
+  CsrBuilder b(3);
+  b.add_undirected_edge(0, 1);
+  b.add_undirected_edge(1, 2);
+  b.add_undirected_edge(0, 2);
+  return std::move(b).build();
+}
+
+class ReferenceAllModels : public ::testing::TestWithParam<GnnModel> {};
+
+TEST_P(ReferenceAllModels, ShapesAndDeterminism) {
+  Rng rng(77);
+  const CsrGraph g = generate_erdos_renyi(20, 50, rng);
+  Matrix x(g.num_vertices(), 6);
+  x.randomize(rng);
+  Rng prng(99);
+  const auto params = make_reference_params(GetParam(), 6, 4, prng);
+  const Matrix out1 = reference_layer(GetParam(), g, x, params);
+  const Matrix out2 = reference_layer(GetParam(), g, x, params);
+  EXPECT_EQ(out1.rows(), g.num_vertices());
+  EXPECT_EQ(out1.cols(), reference_output_dim(GetParam(), 6, 4));
+  EXPECT_EQ(out1.data(), out2.data());
+  for (double v : out1.data()) EXPECT_TRUE(std::isfinite(v));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ReferenceAllModels,
+                         ::testing::ValuesIn(kAllModels),
+                         [](const auto& param_info) {
+                           std::string n = model_name(param_info.param);
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(Reference, GcnOnTriangleHandChecked) {
+  // Symmetric triangle with identity-ish weights: every vertex has degree 2,
+  // so normalisation is 1/3 for self (D=3) and 1/3 for each neighbor.
+  const CsrGraph g = triangle_graph();
+  Matrix x(3, 1);
+  x.at(0, 0) = 3.0;
+  x.at(1, 0) = 6.0;
+  x.at(2, 0) = 9.0;
+  ReferenceParams p;
+  p.w = Matrix(1, 1);
+  p.w.at(0, 0) = 1.0;
+  p.bias = Vector{0.0};
+  const Matrix out = reference_layer(GnnModel::kGcn, g, x, p);
+  // m_0 = 3/3 + 6/3 + 9/3 = 6; ReLU(6) = 6.
+  EXPECT_NEAR(out.at(0, 0), 6.0, 1e-12);
+  EXPECT_NEAR(out.at(1, 0), 6.0, 1e-12);
+  EXPECT_NEAR(out.at(2, 0), 6.0, 1e-12);
+}
+
+TEST(Reference, GinEpsilonWeighting) {
+  const CsrGraph g = generate_star(3);  // 0 -- 1, 0 -- 2
+  Matrix x(3, 1);
+  x.at(0, 0) = 1.0;
+  x.at(1, 0) = 10.0;
+  x.at(2, 0) = 100.0;
+  ReferenceParams p;
+  p.epsilon = 0.5;
+  p.w = Matrix(1, 1);
+  p.w.at(0, 0) = 1.0;
+  p.bias = Vector{0.0};
+  p.w2 = Matrix(1, 1);
+  p.w2.at(0, 0) = 1.0;
+  p.bias2 = Vector{0.0};
+  const Matrix out = reference_layer(GnnModel::kGin, g, x, p);
+  // m_0 = 1.5*1 + 10 + 100 = 111.5 -> MLP(identity) = 111.5.
+  EXPECT_NEAR(out.at(0, 0), 111.5, 1e-12);
+  // m_1 = 1.5*10 + 1 = 16.
+  EXPECT_NEAR(out.at(1, 0), 16.0, 1e-12);
+}
+
+TEST(Reference, SageMeanAveragesNeighbors) {
+  const CsrGraph g = generate_star(3);
+  Matrix x(3, 1);
+  x.at(0, 0) = 0.0;
+  x.at(1, 0) = 4.0;
+  x.at(2, 0) = 8.0;
+  ReferenceParams p;
+  p.w = Matrix(1, 1);
+  p.w.at(0, 0) = 2.0;
+  const Matrix out = reference_layer(GnnModel::kGraphSageMean, g, x, p);
+  EXPECT_NEAR(out.at(0, 0), 2.0 * 6.0, 1e-12);  // mean(4,8) = 6
+  EXPECT_NEAR(out.at(1, 0), 0.0, 1e-12);        // mean(x_0) = 0
+}
+
+TEST(Reference, EdgeConvMaxAggregation) {
+  const CsrGraph g = generate_star(3);
+  Matrix x(3, 1);
+  x.at(0, 0) = 1.0;
+  x.at(1, 0) = 5.0;
+  x.at(2, 0) = 2.0;
+  ReferenceParams p;
+  p.mlp.emplace_back(1, 1);
+  p.mlp[0].at(0, 0) = 1.0;
+  const Matrix out = reference_layer(GnnModel::kEdgeConv1, g, x, p);
+  // e_{u,0} = x_u - x_0: max(4, 1) = 4.
+  EXPECT_NEAR(out.at(0, 0), 4.0, 1e-12);
+  // vertex 1 sees only u=0: 1 - 5 = -4.
+  EXPECT_NEAR(out.at(1, 0), -4.0, 1e-12);
+}
+
+TEST(Reference, AttentionWeightsByDotProduct) {
+  const CsrGraph g = generate_star(3);
+  Matrix x(3, 1);
+  x.at(0, 0) = 1.0;
+  x.at(1, 0) = 2.0;
+  x.at(2, 0) = 3.0;
+  ReferenceParams p;
+  p.w = Matrix(1, 1);
+  p.w.at(0, 0) = 1.0;
+  const Matrix out =
+      reference_layer(GnnModel::kVanillaAttention, g, x, p);
+  // m_0 = (1*2)*2 + (1*3)*3 = 13; softmax of a single logit = 1.
+  EXPECT_NEAR(out.at(0, 0), 1.0, 1e-12);
+}
+
+TEST(Reference, IsolatedVertexProducesZeros) {
+  CsrBuilder b(3);
+  b.add_undirected_edge(0, 1);  // vertex 2 isolated
+  const CsrGraph g = std::move(b).build();
+  Matrix x(3, 2, 1.0);
+  Rng prng(5);
+  const auto params = make_reference_params(GnnModel::kCommNet, 2, 2, prng);
+  const Matrix out = reference_layer(GnnModel::kCommNet, g, x, params);
+  EXPECT_DOUBLE_EQ(out.at(2, 0), 0.0);
+  EXPECT_DOUBLE_EQ(out.at(2, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace aurora::gnn

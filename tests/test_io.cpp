@@ -1,0 +1,137 @@
+// Tests for graph file I/O and the JSON metrics report.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/report.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+
+namespace aurora {
+namespace {
+
+using graph::CsrGraph;
+
+TEST(EdgeListIo, ParsesCommentsAndBlankLines) {
+  std::istringstream in(
+      "# a comment\n"
+      "\n"
+      "0 1\n"
+      "  # indented comment\n"
+      "1 2\n"
+      "0 2\n");
+  const CsrGraph g = graph::read_edge_list(in, /*symmetrize=*/true);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_TRUE(g.has_edge(2, 0));
+}
+
+TEST(EdgeListIo, DirectedMode) {
+  std::istringstream in("0 1\n1 2\n");
+  const CsrGraph g = graph::read_edge_list(in, /*symmetrize=*/false);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+}
+
+TEST(EdgeListIo, ForcedVertexCount) {
+  std::istringstream in("0 1\n");
+  const CsrGraph g = graph::read_edge_list(in, true, /*num_vertices=*/10);
+  EXPECT_EQ(g.num_vertices(), 10u);
+  EXPECT_EQ(g.degree(9), 0u);
+}
+
+TEST(EdgeListIo, RejectsGarbage) {
+  std::istringstream bad("0 x\n");
+  EXPECT_THROW((void)graph::read_edge_list(bad), Error);
+  std::istringstream empty("# nothing\n");
+  EXPECT_THROW((void)graph::read_edge_list(empty), Error);
+}
+
+TEST(EdgeListIo, RoundTripsThroughText) {
+  Rng rng(3);
+  const CsrGraph g = graph::generate_erdos_renyi(50, 120, rng);
+  std::stringstream buf;
+  graph::write_edge_list(buf, g);
+  const CsrGraph back = graph::read_edge_list(buf, /*symmetrize=*/false);
+  EXPECT_EQ(back.row_ptr(), g.row_ptr());
+  EXPECT_EQ(back.col_idx(), g.col_idx());
+}
+
+TEST(CsrBinaryIo, RoundTripsExactly) {
+  Rng rng(5);
+  const CsrGraph g = graph::generate_power_law(
+      {.n = 200, .undirected_edges = 600, .alpha = 2.2}, rng);
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  graph::write_csr_binary(buf, g);
+  const CsrGraph back = graph::read_csr_binary(buf);
+  EXPECT_EQ(back.row_ptr(), g.row_ptr());
+  EXPECT_EQ(back.col_idx(), g.col_idx());
+}
+
+TEST(CsrBinaryIo, RejectsBadMagicAndTruncation) {
+  std::stringstream bad(std::ios::in | std::ios::out | std::ios::binary);
+  bad << "NOPE-this-is-not-a-graph";
+  EXPECT_THROW((void)graph::read_csr_binary(bad), Error);
+
+  Rng rng(6);
+  const CsrGraph g = graph::generate_ring(8);
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  graph::write_csr_binary(buf, g);
+  const std::string full = buf.str();
+  std::stringstream cut(std::ios::in | std::ios::out | std::ios::binary);
+  cut << full.substr(0, full.size() / 2);
+  EXPECT_THROW((void)graph::read_csr_binary(cut), Error);
+}
+
+TEST(CsrBinaryIo, FileRoundTrip) {
+  Rng rng(7);
+  const CsrGraph g = graph::generate_erdos_renyi(30, 80, rng);
+  const std::string path = ::testing::TempDir() + "/aurora_io_test.acsr";
+  graph::save_csr_binary(path, g);
+  const CsrGraph back = graph::load_csr_binary(path);
+  EXPECT_EQ(back.col_idx(), g.col_idx());
+}
+
+// ------------------------------------------------------------- JSON report
+
+TEST(Report, MetricsJsonHasStableKeys) {
+  core::RunMetrics m;
+  m.total_cycles = 123;
+  m.dram_bytes = 456;
+  m.avg_hops = 2.5;
+  m.energy.dram_pj = 7.0;
+  const std::string json = core::metrics_to_json(m);
+  EXPECT_NE(json.find("\"total_cycles\": 123"), std::string::npos);
+  EXPECT_NE(json.find("\"dram_bytes\": 456"), std::string::npos);
+  EXPECT_NE(json.find("\"avg_hops\": 2.5"), std::string::npos);
+  EXPECT_NE(json.find("\"energy_pj\""), std::string::npos);
+  EXPECT_NE(json.find("\"dram\": 7"), std::string::npos);
+  // Balanced braces.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(Report, RunsJsonEscapesNames) {
+  core::NamedRun run;
+  run.accelerator = "Aurora \"v2\"";
+  run.workload = "cora";
+  const std::string json = core::runs_to_json({run});
+  EXPECT_NE(json.find("Aurora \\\"v2\\\""), std::string::npos);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+}
+
+TEST(Report, WritesFile) {
+  const std::string path = ::testing::TempDir() + "/aurora_report.json";
+  core::write_json_file(path, "{\"ok\": 1}");
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("\"ok\": 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aurora

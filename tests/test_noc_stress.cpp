@@ -1,0 +1,215 @@
+// Stress and property tests for the NoC: flow-control invariants under
+// heavy load, combined bypass + ring configurations, and conservation laws.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "noc/network.hpp"
+#include "noc/traffic.hpp"
+#include "sim/simulator.hpp"
+
+namespace aurora::noc {
+namespace {
+
+struct Harness {
+  explicit Harness(NocParams p) : net(p) { s.add(&net); }
+  sim::Simulator s;
+  Network net;
+};
+
+/// Conservation: every injected packet is delivered exactly once, intact.
+TEST(NocStress, HeavyRandomTrafficConservesPackets) {
+  NocParams p;
+  p.k = 8;
+  p.input_buffer_flits = 2;  // minimal buffering: maximal backpressure
+  Harness h(p);
+  Rng rng(101);
+  std::map<std::uint64_t, int> delivered;
+  h.net.set_delivery_callback(
+      [&](const Packet& pkt, Cycle) { ++delivered[pkt.tag]; });
+  constexpr int kPackets = 2000;
+  for (int i = 0; i < kPackets; ++i) {
+    h.net.send(static_cast<NodeId>(rng.next_below(64)),
+               static_cast<NodeId>(rng.next_below(64)),
+               32 * (1 + rng.next_below(6)), i, h.s.now());
+    // Interleave injection with simulation to vary in-flight pressure.
+    if (i % 50 == 0) h.s.run_cycles(20);
+  }
+  h.s.run_until_idle(5'000'000);
+  EXPECT_EQ(delivered.size(), static_cast<std::size_t>(kPackets));
+  for (const auto& [tag, count] : delivered) {
+    EXPECT_EQ(count, 1) << "packet " << tag << " delivered " << count;
+  }
+}
+
+TEST(NocStress, AllToOneHotspotDrains) {
+  NocParams p;
+  p.k = 8;
+  p.input_buffer_flits = 2;
+  Harness h(p);
+  for (NodeId src = 1; src < 64; ++src) {
+    h.net.send(src, 0, 512, src, 0);
+  }
+  h.s.run_until_idle(5'000'000);
+  EXPECT_EQ(h.net.stats().packets_delivered, 63u);
+}
+
+TEST(NocStress, BypassPlusRingsCoexist) {
+  // The full Aurora configuration shape: sub-A bypass rows/cols on top,
+  // sub-B rings with wrap segments below, traffic of all three kinds.
+  NocParams p;
+  p.k = 8;
+  Harness h(p);
+  NocConfig cfg(8);
+  cfg.add_row_segment({0, 0, 7});      // S_PE row bypass
+  cfg.add_col_segment({3, 0, 2});      // S_PE column bypass (region rows 0-2)
+  cfg.add_row_segment({4, 0, 3});      // ring wrap, row 4 left
+  cfg.add_row_segment({4, 4, 7});      // ring wrap, row 4 right
+  RingConfig left, right;
+  for (NodeId c = 0; c < 4; ++c) left.nodes.push_back(4 * 8 + c);
+  for (NodeId c = 4; c < 8; ++c) right.nodes.push_back(4 * 8 + c);
+  cfg.add_ring(left);
+  cfg.add_ring(right);
+  h.net.configure(cfg);
+
+  // Aggregation-ish traffic into row 0, ring traffic inside row 4, and
+  // boundary crossings.
+  Rng rng(7);
+  int expected = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto src = static_cast<NodeId>(rng.next_below(24));  // rows 0-2
+    h.net.send(src, static_cast<NodeId>(rng.next_below(8)), 128, i, 0);
+    ++expected;
+  }
+  for (NodeId c = 0; c < 4; ++c) {
+    h.net.send(4 * 8 + c, 4 * 8 + (c + 1) % 4, 64, 1000 + c, 0);
+    ++expected;
+  }
+  for (int i = 0; i < 50; ++i) {
+    h.net.send(static_cast<NodeId>(rng.next_below(24)),
+               static_cast<NodeId>(32 + rng.next_below(32)), 128, 2000 + i,
+               0);
+    ++expected;
+  }
+  h.s.run_until_idle(5'000'000);
+  EXPECT_EQ(h.net.stats().packets_delivered,
+            static_cast<std::uint64_t>(expected));
+  EXPECT_GT(h.net.stats().bypass_flit_hops, 0u);
+}
+
+TEST(NocStress, SegmentedBypassServesBothHalves) {
+  NocParams p;
+  p.k = 8;
+  Harness h(p);
+  NocConfig cfg(8);
+  cfg.add_row_segment({2, 0, 3});
+  cfg.add_row_segment({2, 4, 7});
+  h.net.configure(cfg);
+  // Both segment spans get used by matching long trips.
+  h.net.send(to_node({2, 0}, 8), to_node({2, 3}, 8), 64, 1, 0);
+  h.net.send(to_node({2, 4}, 8), to_node({2, 7}, 8), 64, 2, 0);
+  h.s.run_until_idle(100000);
+  EXPECT_EQ(h.net.stats().packets_delivered, 2u);
+  EXPECT_EQ(h.net.stats().bypass_flit_hops, 2u * 2u);  // 2 flits x 2 packets
+}
+
+TEST(NocStress, LatencyGrowsWithLoad) {
+  auto mean_latency = [](int packets) {
+    NocParams p;
+    p.k = 8;
+    Harness h(p);
+    Rng rng(5);
+    for (int i = 0; i < packets; ++i) {
+      h.net.send(static_cast<NodeId>(rng.next_below(64)),
+                 static_cast<NodeId>(rng.next_below(64)), 256, i, 0);
+    }
+    h.s.run_until_idle(5'000'000);
+    return h.net.stats().packet_latency.mean();
+  };
+  EXPECT_LT(mean_latency(20), mean_latency(2000));
+}
+
+TEST(NocStress, MoreVcsHelpUnderContention) {
+  auto drain_time = [](std::uint32_t vcs) {
+    NocParams p;
+    p.k = 8;
+    p.num_vcs = vcs;
+    Harness h(p);
+    Rng rng(5);
+    for (int i = 0; i < 500; ++i) {
+      h.net.send(static_cast<NodeId>(rng.next_below(64)),
+                 static_cast<NodeId>(rng.next_below(64)), 256, i, 0);
+    }
+    return h.s.run_until_idle(5'000'000);
+  };
+  EXPECT_LE(drain_time(4), drain_time(1));
+}
+
+TEST(NocStress, BusyCyclesBoundedByDrainTime) {
+  NocParams p;
+  p.k = 4;
+  Harness h(p);
+  h.net.send(0, 15, 256, 0, 0);
+  const Cycle end = h.s.run_until_idle(100000);
+  EXPECT_LE(h.net.stats().busy_cycles, end);
+  EXPECT_GT(h.net.stats().busy_cycles, 0u);
+}
+
+
+// ---------------------------------------------------------- traffic library
+
+TEST(Traffic, DestinationsMatchPatternDefinitions) {
+  Rng rng(1);
+  // transpose: (1,2) -> (2,1) on k=4.
+  EXPECT_EQ(traffic_destination(TrafficPattern::kTranspose,
+                                to_node({1, 2}, 4), 4, rng),
+            to_node({2, 1}, 4));
+  // bit-complement: id -> n-1-id.
+  EXPECT_EQ(traffic_destination(TrafficPattern::kBitComplement, 3, 4, rng),
+            12u);
+  // neighbor: (0,3) wraps to (0,0).
+  EXPECT_EQ(traffic_destination(TrafficPattern::kNeighbor,
+                                to_node({0, 3}, 4), 4, rng),
+            to_node({0, 0}, 4));
+  // uniform random stays in range.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LT(traffic_destination(TrafficPattern::kUniformRandom, 0, 4, rng),
+              16u);
+  }
+}
+
+TEST(Traffic, HotspotSaturatesBeforeNeighbor) {
+  NocParams p;
+  p.k = 4;
+  const auto hotspot =
+      measure_throughput(p, TrafficPattern::kHotspot, 0.2, 800);
+  const auto neighbor =
+      measure_throughput(p, TrafficPattern::kNeighbor, 0.2, 800);
+  EXPECT_LT(hotspot.accepted_rate, neighbor.accepted_rate);
+  EXPECT_GT(hotspot.avg_latency, neighbor.avg_latency);
+}
+
+TEST(Traffic, LowLoadIsAcceptedInFull) {
+  NocParams p;
+  p.k = 4;
+  const auto r =
+      measure_throughput(p, TrafficPattern::kUniformRandom, 0.02, 1000);
+  EXPECT_FALSE(r.saturated);
+  EXPECT_NEAR(r.accepted_rate, r.offered_rate, 0.01);
+}
+
+TEST(Traffic, DeterministicInSeed) {
+  NocParams p;
+  p.k = 4;
+  const auto a =
+      measure_throughput(p, TrafficPattern::kTranspose, 0.1, 500, 9);
+  const auto b =
+      measure_throughput(p, TrafficPattern::kTranspose, 0.1, 500, 9);
+  EXPECT_DOUBLE_EQ(a.accepted_rate, b.accepted_rate);
+  EXPECT_DOUBLE_EQ(a.avg_latency, b.avg_latency);
+}
+
+}  // namespace
+}  // namespace aurora::noc

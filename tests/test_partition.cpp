@@ -1,0 +1,155 @@
+// Tests for Algorithm 2: the resource partition heuristic.
+#include <gtest/gtest.h>
+
+#include "gnn/workflow.hpp"
+#include "partition/partition.hpp"
+
+namespace aurora::partition {
+namespace {
+
+PartitionInput balanced_input() {
+  PartitionInput in;
+  in.ops_edge_update = 1000;
+  in.ops_aggregation = 2000;
+  in.ops_vertex_update = 3000;
+  in.edge_feature_dim = 4;
+  in.num_edges = 500;  // E_f * m = 2000 == O_a
+  in.total_pes = 16;
+  in.flops_per_pe = 8.0;
+  return in;
+}
+
+TEST(Partition, SplitsSumToTotal) {
+  const PartitionResult r = partition(balanced_input());
+  EXPECT_EQ(r.a + r.b, 16u);
+  EXPECT_GE(r.a, 1u);
+  EXPECT_GE(r.b, 1u);
+  EXPECT_FALSE(r.single_accelerator);
+}
+
+TEST(Partition, MinimizesDiffOverAllSplits) {
+  const auto in = balanced_input();
+  const PartitionResult r = partition(in);
+  for (std::uint32_t a = 1; a < in.total_pes; ++a) {
+    const double diff = std::abs(time_sub_a(in, a) - time_sub_b(in, in.total_pes - a));
+    EXPECT_GE(diff, r.diff - 1e-12) << "better split at a=" << a;
+  }
+}
+
+TEST(Partition, TimesMatchAlgorithmFormulas) {
+  const auto in = balanced_input();
+  // a = 4: capacity 32 ops/cycle. AComp1 = 1000/32; edge-feature work =
+  // 2000, so AComp2 = 0, AComp3 = 2000/32.
+  EXPECT_DOUBLE_EQ(time_sub_a(in, 4), 1000.0 / 32 + 2000.0 / 32);
+  EXPECT_DOUBLE_EQ(time_sub_b(in, 12), 3000.0 / (12 * 8.0));
+}
+
+TEST(Partition, MaxOfEdgeUpdateAndAggregation) {
+  PartitionInput in = balanced_input();
+  // Aggregation beyond the edge-feature reduction dominates edge update.
+  in.ops_aggregation = 10000;  // remaining = 8000 > O_ue = 1000
+  EXPECT_DOUBLE_EQ(time_sub_a(in, 4), 8000.0 / 32 + 2000.0 / 32);
+}
+
+TEST(Partition, VertexHeavyModelsGetMorePEsInB) {
+  PartitionInput in = balanced_input();
+  in.ops_vertex_update = 30000;
+  const PartitionResult heavy = partition(in);
+  in.ops_vertex_update = 300;
+  const PartitionResult light = partition(in);
+  EXPECT_GT(heavy.b, light.b);
+}
+
+TEST(Partition, EdgeHeavyModelsGetMorePEsInA) {
+  PartitionInput in = balanced_input();
+  in.ops_edge_update = 50000;
+  const PartitionResult r = partition(in);
+  EXPECT_GT(r.a, in.total_pes / 2);
+}
+
+TEST(Partition, NoVertexUpdateFormsSingleAccelerator) {
+  PartitionInput in = balanced_input();
+  in.ops_vertex_update = 0;
+  const PartitionResult r = partition(in);
+  EXPECT_TRUE(r.single_accelerator);
+  EXPECT_EQ(r.a, in.total_pes);
+  EXPECT_EQ(r.b, 0u);
+  EXPECT_DOUBLE_EQ(r.t_b, 0.0);
+}
+
+TEST(Partition, NoEdgeUpdateZeroesAComp1) {
+  PartitionInput in = balanced_input();
+  in.ops_edge_update = 0;
+  // AComp1 = 0; T_A = max(0, AComp2) + AComp3.
+  EXPECT_DOUBLE_EQ(time_sub_a(in, 4), 0.0 + 2000.0 / 32);
+}
+
+TEST(Partition, BalancedSplitHasHighUtilization) {
+  const PartitionResult r = partition(balanced_input());
+  EXPECT_GT(r.utilization(), 0.85);
+  EXPECT_LE(r.utilization(), 1.0 + 1e-12);
+}
+
+TEST(Partition, StageTimeIsTheSlowerStage) {
+  PartitionResult r;
+  r.t_a = 2.0;
+  r.t_b = 5.0;
+  EXPECT_DOUBLE_EQ(r.stage_time(), 5.0);
+}
+
+TEST(Partition, FromWorkflowPullsTheRightCounts) {
+  const gnn::LayerConfig layer{.in_dim = 16, .out_dim = 8};
+  const auto wf = gnn::generate_workflow(gnn::GnnModel::kGcn, layer, 100, 400);
+  const PartitionInput in = partition_input_from_workflow(wf, 64, 8.0);
+  EXPECT_EQ(in.ops_edge_update, wf.phase(gnn::Phase::kEdgeUpdate).total_ops);
+  EXPECT_EQ(in.ops_vertex_update,
+            wf.phase(gnn::Phase::kVertexUpdate).total_ops);
+  // This shrinking C-GNN layer runs update-first: E_f is the H-wide
+  // transformed feature.
+  EXPECT_EQ(in.edge_feature_dim, 8u);
+  EXPECT_EQ(in.num_edges, 400u);
+  EXPECT_EQ(in.total_pes, 64u);
+}
+
+TEST(Partition, EdgeConvWorkflowIsSingleAccelerator) {
+  const gnn::LayerConfig layer{.in_dim = 8, .out_dim = 8};
+  const auto wf =
+      gnn::generate_workflow(gnn::GnnModel::kEdgeConv1, layer, 100, 400);
+  const PartitionResult r =
+      partition(partition_input_from_workflow(wf, 64, 8.0));
+  EXPECT_TRUE(r.single_accelerator);
+}
+
+class PartitionAllModels : public ::testing::TestWithParam<gnn::GnnModel> {};
+
+TEST_P(PartitionAllModels, ProducesLegalSplit) {
+  const gnn::LayerConfig layer{.in_dim = 32, .out_dim = 16};
+  const auto wf = gnn::generate_workflow(GetParam(), layer, 500, 2500);
+  const PartitionResult r =
+      partition(partition_input_from_workflow(wf, 256, 8.0));
+  EXPECT_EQ(r.a + r.b, 256u);
+  if (!r.single_accelerator) {
+    EXPECT_GE(r.a, 1u);
+    EXPECT_GE(r.b, 1u);
+    // The chosen split balances within one PE quantum on either side.
+    const PartitionInput in = partition_input_from_workflow(wf, 256, 8.0);
+    if (r.a > 1) {
+      const double left = std::abs(time_sub_a(in, r.a - 1) -
+                                   time_sub_b(in, 256 - r.a + 1));
+      EXPECT_GE(left, r.diff - 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, PartitionAllModels,
+                         ::testing::ValuesIn(gnn::kAllModels),
+                         [](const auto& param_info) {
+                           std::string n = gnn::model_name(param_info.param);
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+}  // namespace
+}  // namespace aurora::partition

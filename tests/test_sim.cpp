@@ -1,0 +1,143 @@
+// Unit tests for the cycle-driven simulation kernel.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include <sstream>
+
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace aurora::sim {
+namespace {
+
+/// Component that stays busy for a fixed number of ticks.
+class BusyFor final : public Component {
+ public:
+  explicit BusyFor(Cycle busy) : Component("busy"), remaining_(busy) {}
+  void tick(Cycle now) override {
+    last_tick_ = now;
+    ++ticks_;
+    if (remaining_ > 0) --remaining_;
+  }
+  [[nodiscard]] bool idle() const override { return remaining_ == 0; }
+
+  Cycle last_tick_ = 0;
+  Cycle ticks_ = 0;
+
+ private:
+  Cycle remaining_;
+};
+
+TEST(Simulator, StartsAtCycleZero) {
+  Simulator s;
+  EXPECT_EQ(s.now(), 0u);
+  EXPECT_TRUE(s.all_idle());
+}
+
+TEST(Simulator, StepAdvancesClockAndTicksComponents) {
+  Simulator s;
+  BusyFor c(3);
+  s.add(&c);
+  s.step();
+  EXPECT_EQ(s.now(), 1u);
+  EXPECT_EQ(c.ticks_, 1u);
+  EXPECT_EQ(c.last_tick_, 0u);
+}
+
+TEST(Simulator, RunUntilIdleStopsExactlyWhenDrained) {
+  Simulator s;
+  BusyFor c(5);
+  s.add(&c);
+  const Cycle end = s.run_until_idle(100);
+  EXPECT_EQ(end, 5u);
+  EXPECT_TRUE(s.all_idle());
+}
+
+TEST(Simulator, RunUntilIdleWaitsForSlowestComponent) {
+  Simulator s;
+  BusyFor fast(2), slow(9);
+  s.add(&fast);
+  s.add(&slow);
+  EXPECT_EQ(s.run_until_idle(100), 9u);
+}
+
+TEST(Simulator, DeadlockGuardThrows) {
+  /// Component that is never idle.
+  class Stuck final : public Component {
+   public:
+    Stuck() : Component("stuck") {}
+    void tick(Cycle) override {}
+    [[nodiscard]] bool idle() const override { return false; }
+  };
+  Simulator s;
+  Stuck c;
+  s.add(&c);
+  EXPECT_THROW(s.run_until_idle(50), Error);
+}
+
+TEST(Simulator, RunCyclesIgnoresIdleness) {
+  Simulator s;
+  BusyFor c(1);
+  s.add(&c);
+  s.run_cycles(10);
+  EXPECT_EQ(s.now(), 10u);
+  EXPECT_EQ(c.ticks_, 10u);
+}
+
+TEST(Simulator, RejectsNullComponent) {
+  Simulator s;
+  EXPECT_THROW(s.add(nullptr), Error);
+}
+
+
+// ------------------------------------------------------------------- tracer
+
+TEST(Tracer, DisabledByDefaultAndDropsEvents) {
+  Tracer t;
+  t.record(5, TraceEvent::kDramRequest, 1, 2);
+  EXPECT_EQ(t.size(), 0u);
+  t.enable();
+  t.record(5, TraceEvent::kDramRequest, 1, 2);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.count(TraceEvent::kDramRequest), 1u);
+  EXPECT_EQ(t.count(TraceEvent::kTileStart), 0u);
+}
+
+TEST(Tracer, TimelineRendersOneRowPerActiveKind) {
+  Tracer t;
+  t.enable();
+  for (Cycle c = 0; c < 100; c += 10) {
+    t.record(c, TraceEvent::kPacketInjected, 0, 0);
+  }
+  t.record(50, TraceEvent::kReconfigure, 0, 0);
+  const std::string timeline = t.render_timeline(20);
+  EXPECT_NE(timeline.find("packet-injected"), std::string::npos);
+  EXPECT_NE(timeline.find("reconfigure"), std::string::npos);
+  EXPECT_EQ(timeline.find("dram-request"), std::string::npos);
+  EXPECT_NE(timeline.find("10 events"), std::string::npos);
+}
+
+TEST(Tracer, EmptyTimeline) {
+  Tracer t;
+  EXPECT_EQ(t.render_timeline(), "(empty trace)\n");
+}
+
+TEST(Tracer, CsvOutput) {
+  Tracer t;
+  t.enable();
+  t.record(3, TraceEvent::kTileStart, 7, 8);
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "cycle,event,arg0,arg1\n3,tile-start,7,8\n");
+}
+
+TEST(Tracer, ClearResets) {
+  Tracer t;
+  t.enable();
+  t.record(1, TraceEvent::kTaskComplete);
+  t.clear();
+  EXPECT_EQ(t.size(), 0u);
+}
+
+}  // namespace
+}  // namespace aurora::sim

@@ -1,0 +1,98 @@
+// Tests for the sparse feature-matrix representation and kernels.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "gnn/sparse.hpp"
+
+namespace aurora::gnn {
+namespace {
+
+TEST(Sparse, FromDenseToDenseRoundTrip) {
+  Rng rng(3);
+  Matrix dense(10, 7);
+  dense.randomize(rng);
+  // Zero out most entries.
+  for (std::size_t r = 0; r < 10; ++r) {
+    for (std::size_t c = 0; c < 7; ++c) {
+      if ((r + c) % 3 != 0) dense.at(r, c) = 0.0;
+    }
+  }
+  const SparseMatrix s = SparseMatrix::from_dense(dense);
+  EXPECT_EQ(s.rows(), 10u);
+  EXPECT_EQ(s.cols(), 7u);
+  const Matrix back = s.to_dense();
+  for (std::size_t r = 0; r < 10; ++r) {
+    EXPECT_LT(max_abs_diff(back.row(r), dense.row(r)), 1e-15);
+  }
+}
+
+TEST(Sparse, RandomDensityAndDeterminism) {
+  Rng r1(5), r2(5);
+  const SparseMatrix a = SparseMatrix::random(100, 200, 0.05, r1);
+  const SparseMatrix b = SparseMatrix::random(100, 200, 0.05, r2);
+  EXPECT_NEAR(a.density(), 0.05, 0.01);
+  EXPECT_EQ(a.nnz(), b.nnz());
+  for (std::size_t r = 0; r < 100; ++r) {
+    const auto ia = a.row_indices(r);
+    const auto ib = b.row_indices(r);
+    ASSERT_EQ(ia.size(), ib.size());
+    for (std::size_t i = 0; i < ia.size(); ++i) EXPECT_EQ(ia[i], ib[i]);
+  }
+}
+
+TEST(Sparse, StoredBytesFollowNnz) {
+  Rng rng(7);
+  const SparseMatrix s = SparseMatrix::random(50, 100, 0.1, rng);
+  EXPECT_EQ(s.stored_bytes(8), s.nnz() * 12);
+  EXPECT_LT(s.stored_bytes(8), 50u * 100 * 8);  // beats dense at 10 %
+}
+
+TEST(Sparse, RowMatVecMatchesDense) {
+  Rng rng(11);
+  const SparseMatrix s = SparseMatrix::random(20, 30, 0.2, rng);
+  Matrix w(6, 30);
+  w.randomize(rng);
+  const Matrix dense = s.to_dense();
+  for (std::size_t r = 0; r < 20; ++r) {
+    const Vector got = s.row_mat_vec(w, r);
+    const Vector want = mat_vec(w, dense.row(r));
+    EXPECT_LT(max_abs_diff(got, want), 1e-12) << "row " << r;
+  }
+}
+
+TEST(Sparse, AddScaledRowMatchesDenseAxpy) {
+  Rng rng(13);
+  const SparseMatrix s = SparseMatrix::random(10, 16, 0.3, rng);
+  const Matrix dense = s.to_dense();
+  Vector acc_sparse(16, 1.0), acc_dense(16, 1.0);
+  s.add_scaled_row(acc_sparse, 2.5, 4);
+  accumulate(acc_dense, scalar_mul(2.5, dense.row(4)));
+  EXPECT_LT(max_abs_diff(acc_sparse, acc_dense), 1e-12);
+}
+
+TEST(Sparse, RejectsBadInputs) {
+  EXPECT_THROW((void)[] {
+    Rng rng(1);
+    return SparseMatrix::random(4, 4, 0.0, rng);
+  }(), Error);
+  Rng rng(2);
+  const SparseMatrix s = SparseMatrix::random(4, 4, 0.5, rng);
+  Matrix w(2, 5);  // wrong inner dimension
+  EXPECT_THROW((void)s.row_mat_vec(w, 0), Error);
+}
+
+TEST(Sparse, EmptyRowsAreRepresentable) {
+  Matrix dense(3, 4, 0.0);
+  dense.at(1, 2) = 5.0;
+  const SparseMatrix s = SparseMatrix::from_dense(dense);
+  EXPECT_EQ(s.nnz(), 1u);
+  EXPECT_TRUE(s.row_indices(0).empty());
+  EXPECT_EQ(s.row_indices(1)[0], 2u);
+  Vector acc(4, 0.0);
+  s.add_scaled_row(acc, 1.0, 0);  // no-op
+  EXPECT_DOUBLE_EQ(acc[2], 0.0);
+}
+
+}  // namespace
+}  // namespace aurora::gnn
