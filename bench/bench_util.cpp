@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "common/parallel.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
 
@@ -16,6 +17,7 @@ FigureOptions parse_figure_options(int argc, const char* const* argv) {
   opt.hidden_dim =
       static_cast<std::uint32_t>(args.get_int("hidden", 16));
   opt.seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+  opt.jobs = static_cast<unsigned>(args.get_int("jobs", 0));
   return opt;
 }
 
@@ -51,40 +53,57 @@ baselines::ChipParams figure_chip(const FigureOptions& options) {
 
 std::vector<ComparisonRow> run_comparison(const FigureOptions& options) {
   const core::AuroraConfig cfg = figure_config(options);
-  core::AuroraAccelerator aurora_accel(cfg);
   const baselines::ChipParams chip = figure_chip(options);
+  constexpr std::size_t kNumBaselines = baselines::kAllBaselines.size();
+  constexpr std::size_t kAccels = kNumBaselines + 1;  // column 0 = Aurora
+  const std::size_t num_datasets = graph::kAllDatasets.size();
 
-  std::vector<ComparisonRow> rows;
-  for (graph::DatasetId id : graph::kAllDatasets) {
+  // Generate datasets up front (each is independent too) so every grid cell
+  // only reads shared state.
+  std::vector<graph::Dataset> datasets(num_datasets);
+  parallel_for(num_datasets, options.jobs, [&](std::size_t d) {
+    const graph::DatasetId id = graph::kAllDatasets[d];
     const double scale =
         options.scale > 0.0 ? options.scale : default_scale(id);
-    const graph::Dataset ds = graph::make_dataset(id, scale, options.seed);
-    const core::GnnJob job =
-        core::GnnJob::two_layer(gnn::GnnModel::kGcn, ds.spec,
-                                options.hidden_dim);
+    datasets[d] = graph::make_dataset(id, scale, options.seed);
+  });
 
-    ComparisonRow row;
-    row.dataset = id;
-    row.aurora = aurora_accel.run(ds, job);
-
-    for (std::size_t b = 0; b < baselines::kAllBaselines.size(); ++b) {
-      const auto model =
-          baselines::make_baseline(baselines::kAllBaselines[b], chip);
-      core::RunMetrics total;
-      for (std::size_t layer = 0; layer < job.layers.size(); ++layer) {
-        const auto wf = gnn::generate_workflow(job.model, job.layers[layer],
-                                               ds.num_vertices(),
-                                               ds.num_edges());
-        core::DramTrafficParams traffic;
-        traffic.element_bytes = chip.element_bytes;
-        traffic.sparse_input_features = (layer == 0);
-        traffic.input_feature_density = ds.spec.feature_density;
-        total += model->run_layer(ds, wf, traffic);
-      }
-      row.baseline[b] = total;
-    }
-    rows.push_back(row);
+  // The grid: each (dataset x accelerator) cell owns its accelerator
+  // instance and writes only its preallocated result slot, so cells run
+  // concurrently without synchronisation and results match a serial run
+  // bit for bit (row order is fixed by kAllDatasets, not completion order).
+  std::vector<ComparisonRow> rows(num_datasets);
+  for (std::size_t d = 0; d < num_datasets; ++d) {
+    rows[d].dataset = graph::kAllDatasets[d];
   }
+  parallel_for(num_datasets * kAccels, options.jobs, [&](std::size_t cell) {
+    const std::size_t d = cell / kAccels;
+    const std::size_t a = cell % kAccels;
+    const graph::Dataset& ds = datasets[d];
+    const core::GnnJob job = core::GnnJob::two_layer(
+        gnn::GnnModel::kGcn, ds.spec, options.hidden_dim);
+
+    if (a == 0) {
+      core::AuroraAccelerator aurora_accel(cfg);
+      rows[d].aurora = aurora_accel.run(ds, job);
+      return;
+    }
+    const std::size_t b = a - 1;
+    const auto model =
+        baselines::make_baseline(baselines::kAllBaselines[b], chip);
+    core::RunMetrics total;
+    for (std::size_t layer = 0; layer < job.layers.size(); ++layer) {
+      const auto wf = gnn::generate_workflow(job.model, job.layers[layer],
+                                             ds.num_vertices(),
+                                             ds.num_edges());
+      core::DramTrafficParams traffic;
+      traffic.element_bytes = chip.element_bytes;
+      traffic.sparse_input_features = (layer == 0);
+      traffic.input_feature_density = ds.spec.feature_density;
+      total += model->run_layer(ds, wf, traffic);
+    }
+    rows[d].baseline[b] = total;
+  });
   return rows;
 }
 

@@ -28,6 +28,11 @@ struct FigureOptions {
   bool paper_scale = true;
   std::uint32_t hidden_dim = 16;
   std::uint64_t seed = 7;
+  /// Worker threads for the comparison grid (--jobs): 0 = one per hardware
+  /// thread; 1 = fully serial reproducibility mode (no threading at all).
+  /// Every cell is deterministic either way — the flag only affects
+  /// wall-clock time and scheduling, never results.
+  unsigned jobs = 0;
 };
 
 [[nodiscard]] FigureOptions parse_figure_options(int argc,
@@ -52,7 +57,10 @@ struct ComparisonRow {
   std::array<core::RunMetrics, baselines::kAllBaselines.size()> baseline;
 };
 
-/// Run the 2-layer GCN job over every dataset on every accelerator.
+/// Run the 2-layer GCN job over every dataset on every accelerator. Every
+/// (dataset x accelerator) cell is independent, so the grid runs on a small
+/// thread pool sized by options.jobs; results are identical for any job
+/// count (each cell owns its accelerator instance and result slot).
 [[nodiscard]] std::vector<ComparisonRow> run_comparison(
     const FigureOptions& options);
 

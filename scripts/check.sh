@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus a sanitizer pass.
+#
+# 1. Clean-ish release build + full test suite (the tier-1 gate).
+# 2. Fast-forward vs lockstep wall-clock microbenchmark (JSON on stdout).
+# 3. AddressSanitizer + UBSan build (-DAURORA_SANITIZE=ON) running the test
+#    suite and a small parallel comparison grid (--jobs > 1) to shake out
+#    data races over the thread-pooled bench cells and any lifetime bugs in
+#    the event-driven scheduler.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: release build + tests =="
+cmake -B build -S .
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j
+
+echo "== simspeed microbenchmark =="
+./build/bench/micro_simspeed
+
+echo "== sanitizers: ASan + UBSan build =="
+cmake -B build-asan -S . -DAURORA_SANITIZE=ON
+cmake --build build-asan -j
+ctest --test-dir build-asan --output-on-failure -j
+
+echo "== sanitizers: parallel bench grid =="
+# Tiny scale keeps this minutes-cheap under ASan; --jobs 4 exercises the
+# thread pool. abort_on_error surfaces any report as a non-zero exit.
+export ASAN_OPTIONS="abort_on_error=1:${ASAN_OPTIONS:-}"
+export UBSAN_OPTIONS="halt_on_error=1:${UBSAN_OPTIONS:-}"
+./build-asan/bench/fig9_execution_time --scale=0.02 --jobs=4
+./build-asan/bench/micro_simspeed --iters=200
+
+echo "check.sh: all green"

@@ -1,0 +1,74 @@
+// Minimal fork-join parallelism for embarrassingly parallel grids.
+//
+// The bench binaries run independent (dataset x accelerator) cells; a full
+// task system would be overkill. parallel_for() hands out indices from an
+// atomic counter to a small std::thread pool, so uneven cell costs balance
+// naturally, and rethrows the first worker exception in the caller.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace aurora {
+
+/// Resolve a --jobs style request: 0 means "one per hardware thread"
+/// (falling back to 1 when the runtime cannot tell), anything else is taken
+/// literally.
+inline unsigned resolve_jobs(unsigned requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+/// Invoke fn(i) for every i in [0, count), spread over up to `jobs` threads
+/// (0 = hardware concurrency). jobs == 1 runs everything inline in the
+/// caller thread — the reproducibility mode: no thread scheduling at all.
+/// fn must be safe to call concurrently for distinct indices; writes to
+/// distinct result slots need no synchronisation. The first exception thrown
+/// by any invocation is rethrown here after all workers have stopped
+/// (remaining indices are abandoned).
+template <typename Fn>
+void parallel_for(std::size_t count, unsigned jobs, Fn&& fn) {
+  const unsigned workers = resolve_jobs(jobs);
+  if (count <= 1 || workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+  auto run = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        fn(i);
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!error) error = std::current_exception();
+        }
+        next.store(count, std::memory_order_relaxed);  // stop all workers
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  const std::size_t helpers =
+      std::min<std::size_t>(workers, count) - 1;  // caller is worker #0
+  pool.reserve(helpers);
+  for (std::size_t t = 0; t < helpers; ++t) pool.emplace_back(run);
+  run();
+  for (auto& t : pool) t.join();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace aurora

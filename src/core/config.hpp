@@ -44,6 +44,13 @@ struct AuroraConfig {
   SimMode mode = SimMode::kCycleAccurate;
   MappingPolicy mapping_policy = MappingPolicy::kDegreeAware;
 
+  /// Event-driven idle-cycle fast-forwarding in the cycle engine's
+  /// scheduler. Bit-identical to lockstep (the component hooks only skip
+  /// provably dead cycles — see docs/architecture.md, "Simulation
+  /// scheduler"); disable to run the original tick-every-cycle engine,
+  /// e.g. when debugging a component's tick logic.
+  bool fast_forward = true;
+
   /// Weight-stationary ring size in sub-accelerator B (rings never span
   /// rows, so this is clamped to K).
   std::uint32_t ring_size = 8;

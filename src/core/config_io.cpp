@@ -27,6 +27,7 @@ AuroraConfig config_from_ini(const IniFile& ini, AuroraConfig base) {
   AURORA_CHECK_MSG(mode == "cycle" || mode == "analytic",
                    "chip.mode must be 'cycle' or 'analytic', got " << mode);
   c.mode = mode == "cycle" ? SimMode::kCycleAccurate : SimMode::kAnalytic;
+  c.fast_forward = ini.get_bool("chip", "fast_forward", c.fast_forward);
   const std::string mapping = ini.get_string(
       "chip", "mapping",
       c.mapping_policy == MappingPolicy::kDegreeAware ? "degree-aware"
@@ -91,6 +92,7 @@ std::string config_to_ini(const AuroraConfig& c) {
      << "flops_per_pe = " << c.flops_per_pe << "\n"
      << "mode = "
      << (c.mode == SimMode::kCycleAccurate ? "cycle" : "analytic") << "\n"
+     << "fast_forward = " << (c.fast_forward ? "true" : "false") << "\n"
      << "mapping = "
      << (c.mapping_policy == MappingPolicy::kDegreeAware ? "degree-aware"
                                                          : "hashing")

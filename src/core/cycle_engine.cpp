@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
 #include <functional>
 
 #include "common/error.hpp"
@@ -52,7 +53,14 @@ pe::MicroOp synth_op(OpCount ops, pe::PeConfigKind kind) {
 
 }  // namespace
 
-struct CycleEngine::Impl {};  // all state is local to run_layer
+/// Cross-run state: the PE pool. PEs are timing components with per-run
+/// state that reset() clears, so one pool constructed on first use serves
+/// every layer run — the per-layer heap churn of num_pes() allocations (and
+/// "pe<N>" name strings) measurably showed in profiles. Names are only
+/// materialised when a tracer is attached; nothing else reads them.
+struct CycleEngine::Impl {
+  std::deque<pe::PeModel> pes;  // deque: PeModel is pinned (non-movable)
+};
 
 CycleEngine::CycleEngine(const AuroraConfig& config)
     : impl_(std::make_unique<Impl>()), config_(config) {
@@ -94,17 +102,23 @@ RunMetrics CycleEngine::run_layer(const graph::Dataset& dataset,
 
   // ---- components --------------------------------------------------------
   sim::Simulator sim;
+  sim.set_fast_forward(cfg.fast_forward);
   noc::Network net(cfg.noc);
   dram::DramModel dram(cfg.dram);
-  std::vector<std::unique_ptr<pe::PeModel>> pes;
-  pes.reserve(cfg.num_pes());
-  for (std::uint32_t i = 0; i < cfg.num_pes(); ++i) {
-    pes.push_back(std::make_unique<pe::PeModel>("pe" + std::to_string(i),
-                                                cfg.pe));
+  std::deque<pe::PeModel>& pes = impl_->pes;
+  if (pes.size() != cfg.num_pes()) {
+    pes.clear();
+    for (std::uint32_t i = 0; i < cfg.num_pes(); ++i) {
+      pes.emplace_back(
+          tracer_ != nullptr ? "pe" + std::to_string(i) : std::string(),
+          cfg.pe);
+    }
+  } else {
+    for (auto& p : pes) p.reset();
   }
   sim.add(&net);
   sim.add(&dram);
-  for (auto& p : pes) sim.add(p.get());
+  for (auto& p : pes) sim.add(&p);
 
   ConfigurationUnit config_unit(k);
 
@@ -165,7 +179,7 @@ RunMetrics CycleEngine::run_layer(const graph::Dataset& dataset,
     task.buffer_read_bytes = agg_msg_bytes;
     task.buffer_write_bytes = agg_msg_bytes;
     task.tag = new_action(ActionType::kAccumulateDone, v, at, at);
-    pes[at]->submit(std::move(task));
+    pes[at].submit(std::move(task));
   };
 
   auto submit_ring_stage = [&](noc::NodeId at, VertexId v,
@@ -184,7 +198,7 @@ RunMetrics CycleEngine::run_layer(const graph::Dataset& dataset,
         static_cast<Bytes>(task.op.length + out_dim) * elem;
     task.buffer_write_bytes = static_cast<Bytes>(out_dim) * elem;
     task.tag = new_action(ActionType::kRingStageDone, v, at, at, stage);
-    pes[at]->submit(std::move(task));
+    pes[at].submit(std::move(task));
   };
 
   auto vertex_done = [&]() {
@@ -297,7 +311,7 @@ RunMetrics CycleEngine::run_layer(const graph::Dataset& dataset,
         throw Error("unexpected PE completion action");
     }
   };
-  for (auto& p : pes) p->set_completion_callback(on_pe_complete);
+  for (auto& p : pes) p.set_completion_callback(on_pe_complete);
 
   net.set_delivery_callback([&](const noc::Packet& pkt, Cycle now) {
     if (tracer_ != nullptr) {
@@ -455,7 +469,7 @@ RunMetrics CycleEngine::run_layer(const graph::Dataset& dataset,
           task.buffer_write_bytes = static_cast<Bytes>(fv) * elem;
           task.tag =
               new_action(ActionType::kEdgeUpdateDone, vl, src, dst);
-          pes[src]->submit(std::move(task));
+          pes[src].submit(std::move(task));
         } else if (src == dst) {
           submit_accumulate(dst, vl);
         } else {
@@ -504,21 +518,26 @@ RunMetrics CycleEngine::run_layer(const graph::Dataset& dataset,
   metrics.noc_heatmap = net.render_load_heatmap();
   net.export_counters(metrics.counters);
   dram.export_counters(metrics.counters);
-  for (const auto& p : pes) p->export_counters(metrics.counters);
+  // Scheduler diagnostics: how much of the run fast-forward skipped. Equal
+  // ticked+skipped totals are part of the lockstep-equivalence contract
+  // (skipped is simply 0 when fast_forward is off).
+  metrics.counters.inc("sim.cycles_total", sim.now());
+  metrics.counters.inc("sim.cycles_skipped", sim.cycles_skipped());
+  for (const auto& p : pes) p.export_counters(metrics.counters);
   {
     // Per-PE busy heatmap + mean utilization over the run.
     static constexpr const char* kGlyphs = " .:-=+*#%@";
     Cycle peak = 0;
     double busy_sum = 0.0;
     for (const auto& p : pes) {
-      peak = std::max(peak, p->stats().busy_cycles);
-      busy_sum += static_cast<double>(p->stats().busy_cycles);
+      peak = std::max(peak, p.stats().busy_cycles);
+      busy_sum += static_cast<double>(p.stats().busy_cycles);
     }
     std::string heat;
     for (std::uint32_t r = 0; r < k; ++r) {
       heat.push_back('|');
       for (std::uint32_t c = 0; c < k; ++c) {
-        const Cycle b = pes[r * k + c]->stats().busy_cycles;
+        const Cycle b = pes[r * k + c].stats().busy_cycles;
         const auto level =
             peak == 0 || b == 0
                 ? 0
@@ -550,8 +569,8 @@ RunMetrics CycleEngine::run_layer(const graph::Dataset& dataset,
       net.stats().router_traversals * cfg.noc.flit_bytes;
   Bytes sram_bytes = 0;
   for (const auto& p : pes) {
-    sram_bytes += p->bank_buffer().bytes_read() +
-                  p->bank_buffer().bytes_written();
+    sram_bytes += p.bank_buffer().bytes_read() +
+                  p.bank_buffer().bytes_written();
   }
   metrics.events.sram_large_bytes = sram_bytes;
   metrics.events.reconfig_switch_writes = metrics.switch_writes;

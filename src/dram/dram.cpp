@@ -64,6 +64,7 @@ void DramModel::enqueue(DramRequest request, Cycle now) {
     ++pending_bursts_;
   }
   (void)base_addr;
+  wake();
   ++stats_.requests;
   stats_.bursts += num_bursts;
   if (is_write) {
@@ -178,6 +179,43 @@ void DramModel::tick(Cycle now) {
 }
 
 bool DramModel::idle() const { return !busy_ && pending_bursts_ == 0; }
+
+Cycle DramModel::next_event_cycle(Cycle now) const {
+  const DramTiming& t = config_.timing;
+  Cycle next = sim::kNoEvent;
+  for (const auto& ch : channels_) {
+    // Refresh fires on schedule whether or not work is queued (it closes
+    // rows and counts a command), so its deadline is always an event.
+    if (t.t_refi > 0) next = std::min(next, ch.next_refresh_at);
+    if (ch.queue.empty()) continue;
+    if (now < ch.refresh_until) {
+      next = std::min(next, ch.refresh_until);
+      continue;
+    }
+    // Command booking horizon: no column command issues while the data bus
+    // is booked too far ahead; it reopens at a known cycle.
+    const Cycle horizon = t.t_cl + 2 * t.t_burst;
+    if (ch.bus_free_at > now + horizon) {
+      next = std::min(next, ch.bus_free_at - horizon);
+      continue;
+    }
+    // FR-FCFS window: a burst whose bank is ready issues on the next tick;
+    // otherwise the earliest bank-ready cycle is exact from tRCD/tRP/tCL.
+    const std::size_t window =
+        std::min<std::size_t>(ch.queue.size(), config_.queue_depth);
+    for (std::size_t i = 0; i < window; ++i) {
+      const Cycle ready = ch.banks[bank_of(ch.queue[i].addr)].ready_at;
+      if (ready <= now) return now;
+      next = std::min(next, ready);
+    }
+  }
+  // The busy flag clears on the tick after the last scheduled data beat;
+  // everything in between is a no-op.
+  if (pending_bursts_ == 0 && busy_ && last_completion_ > 0) {
+    next = std::min(next, last_completion_ - 1);
+  }
+  return next;
+}
 
 void DramModel::export_counters(CounterSet& out) const {
   out.inc("dram.requests", stats_.requests);

@@ -92,6 +92,13 @@ class DramModel final : public sim::Component {
 
   void tick(Cycle now) override;
   [[nodiscard]] bool idle() const override;
+  /// Exact next-work cycle from the timing state machine: the earliest of
+  /// any channel's refresh deadline, refresh completion, command-booking
+  /// horizon opening, or queued burst whose bank becomes ready
+  /// (tRCD/tRP/tCL/tBL all yield exact readiness cycles). Refresh deadlines
+  /// are events even on an idle channel so the refresh cadence — and every
+  /// derived counter — matches a lockstep run tick for tick.
+  [[nodiscard]] Cycle next_event_cycle(Cycle now) const override;
 
   [[nodiscard]] const DramStats& stats() const { return stats_; }
   [[nodiscard]] const DramConfig& config() const { return config_; }

@@ -1,6 +1,7 @@
 #include "noc/network.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/error.hpp"
 
@@ -16,6 +17,10 @@ Network::Network(const NocParams& params)
   routers_.resize(num_nodes());
   router_occupancy_.assign(num_nodes(), 0);
   router_load_.assign(num_nodes(), 0);
+  // Sized for a typical injection wave up front so the per-packet
+  // bookkeeping never rehashes/reallocates on the per-cycle hot path.
+  live_packets_.reserve(256);
+  delivered_.reserve(256);
   for (auto& r : routers_) {
     for (auto& per_port : r.credits) per_port.fill(params.input_buffer_flits);
   }
@@ -65,6 +70,7 @@ std::uint64_t Network::send(NodeId src, NodeId dst, Bytes payload_bytes,
   }
   live_packets_.emplace(p.id, PacketRecord{p, 0, 0});
   ++stats_.packets_injected;
+  wake();
   return p.id;
 }
 
@@ -127,8 +133,18 @@ void Network::eject_flit(NodeId node, const Flit& flit, Cycle now) {
     stats_.packet_latency.add(
         static_cast<double>(now - rec.packet.injected_at));
     stats_.packet_hops.add(static_cast<double>(rec.hops));
-    if (on_delivery_) on_delivery_(rec.packet, now);
-    delivered_.push_back(rec.packet);
+    if (on_delivery_) {
+      on_delivery_(rec.packet, now);
+    } else {
+      // Grow toward the number of packets still in flight in one step so a
+      // burst of deliveries costs at most one reallocation.
+      if (delivered_.size() == delivered_.capacity()) {
+        delivered_.reserve(std::max(delivered_.capacity() * 2,
+                                    delivered_.size() + live_packets_.size() +
+                                        1));
+      }
+      delivered_.push_back(rec.packet);
+    }
     live_packets_.erase(it);
   }
 }
@@ -235,6 +251,38 @@ void Network::tick(Cycle now) {
 
 bool Network::idle() const { return flits_in_flight_ == 0; }
 
+Cycle Network::next_event_cycle(Cycle now) const {
+  if (flits_in_flight_ == 0) return sim::kNoEvent;
+  // Only FIFO-front flits can move, so the earliest possible state change
+  // is the min front ready_at. A front flit that is ready this cycle might
+  // move next tick (subject to credits/locks we cannot cheaply predict), so
+  // it conservatively pins the clock to `now`. Ticks where every buffered
+  // front is still in transit (ready_at > now) provably mutate nothing:
+  // switch allocation only updates rr/locks/credits when a flit moves.
+  Cycle next = sim::kNoEvent;
+  for (NodeId node = 0; node < num_nodes(); ++node) {
+    if (router_occupancy_[node] == 0) continue;
+    const Router& router = routers_[node];
+    for (std::size_t p = 0; p < kNumPorts; ++p) {
+      for (std::uint32_t v = 0; v < params_.num_vcs; ++v) {
+        const auto& fifo = router.in[p][v].fifo;
+        if (fifo.empty()) continue;
+        const Cycle ready = fifo.front().ready_at;
+        if (ready <= now) return now;
+        next = std::min(next, ready);
+      }
+    }
+  }
+  return next;
+}
+
+void Network::skip_cycles(Cycle from, Cycle to) {
+  // Lockstep counts every cycle with at least one flit in flight; the
+  // in-flight count cannot change during a skipped span (flits only move on
+  // ticks), so the whole span is busy iff it is busy now.
+  if (flits_in_flight_ > 0) stats_.busy_cycles += to - from;
+}
+
 std::string Network::render_load_heatmap() const {
   static constexpr const char* kGlyphs = " .:-=+*#%@";
   std::uint64_t peak = 0;
@@ -266,9 +314,7 @@ void Network::export_counters(CounterSet& out) const {
 }
 
 std::vector<Packet> Network::drain_delivered() {
-  std::vector<Packet> out;
-  out.swap(delivered_);
-  return out;
+  return std::exchange(delivered_, {});
 }
 
 const char* port_name(Port p) {

@@ -82,11 +82,22 @@ class Network final : public sim::Component {
     on_delivery_ = std::move(cb);
   }
 
-  /// Packets delivered since the last call (alternative to the callback).
+  /// Packets delivered since the last call. Only populated when no delivery
+  /// callback is installed — callback clients get each packet exactly once
+  /// through the callback and nothing accumulates on the hot path.
   [[nodiscard]] std::vector<Packet> drain_delivered();
 
   void tick(Cycle now) override;
   [[nodiscard]] bool idle() const override;
+  /// Earliest cycle at which any buffered flit can move: the min ready_at
+  /// over the FIFO-front flits of occupied routers. A front flit that is
+  /// already ready (possibly blocked on credits/locks) pins the clock —
+  /// unblocking can only happen through other flit movements, which happen
+  /// on ticks.
+  [[nodiscard]] Cycle next_event_cycle(Cycle now) const override;
+  /// Keeps busy_cycles identical to a lockstep run: every skipped cycle had
+  /// flits in flight (otherwise the network would have been drained).
+  void skip_cycles(Cycle from, Cycle to) override;
 
   [[nodiscard]] const NocStats& stats() const { return stats_; }
   [[nodiscard]] std::uint32_t num_nodes() const {

@@ -15,6 +15,28 @@ PeModel::PeModel(std::string name, const PeModelParams& params)
 void PeModel::submit(PeTask task) {
   AURORA_CHECK(task.op.length > 0 || task.op.kind == PeConfigKind::kBypass);
   queue_.push_back(std::move(task));
+  wake();
+}
+
+void PeModel::reset() {
+  datapath_ = PeDatapath(params_.datapath);
+  buffer_ = BankBuffer(params_.bank_buffer_bytes, params_.bank_count);
+  fifo_ = ReuseFifo(params_.reuse_fifo_entries);
+  queue_.clear();
+  on_complete_ = nullptr;
+  running_ = false;
+  finish_at_ = 0;
+  running_tag_ = 0;
+  stats_ = PeStats{};
+}
+
+Cycle PeModel::next_event_cycle(Cycle now) const {
+  // While a micro-op is in flight nothing can happen before it completes;
+  // a non-empty queue with nothing running starts a task on the very next
+  // tick; a drained PE has no event at all until the next submit().
+  if (running_) return finish_at_;
+  if (!queue_.empty()) return now;
+  return sim::kNoEvent;
 }
 
 Cycle PeModel::task_cycles(const PeTask& task, const PeModelParams& params,

@@ -56,8 +56,16 @@ class PeModel final : public sim::Component {
     on_complete_ = std::move(cb);
   }
 
+  /// Return the PE to its just-constructed state (stats, queue, datapath
+  /// wiring, buffer/FIFO counters) so one pool of PEs can be reused across
+  /// layer runs without per-run heap churn.
+  void reset();
+
   void tick(Cycle now) override;
   [[nodiscard]] bool idle() const override;
+  /// A PE's only event is the completion of the in-flight micro-op; while
+  /// one is running every earlier tick is a no-op.
+  [[nodiscard]] Cycle next_event_cycle(Cycle now) const override;
 
   [[nodiscard]] const PeStats& stats() const { return stats_; }
 
@@ -66,6 +74,7 @@ class PeModel final : public sim::Component {
   void export_counters(CounterSet& out) const;
   [[nodiscard]] const PeModelParams& params() const { return params_; }
   [[nodiscard]] BankBuffer& bank_buffer() { return buffer_; }
+  [[nodiscard]] const BankBuffer& bank_buffer() const { return buffer_; }
   [[nodiscard]] ReuseFifo& reuse_fifo() { return fifo_; }
   [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
 

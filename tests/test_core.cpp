@@ -2,6 +2,8 @@
 // traffic accounting, the cycle engine, the analytic model, and the facade.
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "core/aurora.hpp"
@@ -276,6 +278,89 @@ TEST(CycleEngine, DeterministicAcrossRuns) {
   EXPECT_EQ(m1.total_cycles, m2.total_cycles);
   EXPECT_EQ(m1.onchip_comm_cycles, m2.onchip_comm_cycles);
   EXPECT_DOUBLE_EQ(m1.energy.total_pj(), m2.energy.total_pj());
+}
+
+// ---------------------------------------- fast-forward equivalence (tentpole)
+
+/// Fast-forward must reproduce the lockstep engine *bit for bit*: the jumps
+/// only skip cycles every component proved dead, so every reported number —
+/// cycle counts, NoC stats, DRAM access counts, per-component counters —
+/// must match exactly, not approximately.
+void expect_identical_metrics(const RunMetrics& ff, const RunMetrics& ls,
+                              const char* what) {
+  EXPECT_EQ(ff.total_cycles, ls.total_cycles) << what;
+  EXPECT_EQ(ff.compute_cycles, ls.compute_cycles) << what;
+  EXPECT_EQ(ff.onchip_comm_cycles, ls.onchip_comm_cycles) << what;
+  EXPECT_EQ(ff.dram_cycles, ls.dram_cycles) << what;
+  EXPECT_EQ(ff.reconfig_cycles, ls.reconfig_cycles) << what;
+  EXPECT_EQ(ff.dram_bytes, ls.dram_bytes) << what;
+  EXPECT_EQ(ff.dram_accesses, ls.dram_accesses) << what;
+  EXPECT_EQ(ff.noc_messages, ls.noc_messages) << what;
+  EXPECT_DOUBLE_EQ(ff.avg_hops, ls.avg_hops) << what;
+  EXPECT_EQ(ff.bypass_messages, ls.bypass_messages) << what;
+  EXPECT_EQ(ff.num_subgraphs, ls.num_subgraphs) << what;
+  EXPECT_EQ(ff.switch_writes, ls.switch_writes) << what;
+  EXPECT_DOUBLE_EQ(ff.pe_utilization, ls.pe_utilization) << what;
+  EXPECT_DOUBLE_EQ(ff.energy.total_pj(), ls.energy.total_pj()) << what;
+  EXPECT_EQ(ff.noc_heatmap, ls.noc_heatmap) << what;
+  EXPECT_EQ(ff.pe_heatmap, ls.pe_heatmap) << what;
+  // The counter map covers every component event the engine exports
+  // (noc.*, dram.* including refreshes and row hit/miss/conflict, pe.*).
+  // sim.cycles_skipped is the one intentional difference: it reports what
+  // the scheduler skipped, which is 0 by definition in lockstep.
+  auto ffc = ff.counters.all();
+  auto lsc = ls.counters.all();
+  EXPECT_GT(ffc["sim.cycles_skipped"], 0u) << what;  // jumps really happened
+  EXPECT_EQ(lsc["sim.cycles_skipped"], 0u) << what;
+  ffc.erase("sim.cycles_skipped");
+  lsc.erase("sim.cycles_skipped");
+  EXPECT_TRUE(ffc == lsc) << what;
+}
+
+TEST(CycleEngine, FastForwardMatchesLockstepAcrossDatasets) {
+  AuroraConfig lockstep_cfg = small_config();
+  lockstep_cfg.fast_forward = false;
+  AuroraConfig ff_cfg = small_config();
+  ff_cfg.fast_forward = true;
+  for (graph::DatasetId id :
+       {graph::DatasetId::kCora, graph::DatasetId::kCiteseer}) {
+    const auto ds = graph::make_dataset(id, 0.05);
+    AuroraAccelerator lockstep(lockstep_cfg), ff(ff_cfg);
+    const auto ml = lockstep.run_layer(ds, gnn::GnnModel::kGcn, {32, 8}, 1);
+    const auto mf = ff.run_layer(ds, gnn::GnnModel::kGcn, {32, 8}, 1);
+    expect_identical_metrics(mf, ml, graph::dataset_name(id));
+  }
+}
+
+TEST(CycleEngine, FastForwardMatchesLockstepBothDataflowOrders) {
+  AuroraConfig lockstep_cfg = small_config();
+  lockstep_cfg.fast_forward = false;
+  AuroraConfig ff_cfg = small_config();
+  ff_cfg.fast_forward = true;
+  const auto ds = small_dataset();
+  // GCN runs update-first, AGNN aggregation-first: both dependency graphs
+  // (and thus both tick interleavings) must survive the jumps.
+  const auto order = [&](gnn::GnnModel model) {
+    return gnn::generate_workflow(model, {32, 8}, ds.num_vertices(),
+                                  ds.num_edges())
+        .update_first;
+  };
+  ASSERT_NE(order(gnn::GnnModel::kGcn), order(gnn::GnnModel::kAgnn));
+  for (gnn::GnnModel model : {gnn::GnnModel::kGcn, gnn::GnnModel::kAgnn}) {
+    AuroraAccelerator lockstep(lockstep_cfg), ff(ff_cfg);
+    const auto ml = lockstep.run_layer(ds, model, {32, 8}, 1);
+    const auto mf = ff.run_layer(ds, model, {32, 8}, 1);
+    expect_identical_metrics(mf, ml, gnn::model_name(model));
+  }
+}
+
+TEST(CycleEngine, FastForwardConfigRoundTrips) {
+  AuroraConfig cfg = small_config();
+  cfg.fast_forward = false;
+  std::istringstream in(config_to_ini(cfg));
+  const auto restored = config_from_ini(IniFile::parse(in));
+  EXPECT_FALSE(restored.fast_forward);
+  EXPECT_TRUE(AuroraConfig{}.fast_forward);  // default on
 }
 
 TEST(CycleEngine, BiggerGraphTakesLonger) {

@@ -89,6 +89,137 @@ TEST(Simulator, RejectsNullComponent) {
   EXPECT_THROW(s.add(nullptr), Error);
 }
 
+// ------------------------------------------------- event-driven fast-forward
+
+/// Component with one scheduled event: ticks are no-ops until `fire_at`,
+/// where it does one unit of work. Counts every tick and skipped cycle so
+/// tests can see exactly what the scheduler did.
+class FiresAt final : public Component {
+ public:
+  explicit FiresAt(Cycle fire_at) : Component("fires-at"), fire_at_(fire_at) {}
+  void tick(Cycle now) override {
+    ++ticks_;
+    if (pending_ && now >= fire_at_) pending_ = false;
+  }
+  [[nodiscard]] bool idle() const override { return !pending_; }
+  [[nodiscard]] Cycle next_event_cycle(Cycle now) const override {
+    if (!pending_) return kNoEvent;
+    return std::max(now, fire_at_);
+  }
+  void skip_cycles(Cycle from, Cycle to) override { skipped_ += to - from; }
+  void rearm(Cycle fire_at) {
+    fire_at_ = fire_at;
+    pending_ = true;
+    wake();
+  }
+
+  Cycle ticks_ = 0;
+  Cycle skipped_ = 0;
+
+ private:
+  Cycle fire_at_;
+  bool pending_ = true;
+};
+
+TEST(FastForward, JumpsOverDeadCyclesWithoutTickingThem) {
+  Simulator s;
+  FiresAt c(1000);
+  s.add(&c);
+  EXPECT_EQ(s.run_until_idle(10'000), 1001u);
+  // Tick at 0, jump to 1000, tick there: two ticks for 1001 cycles.
+  EXPECT_EQ(c.ticks_, 2u);
+  EXPECT_EQ(c.skipped_, 999u);
+  EXPECT_EQ(s.cycles_skipped(), 999u);
+}
+
+TEST(FastForward, DisabledModeTicksEveryCycle) {
+  Simulator s;
+  s.set_fast_forward(false);
+  FiresAt c(1000);
+  s.add(&c);
+  EXPECT_EQ(s.run_until_idle(10'000), 1001u);
+  EXPECT_EQ(c.ticks_, 1001u);
+  EXPECT_EQ(s.cycles_skipped(), 0u);
+}
+
+TEST(FastForward, EndCycleMatchesLockstepExactly) {
+  for (Cycle fire : {0u, 1u, 2u, 7u, 63u, 5000u}) {
+    Simulator ff, ls;
+    ls.set_fast_forward(false);
+    FiresAt a(fire), b(fire);
+    ff.add(&a);
+    ls.add(&b);
+    EXPECT_EQ(ff.run_until_idle(100'000), ls.run_until_idle(100'000))
+        << "fire_at=" << fire;
+  }
+}
+
+TEST(FastForward, LegacyComponentPinsTheClock) {
+  // A lockstep-default component ("tick me every cycle") must prevent jumps
+  // even when an event-aware peer sees its next event far away.
+  Simulator s;
+  FiresAt aware(500);
+  BusyFor legacy(200);
+  s.add(&aware);
+  s.add(&legacy);
+  s.run_until_idle(10'000);
+  // No jumps while the legacy component was busy; after it drains it reports
+  // kNoEvent via... it doesn't — BusyFor keeps the default next_event_cycle,
+  // so it pins the clock right up to cycle 500. Everything stays lockstep.
+  EXPECT_EQ(aware.ticks_, 501u);
+  EXPECT_EQ(s.cycles_skipped(), 0u);
+}
+
+TEST(FastForward, QuiescentComponentRetiresAndWakes) {
+  Simulator s;
+  FiresAt a(3), b(10);
+  s.add(&a);
+  s.add(&b);
+  s.run_until_idle(1000);
+  const Cycle a_ticks_after_drain = a.ticks_;
+  // a drained at cycle 3 and reported kNoEvent: it must not be ticked while
+  // b finishes out (cycles 4..10 are jumped or ticked only on b).
+  EXPECT_LE(a_ticks_after_drain, 3u);
+
+  // wake() re-enters the tick loop: rearm and run again on the same sim.
+  a.rearm(s.now() + 50);
+  EXPECT_FALSE(s.all_idle());
+  s.run_until_idle(1000);
+  EXPECT_TRUE(s.all_idle());
+  EXPECT_GT(a.ticks_, a_ticks_after_drain);
+}
+
+TEST(FastForward, DeadlineStillTripsUnderFastForward) {
+  /// Never idle, but always claims its next event is far away — a livelocked
+  /// component must still hit the deadline guard, clamped like lockstep.
+  class Stalled final : public Component {
+   public:
+    Stalled() : Component("stalled") {}
+    void tick(Cycle) override {}
+    [[nodiscard]] bool idle() const override { return false; }
+    [[nodiscard]] Cycle next_event_cycle(Cycle now) const override {
+      return now + 1'000'000;
+    }
+  };
+  Simulator s;
+  Stalled c;
+  s.add(&c);
+  EXPECT_THROW(s.run_until_idle(500), Error);
+  EXPECT_LE(s.now(), 500u);
+}
+
+TEST(FastForward, SkipCyclesSpansExactlyTheJumpedRange) {
+  Simulator s;
+  FiresAt a(100), b(40);
+  s.add(&a);
+  s.add(&b);
+  s.run_until_idle(1000);
+  // Jumps: 1 -> 40 (b's event), then 41 -> 100 (a's event, b now quiescent).
+  EXPECT_EQ(s.now(), 101u);
+  EXPECT_EQ(a.skipped_, 98u);
+  EXPECT_EQ(s.cycles_skipped(), 98u);
+}
+
 
 // ------------------------------------------------------------------- tracer
 
