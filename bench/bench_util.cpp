@@ -6,6 +6,7 @@
 #include "common/parallel.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
+#include "core/report.hpp"
 
 namespace aurora::bench {
 
@@ -18,6 +19,7 @@ FigureOptions parse_figure_options(int argc, const char* const* argv) {
       static_cast<std::uint32_t>(args.get_int("hidden", 16));
   opt.seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
   opt.jobs = static_cast<unsigned>(args.get_int("jobs", 0));
+  opt.metrics_out = args.get_string("metrics-out", "");
   return opt;
 }
 
@@ -104,6 +106,20 @@ std::vector<ComparisonRow> run_comparison(const FigureOptions& options) {
     }
     rows[d].baseline[b] = total;
   });
+
+  if (!options.metrics_out.empty()) {
+    std::vector<core::NamedRun> runs;
+    for (const auto& row : rows) {
+      const char* ds_name = graph::dataset_name(row.dataset);
+      runs.push_back({"Aurora", ds_name, row.aurora});
+      for (std::size_t b = 0; b < kNumBaselines; ++b) {
+        runs.push_back({baselines::baseline_name(baselines::kAllBaselines[b]),
+                        ds_name, row.baseline[b]});
+      }
+    }
+    core::write_json_file(options.metrics_out, core::runs_to_json(runs));
+    std::printf("metrics JSON: %s\n", options.metrics_out.c_str());
+  }
   return rows;
 }
 

@@ -33,6 +33,10 @@ struct FigureOptions {
   /// Every cell is deterministic either way — the flag only affects
   /// wall-clock time and scheduling, never results.
   unsigned jobs = 0;
+  /// When non-empty (--metrics-out), run_comparison writes the full grid's
+  /// RunMetrics as a JSON report (one named run per dataset x accelerator
+  /// cell, same schema as metrics_to_json) to this path.
+  std::string metrics_out;
 };
 
 [[nodiscard]] FigureOptions parse_figure_options(int argc,

@@ -17,6 +17,8 @@
 #include "core/config_io.hpp"
 #include "baselines/baseline.hpp"
 #include "core/report.hpp"
+#include "sim/perfetto.hpp"
+#include "sim/sampler.hpp"
 #include "sim/trace.hpp"
 #include "graph/io.hpp"
 
@@ -60,6 +62,11 @@ int main(int argc, char** argv) {
         "  --paper-chip           use the 32x32/100MB paper chip\n"
         "  --json=<path>          write a JSON report\n"
         "  --trace                print an ASCII event timeline (cycle mode)\n"
+        "  --trace-out=<path>     write a Chrome/Perfetto trace JSON (cycle\n"
+        "                         mode; open in ui.perfetto.dev)\n"
+        "  --metrics-out=<path>   write the per-run metrics JSON report\n"
+        "  --sample-interval=<n>  sample metric time series every n cycles\n"
+        "                         (0 = off; defaults to 64 with --trace-out)\n"
         "  --counters             dump component event counters (cycle mode)\n"
         "  --baselines            run the five baseline accelerators too\n"
         "  --print-config         dump the effective chip INI and exit\n");
@@ -141,9 +148,20 @@ int main(int argc, char** argv) {
   // ---- run --------------------------------------------------------------------
   core::AuroraAccelerator accel(config);
   sim::Tracer tracer;
-  if (args.get_bool("trace", false)) {
+  const std::string trace_out = args.get_string("trace-out", "");
+  if (args.get_bool("trace", false) || !trace_out.empty()) {
     tracer.enable();
     accel.set_tracer(&tracer);
+  }
+  // Exporting a trace without any counter track would be a hollow timeline,
+  // so --trace-out turns sampling on at a default interval unless the user
+  // chose one (or explicitly disabled it with --sample-interval=0).
+  const std::int64_t sample_interval =
+      args.get_int("sample-interval", trace_out.empty() ? 0 : 64);
+  std::optional<sim::Sampler> sampler;
+  if (sample_interval > 0) {
+    sampler.emplace(static_cast<Cycle>(sample_interval));
+    accel.set_sampler(&*sampler);
   }
   const auto hidden = static_cast<std::uint32_t>(args.get_int("hidden", 16));
   AsciiTable table({"model", "a:b", "tiles", "cycles", "time (us)", "DRAM",
@@ -205,6 +223,17 @@ int main(int argc, char** argv) {
   if (!json_path.empty()) {
     core::write_json_file(json_path, core::runs_to_json(runs));
     std::printf("\nJSON report: %s\n", json_path.c_str());
+  }
+  if (!trace_out.empty()) {
+    sim::write_perfetto_trace(trace_out, tracer,
+                              sampler.has_value() ? &*sampler : nullptr);
+    std::printf("\nPerfetto trace: %s (open in ui.perfetto.dev)\n",
+                trace_out.c_str());
+  }
+  const std::string metrics_out = args.get_string("metrics-out", "");
+  if (!metrics_out.empty()) {
+    core::write_json_file(metrics_out, core::runs_to_json(runs));
+    std::printf("metrics JSON: %s\n", metrics_out.c_str());
   }
   return 0;
 }

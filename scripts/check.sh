@@ -18,6 +18,28 @@ ctest --test-dir build --output-on-failure -j
 echo "== simspeed microbenchmark =="
 ./build/bench/micro_simspeed
 
+echo "== observability smoke: trace + metrics export =="
+# A small cycle-mode run with every observability flag on. Both outputs must
+# be valid JSON; the metrics report must carry the per-phase and latency
+# schema, and the trace must contain phase spans and counter tracks.
+obs_dir="$(mktemp -d)"
+trap 'rm -rf "$obs_dir"' EXIT
+./build/examples/simulate --dataset=cora --scale=0.03 --model=GCN \
+  --mode=cycle --trace-out="$obs_dir/trace.json" \
+  --metrics-out="$obs_dir/metrics.json" --sample-interval=32
+python3 -m json.tool "$obs_dir/trace.json" > /dev/null
+python3 -m json.tool "$obs_dir/metrics.json" > /dev/null
+for key in '"traceEvents"' '"ph": "X"' '"ph": "C"' '"noc.packets_in_flight"'; do
+  grep -qF "$key" "$obs_dir/trace.json" \
+    || { echo "trace schema drift: missing $key"; exit 1; }
+done
+for key in '"phases"' '"edge_update"' '"aggregation"' '"vertex_update"' \
+           '"noc_packet_latency"' '"dram_request_latency"' '"p99"'; do
+  grep -qF "$key" "$obs_dir/metrics.json" \
+    || { echo "metrics schema drift: missing $key"; exit 1; }
+done
+echo "observability smoke: ok"
+
 echo "== sanitizers: ASan + UBSan build =="
 cmake -B build-asan -S . -DAURORA_SANITIZE=ON
 cmake --build build-asan -j

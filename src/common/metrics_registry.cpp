@@ -1,0 +1,72 @@
+#include "common/metrics_registry.hpp"
+
+#include "common/error.hpp"
+
+namespace aurora {
+
+const char* metric_kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  throw Error("invalid MetricKind");
+}
+
+void MetricsRegistry::insert(Entry entry) {
+  AURORA_CHECK_MSG(!entry.name.empty(), "metric name must not be empty");
+  const auto [it, inserted] = entries_.emplace(entry.name, std::move(entry));
+  AURORA_CHECK_MSG(inserted, "duplicate metric registration: " << it->first);
+}
+
+void MetricsRegistry::add_counter(const std::string& name,
+                                  const std::uint64_t* counter) {
+  AURORA_CHECK(counter != nullptr);
+  insert({name, MetricKind::kCounter,
+          [counter] { return static_cast<double>(*counter); }, nullptr});
+}
+
+void MetricsRegistry::add_counter(const std::string& name, Probe probe) {
+  AURORA_CHECK(probe != nullptr);
+  insert({name, MetricKind::kCounter, std::move(probe), nullptr});
+}
+
+void MetricsRegistry::add_gauge(const std::string& name, Probe probe) {
+  AURORA_CHECK(probe != nullptr);
+  insert({name, MetricKind::kGauge, std::move(probe), nullptr});
+}
+
+void MetricsRegistry::add_histogram(const std::string& name,
+                                    const Histogram* histogram) {
+  AURORA_CHECK(histogram != nullptr);
+  insert({name, MetricKind::kHistogram, nullptr, histogram});
+}
+
+const MetricsRegistry::Entry* MetricsRegistry::find(
+    const std::string& name) const {
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+double MetricsRegistry::value(const std::string& name) const {
+  const Entry* e = find(name);
+  AURORA_CHECK_MSG(e != nullptr, "unknown metric: " << name);
+  AURORA_CHECK_MSG(e->kind != MetricKind::kHistogram,
+                   "metric " << name << " is a histogram; read it via find()");
+  return e->probe();
+}
+
+std::vector<const MetricsRegistry::Entry*> MetricsRegistry::match(
+    const std::string& prefix) const {
+  std::vector<const Entry*> out;
+  for (auto it = entries_.lower_bound(prefix); it != entries_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(&it->second);
+  }
+  return out;
+}
+
+}  // namespace aurora

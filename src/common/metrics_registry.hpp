@@ -1,0 +1,95 @@
+// Hierarchical metrics registry: the one place components publish their
+// named counters, gauges and latency histograms so generic tooling (the
+// time-series Sampler, reports, debug dumps) can discover them without
+// knowing each component's stats struct.
+//
+// Names are dot-separated paths ("dram.row_hits", "pe.queue_depth"); a
+// Scope helper prepends a component's prefix so registration code reads as
+// relative names. Probes are non-owning: a registered pointer or lambda
+// must outlive every read through the registry, so per-run registries are
+// built next to the components they observe and dropped with them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace aurora {
+
+enum class MetricKind : std::uint8_t {
+  kCounter,    // monotonic event count
+  kGauge,      // instantaneous level (queue depth, flits in flight)
+  kHistogram,  // latency/depth distribution
+};
+
+[[nodiscard]] const char* metric_kind_name(MetricKind kind);
+
+class MetricsRegistry {
+ public:
+  /// Reads the metric's current value. Must stay valid for the registry's
+  /// (and any attached sampler's) lifetime.
+  using Probe = std::function<double()>;
+
+  struct Entry {
+    std::string name;
+    MetricKind kind{};
+    Probe probe;                           // counters and gauges
+    const Histogram* histogram = nullptr;  // histograms only
+  };
+
+  /// Register a monotonic counter backed by a plain integer member.
+  void add_counter(const std::string& name, const std::uint64_t* counter);
+  /// Register a counter whose value needs computing (e.g. a sum over PEs).
+  void add_counter(const std::string& name, Probe probe);
+  void add_gauge(const std::string& name, Probe probe);
+  void add_histogram(const std::string& name, const Histogram* histogram);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const Entry* find(const std::string& name) const;
+  /// Current value of a counter or gauge; throws on unknown names and on
+  /// histograms (read those through find()->histogram).
+  [[nodiscard]] double value(const std::string& name) const;
+  /// Entries whose name starts with `prefix` ("" = all), in name order.
+  [[nodiscard]] std::vector<const Entry*> match(
+      const std::string& prefix) const;
+
+  void clear() { entries_.clear(); }
+
+  /// Registration helper carrying a name prefix, so a component scoped at
+  /// "noc" can write scope.gauge("flits_in_flight", ...) and get
+  /// "noc.flits_in_flight".
+  class Scope {
+   public:
+    Scope(MetricsRegistry& registry, std::string prefix)
+        : registry_(registry), prefix_(std::move(prefix)) {}
+    void counter(const std::string& name, const std::uint64_t* v) const {
+      registry_.add_counter(prefix_ + name, v);
+    }
+    void counter(const std::string& name, Probe probe) const {
+      registry_.add_counter(prefix_ + name, std::move(probe));
+    }
+    void gauge(const std::string& name, Probe probe) const {
+      registry_.add_gauge(prefix_ + name, std::move(probe));
+    }
+    void histogram(const std::string& name, const Histogram* h) const {
+      registry_.add_histogram(prefix_ + name, h);
+    }
+
+   private:
+    MetricsRegistry& registry_;
+    std::string prefix_;
+  };
+  [[nodiscard]] Scope scope(const std::string& prefix) {
+    return Scope(*this, prefix.empty() ? prefix : prefix + ".");
+  }
+
+ private:
+  void insert(Entry entry);
+  std::map<std::string, Entry> entries_;  // ordered: stable iteration
+};
+
+}  // namespace aurora

@@ -84,6 +84,21 @@ double Histogram::quantile(double q) const {
   return static_cast<double>(counts_.size()) * width_;
 }
 
+void Histogram::merge(const Histogram& other) {
+  AURORA_CHECK_MSG(width_ == other.width_ &&
+                       counts_.size() == other.counts_.size(),
+                   "Histogram::merge: mismatched bucket layout ("
+                       << width_ << "x" << counts_.size() << " vs "
+                       << other.width_ << "x" << other.counts_.size() << ")");
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+}
+
+void Histogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_ = 0;
+}
+
 void CounterSet::inc(const std::string& name, std::uint64_t by) {
   counters_[name] += by;
 }

@@ -45,11 +45,29 @@ class Histogram {
   /// Value below which `q` (0..1) of the samples fall (bucket-resolution).
   [[nodiscard]] double quantile(double q) const;
 
+  /// Element-wise accumulation. Both histograms must share the exact same
+  /// bucket layout (width and count) — merging across layouts would silently
+  /// misbin, so a mismatch throws.
+  void merge(const Histogram& other);
+  void reset();
+
  private:
   double width_;
   std::vector<std::uint64_t> counts_;
   std::uint64_t total_ = 0;
 };
+
+/// Canonical latency/depth histogram layouts. Component stats and the
+/// RunMetrics aggregates must agree on these (Histogram::merge rejects
+/// mismatched layouts), so they are named constants rather than per-site
+/// literals. The last bucket absorbs overflow, so tails beyond the range
+/// still count toward totals and max-bucket quantiles.
+inline constexpr double kNocLatencyBucketCycles = 4.0;
+inline constexpr std::size_t kNocLatencyBuckets = 256;  // covers 0..1024
+inline constexpr double kDramLatencyBucketCycles = 16.0;
+inline constexpr std::size_t kDramLatencyBuckets = 256;  // covers 0..4096
+inline constexpr double kPeQueueDepthBucket = 1.0;
+inline constexpr std::size_t kPeQueueDepthBuckets = 64;
 
 /// Named monotonic counters; every simulator component registers its event
 /// counts here so tests and benches read one consolidated view.

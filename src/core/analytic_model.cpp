@@ -258,6 +258,39 @@ RunMetrics AnalyticModel::run_impl(const graph::Dataset& dataset,
   metrics.reconfigurations = num_tiles;
   metrics.switch_writes = switch_writes_per_tile * num_tiles;
 
+  // Per-phase attribution from the closed-form terms — same schema and the
+  // same sum invariants as the cycle engine (phase dram_bytes sum to
+  // dram_bytes, phase noc_messages to noc_messages). Sub-A's compute is
+  // split between edge update and aggregation by op count; aggregation also
+  // owns the gather traffic's transport time, vertex update sub-B's ring
+  // compute. Cross-PE gather messages are aggregation; the slice/ring/
+  // transform traffic is not separately counted in cross_msgs, so vertex
+  // update reports zero messages here.
+  {
+    const double eu_ops =
+        static_cast<double>(wf.phase(gnn::Phase::kEdgeUpdate).total_ops);
+    const double eu_frac = ops_a > 0.0 ? eu_ops / ops_a : 0.0;
+    metrics.phase(gnn::Phase::kEdgeUpdate).active_cycles =
+        static_cast<Cycle>(compute_a * eu_frac);
+    metrics.phase(gnn::Phase::kAggregation).active_cycles =
+        static_cast<Cycle>(compute_a * (1.0 - eu_frac) + comm_cycles);
+    metrics.phase(gnn::Phase::kVertexUpdate).active_cycles =
+        static_cast<Cycle>(compute_b);
+    metrics.phase(gnn::Phase::kAggregation).noc_messages =
+        metrics.noc_messages;
+    const gnn::Phase load_phase = wf.needs_edge_update()
+                                      ? gnn::Phase::kEdgeUpdate
+                                      : gnn::Phase::kAggregation;
+    const gnn::Phase out_phase = wf.needs_vertex_update()
+                                     ? gnn::Phase::kVertexUpdate
+                                     : load_phase;
+    metrics.phase(load_phase).dram_bytes +=
+        traffic.input_features + traffic.halo_features + traffic.adjacency +
+        traffic.edge_embeddings;
+    metrics.phase(out_phase).dram_bytes +=
+        traffic.weights + traffic.output_features + traffic.intermediate_spill;
+  }
+
   metrics.events.fp_multiplies = wf.total_ops() / 2;
   metrics.events.fp_adds = wf.total_ops() - metrics.events.fp_multiplies;
   metrics.events.dram_bytes = metrics.dram_bytes;

@@ -87,6 +87,9 @@ RunMetrics& RunMetrics::operator+=(const RunMetrics& other) {
   if (!other.pe_heatmap.empty()) pe_heatmap = other.pe_heatmap;
   counters.merge(other.counters);
   pe_utilization = (pe_utilization + other.pe_utilization) / 2.0;
+  for (std::size_t p = 0; p < phases.size(); ++p) phases[p] += other.phases[p];
+  noc_packet_latency.merge(other.noc_packet_latency);
+  dram_request_latency.merge(other.dram_request_latency);
   return *this;
 }
 

@@ -57,6 +57,12 @@ class AuroraAccelerator {
   /// mode). Enable the tracer before running.
   void set_tracer(sim::Tracer* tracer) { cycle_engine_.set_tracer(tracer); }
 
+  /// Attach a metrics sampler to the cycle engine (no effect in analytic
+  /// mode); samples accumulate across layer runs on one time axis.
+  void set_sampler(sim::Sampler* sampler) {
+    cycle_engine_.set_sampler(sampler);
+  }
+
   /// Host-side request queue (walk-through example, Sec III-E). Requests
   /// submitted here are drained by run_pending().
   [[nodiscard]] RequestDispatcher& request_dispatcher() { return dispatcher_; }

@@ -1,11 +1,13 @@
 #include "core/cycle_engine.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <deque>
 #include <functional>
 
 #include "common/error.hpp"
+#include "common/metrics_registry.hpp"
 #include "core/controllers.hpp"
 #include "core/sub_accelerators.hpp"
 #include "dram/dram.hpp"
@@ -13,6 +15,7 @@
 #include "noc/network.hpp"
 #include "partition/partition.hpp"
 #include "pe/pe.hpp"
+#include "sim/sampler.hpp"
 #include "sim/simulator.hpp"
 
 namespace aurora::core {
@@ -49,6 +52,22 @@ pe::MicroOp synth_op(OpCount ops, pe::PeConfigKind kind) {
   op.length = std::max<std::uint32_t>(
       1, static_cast<std::uint32_t>(ops / 2));
   return op;
+}
+
+/// Which GNN phase an action belongs to, for per-phase attribution: edge
+/// updates compute per-edge features, agg messages/accumulations gather
+/// them, and everything on the weight-stationary rings (slices, rotating
+/// partials, transformed vectors) is vertex update.
+gnn::Phase action_phase(ActionType type) {
+  switch (type) {
+    case ActionType::kEdgeUpdateDone:
+      return gnn::Phase::kEdgeUpdate;
+    case ActionType::kAggMessage:
+    case ActionType::kAccumulateDone:
+      return gnn::Phase::kAggregation;
+    default:
+      return gnn::Phase::kVertexUpdate;
+  }
 }
 
 }  // namespace
@@ -120,6 +139,43 @@ RunMetrics CycleEngine::run_layer(const graph::Dataset& dataset,
   sim.add(&dram);
   for (auto& p : pes) sim.add(&p);
 
+  // ---- observability: per-run registry + optional sampler ----------------
+  // The registry and its probes reference this run's stack-local components,
+  // so the sampler's probes are detached again before returning.
+  MetricsRegistry registry;
+  net.register_metrics(registry);
+  dram.register_metrics(registry);
+  {
+    // Pooled PEs are unnamed (names cost allocations nothing else reads),
+    // so per-PE registration is unavailable; publish pool aggregates.
+    const auto pe_scope = registry.scope("pe");
+    pe_scope.counter("tasks_total", [&pes] {
+      double total = 0.0;
+      for (const auto& p : pes) {
+        total += static_cast<double>(p.stats().tasks_completed);
+      }
+      return total;
+    });
+    pe_scope.counter("busy_cycles_total", [&pes] {
+      double total = 0.0;
+      for (const auto& p : pes) {
+        total += static_cast<double>(p.stats().busy_cycles);
+      }
+      return total;
+    });
+    pe_scope.gauge("queue_depth_total", [&pes] {
+      double total = 0.0;
+      for (const auto& p : pes) total += static_cast<double>(p.queue_depth());
+      return total;
+    });
+  }
+  if (sampler_ != nullptr) {
+    sampler_->watch_registry(registry);
+    // Added last so every sample observes the post-tick state of the cycle
+    // it lands on, identically under lockstep and fast-forward.
+    sim.add(sampler_);
+  }
+
   ConfigurationUnit config_unit(k);
 
   // ---- per-tile dataflow state -------------------------------------------
@@ -132,6 +188,28 @@ RunMetrics CycleEngine::run_layer(const graph::Dataset& dataset,
   VertexId tile_begin = 0;
   VertexId tile_end = 0;
   std::uint64_t vertices_remaining = 0;
+
+  // Per-phase attribution state, tracked unconditionally so RunMetrics are
+  // bit-identical whether or not a tracer/sampler is attached. Activity
+  // windows (first..last event cycle of each phase, per tile) feed
+  // PhaseMetrics::active_cycles and kPhaseSpan trace events; send-site
+  // counts feed PhaseMetrics::noc_messages.
+  constexpr std::size_t kNumPhases = gnn::kAllPhases.size();
+  std::array<Cycle, kNumPhases> phase_first{};
+  std::array<Cycle, kNumPhases> phase_last{};
+  std::array<bool, kNumPhases> phase_seen{};
+  std::array<std::uint64_t, kNumPhases> phase_msgs{};
+  auto touch_phase = [&](gnn::Phase p, Cycle now) {
+    const auto i = static_cast<std::size_t>(p);
+    if (!phase_seen[i]) {
+      phase_seen[i] = true;
+      phase_first[i] = now;
+    }
+    phase_last[i] = now;
+  };
+  auto count_phase_msg = [&](gnn::Phase p) {
+    ++phase_msgs[static_cast<std::size_t>(p)];
+  };
 
   const OpCount m_total = std::max<OpCount>(1, wf.num_edges);
   const OpCount n_total = std::max<OpCount>(1, wf.num_vertices);
@@ -236,6 +314,7 @@ RunMetrics CycleEngine::run_layer(const graph::Dataset& dataset,
     for (std::uint32_t j = 0; j < s; ++j) {
       const std::uint32_t lo = j * slice;
       const std::uint32_t len = lo < fv ? std::min(slice, fv - lo) : 0;
+      count_phase_msg(gnn::Phase::kVertexUpdate);
       net.send(src, ring.nodes[j],
                static_cast<Bytes>(std::max<std::uint32_t>(1, len)) * elem,
                new_action(ActionType::kSliceMessage, v, src, ring.nodes[j], j),
@@ -250,6 +329,7 @@ RunMetrics CycleEngine::run_layer(const graph::Dataset& dataset,
       if (update_first) {
         // Transformed vector streams back to the owner PE in sub-A.
         const noc::NodeId owner = vertex_pe[a.v_local];
+        count_phase_msg(gnn::Phase::kVertexUpdate);
         net.send(a.dst_pe, owner, static_cast<Bytes>(out_dim) * elem,
                  new_action(ActionType::kXformMessage, a.v_local, a.dst_pe,
                             owner),
@@ -260,6 +340,7 @@ RunMetrics CycleEngine::run_layer(const graph::Dataset& dataset,
       return;
     }
     const noc::NodeId next = ring.nodes[a.ring_stage + 1];
+    count_phase_msg(gnn::Phase::kVertexUpdate);
     net.send(a.dst_pe, next, static_cast<Bytes>(out_dim) * elem,
              new_action(ActionType::kRingMessage, a.v_local, a.dst_pe, next,
                         a.ring_stage + 1),
@@ -276,6 +357,7 @@ RunMetrics CycleEngine::run_layer(const graph::Dataset& dataset,
       if (src == dst) {
         submit_accumulate(dst, wl);
       } else {
+        count_phase_msg(gnn::Phase::kAggregation);
         net.send(src, dst, agg_msg_bytes,
                  new_action(ActionType::kAggMessage, wl, src, dst), now);
       }
@@ -285,6 +367,7 @@ RunMetrics CycleEngine::run_layer(const graph::Dataset& dataset,
   // PE completions and NoC deliveries drive the dependency graph.
   auto on_pe_complete = [&](std::uint64_t tag, Cycle now) {
     const Action a = actions[tag];
+    touch_phase(action_phase(a.type), now);
     if (tracer_ != nullptr) {
       tracer_->record(now, sim::TraceEvent::kTaskComplete,
                       static_cast<std::uint64_t>(a.type), a.dst_pe);
@@ -294,6 +377,7 @@ RunMetrics CycleEngine::run_layer(const graph::Dataset& dataset,
         if (a.src_pe == a.dst_pe) {
           submit_accumulate(a.dst_pe, a.v_local);
         } else {
+          count_phase_msg(gnn::Phase::kAggregation);
           net.send(a.src_pe, a.dst_pe, agg_msg_bytes,
                    new_action(ActionType::kAggMessage, a.v_local, a.src_pe,
                               a.dst_pe),
@@ -321,6 +405,7 @@ RunMetrics CycleEngine::run_layer(const graph::Dataset& dataset,
                       pkt.payload_bytes);
     }
     const Action a = actions[pkt.tag];
+    touch_phase(action_phase(a.type), now);
     switch (a.type) {
       case ActionType::kAggMessage:
         submit_accumulate(a.dst_pe, a.v_local);
@@ -419,6 +504,10 @@ RunMetrics CycleEngine::run_layer(const graph::Dataset& dataset,
     enqueue_stream(load_bytes);
     sim.run_until_idle(kGuard);
     const Cycle load_cycles = sim.now() - load_start;
+    if (tracer_ != nullptr) {
+      tracer_->record(load_start, sim::TraceEvent::kDramSpan, load_bytes,
+                      load_cycles);
+    }
 
     // -- seed the tile's dataflow.
     actions.clear();
@@ -426,6 +515,7 @@ RunMetrics CycleEngine::run_layer(const graph::Dataset& dataset,
     ring_deps.assign(tile_n, {});
     vertex_pe.assign(map.vertex_to_pe.begin(), map.vertex_to_pe.end());
     vertices_remaining = tile_n;
+    phase_seen.fill(false);
 
     const Cycle compute_start = sim.now();
     const Cycle net_busy_before = net.stats().busy_cycles;
@@ -473,6 +563,7 @@ RunMetrics CycleEngine::run_layer(const graph::Dataset& dataset,
         } else if (src == dst) {
           submit_accumulate(dst, vl);
         } else {
+          count_phase_msg(gnn::Phase::kAggregation);
           net.send(src, dst, agg_msg_bytes,
                    new_action(ActionType::kAggMessage, vl, src, dst),
                    sim.now());
@@ -485,6 +576,15 @@ RunMetrics CycleEngine::run_layer(const graph::Dataset& dataset,
                              << vertices_remaining << " vertices stuck");
     const Cycle compute_cycles = sim.now() - compute_start;
     metrics.onchip_comm_cycles += net.stats().busy_cycles - net_busy_before;
+    // Fold this tile's phase activity windows into the per-phase totals.
+    for (std::size_t p = 0; p < kNumPhases; ++p) {
+      if (!phase_seen[p]) continue;
+      const Cycle span = phase_last[p] - phase_first[p] + 1;
+      metrics.phases[p].active_cycles += span;
+      if (tracer_ != nullptr) {
+        tracer_->record(phase_first[p], sim::TraceEvent::kPhaseSpan, p, span);
+      }
+    }
 
     // -- writeback of this tile's outputs (streams while the next tile
     //    loads; accounted on the DRAM timeline).
@@ -497,6 +597,10 @@ RunMetrics CycleEngine::run_layer(const graph::Dataset& dataset,
     enqueue_stream(store_bytes);
     sim.run_until_idle(kGuard);
     const Cycle store_cycles = sim.now() - store_start;
+    if (tracer_ != nullptr) {
+      tracer_->record(store_start, sim::TraceEvent::kDramSpan, store_bytes,
+                      store_cycles);
+    }
 
     // -- pipeline composition: tile loads overlap the previous compute.
     const Cycle load_done = std::max(dram_free, compute_free) + load_cycles;
@@ -558,6 +662,26 @@ RunMetrics CycleEngine::run_layer(const graph::Dataset& dataset,
   metrics.avg_hops = net.stats().avg_hops();
   metrics.bypass_messages = net.stats().bypass_flit_hops;
 
+  // Per-phase attribution. NoC messages were counted at each send site, so
+  // their sum equals noc_messages. DRAM bytes follow a consumer rule — tile
+  // loads (features, halos, adjacency, edge state) feed the first phase
+  // that reads them; weights and output stores belong to the producer of
+  // the final features — and sum exactly to dram_bytes.
+  for (std::size_t p = 0; p < kNumPhases; ++p) {
+    metrics.phases[p].noc_messages = phase_msgs[p];
+  }
+  const gnn::Phase load_phase =
+      has_eu ? gnn::Phase::kEdgeUpdate : gnn::Phase::kAggregation;
+  const gnn::Phase out_phase =
+      has_vu ? gnn::Phase::kVertexUpdate : load_phase;
+  metrics.phase(load_phase).dram_bytes +=
+      traffic.input_features + traffic.halo_features + traffic.adjacency +
+      traffic.edge_embeddings;
+  metrics.phase(out_phase).dram_bytes +=
+      traffic.weights + traffic.output_features + traffic.intermediate_spill;
+  metrics.noc_packet_latency.merge(net.stats().packet_latency_hist);
+  metrics.dram_request_latency.merge(dram.stats().request_latency_hist);
+
   // Energy events: exact op counts from the workflow, measured traffic from
   // the component stats (see DESIGN.md §2, energy row).
   metrics.events.fp_multiplies = wf.total_ops() / 2;
@@ -576,6 +700,9 @@ RunMetrics CycleEngine::run_layer(const graph::Dataset& dataset,
   metrics.events.reconfig_switch_writes = metrics.switch_writes;
   metrics.events.active_cycles = metrics.total_cycles;
   metrics.energy = energy::compute_energy(metrics.events, energy::EnergyTable{});
+  // The sampler's probes point into this run's components; keep the sampled
+  // data but drop the dangling probes.
+  if (sampler_ != nullptr) sampler_->detach();
   return metrics;
 }
 

@@ -24,6 +24,10 @@
 #include "gnn/workflow.hpp"
 #include "sim/trace.hpp"
 
+namespace aurora::sim {
+class Sampler;
+}  // namespace aurora::sim
+
 namespace aurora::core {
 
 class CycleEngine {
@@ -44,11 +48,19 @@ class CycleEngine {
   /// completions when the tracer is enabled.
   void set_tracer(sim::Tracer* tracer) { tracer_ = tracer; }
 
+  /// Attach a time-series sampler (may be null). Each run registers its
+  /// components' metrics in a per-run registry, points the sampler's probes
+  /// at them, and detaches the probes again before returning (the components
+  /// are run-local). Sampling never changes simulated behaviour: the sampler
+  /// is a read-only component whose ticks are no-ops for everything else.
+  void set_sampler(sim::Sampler* sampler) { sampler_ = sampler; }
+
  private:
   struct Impl;
   std::unique_ptr<Impl> impl_;
   AuroraConfig config_;
   sim::Tracer* tracer_ = nullptr;
+  sim::Sampler* sampler_ = nullptr;
 };
 
 }  // namespace aurora::core

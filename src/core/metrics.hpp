@@ -2,6 +2,7 @@
 // the quantities every figure of the paper is built from.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -9,8 +10,33 @@
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "energy/energy_model.hpp"
+#include "gnn/ops.hpp"
 
 namespace aurora::core {
+
+/// Per-GNN-phase attribution of a run's activity (paper Fig 1's
+/// edge-update / aggregation / vertex-update taxonomy). Both engines fill
+/// the same schema: the cycle engine from observed event spans and send
+/// sites, the analytic model from its closed-form terms.
+struct PhaseMetrics {
+  /// Cycles during which the phase had activity (first to last event of the
+  /// phase, summed over tiles). Phases overlap in a pipelined run, so these
+  /// do not sum to total_cycles.
+  Cycle active_cycles = 0;
+  /// DRAM bytes attributed to the phase (loads feed the first phase that
+  /// consumes them; weights and output stores belong to the producer of the
+  /// final features). Sums to dram_bytes across phases.
+  Bytes dram_bytes = 0;
+  /// NoC messages sent on behalf of the phase. Sums to noc_messages.
+  std::uint64_t noc_messages = 0;
+
+  PhaseMetrics& operator+=(const PhaseMetrics& other) {
+    active_cycles += other.active_cycles;
+    dram_bytes += other.dram_bytes;
+    noc_messages += other.noc_messages;
+    return *this;
+  }
+};
 
 /// Metrics of one layer (or one full run when layers are accumulated).
 struct RunMetrics {
@@ -54,6 +80,22 @@ struct RunMetrics {
   CounterSet counters;
   /// Mean fraction of execution time the PEs spent busy (cycle engine).
   double pe_utilization = 0.0;
+
+  /// Per-phase attribution, indexed by gnn::Phase via phase().
+  std::array<PhaseMetrics, gnn::kAllPhases.size()> phases{};
+  [[nodiscard]] PhaseMetrics& phase(gnn::Phase p) {
+    return phases[static_cast<std::size_t>(p)];
+  }
+  [[nodiscard]] const PhaseMetrics& phase(gnn::Phase p) const {
+    return phases[static_cast<std::size_t>(p)];
+  }
+
+  /// Latency distributions measured by the cycle engine (canonical
+  /// layouts; zero-total in analytic runs so the report schema is
+  /// identical either way).
+  Histogram noc_packet_latency{kNocLatencyBucketCycles, kNocLatencyBuckets};
+  Histogram dram_request_latency{kDramLatencyBucketCycles,
+                                 kDramLatencyBuckets};
 
   RunMetrics& operator+=(const RunMetrics& other);
 

@@ -52,6 +52,32 @@ std::string metrics_to_json(const RunMetrics& m) {
   append_kv(os, "reconfigurations", m.reconfigurations);
   append_kv(os, "switch_writes", m.switch_writes);
   append_kv(os, "utilization", m.utilization);
+  // Latency percentiles from the component histograms (bucket resolution;
+  // zero when the engine did not measure them, e.g. analytic runs). Key
+  // order is fixed — consumers and the check.sh schema smoke rely on it.
+  const auto append_latency = [&os](const char* key, const Histogram& h) {
+    os << "\"" << key << "\": {";
+    append_kv(os, "p50", h.quantile(0.50));
+    append_kv(os, "p95", h.quantile(0.95));
+    append_kv(os, "p99", h.quantile(0.99));
+    append_kv(os, "count", h.total(), /*last=*/true);
+    os << "}, ";
+  };
+  append_latency("noc_packet_latency", m.noc_packet_latency);
+  append_latency("dram_request_latency", m.dram_request_latency);
+  os << "\"phases\": {";
+  static constexpr const char* kPhaseKeys[] = {"edge_update", "aggregation",
+                                               "vertex_update"};
+  for (std::size_t p = 0; p < m.phases.size(); ++p) {
+    os << "\"" << kPhaseKeys[p] << "\": {";
+    append_kv(os, "active_cycles",
+              static_cast<std::uint64_t>(m.phases[p].active_cycles));
+    append_kv(os, "dram_bytes",
+              static_cast<std::uint64_t>(m.phases[p].dram_bytes));
+    append_kv(os, "noc_messages", m.phases[p].noc_messages, /*last=*/true);
+    os << (p + 1 < m.phases.size() ? "}, " : "}");
+  }
+  os << "}, ";
   os << "\"energy_pj\": {";
   append_kv(os, "compute", m.energy.compute_pj);
   append_kv(os, "sram", m.energy.sram_pj);

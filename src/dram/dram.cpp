@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/metrics_registry.hpp"
 
 namespace aurora::dram {
 
@@ -122,15 +123,19 @@ void DramModel::try_issue(Channel& ch, Cycle now) {
   const Bytes row = row_of(burst.addr);
   const DramTiming& t = config_.timing;
   Cycle access_delay;
+  Histogram* burst_latency;
   if (bank.row_open && bank.open_row == row) {
     access_delay = t.t_cl;
     ++stats_.row_hits;
+    burst_latency = &stats_.burst_latency_hit;
   } else if (!bank.row_open) {
     access_delay = t.t_rcd + t.t_cl;
     ++stats_.row_misses;
+    burst_latency = &stats_.burst_latency_miss;
   } else {
     access_delay = t.t_rp + t.t_rcd + t.t_cl;
     ++stats_.row_conflicts;
+    burst_latency = &stats_.burst_latency_conflict;
   }
   bank.row_open = true;
   bank.open_row = row;
@@ -153,6 +158,7 @@ void DramModel::try_issue(Channel& ch, Cycle now) {
   bank.ready_at = now + (access_delay - t.t_cl) + t.t_burst;
   last_completion_ = std::max(last_completion_, completion);
 
+  burst_latency->add(static_cast<double>(completion - burst.enqueued_at));
   complete_burst(burst, completion);
 }
 
@@ -163,6 +169,8 @@ void DramModel::complete_burst(const Burst& burst, Cycle completion) {
   if (--inf.bursts_remaining == 0) {
     inf.done = true;
     stats_.request_latency.add(static_cast<double>(completion - inf.enqueued_at));
+    stats_.request_latency_hist.add(
+        static_cast<double>(completion - inf.enqueued_at));
     if (inf.request.on_complete) inf.request.on_complete(completion);
     inf.request.on_complete = nullptr;  // release captured state
   }
@@ -227,6 +235,24 @@ void DramModel::export_counters(CounterSet& out) const {
   out.inc("dram.bus_turnarounds", stats_.bus_turnarounds);
   out.inc("dram.bytes_read", stats_.bytes_read);
   out.inc("dram.bytes_written", stats_.bytes_written);
+}
+
+void DramModel::register_metrics(MetricsRegistry& registry) {
+  const auto s = registry.scope("dram");
+  s.counter("requests", &stats_.requests);
+  s.counter("bursts", &stats_.bursts);
+  s.counter("row_hits", &stats_.row_hits);
+  s.counter("row_misses", &stats_.row_misses);
+  s.counter("row_conflicts", &stats_.row_conflicts);
+  s.counter("refreshes", &stats_.refreshes);
+  s.counter("bytes_read", &stats_.bytes_read);
+  s.counter("bytes_written", &stats_.bytes_written);
+  s.gauge("bursts_pending",
+          [this] { return static_cast<double>(pending_bursts_); });
+  s.histogram("request_latency", &stats_.request_latency_hist);
+  s.histogram("burst_latency_hit", &stats_.burst_latency_hit);
+  s.histogram("burst_latency_miss", &stats_.burst_latency_miss);
+  s.histogram("burst_latency_conflict", &stats_.burst_latency_conflict);
 }
 
 }  // namespace aurora::dram

@@ -71,6 +71,15 @@ struct DramStats {
   Bytes bytes_read = 0;
   Bytes bytes_written = 0;
   RunningStat request_latency;
+  /// Enqueue-to-completion latency distribution of whole requests
+  /// (canonical layout, so it merges into RunMetrics::dram_request_latency).
+  Histogram request_latency_hist{kDramLatencyBucketCycles, kDramLatencyBuckets};
+  /// Per-burst enqueue-to-data latency, split by how the row buffer
+  /// resolved the access — the row-policy cost picture, time-resolved.
+  Histogram burst_latency_hit{kDramLatencyBucketCycles, kDramLatencyBuckets};
+  Histogram burst_latency_miss{kDramLatencyBucketCycles, kDramLatencyBuckets};
+  Histogram burst_latency_conflict{kDramLatencyBucketCycles,
+                                   kDramLatencyBuckets};
 
   [[nodiscard]] Bytes total_bytes() const { return bytes_read + bytes_written; }
   [[nodiscard]] double row_hit_rate() const {
@@ -105,6 +114,10 @@ class DramModel final : public sim::Component {
 
   /// Merge this component's event counts into `out` (prefixed "dram.").
   void export_counters(CounterSet& out) const;
+
+  /// Publish counters, queue gauges and the latency histograms under
+  /// "dram." for samplers and other generic observers.
+  void register_metrics(MetricsRegistry& registry) override;
 
  private:
   struct Burst {

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/metrics_registry.hpp"
 
 namespace aurora::noc {
 
@@ -131,6 +132,8 @@ void Network::eject_flit(NodeId node, const Flit& flit, Cycle now) {
     AURORA_CHECK(node == rec.packet.dst);
     ++stats_.packets_delivered;
     stats_.packet_latency.add(
+        static_cast<double>(now - rec.packet.injected_at));
+    stats_.packet_latency_hist.add(
         static_cast<double>(now - rec.packet.injected_at));
     stats_.packet_hops.add(static_cast<double>(rec.hops));
     if (on_delivery_) {
@@ -311,6 +314,21 @@ void Network::export_counters(CounterSet& out) const {
   out.inc("noc.bypass_flit_hops", stats_.bypass_flit_hops);
   out.inc("noc.router_traversals", stats_.router_traversals);
   out.inc("noc.busy_cycles", stats_.busy_cycles);
+}
+
+void Network::register_metrics(MetricsRegistry& registry) {
+  const auto s = registry.scope("noc");
+  s.counter("packets_injected", &stats_.packets_injected);
+  s.counter("packets_delivered", &stats_.packets_delivered);
+  s.counter("flit_hops", &stats_.flit_hops);
+  s.counter("bypass_flit_hops", &stats_.bypass_flit_hops);
+  s.counter("router_traversals", &stats_.router_traversals);
+  s.counter("busy_cycles", &stats_.busy_cycles);
+  s.gauge("flits_in_flight",
+          [this] { return static_cast<double>(flits_in_flight_); });
+  s.gauge("packets_in_flight",
+          [this] { return static_cast<double>(live_packets_.size()); });
+  s.histogram("packet_latency", &stats_.packet_latency_hist);
 }
 
 std::vector<Packet> Network::drain_delivered() {

@@ -57,6 +57,9 @@ struct NocStats {
   Cycle busy_cycles = 0;
   RunningStat packet_latency;
   RunningStat packet_hops;
+  /// Injection-to-tail-delivery latency distribution (canonical layout, so
+  /// it merges into RunMetrics::noc_packet_latency).
+  Histogram packet_latency_hist{kNocLatencyBucketCycles, kNocLatencyBuckets};
 
   [[nodiscard]] double avg_hops() const { return packet_hops.mean(); }
 };
@@ -114,6 +117,10 @@ class Network final : public sim::Component {
 
   /// Merge this component's event counts into `out` (prefixed "noc.").
   void export_counters(CounterSet& out) const;
+
+  /// Publish counters, occupancy gauges and the latency histogram under
+  /// "noc." for samplers and other generic observers.
+  void register_metrics(MetricsRegistry& registry) override;
 
  private:
   struct TimedFlit {

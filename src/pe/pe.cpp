@@ -1,6 +1,7 @@
 #include "pe/pe.hpp"
 
 #include "common/error.hpp"
+#include "common/metrics_registry.hpp"
 
 namespace aurora::pe {
 
@@ -15,6 +16,7 @@ PeModel::PeModel(std::string name, const PeModelParams& params)
 void PeModel::submit(PeTask task) {
   AURORA_CHECK(task.op.length > 0 || task.op.kind == PeConfigKind::kBypass);
   queue_.push_back(std::move(task));
+  stats_.queue_depth.add(static_cast<double>(queue_.size()));
   wake();
 }
 
@@ -102,6 +104,17 @@ void PeModel::export_counters(CounterSet& out) const {
   out.inc("pe.reconfig_cycles", stats_.reconfig_cycles);
   out.inc("pe.buffer_bytes_read", buffer_.bytes_read());
   out.inc("pe.buffer_bytes_written", buffer_.bytes_written());
+}
+
+void PeModel::register_metrics(MetricsRegistry& registry) {
+  AURORA_CHECK_MSG(!name().empty(),
+                   "per-PE metrics need a named PE (pooled PEs register "
+                   "through the engine's aggregate gauges)");
+  const auto s = registry.scope("pe." + name());
+  s.counter("tasks", &stats_.tasks_completed);
+  s.counter("busy_cycles", &stats_.busy_cycles);
+  s.gauge("queue_depth", [this] { return static_cast<double>(queue_.size()); });
+  s.histogram("queue_depth_hist", &stats_.queue_depth);
 }
 
 }  // namespace aurora::pe

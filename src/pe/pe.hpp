@@ -33,6 +33,9 @@ struct PeStats {
   Cycle busy_cycles = 0;
   Cycle reconfig_cycles = 0;
   energy::EnergyEvents energy;
+  /// Queue depth observed at each submit (including the new task) — how
+  /// deep work piles up behind a busy PE.
+  Histogram queue_depth{kPeQueueDepthBucket, kPeQueueDepthBuckets};
 };
 
 struct PeModelParams {
@@ -72,6 +75,11 @@ class PeModel final : public sim::Component {
   /// Merge this PE's event counts into `out` (prefixed "pe.", summed across
   /// PEs by the caller).
   void export_counters(CounterSet& out) const;
+
+  /// Publish this PE's counters and queue-depth histogram under
+  /// "pe.<name>." (requires a non-empty component name; pool-level
+  /// aggregates are registered by the engine instead).
+  void register_metrics(MetricsRegistry& registry) override;
   [[nodiscard]] const PeModelParams& params() const { return params_; }
   [[nodiscard]] BankBuffer& bank_buffer() { return buffer_; }
   [[nodiscard]] const BankBuffer& bank_buffer() const { return buffer_; }

@@ -20,6 +20,10 @@
 
 #include "common/types.hpp"
 
+namespace aurora {
+class MetricsRegistry;
+}
+
 namespace aurora::sim {
 
 /// Sentinel returned by next_event_cycle() when a component is fully
@@ -71,6 +75,15 @@ class Component {
   virtual void skip_cycles(Cycle from, Cycle to) {
     (void)from;
     (void)to;
+  }
+
+  /// Publish this component's counters/gauges/histograms into `registry`
+  /// (conventionally under a scope named after the component kind). The
+  /// registered probes point into live component state: they must not be
+  /// read after the component is destroyed, so registries are built per run
+  /// next to the components they observe. Default: publishes nothing.
+  virtual void register_metrics(MetricsRegistry& registry) {
+    (void)registry;
   }
 
   [[nodiscard]] const std::string& name() const { return name_; }

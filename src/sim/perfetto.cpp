@@ -1,0 +1,207 @@
+#include "sim/perfetto.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "sim/sampler.hpp"
+
+namespace aurora::sim {
+namespace {
+
+// Track (thread) layout inside the single "aurora-sim" process.
+constexpr int kPid = 0;
+constexpr int kTidControl = 0;   // tile starts, reconfigurations
+constexpr int kTidPhase0 = 1;    // + phase index: 1..3
+constexpr int kTidDram = 4;
+constexpr const char* kPhaseNames[3] = {"edge-update", "aggregation",
+                                        "vertex-update"};
+
+/// Cap per derived counter track so a flit-level trace of millions of
+/// packets still exports in bounded size; points are stride-sampled.
+constexpr std::size_t kMaxCounterPoints = 4096;
+
+std::string escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Emits one JSON event object per call, inserting commas between events.
+class EventWriter {
+ public:
+  explicit EventWriter(std::ostringstream& os) : os_(os) {}
+
+  std::ostringstream& begin() {
+    if (!first_) os_ << ",\n  ";
+    first_ = false;
+    os_ << "{";
+    return os_;
+  }
+  void end() { os_ << "}"; }
+
+ private:
+  std::ostringstream& os_;
+  bool first_ = true;
+};
+
+void meta_thread_name(EventWriter& w, int tid, const char* name) {
+  w.begin() << "\"ph\": \"M\", \"pid\": " << kPid << ", \"tid\": " << tid
+            << ", \"name\": \"thread_name\", \"args\": {\"name\": \"" << name
+            << "\"}";
+  w.end();
+}
+
+void counter_point(EventWriter& w, const std::string& name, Cycle ts,
+                   double value) {
+  w.begin() << "\"ph\": \"C\", \"pid\": " << kPid << ", \"ts\": " << ts
+            << ", \"name\": \"" << escape(name) << "\", \"args\": {\"value\": "
+            << value << "}";
+  w.end();
+}
+
+/// A (cycle, level) step series compacted to at most kMaxCounterPoints.
+void emit_counter_series(EventWriter& w, const std::string& name,
+                         const std::vector<std::pair<Cycle, double>>& points) {
+  if (points.empty()) return;
+  const std::size_t stride =
+      (points.size() + kMaxCounterPoints - 1) / kMaxCounterPoints;
+  for (std::size_t i = 0; i < points.size(); i += stride) {
+    counter_point(w, name, points[i].first, points[i].second);
+  }
+  // Always close with the final level so the track ends where the run did.
+  if ((points.size() - 1) % stride != 0) {
+    counter_point(w, name, points.back().first, points.back().second);
+  }
+}
+
+}  // namespace
+
+std::string perfetto_trace_json(const Tracer& tracer, const Sampler* sampler) {
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\": \"ms\",\n \"traceEvents\": [\n  ";
+  EventWriter w(os);
+
+  w.begin() << "\"ph\": \"M\", \"pid\": " << kPid
+            << ", \"name\": \"process_name\", \"args\": {\"name\": "
+               "\"aurora-sim\"}";
+  w.end();
+  meta_thread_name(w, kTidControl, "control");
+  for (int p = 0; p < 3; ++p) meta_thread_name(w, kTidPhase0 + p, kPhaseNames[p]);
+  meta_thread_name(w, kTidDram, "dram-stream");
+
+  // Raw records -> spans and instants; packet/DRAM events accumulate into
+  // the two derived counter tracks.
+  std::vector<std::pair<Cycle, double>> inflight_deltas;
+  std::vector<std::pair<Cycle, double>> dram_bytes;
+  for (const auto& r : tracer.records()) {
+    switch (r.kind) {
+      case TraceEvent::kPhaseSpan: {
+        const auto phase = std::min<std::uint64_t>(r.arg0, 2);
+        w.begin() << "\"ph\": \"X\", \"pid\": " << kPid
+                  << ", \"tid\": " << kTidPhase0 + static_cast<int>(phase)
+                  << ", \"ts\": " << r.at
+                  << ", \"dur\": " << std::max<std::uint64_t>(r.arg1, 1)
+                  << ", \"name\": \"" << kPhaseNames[phase] << "\"";
+        w.end();
+        break;
+      }
+      case TraceEvent::kDramSpan:
+        w.begin() << "\"ph\": \"X\", \"pid\": " << kPid
+                  << ", \"tid\": " << kTidDram << ", \"ts\": " << r.at
+                  << ", \"dur\": " << std::max<std::uint64_t>(r.arg1, 1)
+                  << ", \"name\": \"dram-stream\", \"args\": {\"bytes\": "
+                  << r.arg0 << "}";
+        w.end();
+        break;
+      case TraceEvent::kReconfigure:
+        w.begin() << "\"ph\": \"i\", \"s\": \"t\", \"pid\": " << kPid
+                  << ", \"tid\": " << kTidControl << ", \"ts\": " << r.at
+                  << ", \"name\": \"reconfigure\", \"args\": {\"tile\": "
+                  << r.arg0 << ", \"switch_writes\": " << r.arg1 << "}";
+        w.end();
+        break;
+      case TraceEvent::kTileStart:
+        w.begin() << "\"ph\": \"i\", \"s\": \"t\", \"pid\": " << kPid
+                  << ", \"tid\": " << kTidControl << ", \"ts\": " << r.at
+                  << ", \"name\": \"tile-start\", \"args\": {\"tile\": "
+                  << r.arg0 << ", \"vertices\": " << r.arg1 << "}";
+        w.end();
+        break;
+      case TraceEvent::kPacketInjected:
+        inflight_deltas.emplace_back(r.at, 1.0);
+        break;
+      case TraceEvent::kPacketDelivered:
+        inflight_deltas.emplace_back(r.at, -1.0);
+        break;
+      case TraceEvent::kDramRequest:
+        dram_bytes.emplace_back(r.at, static_cast<double>(r.arg1));
+        break;
+      case TraceEvent::kTaskComplete:
+        break;  // per-task instants would swamp the view; counters cover it
+    }
+  }
+
+  // Derived counter track 1: NoC packets in flight over time. Injection
+  // records are written at delivery time, so deltas arrive out of order —
+  // sort by cycle with -1s after +1s at the same cycle (a packet delivered
+  // the cycle another is injected should not dip below zero).
+  std::stable_sort(inflight_deltas.begin(), inflight_deltas.end(),
+                   [](const auto& a, const auto& b) {
+                     if (a.first != b.first) return a.first < b.first;
+                     return a.second > b.second;
+                   });
+  std::vector<std::pair<Cycle, double>> inflight;
+  double level = 0.0;
+  for (const auto& [at, delta] : inflight_deltas) {
+    level += delta;
+    if (!inflight.empty() && inflight.back().first == at) {
+      inflight.back().second = level;
+    } else {
+      inflight.emplace_back(at, level);
+    }
+  }
+  emit_counter_series(w, "noc.packets_in_flight", inflight);
+
+  // Derived counter track 2: cumulative DRAM bytes requested.
+  std::vector<std::pair<Cycle, double>> dram_cum;
+  double bytes = 0.0;
+  for (const auto& [at, b] : dram_bytes) {
+    bytes += b;
+    if (!dram_cum.empty() && dram_cum.back().first == at) {
+      dram_cum.back().second = bytes;
+    } else {
+      dram_cum.emplace_back(at, bytes);
+    }
+  }
+  emit_counter_series(w, "dram.bytes_requested", dram_cum);
+
+  // Sampled series -> one counter track each.
+  if (sampler != nullptr) {
+    for (const auto& s : sampler->series()) {
+      for (std::size_t i = 0; i < s.values.size(); ++i) {
+        counter_point(w, s.name, sampler->sample_cycles()[i], s.values[i]);
+      }
+    }
+  }
+
+  os << "\n ]}";
+  return os.str();
+}
+
+void write_perfetto_trace(const std::string& path, const Tracer& tracer,
+                          const Sampler* sampler) {
+  std::ofstream out(path);
+  AURORA_CHECK_MSG(out.is_open(), "cannot write trace: " << path);
+  out << perfetto_trace_json(tracer, sampler) << '\n';
+  AURORA_CHECK_MSG(static_cast<bool>(out), "trace write failed: " << path);
+}
+
+}  // namespace aurora::sim

@@ -1,0 +1,33 @@
+// Chrome/Perfetto trace_event JSON export, layered on the Tracer's raw
+// event records and (optionally) a Sampler's time series. The output loads
+// directly in ui.perfetto.dev or chrome://tracing:
+//
+//   * phase spans (edge-update / aggregation / vertex-update) and DRAM
+//     streams become duration ("X") events on named tracks;
+//   * reconfigurations and tile starts become instant events;
+//   * sampled series become counter ("C") tracks, as do two series derived
+//     from the raw packet/DRAM records (packets in flight, bytes
+//     requested), so a trace has counter tracks even without a sampler.
+//
+// Timebase: one simulated cycle is rendered as one microsecond of trace
+// time (the trace_event format's native unit).
+#pragma once
+
+#include <string>
+
+#include "sim/trace.hpp"
+
+namespace aurora::sim {
+
+class Sampler;
+
+/// Render the trace (and optional sampled series) as a trace_event JSON
+/// object: {"displayTimeUnit": ..., "traceEvents": [...]}.
+[[nodiscard]] std::string perfetto_trace_json(const Tracer& tracer,
+                                              const Sampler* sampler = nullptr);
+
+/// perfetto_trace_json + write to `path` (throws on I/O failure).
+void write_perfetto_trace(const std::string& path, const Tracer& tracer,
+                          const Sampler* sampler = nullptr);
+
+}  // namespace aurora::sim

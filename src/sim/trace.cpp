@@ -4,6 +4,7 @@
 #include <array>
 #include <ostream>
 #include <sstream>
+#include <vector>
 
 #include "common/error.hpp"
 #include "common/strings.hpp"
@@ -24,8 +25,21 @@ const char* trace_event_name(TraceEvent e) {
       return "reconfigure";
     case TraceEvent::kTileStart:
       return "tile-start";
+    case TraceEvent::kPhaseSpan:
+      return "phase-span";
+    case TraceEvent::kDramSpan:
+      return "dram-span";
   }
   throw Error("invalid TraceEvent");
+}
+
+void Tracer::set_capacity(std::size_t capacity) {
+  AURORA_CHECK_MSG(capacity > 0, "tracer capacity must be positive");
+  capacity_ = capacity;
+  while (records_.size() > capacity_) {
+    records_.pop_front();
+    ++dropped_;
+  }
 }
 
 std::uint64_t Tracer::count(TraceEvent kind) const {
@@ -41,8 +55,9 @@ std::string Tracer::render_timeline(std::size_t buckets) const {
   Cycle max_cycle = 1;
   for (const auto& r : records_) max_cycle = std::max(max_cycle, r.at);
 
-  static constexpr std::array<TraceEvent, 6> kKinds = {
+  static constexpr std::array<TraceEvent, 8> kKinds = {
       TraceEvent::kTileStart,      TraceEvent::kReconfigure,
+      TraceEvent::kPhaseSpan,      TraceEvent::kDramSpan,
       TraceEvent::kDramRequest,    TraceEvent::kPacketInjected,
       TraceEvent::kPacketDelivered, TraceEvent::kTaskComplete};
   static constexpr const char* kGlyphs = " .:-=+*#%@";

@@ -5,9 +5,9 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <iosfwd>
 #include <string>
-#include <vector>
 
 #include "common/types.hpp"
 
@@ -20,6 +20,13 @@ enum class TraceEvent : std::uint8_t {
   kDramRequest,
   kReconfigure,
   kTileStart,
+  /// A span of GNN-phase activity: `at` is the span's first active cycle,
+  /// arg0 the phase index (0 edge-update, 1 aggregation, 2 vertex-update),
+  /// arg1 the span length in cycles.
+  kPhaseSpan,
+  /// A DRAM bulk stream: `at` is the stream's start cycle, arg0 the byte
+  /// count, arg1 the cycles until the stream drained.
+  kDramSpan,
 };
 
 [[nodiscard]] const char* trace_event_name(TraceEvent e);
@@ -34,20 +41,40 @@ struct TraceRecord {
 
 /// Event recorder. Disabled tracers drop events with a single branch, so a
 /// tracer can always be plumbed through and only pay when switched on.
+/// Memory is bounded: past `capacity()` records the oldest are evicted
+/// (ring-buffer style) and `dropped()` counts what was lost, so tracing a
+/// long run degrades to a suffix trace instead of exhausting memory.
 class Tracer {
  public:
+  /// ~48 MiB of records at the default — far beyond any test workload, yet
+  /// a hard ceiling for production-scale runs.
+  static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 21;
+
   void enable(bool on = true) { enabled_ = on; }
   [[nodiscard]] bool enabled() const { return enabled_; }
 
   void record(Cycle at, TraceEvent kind, std::uint64_t arg0 = 0,
               std::uint64_t arg1 = 0) {
     if (!enabled_) return;
+    if (records_.size() >= capacity_) {
+      records_.pop_front();
+      ++dropped_;
+    }
     records_.push_back({at, kind, arg0, arg1});
   }
 
-  void clear() { records_.clear(); }
+  /// Maximum records retained; older records are evicted beyond it.
+  void set_capacity(std::size_t capacity);
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Records evicted since the last clear().
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+  void clear() {
+    records_.clear();
+    dropped_ = 0;
+  }
   [[nodiscard]] std::size_t size() const { return records_.size(); }
-  [[nodiscard]] const std::vector<TraceRecord>& records() const {
+  [[nodiscard]] const std::deque<TraceRecord>& records() const {
     return records_;
   }
   [[nodiscard]] std::uint64_t count(TraceEvent kind) const;
@@ -61,7 +88,9 @@ class Tracer {
 
  private:
   bool enabled_ = false;
-  std::vector<TraceRecord> records_;
+  std::size_t capacity_ = kDefaultCapacity;
+  std::deque<TraceRecord> records_;
+  std::uint64_t dropped_ = 0;
 };
 
 }  // namespace aurora::sim

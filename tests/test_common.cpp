@@ -6,6 +6,7 @@
 
 #include "common/cli.hpp"
 #include "common/error.hpp"
+#include "common/metrics_registry.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/strings.hpp"
@@ -154,6 +155,88 @@ TEST(Histogram, Quantile) {
   for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i % 10));
   EXPECT_NEAR(h.quantile(0.5), 5.0, 1.0);
   EXPECT_NEAR(h.quantile(1.0), 10.0, 1.0);
+}
+
+TEST(Histogram, MergeAddsCounts) {
+  Histogram a(1.0, 4);
+  Histogram b(1.0, 4);
+  a.add(0.5);
+  a.add(2.5);
+  b.add(2.5);
+  b.add(100.0);  // overflow bucket
+  a.merge(b);
+  EXPECT_EQ(a.total(), 4u);
+  EXPECT_EQ(a.bucket_count(0), 1u);
+  EXPECT_EQ(a.bucket_count(2), 2u);
+  EXPECT_EQ(a.bucket_count(3), 1u);
+}
+
+TEST(Histogram, MergeRejectsMismatchedLayout) {
+  Histogram a(1.0, 4);
+  const Histogram wrong_width(2.0, 4);
+  const Histogram wrong_buckets(1.0, 8);
+  EXPECT_THROW(a.merge(wrong_width), Error);
+  EXPECT_THROW(a.merge(wrong_buckets), Error);
+  // A failed merge leaves the target untouched.
+  EXPECT_EQ(a.total(), 0u);
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h(1.0, 4);
+  h.add(1.5);
+  h.reset();
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.bucket_count(1), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(MetricsRegistry, CountersGaugesAndHistograms) {
+  MetricsRegistry reg;
+  std::uint64_t hits = 7;
+  double depth = 2.0;
+  Histogram lat(1.0, 8);
+  lat.add(3.0);
+  reg.add_counter("dram.hits", &hits);
+  reg.add_gauge("pe.depth", [&depth] { return depth; });
+  reg.add_histogram("noc.latency", &lat);
+
+  EXPECT_DOUBLE_EQ(reg.value("dram.hits"), 7.0);
+  hits = 9;  // probes are live views, not snapshots
+  EXPECT_DOUBLE_EQ(reg.value("dram.hits"), 9.0);
+  EXPECT_DOUBLE_EQ(reg.value("pe.depth"), 2.0);
+  ASSERT_NE(reg.find("noc.latency"), nullptr);
+  EXPECT_EQ(reg.find("noc.latency")->histogram->total(), 1u);
+  EXPECT_EQ(reg.find("missing"), nullptr);
+  EXPECT_THROW((void)reg.value("missing"), Error);
+  EXPECT_THROW((void)reg.value("noc.latency"), Error);  // not scalar
+}
+
+TEST(MetricsRegistry, RejectsDuplicatesAndEmptyNames) {
+  MetricsRegistry reg;
+  std::uint64_t c = 0;
+  reg.add_counter("a", &c);
+  EXPECT_THROW(reg.add_counter("a", &c), Error);
+  EXPECT_THROW(reg.add_gauge("", [] { return 0.0; }), Error);
+}
+
+TEST(MetricsRegistry, ScopePrefixesAndMatch) {
+  MetricsRegistry reg;
+  std::uint64_t a = 1, b = 2, other = 3;
+  {
+    const auto s = reg.scope("noc");
+    s.counter("packets", &a);
+    s.counter("flits", &b);
+  }
+  reg.add_counter("dram.bytes", &other);
+
+  EXPECT_DOUBLE_EQ(reg.value("noc.packets"), 1.0);
+  const auto noc = reg.match("noc.");
+  ASSERT_EQ(noc.size(), 2u);
+  // Sorted by name.
+  EXPECT_EQ(noc[0]->name, "noc.flits");
+  EXPECT_EQ(noc[1]->name, "noc.packets");
+  EXPECT_EQ(reg.match("").size(), 3u);
+  EXPECT_TRUE(reg.match("nope.").empty());
 }
 
 TEST(CounterSet, IncrementAndMerge) {

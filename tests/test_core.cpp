@@ -15,6 +15,8 @@
 #include "core/sub_accelerators.hpp"
 #include "gnn/reference.hpp"
 #include "graph/generators.hpp"
+#include "sim/sampler.hpp"
+#include "sim/trace.hpp"
 
 namespace aurora::core {
 namespace {
@@ -352,6 +354,140 @@ TEST(CycleEngine, FastForwardMatchesLockstepBothDataflowOrders) {
     const auto mf = ff.run_layer(ds, model, {32, 8}, 1);
     expect_identical_metrics(mf, ml, gnn::model_name(model));
   }
+}
+
+// ---------------------------------------------- observability equivalence
+
+/// Attaching the tracer and sampler must not change any reported number:
+/// phase tracking is always-on, the sampler is a read-only component whose
+/// ticks are no-ops for everything else, and the tracer only records. The
+/// single permitted difference is the scheduler diagnostic
+/// sim.cycles_skipped — the sampler pins fast-forward jumps to sample
+/// boundaries, so fewer (provably dead) cycles get skipped.
+void expect_observability_invariant(const RunMetrics& on,
+                                    const RunMetrics& off, const char* what) {
+  EXPECT_EQ(on.total_cycles, off.total_cycles) << what;
+  EXPECT_EQ(on.compute_cycles, off.compute_cycles) << what;
+  EXPECT_EQ(on.onchip_comm_cycles, off.onchip_comm_cycles) << what;
+  EXPECT_EQ(on.dram_cycles, off.dram_cycles) << what;
+  EXPECT_EQ(on.dram_bytes, off.dram_bytes) << what;
+  EXPECT_EQ(on.dram_accesses, off.dram_accesses) << what;
+  EXPECT_EQ(on.noc_messages, off.noc_messages) << what;
+  EXPECT_DOUBLE_EQ(on.avg_hops, off.avg_hops) << what;
+  EXPECT_DOUBLE_EQ(on.pe_utilization, off.pe_utilization) << what;
+  EXPECT_DOUBLE_EQ(on.energy.total_pj(), off.energy.total_pj()) << what;
+  EXPECT_EQ(on.pe_heatmap, off.pe_heatmap) << what;
+  for (std::size_t p = 0; p < on.phases.size(); ++p) {
+    EXPECT_EQ(on.phases[p].active_cycles, off.phases[p].active_cycles) << what;
+    EXPECT_EQ(on.phases[p].dram_bytes, off.phases[p].dram_bytes) << what;
+    EXPECT_EQ(on.phases[p].noc_messages, off.phases[p].noc_messages) << what;
+  }
+  EXPECT_EQ(on.noc_packet_latency.total(), off.noc_packet_latency.total())
+      << what;
+  EXPECT_DOUBLE_EQ(on.noc_packet_latency.quantile(0.99),
+                   off.noc_packet_latency.quantile(0.99))
+      << what;
+  EXPECT_EQ(on.dram_request_latency.total(), off.dram_request_latency.total())
+      << what;
+  auto onc = on.counters.all();
+  auto offc = off.counters.all();
+  onc.erase("sim.cycles_skipped");
+  offc.erase("sim.cycles_skipped");
+  EXPECT_TRUE(onc == offc) << what;
+}
+
+TEST(Observability, EnabledRunMatchesDisabledRun) {
+  const auto ds = small_dataset();
+  for (bool fast_forward : {false, true}) {
+    AuroraConfig cfg = small_config();
+    cfg.fast_forward = fast_forward;
+    AuroraAccelerator plain(cfg), observed(cfg);
+    sim::Tracer tracer;
+    tracer.enable();
+    sim::Sampler sampler(64);
+    observed.set_tracer(&tracer);
+    observed.set_sampler(&sampler);
+    const auto off = plain.run_layer(ds, gnn::GnnModel::kGcn, {32, 8}, 1);
+    const auto on = observed.run_layer(ds, gnn::GnnModel::kGcn, {32, 8}, 1);
+    expect_observability_invariant(on, off,
+                                   fast_forward ? "fast-forward" : "lockstep");
+    // The observers really observed.
+    EXPECT_GT(tracer.count(sim::TraceEvent::kPhaseSpan), 0u);
+    EXPECT_GT(tracer.count(sim::TraceEvent::kDramSpan), 0u);
+    EXPECT_GT(sampler.num_samples(), 0u);
+    EXPECT_GT(sampler.series().size(), 1u);
+  }
+}
+
+TEST(Observability, SamplerSeriesMatchAcrossSchedulerModes) {
+  // The sampler-under-fast-forward contract at engine scale: jumps land on
+  // sample boundaries where all skipped ticks were no-ops, so the sampled
+  // time series is bit-identical to a lockstep run's.
+  const auto ds = small_dataset();
+  auto run = [&](bool fast_forward, std::vector<Cycle>& cycles,
+                 std::vector<sim::Sampler::Series>& series) {
+    AuroraConfig cfg = small_config();
+    cfg.fast_forward = fast_forward;
+    AuroraAccelerator accel(cfg);
+    sim::Sampler sampler(32);
+    accel.set_sampler(&sampler);
+    (void)accel.run_layer(ds, gnn::GnnModel::kGcn, {32, 8}, 1);
+    cycles = sampler.sample_cycles();
+    series = sampler.series();
+  };
+  std::vector<Cycle> ff_cycles, ls_cycles;
+  std::vector<sim::Sampler::Series> ff_series, ls_series;
+  run(true, ff_cycles, ff_series);
+  run(false, ls_cycles, ls_series);
+  EXPECT_EQ(ff_cycles, ls_cycles);
+  ASSERT_EQ(ff_series.size(), ls_series.size());
+  for (std::size_t i = 0; i < ff_series.size(); ++i) {
+    EXPECT_EQ(ff_series[i].name, ls_series[i].name);
+    EXPECT_EQ(ff_series[i].values, ls_series[i].values) << ff_series[i].name;
+  }
+}
+
+TEST(Observability, CyclePhaseAttributionSumsToTotals) {
+  AuroraConfig cfg = small_config();
+  const auto ds = small_dataset();
+  AuroraAccelerator accel(cfg);
+  const auto m = accel.run_layer(ds, gnn::GnnModel::kGcn, {32, 8}, 1);
+  std::uint64_t msg_sum = 0;
+  Bytes byte_sum = 0;
+  for (const auto& p : m.phases) {
+    msg_sum += p.noc_messages;
+    byte_sum += p.dram_bytes;
+  }
+  EXPECT_EQ(msg_sum, m.noc_messages);
+  EXPECT_EQ(byte_sum, m.dram_bytes);
+  EXPECT_GT(m.phase(gnn::Phase::kAggregation).active_cycles, 0u);
+  EXPECT_GT(m.phase(gnn::Phase::kVertexUpdate).active_cycles, 0u);
+  // The latency histograms were measured, not left at their defaults.
+  EXPECT_EQ(m.noc_packet_latency.total(),
+            m.counters.get("noc.packets_delivered"));
+  EXPECT_GT(m.dram_request_latency.total(), 0u);
+}
+
+TEST(Observability, AnalyticPhaseAttributionSumsToTotals) {
+  AuroraConfig cfg = small_config();
+  cfg.mode = SimMode::kAnalytic;
+  const auto ds = small_dataset();
+  AuroraAccelerator accel(cfg);
+  const auto m = accel.run_layer(ds, gnn::GnnModel::kGcn, {32, 8}, 1);
+  std::uint64_t msg_sum = 0;
+  Bytes byte_sum = 0;
+  Cycle active_sum = 0;
+  for (const auto& p : m.phases) {
+    msg_sum += p.noc_messages;
+    byte_sum += p.dram_bytes;
+    active_sum += p.active_cycles;
+  }
+  EXPECT_EQ(msg_sum, m.noc_messages);
+  EXPECT_EQ(byte_sum, m.dram_bytes);
+  EXPECT_GT(active_sum, 0u);
+  // Analytic runs report the same schema with empty distributions.
+  EXPECT_EQ(m.noc_packet_latency.total(), 0u);
+  EXPECT_EQ(m.dram_request_latency.total(), 0u);
 }
 
 TEST(CycleEngine, FastForwardConfigRoundTrips) {

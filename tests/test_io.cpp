@@ -114,6 +114,42 @@ TEST(Report, MetricsJsonHasStableKeys) {
             std::count(json.begin(), json.end(), '}'));
 }
 
+TEST(Report, MetricsJsonHasLatencyPercentilesAndPhases) {
+  core::RunMetrics m;
+  m.noc_packet_latency.add(10.0);
+  m.noc_packet_latency.add(10.0);
+  m.dram_request_latency.add(100.0);
+  m.phase(gnn::Phase::kAggregation).active_cycles = 42;
+  m.phase(gnn::Phase::kAggregation).noc_messages = 9;
+  m.phase(gnn::Phase::kVertexUpdate).dram_bytes = 77;
+  const std::string json = core::metrics_to_json(m);
+
+  // Latency percentile objects with a stable key order.
+  const auto noc_pos = json.find("\"noc_packet_latency\": {\"p50\":");
+  ASSERT_NE(noc_pos, std::string::npos);
+  const auto dram_pos = json.find("\"dram_request_latency\": {\"p50\":");
+  ASSERT_NE(dram_pos, std::string::npos);
+  EXPECT_LT(noc_pos, dram_pos);
+  EXPECT_NE(json.find("\"p95\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 2"), std::string::npos);
+
+  // Per-phase block: all three phases, fixed order, populated values.
+  const auto eu = json.find("\"edge_update\"");
+  const auto agg = json.find("\"aggregation\"");
+  const auto vu = json.find("\"vertex_update\"");
+  ASSERT_NE(eu, std::string::npos);
+  ASSERT_NE(agg, std::string::npos);
+  ASSERT_NE(vu, std::string::npos);
+  EXPECT_LT(eu, agg);
+  EXPECT_LT(agg, vu);
+  EXPECT_NE(json.find("\"active_cycles\": 42"), std::string::npos);
+  EXPECT_NE(json.find("\"noc_messages\": 9"), std::string::npos);
+  EXPECT_NE(json.find("\"dram_bytes\": 77"), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
 TEST(Report, RunsJsonEscapesNames) {
   core::NamedRun run;
   run.accelerator = "Aurora \"v2\"";
