@@ -1,0 +1,449 @@
+// Seed-reproducible differential fuzzer for the simulation core.
+//
+// Each seed deterministically generates a random chip (NoC bypass/ring
+// configuration, DRAM timings including aggressive tREFI), a random graph
+// and GNN workload, then runs everything in BOTH scheduler modes — lockstep
+// and event-driven fast-forward — with the invariant checker attached, and
+// diffs the results bit for bit:
+//
+//   phase A: raw NoC traffic waves on a randomized mesh/bypass/ring config,
+//            every NocStats field compared after every drain;
+//   phase B: a full AuroraAccelerator::run_layer, RunMetrics compared via
+//            core::diff_run_metrics (which ignores only the scheduler-work
+//            counter "sim.cycles_skipped").
+//
+// Any divergence or invariant violation prints the seed and a one-command
+// replay line. Replaying a single seed with --trace-out writes a Perfetto
+// trace of the fast-forward engine run for inspection.
+//
+//   ./build/bench/fuzz_sim --seeds=25            # CI smoke
+//   ./build/bench/fuzz_sim --seeds=500 --start-seed=1000
+//   ./build/bench/fuzz_sim --seed=42 --trace-out=fuzz_42.json
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/aurora.hpp"
+#include "core/report.hpp"
+#include "graph/generators.hpp"
+#include "noc/network.hpp"
+#include "noc/routing.hpp"
+#include "sim/invariants.hpp"
+#include "sim/perfetto.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace {
+
+using namespace aurora;
+
+constexpr Cycle kGuard = 50'000'000;
+
+// ---------------------------------------------------------------- phase A
+
+struct NocSend {
+  noc::NodeId src = 0;
+  noc::NodeId dst = 0;
+  Bytes bytes = 0;
+};
+
+struct NocScenario {
+  noc::NocParams params;
+  noc::NocConfig config;
+  std::vector<std::vector<NocSend>> waves;
+};
+
+noc::NocConfig random_noc_config(std::uint32_t k, Rng& rng) {
+  noc::NocConfig cfg(k);
+  if (rng.next_bool(0.5)) cfg.set_routing(noc::RoutingPolicy::kYXFirst);
+  std::vector<std::uint8_t> row_full(k, 0);
+  for (std::uint32_t line = 0; line < k; ++line) {
+    if (!rng.next_bool(0.6)) continue;
+    std::uint32_t from = 0;
+    std::uint32_t to = k - 1;
+    if (k > 3 && rng.next_bool(0.5)) {
+      from = static_cast<std::uint32_t>(rng.next_below(k - 2));
+      to = from + 2 +
+           static_cast<std::uint32_t>(rng.next_below(k - 2 - from));
+    }
+    cfg.add_row_segment({line, from, to});
+    row_full[line] = (from == 0 && to == k - 1) ? 1 : 0;
+  }
+  for (std::uint32_t line = 0; line < k; ++line) {
+    if (rng.next_bool(0.3)) cfg.add_col_segment({line, 0, k - 1});
+  }
+  // Ring overlays on rows whose full-span segment provides the wrap link,
+  // plus the occasional 2x2 mesh square (always routable on the mesh).
+  std::vector<std::uint8_t> used(k * k, 0);
+  for (std::uint32_t r = 0; r < k; ++r) {
+    if (row_full[r] == 0 || !rng.next_bool(0.5)) continue;
+    noc::RingConfig ring;
+    for (std::uint32_t c = 0; c < k; ++c) {
+      ring.nodes.push_back(r * k + c);
+      used[r * k + c] = 1;
+    }
+    cfg.add_ring(ring);
+  }
+  if (rng.next_bool(0.4)) {
+    const auto r = static_cast<std::uint32_t>(rng.next_below(k - 1));
+    const auto c = static_cast<std::uint32_t>(rng.next_below(k - 1));
+    const std::array<noc::NodeId, 4> square = {
+        r * k + c, r * k + c + 1, (r + 1) * k + c + 1, (r + 1) * k + c};
+    bool free = true;
+    for (const noc::NodeId n : square) free = free && used[n] == 0;
+    if (free) cfg.add_ring({{square[0], square[1], square[2], square[3]}});
+  }
+  return cfg;
+}
+
+NocScenario random_noc_scenario(std::uint64_t seed) {
+  Rng rng(seed * 2654435761ull + 1);
+  NocScenario s;
+  s.params.k = 3 + static_cast<std::uint32_t>(rng.next_below(6));
+  s.params.flit_bytes = 16ull << rng.next_below(3);
+  s.params.num_vcs = 1 + static_cast<std::uint32_t>(rng.next_below(4));
+  s.params.input_buffer_flits =
+      2 + static_cast<std::uint32_t>(rng.next_below(7));
+  s.params.router_delay = 1 + rng.next_below(3);
+  s.params.turn_delay = rng.next_below(3);
+  s.params.link_delay = 1 + rng.next_below(2);
+  s.config = random_noc_config(s.params.k, rng);
+  const std::uint32_t nodes = s.params.k * s.params.k;
+  const std::size_t num_waves = 1 + rng.next_below(3);
+  for (std::size_t w = 0; w < num_waves; ++w) {
+    std::vector<NocSend> wave(1 + rng.next_below(14));
+    for (NocSend& send : wave) {
+      send.src = static_cast<noc::NodeId>(rng.next_below(nodes));
+      do {
+        send.dst = static_cast<noc::NodeId>(rng.next_below(nodes));
+      } while (send.dst == send.src);
+      send.bytes = 8 + rng.next_below(240);
+    }
+    s.waves.push_back(std::move(wave));
+  }
+  return s;
+}
+
+struct NocOutcome {
+  noc::NocStats stats;
+  Cycle end_cycle = 0;
+};
+
+NocOutcome run_noc_scenario(const NocScenario& s, bool fast_forward) {
+  sim::Simulator sim;
+  sim.set_fast_forward(fast_forward);
+  noc::Network net(s.params);
+  sim.add(&net);
+  sim::InvariantChecker checker;
+  checker.watch(&net);
+  net.configure(s.config);
+  for (const auto& wave : s.waves) {
+    for (const NocSend& send : wave) {
+      net.send(send.src, send.dst, send.bytes, 0, sim.now());
+    }
+    sim.run_until_idle(kGuard);
+    checker.check_now(sim.now());
+  }
+  return {net.stats(), sim.now()};
+}
+
+std::vector<std::string> diff_noc(const NocOutcome& a, const NocOutcome& b) {
+  std::vector<std::string> diffs;
+  const auto u64 = [&diffs](const char* name, std::uint64_t x,
+                            std::uint64_t y) {
+    if (x != y) {
+      diffs.push_back(std::string(name) + ": " + std::to_string(x) + " != " +
+                      std::to_string(y));
+    }
+  };
+  const auto num = [&diffs](const char* name, double x, double y) {
+    if (x != y) diffs.push_back(std::string(name) + " differs");
+  };
+  u64("end_cycle", a.end_cycle, b.end_cycle);
+  u64("packets_injected", a.stats.packets_injected, b.stats.packets_injected);
+  u64("packets_delivered", a.stats.packets_delivered,
+      b.stats.packets_delivered);
+  u64("flits_injected", a.stats.flits_injected, b.stats.flits_injected);
+  u64("flits_ejected", a.stats.flits_ejected, b.stats.flits_ejected);
+  u64("flit_hops", a.stats.flit_hops, b.stats.flit_hops);
+  u64("bypass_flit_hops", a.stats.bypass_flit_hops,
+      b.stats.bypass_flit_hops);
+  u64("router_traversals", a.stats.router_traversals,
+      b.stats.router_traversals);
+  u64("link_bytes", a.stats.link_bytes, b.stats.link_bytes);
+  u64("bypass_bytes", a.stats.bypass_bytes, b.stats.bypass_bytes);
+  u64("busy_cycles", a.stats.busy_cycles, b.stats.busy_cycles);
+  u64("latency.count", a.stats.packet_latency.count(),
+      b.stats.packet_latency.count());
+  num("latency.sum", a.stats.packet_latency.sum(),
+      b.stats.packet_latency.sum());
+  num("latency.min", a.stats.packet_latency.min(),
+      b.stats.packet_latency.min());
+  num("latency.max", a.stats.packet_latency.max(),
+      b.stats.packet_latency.max());
+  num("hops.sum", a.stats.packet_hops.sum(), b.stats.packet_hops.sum());
+  u64("latency_hist.total", a.stats.packet_latency_hist.total(),
+      b.stats.packet_latency_hist.total());
+  return diffs;
+}
+
+/// With some probability, also check that an intentionally broken ring (a
+/// full-row overlay whose wrap column has no bypass segment) is rejected at
+/// configure time and routes fine via the mesh fallback.
+void probe_unroutable_ring(const NocScenario& s, Rng& rng) {
+  const std::uint32_t k = s.params.k;
+  std::uint32_t row = k;
+  for (std::uint32_t r = 0; r < k && row == k; ++r) {
+    bool free_row = !s.config.row_segment_at(r, 0).has_value() &&
+                    !s.config.row_segment_at(r, k - 1).has_value();
+    for (const auto& ring : s.config.rings()) {
+      for (const noc::NodeId n : ring.nodes) free_row &= (n / k != r);
+    }
+    if (free_row) row = r;
+  }
+  if (row == k || !rng.next_bool(0.5)) return;
+  noc::NocConfig broken = s.config;
+  noc::RingConfig ring;
+  for (std::uint32_t c = 0; c < k; ++c) ring.nodes.push_back(row * k + c);
+  broken.add_ring_unchecked(ring);
+  const std::size_t idx = broken.rings().size() - 1;
+  AURORA_CHECK_MSG(!broken.ring_routable(idx),
+                   "fuzz probe: wrap ring without segment marked routable");
+  // Mesh fallback must still deliver between ring members without throwing.
+  (void)noc::path_hops(row * k, row * k + k - 1, broken);
+  noc::Network net(s.params);
+  bool threw = false;
+  try {
+    (void)net.configure(broken);
+  } catch (const Error&) {
+    threw = true;
+  }
+  AURORA_CHECK_MSG(threw,
+                   "fuzz probe: configure accepted an unroutable ring");
+}
+
+// ---------------------------------------------------------------- phase B
+
+core::AuroraConfig random_chip(Rng& rng) {
+  core::AuroraConfig cfg = core::AuroraConfig::bench();
+  const std::uint32_t dim = rng.next_bool(0.5) ? 4 : 8;
+  cfg.array_dim = dim;
+  cfg.noc.k = dim;
+  cfg.noc.num_vcs = 1 + static_cast<std::uint32_t>(rng.next_below(4));
+  cfg.noc.input_buffer_flits =
+      2 + static_cast<std::uint32_t>(rng.next_below(7));
+  cfg.noc.router_delay = 1 + rng.next_below(3);
+  cfg.noc.turn_delay = rng.next_below(2);
+  cfg.noc.link_delay = 1 + rng.next_below(2);
+  cfg.ring_size = 2 + static_cast<std::uint32_t>(rng.next_below(dim - 1));
+  if (rng.next_bool(0.5)) cfg.mapping_policy = core::MappingPolicy::kHashing;
+  cfg.dram.num_channels = 1u << rng.next_below(3);
+  cfg.dram.banks_per_channel =
+      2 + static_cast<std::uint32_t>(rng.next_below(7));
+  cfg.dram.queue_depth = 8 + static_cast<std::uint32_t>(rng.next_below(57));
+  auto& t = cfg.dram.timing;
+  t.t_rcd = 4 + rng.next_below(9);
+  t.t_rp = 4 + rng.next_below(9);
+  t.t_cl = 4 + rng.next_below(9);
+  t.t_burst = 2 + rng.next_below(5);
+  t.t_turnaround = rng.next_below(7);
+  // Aggressively small refresh interval so refresh scheduling (and the
+  // catch-up accounting on idle channels) is exercised constantly;
+  // sometimes disabled entirely.
+  t.t_refi = rng.next_bool(0.2) ? 0 : 150 + rng.next_below(1200);
+  t.t_rfc = 20 + rng.next_below(41);
+  cfg.check_invariants = true;
+  cfg.invariant_interval =
+      rng.next_bool(0.5) ? 0 : 64 * (1 + rng.next_below(32));
+  return cfg;
+}
+
+graph::Dataset random_dataset(Rng& rng) {
+  graph::Dataset ds;
+  ds.spec.name = "fuzz";
+  ds.spec.feature_dim = 4 + static_cast<std::uint32_t>(rng.next_below(21));
+  ds.spec.feature_density = 1.0;
+  ds.spec.num_classes = 4;
+  const auto n = static_cast<VertexId>(24 + rng.next_below(100));
+  const auto m = static_cast<EdgeId>(n) * (1 + rng.next_below(3));
+  switch (rng.next_below(6)) {
+    case 0:
+      ds.graph = graph::generate_erdos_renyi(n, m, rng);
+      break;
+    case 1: {
+      graph::PowerLawParams p;
+      p.n = n;
+      p.undirected_edges = m;
+      ds.graph = graph::generate_power_law(p, rng);
+      break;
+    }
+    case 2: {
+      graph::RmatParams p;
+      p.scale = 6;
+      p.undirected_edges = m;
+      ds.graph = graph::generate_rmat(p, rng);
+      break;
+    }
+    case 3:
+      ds.graph = graph::generate_grid(
+          6, static_cast<VertexId>(4 + rng.next_below(12)));
+      break;
+    case 4:
+      ds.graph = graph::generate_star(n);
+      break;
+    default:
+      ds.graph = graph::generate_ring(n);
+      break;
+  }
+  ds.spec.num_vertices = ds.graph.num_vertices();
+  ds.degree_stats = graph::compute_degree_stats(ds.graph);
+  return ds;
+}
+
+core::RunMetrics run_engine(const core::AuroraConfig& chip,
+                            const graph::Dataset& ds, gnn::GnnModel model,
+                            const gnn::LayerConfig& layer,
+                            std::uint32_t layer_index, bool fast_forward,
+                            sim::Tracer* tracer) {
+  core::AuroraConfig cfg = chip;
+  cfg.fast_forward = fast_forward;
+  core::AuroraAccelerator accel(cfg);
+  if (tracer != nullptr) accel.set_tracer(tracer);
+  return accel.run_layer(ds, model, layer, layer_index);
+}
+
+// ---------------------------------------------------------------- driver
+
+void print_failure(std::uint64_t seed, const char* phase,
+                   const std::vector<std::string>& diffs) {
+  std::printf("FUZZ FAILURE seed=%llu phase=%s: lockstep and fast-forward "
+              "diverge in %zu field(s)\n",
+              static_cast<unsigned long long>(seed), phase, diffs.size());
+  for (const auto& d : diffs) std::printf("  %s\n", d.c_str());
+}
+
+void print_replay(std::uint64_t seed) {
+  std::printf("replay: ./build/bench/fuzz_sim --seed=%llu "
+              "--trace-out=fuzz_%llu.json\n",
+              static_cast<unsigned long long>(seed),
+              static_cast<unsigned long long>(seed));
+}
+
+bool run_seed(std::uint64_t seed, bool verbose, const std::string& trace_out) {
+  try {
+    // ---- phase A: raw NoC differential
+    const NocScenario scenario = random_noc_scenario(seed);
+    if (verbose) {
+      std::printf("seed %llu phase A: k=%u vcs=%u %zu row / %zu col "
+                  "segments, %zu ring(s), %zu wave(s)\n",
+                  static_cast<unsigned long long>(seed), scenario.params.k,
+                  scenario.params.num_vcs,
+                  scenario.config.row_segments().size(),
+                  scenario.config.col_segments().size(),
+                  scenario.config.rings().size(), scenario.waves.size());
+    }
+    {
+      Rng probe_rng(seed * 2654435761ull + 17);
+      probe_unroutable_ring(scenario, probe_rng);
+    }
+    const NocOutcome lock = run_noc_scenario(scenario, false);
+    const NocOutcome fast = run_noc_scenario(scenario, true);
+    const auto noc_diffs = diff_noc(lock, fast);
+    if (!noc_diffs.empty()) {
+      print_failure(seed, "noc", noc_diffs);
+      print_replay(seed);
+      return false;
+    }
+
+    // ---- phase B: full engine differential
+    Rng rng(seed * 0x9E3779B97F4A7C15ull + 3);
+    const core::AuroraConfig chip = random_chip(rng);
+    const graph::Dataset ds = random_dataset(rng);
+    const gnn::GnnModel model =
+        gnn::kAllModels[rng.next_below(gnn::kAllModels.size())];
+    const gnn::LayerConfig layer{
+        4 + static_cast<std::uint32_t>(rng.next_below(29)),
+        4 + static_cast<std::uint32_t>(rng.next_below(29))};
+    const auto layer_index =
+        static_cast<std::uint32_t>(rng.next_below(2));
+    if (verbose) {
+      std::printf("seed %llu phase B: %ux%u chip, %s, %u vertices, "
+                  "dims %u->%u, tREFI=%llu, interval=%llu\n",
+                  static_cast<unsigned long long>(seed), chip.array_dim,
+                  chip.array_dim, gnn::model_name(model), ds.num_vertices(),
+                  layer.in_dim, layer.out_dim,
+                  static_cast<unsigned long long>(chip.dram.timing.t_refi),
+                  static_cast<unsigned long long>(chip.invariant_interval));
+    }
+    const core::RunMetrics lockstep =
+        run_engine(chip, ds, model, layer, layer_index, false, nullptr);
+    sim::Tracer tracer;
+    sim::Tracer* tracer_ptr = nullptr;
+    if (!trace_out.empty()) {
+      tracer.enable();
+      tracer_ptr = &tracer;
+    }
+    const core::RunMetrics fastfwd =
+        run_engine(chip, ds, model, layer, layer_index, true, tracer_ptr);
+    if (!trace_out.empty()) {
+      sim::write_perfetto_trace(trace_out, tracer);
+      std::printf("wrote %s (fast-forward engine run)\n", trace_out.c_str());
+    }
+    const auto diffs = core::diff_run_metrics(lockstep, fastfwd);
+    if (!diffs.empty()) {
+      print_failure(seed, "engine", diffs);
+      print_replay(seed);
+      return false;
+    }
+    if (verbose) {
+      std::printf("seed %llu OK: %llu cycles, both modes bit-identical\n",
+                  static_cast<unsigned long long>(seed),
+                  static_cast<unsigned long long>(lockstep.total_cycles));
+    }
+  } catch (const std::exception& e) {
+    std::printf("FUZZ FAILURE seed=%llu: exception\n  %s\n",
+                static_cast<unsigned long long>(seed), e.what());
+    print_replay(seed);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  if (args.get_bool("help", false)) {
+    std::printf(
+        "fuzz_sim — differential fuzzer (lockstep vs fast-forward)\n\n"
+        "  --seeds=<n>        number of seeds to run (default 25)\n"
+        "  --start-seed=<s>   first seed (default 1)\n"
+        "  --seed=<s>         run one seed verbosely (replay mode)\n"
+        "  --trace-out=<p>    with --seed: write a Perfetto trace of the\n"
+        "                     fast-forward engine run\n");
+    return 0;
+  }
+
+  if (args.has("seed")) {
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    const std::string trace_out = args.get_string("trace-out", "");
+    return run_seed(seed, /*verbose=*/true, trace_out) ? 0 : 1;
+  }
+
+  const auto seeds = static_cast<std::uint64_t>(args.get_int("seeds", 25));
+  const auto start =
+      static_cast<std::uint64_t>(args.get_int("start-seed", 1));
+  for (std::uint64_t seed = start; seed < start + seeds; ++seed) {
+    if (!run_seed(seed, /*verbose=*/false, "")) return 1;
+  }
+  std::printf("fuzz_sim: %llu seed(s) passed, lockstep == fast-forward "
+              "bit for bit\n",
+              static_cast<unsigned long long>(seeds));
+  return 0;
+}

@@ -40,6 +40,12 @@ for key in '"phases"' '"edge_update"' '"aggregation"' '"vertex_update"' \
 done
 echo "observability smoke: ok"
 
+echo "== differential fuzz smoke: lockstep vs fast-forward =="
+# Fixed seeds, both scheduler modes, invariant checker attached; any
+# divergence or conservation-law violation prints the seed and a replay
+# command. Deterministic, so a failure here reproduces exactly.
+./build/bench/fuzz_sim --seeds=25
+
 echo "== sanitizers: ASan + UBSan build =="
 cmake -B build-asan -S . -DAURORA_SANITIZE=ON
 cmake --build build-asan -j
@@ -52,5 +58,11 @@ export ASAN_OPTIONS="abort_on_error=1:${ASAN_OPTIONS:-}"
 export UBSAN_OPTIONS="halt_on_error=1:${UBSAN_OPTIONS:-}"
 ./build-asan/bench/fig9_execution_time --scale=0.02 --jobs=4
 ./build-asan/bench/micro_simspeed --iters=200
+
+echo "== sanitizers: differential fuzz smoke =="
+# Fewer seeds than the release smoke: ASan runs each seed's two engine
+# passes ~10x slower, and the sanitizer is hunting memory bugs here, not
+# schedule divergence (the release smoke already covers seeds 1-25).
+./build-asan/bench/fuzz_sim --seeds=8
 
 echo "check.sh: all green"

@@ -51,6 +51,17 @@ struct AuroraConfig {
   /// e.g. when debugging a component's tick logic.
   bool fast_forward = true;
 
+  /// Attach a sim::InvariantChecker to every cycle-accurate run: each
+  /// component's conservation laws (flit/packet/credit balances, DRAM burst
+  /// and refresh accounting, PE task conservation) are verified at the
+  /// engine's drain points, and violations throw with a full listing. Off
+  /// by default: the drain checks walk every router buffer.
+  bool check_invariants = false;
+  /// With check_invariants, additionally verify every `invariant_interval`
+  /// cycles mid-run (always-true laws only). 0 = drain points only; the
+  /// checker then never perturbs the fast-forward schedule.
+  Cycle invariant_interval = 0;
+
   /// Weight-stationary ring size in sub-accelerator B (rings never span
   /// rows, so this is clamped to K).
   std::uint32_t ring_size = 8;

@@ -15,6 +15,7 @@
 #include "noc/network.hpp"
 #include "partition/partition.hpp"
 #include "pe/pe.hpp"
+#include "sim/invariants.hpp"
 #include "sim/sampler.hpp"
 #include "sim/simulator.hpp"
 
@@ -175,6 +176,18 @@ RunMetrics CycleEngine::run_layer(const graph::Dataset& dataset,
     // it lands on, identically under lockstep and fast-forward.
     sim.add(sampler_);
   }
+  sim::InvariantChecker checker(cfg.invariant_interval);
+  if (cfg.check_invariants) {
+    checker.watch(&net);
+    checker.watch(&dram);
+    for (auto& p : pes) checker.watch(&p);
+    // After the sampler, so interval checks see fully post-tick state.
+    sim.add(&checker);
+  }
+  // Drain-point check: run after every run_until_idle return below.
+  auto check_drained = [&] {
+    if (cfg.check_invariants) checker.check_now(sim.now());
+  };
 
   ConfigurationUnit config_unit(k);
 
@@ -503,6 +516,7 @@ RunMetrics CycleEngine::run_layer(const graph::Dataset& dataset,
     const Cycle load_start = sim.now();
     enqueue_stream(load_bytes);
     sim.run_until_idle(kGuard);
+    check_drained();
     const Cycle load_cycles = sim.now() - load_start;
     if (tracer_ != nullptr) {
       tracer_->record(load_start, sim::TraceEvent::kDramSpan, load_bytes,
@@ -571,6 +585,7 @@ RunMetrics CycleEngine::run_layer(const graph::Dataset& dataset,
       }
     }
     sim.run_until_idle(kGuard);
+    check_drained();
     AURORA_CHECK_MSG(vertices_remaining == 0,
                      "tile " << ti << " finished with "
                              << vertices_remaining << " vertices stuck");
@@ -596,6 +611,7 @@ RunMetrics CycleEngine::run_layer(const graph::Dataset& dataset,
     const Cycle store_start = sim.now();
     enqueue_stream(store_bytes);
     sim.run_until_idle(kGuard);
+    check_drained();
     const Cycle store_cycles = sim.now() - store_start;
     if (tracer_ != nullptr) {
       tracer_->record(store_start, sim::TraceEvent::kDramSpan, store_bytes,

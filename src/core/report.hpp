@@ -19,6 +19,16 @@ struct NamedRun {
 /// RunMetrics as a single JSON object (stable key order).
 [[nodiscard]] std::string metrics_to_json(const RunMetrics& metrics);
 
+/// Field-by-field comparison of two RunMetrics, one "name: a != b" line per
+/// mismatching field (empty = bit-identical). Covers every scalar, phase,
+/// histogram bucket, counter and heatmap. The "sim.cycles_skipped" counter
+/// is ignored: it reports scheduler work (how many cycles fast-forward
+/// jumped), not modelled behaviour, and legitimately differs between
+/// lockstep and fast-forward runs. Used by the differential fuzzer and the
+/// scheduler-equivalence tests.
+[[nodiscard]] std::vector<std::string> diff_run_metrics(const RunMetrics& a,
+                                                        const RunMetrics& b);
+
 /// A list of named runs as a JSON array.
 [[nodiscard]] std::string runs_to_json(const std::vector<NamedRun>& runs);
 

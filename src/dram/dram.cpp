@@ -1,9 +1,11 @@
 #include "dram/dram.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "common/error.hpp"
 #include "common/metrics_registry.hpp"
+#include "sim/invariants.hpp"
 
 namespace aurora::dram {
 
@@ -52,7 +54,6 @@ void DramModel::enqueue(DramRequest request, Cycle now) {
   inf.enqueued_at = now;
   const auto parent = static_cast<std::uint32_t>(inflight_.size());
   const bool is_write = inf.request.is_write;
-  const Bytes base_addr = inf.request.addr;
   inflight_.push_back(std::move(inf));
 
   for (std::uint32_t i = 0; i < num_bursts; ++i) {
@@ -64,7 +65,6 @@ void DramModel::enqueue(DramRequest request, Cycle now) {
     channels_[channel_of(b.addr)].queue.push_back(b);
     ++pending_bursts_;
   }
-  (void)base_addr;
   wake();
   ++stats_.requests;
   stats_.bursts += num_bursts;
@@ -77,16 +77,28 @@ void DramModel::enqueue(DramRequest request, Cycle now) {
 
 void DramModel::try_issue(Channel& ch, Cycle now) {
   // Refresh: at each t_refi boundary the channel blocks for t_rfc and every
-  // row buffer closes.
+  // row buffer closes. A refresh on a fully idle channel (no queued work,
+  // all rows closed) changes no observable state, so it is neither counted
+  // nor scheduled (see next_event_cycle); the catch-up loop below re-syncs
+  // the deadline — stepping t_refi at a time so it stays on the tREFI grid —
+  // and accounts every missed interval once activity resumes. Lockstep and
+  // fast-forward therefore agree on stats_.refreshes at every cycle.
   const DramTiming& timing = config_.timing;
-  if (timing.t_refi > 0 && now >= ch.next_refresh_at) {
-    ch.refresh_until = now + timing.t_rfc;
-    ch.next_refresh_at = now + timing.t_refi;
+  if (timing.t_refi > 0 && now >= ch.next_refresh_at &&
+      (!ch.queue.empty() || ch.open_rows > 0)) {
+    Cycle deadline = ch.next_refresh_at;
+    while (deadline <= now) {
+      ch.refresh_until = deadline + timing.t_rfc;
+      ++ch.refreshes;
+      ++stats_.refreshes;
+      deadline += timing.t_refi;
+    }
+    ch.next_refresh_at = deadline;
     for (auto& bank : ch.banks) {
       bank.row_open = false;
       bank.ready_at = std::max(bank.ready_at, ch.refresh_until);
     }
-    ++stats_.refreshes;
+    ch.open_rows = 0;
   }
   if (now < ch.refresh_until) return;
   if (ch.queue.empty()) return;
@@ -137,6 +149,7 @@ void DramModel::try_issue(Channel& ch, Cycle now) {
     ++stats_.row_conflicts;
     burst_latency = &stats_.burst_latency_conflict;
   }
+  if (!bank.row_open) ++ch.open_rows;
   bank.row_open = true;
   bank.open_row = row;
 
@@ -164,10 +177,16 @@ void DramModel::try_issue(Channel& ch, Cycle now) {
 
 void DramModel::complete_burst(const Burst& burst, Cycle completion) {
   --pending_bursts_;
+  ++completed_bursts_;
   Inflight& inf = inflight_[burst.parent];
   AURORA_CHECK(inf.bursts_remaining > 0);
   if (--inf.bursts_remaining == 0) {
     inf.done = true;
+    if (inf.request.is_write) {
+      completed_bytes_written_ += inf.request.bytes;
+    } else {
+      completed_bytes_read_ += inf.request.bytes;
+    }
     stats_.request_latency.add(static_cast<double>(completion - inf.enqueued_at));
     stats_.request_latency_hist.add(
         static_cast<double>(completion - inf.enqueued_at));
@@ -192,9 +211,13 @@ Cycle DramModel::next_event_cycle(Cycle now) const {
   const DramTiming& t = config_.timing;
   Cycle next = sim::kNoEvent;
   for (const auto& ch : channels_) {
-    // Refresh fires on schedule whether or not work is queued (it closes
-    // rows and counts a command), so its deadline is always an event.
-    if (t.t_refi > 0) next = std::min(next, ch.next_refresh_at);
+    // A refresh deadline is an event only while it can change observable
+    // state: queued work to delay, or open rows to close. On a fully idle
+    // channel refresh is a no-op (try_issue's liveness guard matches), so
+    // the model can go quiescent instead of waking every tREFI.
+    if (t.t_refi > 0 && (!ch.queue.empty() || ch.open_rows > 0)) {
+      next = std::min(next, ch.next_refresh_at);
+    }
     if (ch.queue.empty()) continue;
     if (now < ch.refresh_until) {
       next = std::min(next, ch.refresh_until);
@@ -223,6 +246,92 @@ Cycle DramModel::next_event_cycle(Cycle now) const {
     next = std::min(next, last_completion_ - 1);
   }
   return next;
+}
+
+void DramModel::verify_invariants(sim::InvariantReport& report) const {
+  const DramTiming& t = config_.timing;
+  const Cycle now = report.now();
+
+  std::uint64_t queued = 0;
+  for (const auto& ch : channels_) queued += ch.queue.size();
+  report.require(stats_.bursts == completed_bursts_ + pending_bursts_,
+                 "bursts enqueued == completed + pending",
+                 std::to_string(stats_.bursts) + " != " +
+                     std::to_string(completed_bursts_) + " + " +
+                     std::to_string(pending_bursts_));
+  report.require(pending_bursts_ == queued,
+                 "pending bursts == sum of channel queues",
+                 std::to_string(pending_bursts_) + " != " +
+                     std::to_string(queued));
+  report.require(completed_bytes_read_ <= stats_.bytes_read &&
+                     completed_bytes_written_ <= stats_.bytes_written,
+                 "completed request bytes <= enqueued bytes");
+
+  std::uint64_t channel_refreshes = 0;
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    const Channel& ch = channels_[i];
+    const std::string tag = "channel " + std::to_string(i) + ": ";
+    channel_refreshes += ch.refreshes;
+    std::uint32_t rows = 0;
+    for (const auto& bank : ch.banks) rows += bank.row_open ? 1 : 0;
+    report.require(ch.open_rows == rows,
+                   "open-row cache matches bank state",
+                   tag + std::to_string(ch.open_rows) + " != " +
+                       std::to_string(rows));
+    if (t.t_refi == 0) {
+      report.require(ch.refreshes == 0, "no refreshes with tREFI disabled",
+                     tag + std::to_string(ch.refreshes));
+      continue;
+    }
+    // The drift bug this guards against: rescheduling as now + tREFI walks
+    // the deadline off the grid of tREFI multiples.
+    report.require(
+        ch.next_refresh_at > 0 && ch.next_refresh_at % t.t_refi == 0,
+        "refresh deadline stays on the tREFI grid",
+        tag + "next_refresh_at=" + std::to_string(ch.next_refresh_at) +
+            " tREFI=" + std::to_string(t.t_refi));
+    report.require(ch.refreshes + 1 == ch.next_refresh_at / t.t_refi,
+                   "refresh count consistent with next deadline",
+                   tag + std::to_string(ch.refreshes) + " + 1 != " +
+                       std::to_string(ch.next_refresh_at / t.t_refi));
+    report.require(ch.refreshes <= now / t.t_refi,
+                   "refresh count bounded by elapsed/tREFI",
+                   tag + std::to_string(ch.refreshes) + " > " +
+                       std::to_string(now / t.t_refi));
+    // A channel with open rows has a refresh event pending, so it has been
+    // ticked through every deadline it has reached and must be exactly
+    // caught up. Which deadlines it has reached depends on context: an
+    // interval check runs inside the tick at `now` (after this model's own
+    // tick), so deadlines <= now are counted; a drain check runs after
+    // run_until_idle, whose ticks cover cycles < now, so a deadline landing
+    // exactly on the drain cycle is legitimately still pending.
+    if (ch.open_rows > 0) {
+      const Cycle ticked_through = report.drained() && now > 0 ? now - 1 : now;
+      report.require(ch.refreshes == ticked_through / t.t_refi,
+                     "open-row channel refresh count == elapsed/tREFI",
+                     tag + std::to_string(ch.refreshes) + " != " +
+                         std::to_string(ticked_through / t.t_refi));
+    }
+  }
+  report.require(channel_refreshes == stats_.refreshes,
+                 "per-channel refresh counts sum to the stats counter",
+                 std::to_string(channel_refreshes) + " != " +
+                     std::to_string(stats_.refreshes));
+
+  if (report.drained()) {
+    report.require(pending_bursts_ == 0 && queued == 0,
+                   "drained: no pending bursts",
+                   std::to_string(pending_bursts_) + " pending, " +
+                       std::to_string(queued) + " queued");
+    report.require(completed_bytes_read_ == stats_.bytes_read,
+                   "drained: bytes read == completed request bytes",
+                   std::to_string(completed_bytes_read_) + " != " +
+                       std::to_string(stats_.bytes_read));
+    report.require(completed_bytes_written_ == stats_.bytes_written,
+                   "drained: bytes written == completed request bytes",
+                   std::to_string(completed_bytes_written_) + " != " +
+                       std::to_string(stats_.bytes_written));
+  }
 }
 
 void DramModel::export_counters(CounterSet& out) const {

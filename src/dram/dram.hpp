@@ -66,7 +66,12 @@ struct DramStats {
   std::uint64_t row_hits = 0;
   std::uint64_t row_misses = 0;     // bank idle, row activate needed
   std::uint64_t row_conflicts = 0;  // different row open, precharge needed
-  std::uint64_t refreshes = 0;      // refresh commands issued
+  /// Refresh commands accounted. A channel with pending work or open rows
+  /// counts every tREFI deadline as it passes; a fully idle channel (empty
+  /// queue, all rows closed) accounts its no-op refreshes lazily, in one
+  /// catch-up step, when activity resumes — so the counter is identical
+  /// under lockstep and fast-forward at every observable cycle.
+  std::uint64_t refreshes = 0;
   std::uint64_t bus_turnarounds = 0;  // read<->write direction switches
   Bytes bytes_read = 0;
   Bytes bytes_written = 0;
@@ -104,10 +109,18 @@ class DramModel final : public sim::Component {
   /// Exact next-work cycle from the timing state machine: the earliest of
   /// any channel's refresh deadline, refresh completion, command-booking
   /// horizon opening, or queued burst whose bank becomes ready
-  /// (tRCD/tRP/tCL/tBL all yield exact readiness cycles). Refresh deadlines
-  /// are events even on an idle channel so the refresh cadence — and every
-  /// derived counter — matches a lockstep run tick for tick.
+  /// (tRCD/tRP/tCL/tBL all yield exact readiness cycles). A refresh
+  /// deadline is an event only while the channel has pending work or open
+  /// rows; on a fully idle channel the refresh is a state no-op, so the
+  /// wakeup is skipped and the accounting catches up (try_issue's tREFI
+  /// catch-up loop) when activity resumes.
   [[nodiscard]] Cycle next_event_cycle(Cycle now) const override;
+
+  /// Conservation checks: bursts enqueued == completed + queued, completed
+  /// request bytes match the byte counters after drain, and each channel's
+  /// refresh count stays on the tREFI grid (see docs/architecture.md,
+  /// "Invariants").
+  void verify_invariants(sim::InvariantReport& report) const override;
 
   [[nodiscard]] const DramStats& stats() const { return stats_; }
   [[nodiscard]] const DramConfig& config() const { return config_; }
@@ -143,6 +156,12 @@ class DramModel final : public sim::Component {
     Cycle bus_free_at = 0;
     Cycle next_refresh_at = 0;
     Cycle refresh_until = 0;
+    /// Banks with an open row (cached so the refresh no-op test in
+    /// next_event_cycle and try_issue is O(1)).
+    std::uint32_t open_rows = 0;
+    /// Refresh commands accounted on this channel (tREFI deadlines
+    /// processed); feeds the per-channel refresh-cadence invariant.
+    std::uint64_t refreshes = 0;
     bool last_was_write = false;
     bool bus_used = false;
   };
@@ -157,6 +176,12 @@ class DramModel final : public sim::Component {
   std::vector<Channel> channels_;
   std::vector<Inflight> inflight_;
   std::uint64_t pending_bursts_ = 0;
+  /// Conservation counters for verify_invariants: bursts retired and the
+  /// byte totals of fully completed requests (stats_.bytes_* count at
+  /// enqueue; after drain the two views must agree).
+  std::uint64_t completed_bursts_ = 0;
+  Bytes completed_bytes_read_ = 0;
+  Bytes completed_bytes_written_ = 0;
   Cycle last_completion_ = 0;
   bool busy_ = false;
   DramStats stats_;

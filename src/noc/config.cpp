@@ -28,11 +28,13 @@ void check_segment(const BypassSegment& s, std::uint32_t k,
 void NocConfig::add_row_segment(BypassSegment segment) {
   check_segment(segment, k_, row_segments_);
   row_segments_.push_back(segment);
+  refresh_ring_routability();  // a new segment can make a ring routable
 }
 
 void NocConfig::add_col_segment(BypassSegment segment) {
   check_segment(segment, k_, col_segments_);
   col_segments_.push_back(segment);
+  refresh_ring_routability();
 }
 
 bool NocConfig::physically_linked(NodeId a, NodeId b) const {
@@ -59,20 +61,66 @@ bool NocConfig::physically_linked(NodeId a, NodeId b) const {
 
 void NocConfig::add_ring(RingConfig ring) {
   AURORA_CHECK_MSG(ring.nodes.size() >= 2, "ring needs at least two nodes");
-  for (NodeId n : ring.nodes) {
+  for (std::size_t i = 0; i < ring.nodes.size(); ++i) {
+    const NodeId n = ring.nodes[i];
     AURORA_CHECK_MSG(n < k_ * k_, "ring node out of range");
     AURORA_CHECK_MSG(!ring_of(n).has_value(),
                      "node " << n << " already belongs to a ring");
+    // ring_successor resolves by first occurrence, so a node repeated
+    // within one ring would short-circuit the traversal and livelock.
+    for (std::size_t j = i + 1; j < ring.nodes.size(); ++j) {
+      AURORA_CHECK_MSG(n != ring.nodes[j],
+                       "node " << n << " appears twice in the ring");
+    }
   }
   for (std::size_t i = 0; i < ring.nodes.size(); ++i) {
     const NodeId a = ring.nodes[i];
     const NodeId b = ring.nodes[(i + 1) % ring.nodes.size()];
-    AURORA_CHECK_MSG(a != b, "duplicate consecutive ring node");
     AURORA_CHECK_MSG(physically_linked(a, b),
                      "ring nodes " << a << " and " << b
                                    << " are not physically linked");
   }
   rings_.push_back(std::move(ring));
+  ring_routable_.push_back(
+      compute_ring_routable(rings_.size() - 1) ? 1 : 0);
+}
+
+void NocConfig::add_ring_unchecked(RingConfig ring) {
+  rings_.push_back(std::move(ring));
+  ring_routable_.push_back(
+      compute_ring_routable(rings_.size() - 1) ? 1 : 0);
+}
+
+bool NocConfig::compute_ring_routable(std::size_t i) const {
+  const auto& nodes = rings_[i].nodes;
+  const std::size_t n = nodes.size();
+  if (n < 2) return false;
+  // First-occurrence membership must resolve uniquely to this ring: a node
+  // repeated within the ring, or shadowed by an earlier ring, silently
+  // reroutes the traversal through the wrong successor (livelock).
+  for (std::size_t j = 0; j < n; ++j) {
+    const NodeId node = nodes[j];
+    if (node >= k_ * k_) return false;
+    if (ring_of(node) != i) return false;
+    for (std::size_t l = j + 1; l < n; ++l) {
+      if (nodes[l] == node) return false;
+    }
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    if (!physically_linked(nodes[j], nodes[(j + 1) % n])) return false;
+  }
+  return true;
+}
+
+void NocConfig::refresh_ring_routability() {
+  for (std::size_t i = 0; i < rings_.size(); ++i) {
+    ring_routable_[i] = compute_ring_routable(i) ? 1 : 0;
+  }
+}
+
+bool NocConfig::all_rings_routable() const {
+  return std::all_of(ring_routable_.begin(), ring_routable_.end(),
+                     [](std::uint8_t r) { return r != 0; });
 }
 
 std::optional<BypassSegment> NocConfig::row_segment_at(

@@ -64,8 +64,16 @@ class NocConfig {
   void add_col_segment(BypassSegment segment);
 
   /// Add a ring overlay. Adjacency of consecutive nodes is validated against
-  /// the mesh + active segments.
+  /// the mesh + active segments, and nodes may appear at most once across
+  /// all rings (ring_successor resolves by first occurrence, so a duplicate
+  /// silently reroutes — and can livelock — the later ring).
   void add_ring(RingConfig ring);
+
+  /// Add a ring without any validation (testing/fuzzing hook for exercising
+  /// the routability checks downstream). Network::configure rejects
+  /// configurations whose rings are not routable; route_output ignores
+  /// unroutable rings and falls back to dimension-order routing.
+  void add_ring_unchecked(RingConfig ring);
 
   [[nodiscard]] const std::vector<BypassSegment>& row_segments() const {
     return row_segments_;
@@ -87,6 +95,17 @@ class NocConfig {
   /// Successor of `node` in its ring (node must be a ring member).
   [[nodiscard]] NodeId ring_successor(NodeId node) const;
 
+  /// True when ring `i` can actually carry circulating traffic: every node
+  /// in range and claimed by this ring (no duplicate membership), and every
+  /// consecutive pair — including the wrap-around — mesh-adjacent or the
+  /// two endpoints of an active bypass segment (i.e. resolvable by
+  /// resolve_hop). Rings added through add_ring() are routable by
+  /// construction; add_ring_unchecked() may produce unroutable ones.
+  [[nodiscard]] bool ring_routable(std::size_t i) const {
+    return ring_routable_.at(i) != 0;
+  }
+  [[nodiscard]] bool all_rings_routable() const;
+
   /// Number of link-switch/mux state bits that differ between two
   /// configurations — the paper's reconfiguration energy driver.
   [[nodiscard]] static std::uint64_t switch_writes_between(
@@ -97,12 +116,17 @@ class NocConfig {
 
  private:
   [[nodiscard]] bool physically_linked(NodeId a, NodeId b) const;
+  [[nodiscard]] bool compute_ring_routable(std::size_t i) const;
+  void refresh_ring_routability();
 
   std::uint32_t k_ = 0;
   RoutingPolicy routing_ = RoutingPolicy::kXYFirst;
   std::vector<BypassSegment> row_segments_;
   std::vector<BypassSegment> col_segments_;
   std::vector<RingConfig> rings_;
+  /// Cached routability per ring (parallel to rings_), refreshed whenever a
+  /// ring or segment is added, so the per-flit routing check is O(1).
+  std::vector<std::uint8_t> ring_routable_;
 };
 
 }  // namespace aurora::noc

@@ -1,10 +1,12 @@
 #include "noc/network.hpp"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 #include "common/error.hpp"
 #include "common/metrics_registry.hpp"
+#include "sim/invariants.hpp"
 
 namespace aurora::noc {
 
@@ -31,6 +33,15 @@ std::uint64_t Network::configure(NocConfig config) {
   AURORA_CHECK_MSG(idle(), "reconfiguration requires a drained network");
   AURORA_CHECK_MSG(config.k() == params_.k,
                    "configuration mesh size mismatch");
+  // An unroutable ring (wrap-around hop with no bypass segment, duplicate
+  // membership) would either throw in resolve_hop mid-flight or livelock;
+  // reject it here, where the configuration unit can still react.
+  for (std::size_t i = 0; i < config.rings().size(); ++i) {
+    AURORA_CHECK_MSG(config.ring_routable(i),
+                     "ring " << i
+                             << " is not routable (duplicate node, or a hop "
+                                "with no mesh link or bypass segment)");
+  }
   const std::uint64_t writes =
       NocConfig::switch_writes_between(config_, config);
   config_ = std::move(config);
@@ -68,6 +79,7 @@ std::uint64_t Network::send(NodeId src, NodeId dst, Bytes payload_bytes,
     source_queue.fifo.push_back(tf);
     ++flits_in_flight_;
     ++router_occupancy_[src];
+    ++stats_.flits_injected;
   }
   live_packets_.emplace(p.id, PacketRecord{p, 0, 0});
   ++stats_.packets_injected;
@@ -126,6 +138,7 @@ void Network::eject_flit(NodeId node, const Flit& flit, Cycle now) {
   AURORA_CHECK(it != live_packets_.end());
   PacketRecord& rec = it->second;
   ++rec.flits_ejected;
+  ++stats_.flits_ejected;
   if (flit.is_tail) {
     AURORA_CHECK_MSG(rec.flits_ejected == rec.packet.num_flits,
                      "tail ejected before all body flits");
@@ -286,6 +299,87 @@ void Network::skip_cycles(Cycle from, Cycle to) {
   if (flits_in_flight_ > 0) stats_.busy_cycles += to - from;
 }
 
+void Network::verify_invariants(sim::InvariantReport& report) const {
+  // Flit conservation: everything injected is either ejected or buffered.
+  report.require(
+      stats_.flits_injected == stats_.flits_ejected + flits_in_flight_,
+      "flits injected == ejected + in flight",
+      std::to_string(stats_.flits_injected) + " != " +
+          std::to_string(stats_.flits_ejected) + " + " +
+          std::to_string(flits_in_flight_));
+  report.require(stats_.packets_injected ==
+                     stats_.packets_delivered + live_packets_.size(),
+                 "packets injected == delivered + live",
+                 std::to_string(stats_.packets_injected) + " != " +
+                     std::to_string(stats_.packets_delivered) + " + " +
+                     std::to_string(live_packets_.size()));
+
+  // Occupancy caches must mirror the actual buffer contents.
+  std::uint64_t total_occupancy = 0;
+  for (NodeId node = 0; node < num_nodes(); ++node) {
+    std::uint32_t buffered = 0;
+    for (const auto& per_port : routers_[node].in) {
+      for (const auto& buf : per_port) {
+        buffered += static_cast<std::uint32_t>(buf.fifo.size());
+      }
+    }
+    report.require(router_occupancy_[node] == buffered,
+                   "router occupancy cache matches buffered flits",
+                   "node " + std::to_string(node) + ": " +
+                       std::to_string(router_occupancy_[node]) + " != " +
+                       std::to_string(buffered));
+    total_occupancy += buffered;
+  }
+  report.require(total_occupancy == flits_in_flight_,
+                 "sum of router occupancy == flits in flight",
+                 std::to_string(total_occupancy) + " != " +
+                     std::to_string(flits_in_flight_));
+
+  // Byte counters are derived from the hop counters, flit by flit.
+  report.require(stats_.bypass_flit_hops <= stats_.flit_hops,
+                 "bypass hops are a subset of flit hops");
+  report.require(stats_.link_bytes ==
+                     (stats_.flit_hops - stats_.bypass_flit_hops) *
+                         params_.flit_bytes,
+                 "link bytes == mesh flit hops x flit size",
+                 std::to_string(stats_.link_bytes));
+  report.require(
+      stats_.bypass_bytes == stats_.bypass_flit_hops * params_.flit_bytes,
+      "bypass bytes == bypass flit hops x flit size",
+      std::to_string(stats_.bypass_bytes));
+
+  if (!report.drained()) return;
+  // Drain-only laws: no residual flits/packets anywhere, wormhole locks all
+  // released, and every credit returned to its initial buffer depth.
+  report.require(flits_in_flight_ == 0, "drained: no flits in flight",
+                 std::to_string(flits_in_flight_));
+  report.require(live_packets_.empty(), "drained: no live packets",
+                 std::to_string(live_packets_.size()));
+  report.require(stats_.packets_injected == stats_.packets_delivered,
+                 "drained: packets injected == delivered",
+                 std::to_string(stats_.packets_injected) + " != " +
+                     std::to_string(stats_.packets_delivered));
+  for (NodeId node = 0; node < num_nodes(); ++node) {
+    const Router& router = routers_[node];
+    for (std::size_t p = 0; p < kNumPorts; ++p) {
+      for (std::uint32_t v = 0; v < params_.num_vcs; ++v) {
+        const std::string where = "node " + std::to_string(node) + " port " +
+                                  port_name(static_cast<Port>(p)) + " vc " +
+                                  std::to_string(v);
+        report.require(router.in[p][v].fifo.empty(),
+                       "drained: input FIFO empty", where);
+        report.require(!router.in[p][v].locked_output.has_value(),
+                       "drained: wormhole lock released", where);
+        report.require(router.credits[p][v] == params_.input_buffer_flits,
+                       "drained: credits restored to buffer depth",
+                       where + ": " + std::to_string(router.credits[p][v]) +
+                           " != " +
+                           std::to_string(params_.input_buffer_flits));
+      }
+    }
+  }
+}
+
 std::string Network::render_load_heatmap() const {
   static constexpr const char* kGlyphs = " .:-=+*#%@";
   std::uint64_t peak = 0;
@@ -310,6 +404,8 @@ std::string Network::render_load_heatmap() const {
 void Network::export_counters(CounterSet& out) const {
   out.inc("noc.packets_injected", stats_.packets_injected);
   out.inc("noc.packets_delivered", stats_.packets_delivered);
+  out.inc("noc.flits_injected", stats_.flits_injected);
+  out.inc("noc.flits_ejected", stats_.flits_ejected);
   out.inc("noc.flit_hops", stats_.flit_hops);
   out.inc("noc.bypass_flit_hops", stats_.bypass_flit_hops);
   out.inc("noc.router_traversals", stats_.router_traversals);
@@ -320,6 +416,8 @@ void Network::register_metrics(MetricsRegistry& registry) {
   const auto s = registry.scope("noc");
   s.counter("packets_injected", &stats_.packets_injected);
   s.counter("packets_delivered", &stats_.packets_delivered);
+  s.counter("flits_injected", &stats_.flits_injected);
+  s.counter("flits_ejected", &stats_.flits_ejected);
   s.counter("flit_hops", &stats_.flit_hops);
   s.counter("bypass_flit_hops", &stats_.bypass_flit_hops);
   s.counter("router_traversals", &stats_.router_traversals);

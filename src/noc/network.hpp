@@ -47,6 +47,8 @@ struct NocParams {
 struct NocStats {
   std::uint64_t packets_injected = 0;
   std::uint64_t packets_delivered = 0;
+  std::uint64_t flits_injected = 0;     // flits entering at local ports
+  std::uint64_t flits_ejected = 0;      // flits delivered at local ports
   std::uint64_t flit_hops = 0;          // flit traversals over any wire
   std::uint64_t bypass_flit_hops = 0;   // subset over bypass segments
   std::uint64_t router_traversals = 0;  // flits passing through a router
@@ -101,6 +103,12 @@ class Network final : public sim::Component {
   /// Keeps busy_cycles identical to a lockstep run: every skipped cycle had
   /// flits in flight (otherwise the network would have been drained).
   void skip_cycles(Cycle from, Cycle to) override;
+
+  /// Conservation checks: flit/packet balances, occupancy caches, byte/hop
+  /// consistency; after drain additionally empty FIFOs, released wormhole
+  /// locks and fully restored credits (see docs/architecture.md,
+  /// "Invariants").
+  void verify_invariants(sim::InvariantReport& report) const override;
 
   [[nodiscard]] const NocStats& stats() const { return stats_; }
   [[nodiscard]] std::uint32_t num_nodes() const {

@@ -36,8 +36,14 @@ Port route_output(NodeId node, NodeId dst, const NocConfig& config) {
   const Coord target = to_coord(dst, k);
 
   // Ring overlay takes priority: weight-stationary traffic circulates.
+  // Only a routable ring may steer, and the fallback is per-ring, not
+  // per-hop: if any hop of the overlay is unresolvable (e.g. a wrap-around
+  // with no bypass segment at the wrap node), every member ignores the ring
+  // and traffic takes plain dimension-order routing — a per-hop fallback
+  // would bounce flits between ring members forever.
   const auto ring = config.ring_of(node);
-  if (ring.has_value() && config.ring_of(dst) == ring) {
+  if (ring.has_value() && config.ring_of(dst) == ring &&
+      config.ring_routable(*ring)) {
     const NodeId succ = config.ring_successor(node);
     const Coord sc = to_coord(succ, k);
     if (sc.row == cur.row) {

@@ -1,7 +1,10 @@
 #include "pe/pe.hpp"
 
+#include <string>
+
 #include "common/error.hpp"
 #include "common/metrics_registry.hpp"
+#include "sim/invariants.hpp"
 
 namespace aurora::pe {
 
@@ -16,6 +19,7 @@ PeModel::PeModel(std::string name, const PeModelParams& params)
 void PeModel::submit(PeTask task) {
   AURORA_CHECK(task.op.length > 0 || task.op.kind == PeConfigKind::kBypass);
   queue_.push_back(std::move(task));
+  ++stats_.tasks_submitted;
   stats_.queue_depth.add(static_cast<double>(queue_.size()));
   wake();
 }
@@ -97,6 +101,25 @@ void PeModel::tick(Cycle now) {
 }
 
 bool PeModel::idle() const { return !running_ && queue_.empty(); }
+
+void PeModel::verify_invariants(sim::InvariantReport& report) const {
+  const std::uint64_t accounted =
+      stats_.tasks_completed + queue_.size() + (running_ ? 1 : 0);
+  report.require(stats_.tasks_submitted == accounted,
+                 "tasks submitted == completed + queued + running",
+                 std::to_string(stats_.tasks_submitted) + " != " +
+                     std::to_string(accounted));
+  if (report.drained()) {
+    report.require(!running_ && queue_.empty(),
+                   "drained: no queued or running task",
+                   std::to_string(queue_.size()) + " queued" +
+                       (running_ ? ", one running" : ""));
+    report.require(stats_.tasks_submitted == stats_.tasks_completed,
+                   "drained: tasks submitted == completed",
+                   std::to_string(stats_.tasks_submitted) + " != " +
+                       std::to_string(stats_.tasks_completed));
+  }
+}
 
 void PeModel::export_counters(CounterSet& out) const {
   out.inc("pe.tasks", stats_.tasks_completed);

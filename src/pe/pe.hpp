@@ -29,6 +29,7 @@ struct PeTask {
 };
 
 struct PeStats {
+  std::uint64_t tasks_submitted = 0;
   std::uint64_t tasks_completed = 0;
   Cycle busy_cycles = 0;
   Cycle reconfig_cycles = 0;
@@ -69,6 +70,10 @@ class PeModel final : public sim::Component {
   /// A PE's only event is the completion of the in-flight micro-op; while
   /// one is running every earlier tick is a no-op.
   [[nodiscard]] Cycle next_event_cycle(Cycle now) const override;
+
+  /// Task conservation: submitted == completed + queued + running; after
+  /// drain nothing may remain queued or running.
+  void verify_invariants(sim::InvariantReport& report) const override;
 
   [[nodiscard]] const PeStats& stats() const { return stats_; }
 

@@ -26,6 +26,8 @@ class MetricsRegistry;
 
 namespace aurora::sim {
 
+class InvariantReport;
+
 /// Sentinel returned by next_event_cycle() when a component is fully
 /// drained: no internal event is pending and ticks are no-ops until new
 /// external stimulus arrives.
@@ -75,6 +77,17 @@ class Component {
   virtual void skip_cycles(Cycle from, Cycle to) {
     (void)from;
     (void)to;
+  }
+
+  /// Self-check the component's conservation laws (flit/packet/burst
+  /// accounting, credit balances, refresh cadence, ...) and record any
+  /// violation in `report` (sim/invariants.hpp). Called by an attached
+  /// InvariantChecker at configurable intervals and at drain points;
+  /// `report.drained()` distinguishes always-true laws from those that only
+  /// hold once the component has no work in flight (empty FIFOs, restored
+  /// credits). Must be read-only. Default: checks nothing.
+  virtual void verify_invariants(InvariantReport& report) const {
+    (void)report;
   }
 
   /// Publish this component's counters/gauges/histograms into `registry`

@@ -1,0 +1,66 @@
+#include "sim/invariants.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace aurora::sim {
+
+bool InvariantReport::require(bool ok, std::string rule, std::string detail) {
+  if (!ok) {
+    violations_.push_back(
+        {subject_, std::move(rule), std::move(detail), now_});
+  }
+  return ok;
+}
+
+std::string InvariantReport::to_string() const {
+  std::ostringstream os;
+  os << violations_.size() << " invariant violation"
+     << (violations_.size() == 1 ? "" : "s") << " at cycle " << now_
+     << (drained_ ? " (drained)" : "");
+  for (const auto& v : violations_) {
+    os << "\n  [" << v.component << "] " << v.rule;
+    if (!v.detail.empty()) os << ": " << v.detail;
+  }
+  return os.str();
+}
+
+InvariantChecker::InvariantChecker(Cycle interval)
+    : Component("invariants"), interval_(interval), next_check_at_(interval) {}
+
+void InvariantChecker::watch(Component* component) {
+  AURORA_CHECK(component != nullptr);
+  watched_.push_back(component);
+}
+
+void InvariantChecker::clear() { watched_.clear(); }
+
+void InvariantChecker::run_checks(Cycle now, bool drained) const {
+  ++checks_run_;
+  InvariantReport report(now, drained);
+  for (const Component* c : watched_) {
+    report.set_subject(c->name());
+    c->verify_invariants(report);
+  }
+  if (!report.ok()) throw Error(report.to_string());
+}
+
+void InvariantChecker::check_now(Cycle now, bool drained) const {
+  run_checks(now, drained);
+}
+
+void InvariantChecker::tick(Cycle now) {
+  if (interval_ == 0 || now < next_check_at_) return;
+  // Catch-up keeps the boundary grid stable even if a drain gap left
+  // several boundaries behind; one check covers them all.
+  while (next_check_at_ <= now) next_check_at_ += interval_;
+  run_checks(now, /*drained=*/false);
+}
+
+Cycle InvariantChecker::next_event_cycle(Cycle now) const {
+  if (interval_ == 0) return kNoEvent;
+  return next_check_at_ <= now ? now : next_check_at_;
+}
+
+}  // namespace aurora::sim

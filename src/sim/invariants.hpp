@@ -1,0 +1,112 @@
+// Simulation invariant checking: conservation laws that must hold at every
+// observation point of a run, regardless of configuration or scheduler mode.
+//
+// Every Component may implement verify_invariants() to self-check its
+// conserved quantities (see docs/architecture.md, "Invariants"): the NoC's
+// flit/packet/credit balances, the DRAM model's burst and refresh
+// accounting, the PEs' task conservation. The InvariantChecker is a
+// read-only sim::Component (same pattern as the Sampler) that runs those
+// checks at a configurable cadence and — through check_now() — at drain
+// points, throwing an Error that lists every violated rule.
+//
+// Fast-forward awareness: with interval == 0 (the default) the checker has
+// no events of its own and never perturbs the scheduler; with interval > 0
+// its next_event_cycle() pins clock jumps to check boundaries, so mid-run
+// checks observe the same cycles under lockstep and fast-forward. Either
+// way the checker reports idle() always and never prolongs a run, and a run
+// with the checker attached reports bit-identical RunMetrics to one
+// without.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/component.hpp"
+
+namespace aurora::sim {
+
+/// One violated conservation law.
+struct InvariantViolation {
+  std::string component;
+  std::string rule;
+  std::string detail;
+  Cycle cycle = 0;
+};
+
+/// Collects violations across the components of one check pass. Passed to
+/// Component::verify_invariants(); components call require() per rule.
+class InvariantReport {
+ public:
+  InvariantReport(Cycle now, bool drained) : now_(now), drained_(drained) {}
+
+  /// Cycle the check runs at.
+  [[nodiscard]] Cycle now() const { return now_; }
+  /// True at drain points (run_until_idle returned): drain-only laws —
+  /// empty FIFOs, restored credits, zero in-flight work — apply.
+  [[nodiscard]] bool drained() const { return drained_; }
+
+  /// Name attributed to subsequent require() calls (set by the checker to
+  /// the component under test before each verify_invariants call).
+  void set_subject(std::string name) { subject_ = std::move(name); }
+
+  /// Record a violation of `rule` unless `ok`. Returns `ok` so callers can
+  /// guard dependent checks.
+  bool require(bool ok, std::string rule, std::string detail = {});
+
+  [[nodiscard]] bool ok() const { return violations_.empty(); }
+  [[nodiscard]] const std::vector<InvariantViolation>& violations() const {
+    return violations_;
+  }
+  /// Multi-line human-readable listing of every violation.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  Cycle now_;
+  bool drained_;
+  std::string subject_;
+  std::vector<InvariantViolation> violations_;
+};
+
+/// Runs verify_invariants() over a set of watched components. Attach with
+/// Simulator::add() (after the real components, so interval checks observe
+/// post-tick state) for mid-run cadence checks, and call check_now() at
+/// drain points.
+class InvariantChecker final : public Component {
+ public:
+  /// `interval` > 0 additionally checks every `interval` cycles mid-run
+  /// (always-true laws only); 0 = drain-point checks only, in which case
+  /// the checker's ticks are all no-ops and it never wakes the scheduler.
+  explicit InvariantChecker(Cycle interval = 0);
+
+  void watch(Component* component);
+  /// Drop all watched components (they are about to be destroyed).
+  void clear();
+
+  /// Run a check pass at `now`; throws Error listing every violation.
+  /// `drained` enables the drain-only rules — only pass true when
+  /// run_until_idle has returned.
+  void check_now(Cycle now, bool drained = true) const;
+
+  [[nodiscard]] Cycle interval() const { return interval_; }
+  /// Check passes executed (mid-run + drain), for tests.
+  [[nodiscard]] std::uint64_t checks_run() const { return checks_run_; }
+
+  void tick(Cycle now) override;
+  /// Never keeps the simulation alive: checking happens only while real
+  /// components still have work (plus explicit check_now calls).
+  [[nodiscard]] bool idle() const override { return true; }
+  /// Pins fast-forward jumps to the next check boundary (no events at all
+  /// when interval == 0); ticks strictly inside an interval are no-ops.
+  [[nodiscard]] Cycle next_event_cycle(Cycle now) const override;
+
+ private:
+  /// Runs every watched component's checks; throws on any violation.
+  void run_checks(Cycle now, bool drained) const;
+
+  Cycle interval_;
+  Cycle next_check_at_;
+  std::vector<Component*> watched_;
+  mutable std::uint64_t checks_run_ = 0;
+};
+
+}  // namespace aurora::sim

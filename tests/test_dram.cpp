@@ -2,9 +2,12 @@
 // and accounting.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "dram/dram.hpp"
+#include "sim/invariants.hpp"
 #include "sim/simulator.hpp"
 
 namespace aurora::dram {
@@ -195,6 +198,129 @@ TEST(Dram, RefreshClosesRowBuffers) {
   const auto misses_before = h.dram.stats().row_misses;
   h.run_one(64, 64);          // same row — but refresh closed it
   EXPECT_EQ(h.dram.stats().row_misses, misses_before + 1);
+}
+
+TEST(Dram, IdleChannelHasNoRefreshWakeups) {
+  DramConfig cfg = single_channel();
+  cfg.timing.t_refi = 200;
+  cfg.timing.t_rfc = 20;
+  Harness h(cfg);
+  // Fully idle channel (empty queue, all rows closed): refresh is a no-op,
+  // so there is no event — the scheduler never wakes just to count one.
+  EXPECT_EQ(h.dram.next_event_cycle(0), sim::kNoEvent);
+  h.run_one(0, 64);  // leaves a row open
+  // With a row open, the deadline matters (it closes the row): pinned.
+  EXPECT_EQ(h.dram.next_event_cycle(h.sim.now()), 200u);
+}
+
+TEST(Dram, RefreshCatchUpCountsEveryMissedInterval) {
+  // Regression: an idle channel that resumed work after several missed
+  // tREFI deadlines used to count a single refresh and reschedule at
+  // now + tREFI, drifting the deadline off the tREFI grid (and off the
+  // lockstep schedule). The catch-up must account one refresh per missed
+  // deadline and keep the next deadline on the grid.
+  DramConfig cfg = single_channel();
+  cfg.timing.t_refi = 200;
+  cfg.timing.t_rfc = 20;
+  Harness h(cfg);
+  h.sim.run_cycles(700);  // idle through the deadlines at 200/400/600
+  h.run_one(0, 64);
+  EXPECT_EQ(h.dram.stats().refreshes, 3u);
+  // The grid-alignment law (refresh deadline stays a tREFI multiple) is an
+  // invariant; the pre-fix drift to 700 + tREFI violates it.
+  sim::InvariantChecker checker;
+  checker.watch(&h.dram);
+  checker.check_now(h.sim.now());
+}
+
+/// Submits a fixed (cycle, request) plan — deterministic external stimulus
+/// for scheduler-equivalence runs, with idle gaps the fast-forward mode can
+/// jump over.
+class ScheduledTraffic final : public sim::Component {
+ public:
+  ScheduledTraffic(DramModel* dram,
+                   std::vector<std::pair<Cycle, DramRequest>> plan)
+      : Component("traffic"), dram_(dram), plan_(std::move(plan)) {}
+
+  void tick(Cycle now) override {
+    while (next_ < plan_.size() && plan_[next_].first <= now) {
+      dram_->enqueue(std::move(plan_[next_].second), now);
+      ++next_;
+    }
+  }
+  [[nodiscard]] bool idle() const override { return next_ == plan_.size(); }
+  [[nodiscard]] Cycle next_event_cycle(Cycle now) const override {
+    if (next_ == plan_.size()) return sim::kNoEvent;
+    return std::max(now, plan_[next_].first);
+  }
+
+ private:
+  DramModel* dram_;
+  std::vector<std::pair<Cycle, DramRequest>> plan_;
+  std::size_t next_ = 0;
+};
+
+TEST(Dram, RefreshAccountingMatchesAcrossSchedulerModes) {
+  // Bursts of traffic separated by idle gaps longer than tREFI: lockstep
+  // ticks through the gaps, fast-forward jumps them (the refresh on a
+  // closed-row idle channel is eventless). Every stat — refresh count
+  // included — must still match bit for bit.
+  DramConfig cfg = single_channel();
+  cfg.timing.t_refi = 150;
+  cfg.timing.t_rfc = 30;
+
+  struct Outcome {
+    std::vector<Cycle> completions;
+    DramStats stats;
+    Cycle end = 0;
+  };
+  const auto run = [&](bool fast_forward) {
+    sim::Simulator sim;
+    sim.set_fast_forward(fast_forward);
+    DramModel dram(cfg);
+    sim.add(&dram);
+    Outcome out;
+    std::vector<std::pair<Cycle, DramRequest>> plan;
+    Cycle at = 0;
+    for (int i = 0; i < 8; ++i) {
+      DramRequest r;
+      r.addr = (i % 2 == 0) ? static_cast<Bytes>(i) * 64
+                            : (1u << 20) + static_cast<Bytes>(i) * 64;
+      r.bytes = 128;
+      r.is_write = (i % 3 == 0);
+      r.on_complete = [&out](Cycle c) { out.completions.push_back(c); };
+      plan.emplace_back(at, std::move(r));
+      at += (i % 2 == 0) ? 37 : 520;  // gaps straddle several deadlines
+    }
+    ScheduledTraffic traffic(&dram, std::move(plan));
+    sim.add(&traffic);
+    sim::InvariantChecker checker;
+    checker.watch(&dram);
+    sim.run_until_idle(1'000'000);
+    checker.check_now(sim.now());
+    out.stats = dram.stats();
+    out.end = sim.now();
+    return out;
+  };
+
+  const Outcome lockstep = run(false);
+  const Outcome fastfwd = run(true);
+  EXPECT_EQ(lockstep.end, fastfwd.end);
+  EXPECT_EQ(lockstep.completions, fastfwd.completions);
+  EXPECT_EQ(lockstep.stats.refreshes, fastfwd.stats.refreshes);
+  EXPECT_GT(lockstep.stats.refreshes, 0u);
+  EXPECT_EQ(lockstep.stats.requests, fastfwd.stats.requests);
+  EXPECT_EQ(lockstep.stats.bursts, fastfwd.stats.bursts);
+  EXPECT_EQ(lockstep.stats.row_hits, fastfwd.stats.row_hits);
+  EXPECT_EQ(lockstep.stats.row_misses, fastfwd.stats.row_misses);
+  EXPECT_EQ(lockstep.stats.row_conflicts, fastfwd.stats.row_conflicts);
+  EXPECT_EQ(lockstep.stats.bus_turnarounds, fastfwd.stats.bus_turnarounds);
+  EXPECT_EQ(lockstep.stats.bytes_read, fastfwd.stats.bytes_read);
+  EXPECT_EQ(lockstep.stats.bytes_written, fastfwd.stats.bytes_written);
+  EXPECT_EQ(lockstep.stats.request_latency.count(),
+            fastfwd.stats.request_latency.count());
+  EXPECT_EQ(lockstep.stats.request_latency.sum(),
+            fastfwd.stats.request_latency.sum());
 }
 
 TEST(Dram, RefreshOverheadIsBounded) {

@@ -1,0 +1,239 @@
+// Tests for the invariant-checking layer: the checker component itself, the
+// conservation laws of the NoC model across overlay configurations, the
+// RunMetrics differ, and a fully checked engine run in both scheduler modes.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/aurora.hpp"
+#include "core/report.hpp"
+#include "graph/degree.hpp"
+#include "graph/generators.hpp"
+#include "noc/network.hpp"
+#include "sim/invariants.hpp"
+#include "sim/simulator.hpp"
+
+namespace aurora {
+namespace {
+
+// ---------------------------------------------------------------- checker
+
+/// A component whose invariants always fail — exercises the report path.
+class Faulty final : public sim::Component {
+ public:
+  Faulty() : Component("faulty") {}
+  void tick(Cycle) override {}
+  [[nodiscard]] bool idle() const override { return true; }
+  [[nodiscard]] Cycle next_event_cycle(Cycle) const override {
+    return sim::kNoEvent;
+  }
+  void verify_invariants(sim::InvariantReport& report) const override {
+    report.require(false, "broken law", "details here");
+    report.require(true, "intact law");
+  }
+};
+
+TEST(InvariantChecker, ViolationThrowsWithComponentRuleAndCycle) {
+  Faulty faulty;
+  sim::InvariantChecker checker;
+  checker.watch(&faulty);
+  try {
+    checker.check_now(123);
+    FAIL() << "expected an invariant violation";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("faulty"), std::string::npos) << what;
+    EXPECT_NE(what.find("broken law"), std::string::npos) << what;
+    EXPECT_EQ(what.find("intact law"), std::string::npos) << what;
+    EXPECT_NE(what.find("123"), std::string::npos) << what;
+  }
+  EXPECT_EQ(checker.checks_run(), 1u);
+}
+
+TEST(InvariantChecker, ReportCollectsAllViolations) {
+  Faulty faulty;
+  sim::InvariantReport report(7, /*drained=*/true);
+  report.set_subject(faulty.name());
+  faulty.verify_invariants(report);
+  ASSERT_EQ(report.violations().size(), 1u);
+  EXPECT_EQ(report.violations()[0].component, "faulty");
+  EXPECT_EQ(report.violations()[0].rule, "broken law");
+  EXPECT_EQ(report.violations()[0].cycle, 7u);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(InvariantChecker, WithoutIntervalHasNoEventsOfItsOwn) {
+  sim::InvariantChecker checker;
+  EXPECT_EQ(checker.interval(), 0u);
+  EXPECT_TRUE(checker.idle());
+  EXPECT_EQ(checker.next_event_cycle(0), sim::kNoEvent);
+  EXPECT_EQ(checker.next_event_cycle(999), sim::kNoEvent);
+}
+
+TEST(InvariantChecker, IntervalPinsCheckBoundaries) {
+  sim::InvariantChecker checker(64);
+  // The next boundary is an event, so fast-forward jumps land on it.
+  EXPECT_LE(checker.next_event_cycle(0), 64u);
+  EXPECT_NE(checker.next_event_cycle(0), sim::kNoEvent);
+}
+
+// ------------------------------------------------------- NoC conservation
+
+struct TrafficResult {
+  noc::NocStats stats;
+  Bytes flit_bytes = 0;
+};
+
+/// Drive a few waves of deterministic random traffic through `config`, then
+/// run the checker's drain-point pass and return the stats.
+TrafficResult run_traffic(const noc::NocConfig& config, std::uint64_t seed) {
+  noc::NocParams params;
+  params.k = config.k();
+  sim::Simulator sim;
+  noc::Network net(params);
+  sim.add(&net);
+  net.configure(config);
+  sim::InvariantChecker checker;
+  checker.watch(&net);
+  Rng rng(seed);
+  const std::uint32_t nodes = params.k * params.k;
+  for (int wave = 0; wave < 3; ++wave) {
+    for (int i = 0; i < 24; ++i) {
+      const auto src = static_cast<noc::NodeId>(rng.next_below(nodes));
+      auto dst = static_cast<noc::NodeId>(rng.next_below(nodes));
+      if (dst == src) dst = (dst + 1) % nodes;
+      net.send(src, dst, 8 + rng.next_below(200), 0, sim.now());
+    }
+    sim.run_until_idle(1'000'000);
+    checker.check_now(sim.now());
+  }
+  return {net.stats(), params.flit_bytes};
+}
+
+void expect_conserved(const TrafficResult& r) {
+  EXPECT_GT(r.stats.packets_delivered, 0u);
+  EXPECT_EQ(r.stats.packets_injected, r.stats.packets_delivered);
+  EXPECT_EQ(r.stats.flits_injected, r.stats.flits_ejected);
+  EXPECT_EQ(r.stats.link_bytes + r.stats.bypass_bytes,
+            r.stats.flit_hops * r.flit_bytes);
+}
+
+TEST(NocInvariants, ConservationAfterDrainMeshOnly) {
+  expect_conserved(run_traffic(noc::NocConfig(4), 1));
+}
+
+TEST(NocInvariants, ConservationAfterDrainBypassHeavy) {
+  noc::NocConfig c(8);
+  for (std::uint32_t line = 0; line < 8; ++line) {
+    c.add_row_segment({line, 0, 7});
+    c.add_col_segment({line, 0, 7});
+  }
+  const TrafficResult r = run_traffic(c, 2);
+  expect_conserved(r);
+  EXPECT_GT(r.stats.bypass_flit_hops, 0u);
+  EXPECT_GT(r.stats.bypass_bytes, 0u);
+}
+
+TEST(NocInvariants, ConservationAfterDrainRingOverlay) {
+  noc::NocConfig c(8);
+  c.add_row_segment({0, 0, 7});
+  noc::RingConfig ring;
+  for (noc::NodeId i = 0; i < 8; ++i) ring.nodes.push_back(i);
+  c.add_ring(ring);
+  expect_conserved(run_traffic(c, 3));
+}
+
+// ----------------------------------------------------- RunMetrics differ
+
+TEST(DiffRunMetrics, EqualRunsDiffEmptyAndSkipCounterIgnored) {
+  core::RunMetrics a;
+  a.total_cycles = 100;
+  a.counters.inc("noc.packets", 7);
+  a.counters.inc("sim.cycles_skipped", 5);
+  core::RunMetrics b = a;
+  b.counters.inc("sim.cycles_skipped", 10);  // scheduler work, not behaviour
+  EXPECT_TRUE(core::diff_run_metrics(a, b).empty());
+}
+
+TEST(DiffRunMetrics, ReportsEveryMismatchedField) {
+  core::RunMetrics a;
+  core::RunMetrics b;
+  a.total_cycles = 100;
+  b.total_cycles = 101;
+  b.avg_hops = 1.5;
+  b.counters.inc("noc.packets", 1);
+  const auto diffs = core::diff_run_metrics(a, b);
+  ASSERT_EQ(diffs.size(), 3u);
+  EXPECT_NE(diffs[0].find("total_cycles"), std::string::npos);
+}
+
+// ------------------------------------------------------- full engine runs
+
+TEST(EngineInvariants, CheckedRunIsBitIdenticalAcrossSchedulerModes) {
+  core::AuroraConfig cfg = core::AuroraConfig::bench();
+  cfg.array_dim = 4;
+  cfg.noc.k = 4;
+  cfg.check_invariants = true;
+  cfg.invariant_interval = 128;
+  cfg.dram.timing.t_refi = 300;  // small, so refresh catch-up is exercised
+  cfg.dram.timing.t_rfc = 30;
+
+  Rng rng(11);
+  graph::Dataset ds;
+  ds.spec.name = "invariants";
+  ds.spec.feature_dim = 8;
+  ds.spec.feature_density = 1.0;
+  ds.spec.num_classes = 4;
+  ds.graph = graph::generate_erdos_renyi(48, 96, rng);
+  ds.spec.num_vertices = ds.graph.num_vertices();
+  ds.degree_stats = graph::compute_degree_stats(ds.graph);
+  const gnn::LayerConfig layer{8, 8};
+
+  const auto run = [&](bool fast_forward) {
+    core::AuroraConfig c = cfg;
+    c.fast_forward = fast_forward;
+    core::AuroraAccelerator accel(c);
+    return accel.run_layer(ds, gnn::GnnModel::kGcn, layer);
+  };
+  const core::RunMetrics lockstep = run(false);
+  const core::RunMetrics fastfwd = run(true);
+  const auto diffs = core::diff_run_metrics(lockstep, fastfwd);
+  EXPECT_TRUE(diffs.empty())
+      << diffs.size() << " field(s) diverge; first: "
+      << (diffs.empty() ? std::string() : diffs.front());
+  EXPECT_GT(lockstep.total_cycles, 0u);
+}
+
+TEST(EngineInvariants, CheckedRunMatchesUncheckedRun) {
+  // The checker is a pure observer: attaching it must not change results.
+  core::AuroraConfig cfg = core::AuroraConfig::bench();
+  cfg.array_dim = 4;
+  cfg.noc.k = 4;
+  Rng rng(13);
+  graph::Dataset ds;
+  ds.spec.name = "invariants";
+  ds.spec.feature_dim = 8;
+  ds.spec.feature_density = 1.0;
+  ds.spec.num_classes = 4;
+  ds.graph = graph::generate_power_law({.n = 40, .undirected_edges = 120}, rng);
+  ds.spec.num_vertices = ds.graph.num_vertices();
+  ds.degree_stats = graph::compute_degree_stats(ds.graph);
+  const gnn::LayerConfig layer{8, 12};
+
+  const auto run = [&](bool check, Cycle interval) {
+    core::AuroraConfig c = cfg;
+    c.check_invariants = check;
+    c.invariant_interval = interval;
+    core::AuroraAccelerator accel(c);
+    return accel.run_layer(ds, gnn::GnnModel::kAgnn, layer);
+  };
+  const core::RunMetrics plain = run(false, 0);
+  const core::RunMetrics checked = run(true, 256);
+  EXPECT_TRUE(core::diff_run_metrics(plain, checked).empty());
+}
+
+}  // namespace
+}  // namespace aurora

@@ -75,6 +75,52 @@ TEST(NocConfig, NodeInTwoRingsRejected) {
   EXPECT_THROW(c.add_ring({{1, 2}}), Error);
 }
 
+TEST(NocConfig, RingDuplicateNodeRejected) {
+  // Regression: ring_of/ring_successor resolve by first occurrence, so a
+  // node appearing twice short-circuits the traversal and livelocks flits
+  // circulating the ring. Every consecutive hop here is physically linked
+  // (the column segment joins 1 and 7), so only a duplicate check can
+  // reject it.
+  NocConfig c(3);
+  c.add_col_segment({1, 0, 2});
+  EXPECT_THROW(c.add_ring({{7, 4, 1, 7, 6}}), Error);
+}
+
+TEST(NocConfig, RingWrapWithoutSegmentIsUnroutableAndFallsBackToMesh) {
+  // Regression: a full-row ring whose wrap column has no bypass segment
+  // used to send route_output down the ring branch, and resolve_hop then
+  // threw on the wrap hop (bypass port with no segment endpoint). Such a
+  // ring is now flagged unroutable and ignored by routing.
+  NocConfig c(4);
+  RingConfig ring;
+  for (NodeId i = 0; i < 4; ++i) ring.nodes.push_back(i);  // row 0, no wrap
+  c.add_ring_unchecked(ring);
+  ASSERT_EQ(c.rings().size(), 1u);
+  EXPECT_FALSE(c.ring_routable(0));
+  EXPECT_FALSE(c.all_rings_routable());
+  // Plain dimension-order routing takes over for traffic between members.
+  EXPECT_EQ(route_output(3, 0, c), Port::kWest);
+  EXPECT_EQ(path_hops(3, 0, c), 3u);
+}
+
+TEST(NocConfig, RoutableRingReportsRoutable) {
+  NocConfig c(4);
+  c.add_ring({{0, 1, 5, 4}});
+  EXPECT_TRUE(c.ring_routable(0));
+  EXPECT_TRUE(c.all_rings_routable());
+}
+
+TEST(Network, ConfigureRejectsUnroutableRing) {
+  NocParams p;
+  p.k = 4;
+  Network net(p);
+  NocConfig c(4);
+  RingConfig ring;
+  for (NodeId i = 0; i < 4; ++i) ring.nodes.push_back(i);
+  c.add_ring_unchecked(ring);
+  EXPECT_THROW(net.configure(c), Error);
+}
+
 TEST(NocConfig, SwitchWriteDelta) {
   NocConfig a(8), b(8);
   a.add_row_segment({0, 0, 7});  // 8 switch states
