@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/cluster_engine.hpp"
 #include "common/cli.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -318,6 +319,118 @@ core::RunMetrics run_engine(const core::AuroraConfig& chip,
   return accel.run_layer(ds, model, layer, layer_index);
 }
 
+// ---------------------------------------------------------------- cluster
+
+void print_failure(std::uint64_t seed, const char* phase,
+                   const std::vector<std::string>& diffs);
+
+/// Differential fuzz of the multi-chip cluster engine: random shard counts,
+/// topologies and link parameters; lockstep vs fast-forward must agree on
+/// every per-chip RunMetrics field, the cluster clock, and every cluster
+/// counter, with the cluster invariant checker attached throughout.
+bool run_cluster_seed(std::uint64_t seed, bool verbose) {
+  try {
+    Rng rng(seed * 0xD1B54A32D192ED03ull + 5);
+    core::AuroraConfig chip = random_chip(rng);
+    chip.check_invariants = true;
+
+    cluster::ClusterParams params;
+    params.num_chips = 1 + static_cast<std::uint32_t>(rng.next_below(4));
+    params.strategy = rng.next_bool(0.5) ? cluster::ShardStrategy::kRange
+                                         : cluster::ShardStrategy::kHash;
+    params.link.topology = rng.next_bool(0.5)
+                               ? cluster::ClusterTopology::kRing
+                               : cluster::ClusterTopology::kFullyConnected;
+    params.link.bytes_per_cycle = 8ull << rng.next_below(4);
+    params.link.hop_latency = 8 + rng.next_below(121);
+    params.link.max_message_bytes = 256ull << rng.next_below(4);
+
+    const graph::Dataset ds = random_dataset(rng);
+    const gnn::GnnModel model =
+        gnn::kAllModels[rng.next_below(gnn::kAllModels.size())];
+    const core::GnnJob job = core::GnnJob::two_layer(
+        model, ds.spec, 4 + static_cast<std::uint32_t>(rng.next_below(13)));
+    if (verbose) {
+      std::printf(
+          "seed %llu cluster: %u chip(s), %s sharding, %s link "
+          "(bpc=%llu, hop=%llu), %s, %u vertices\n",
+          static_cast<unsigned long long>(seed), params.num_chips,
+          cluster::shard_strategy_name(params.strategy),
+          cluster::topology_name(params.link.topology),
+          static_cast<unsigned long long>(params.link.bytes_per_cycle),
+          static_cast<unsigned long long>(params.link.hop_latency),
+          gnn::model_name(model), ds.num_vertices());
+    }
+
+    const auto run = [&](bool fast_forward) {
+      core::AuroraConfig cfg = chip;
+      cfg.fast_forward = fast_forward;
+      cluster::ClusterEngine engine(cfg, params);
+      return engine.run(ds, job);
+    };
+    const cluster::ClusterRunMetrics lock = run(false);
+    const cluster::ClusterRunMetrics fast = run(true);
+
+    std::vector<std::string> diffs;
+    const auto u64 = [&diffs](const std::string& name, std::uint64_t x,
+                              std::uint64_t y) {
+      if (x != y) {
+        diffs.push_back(name + ": " + std::to_string(x) + " != " +
+                        std::to_string(y));
+      }
+    };
+    u64("total_cycles", lock.total_cycles, fast.total_cycles);
+    for (std::size_t c = 0; c < lock.chips.size(); ++c) {
+      const std::string p = "chip" + std::to_string(c) + ".";
+      for (const auto& d : core::diff_run_metrics(lock.chips[c].metrics,
+                                                  fast.chips[c].metrics)) {
+        diffs.push_back(p + d);
+      }
+      u64(p + "finish_cycle", lock.chips[c].finish_cycle,
+          fast.chips[c].finish_cycle);
+      u64(p + "halo_wait_cycles", lock.chips[c].halo_wait_cycles,
+          fast.chips[c].halo_wait_cycles);
+      u64(p + "halo_bytes_sent", lock.chips[c].halo_bytes_sent,
+          fast.chips[c].halo_bytes_sent);
+      u64(p + "halo_bytes_received", lock.chips[c].halo_bytes_received,
+          fast.chips[c].halo_bytes_received);
+    }
+    u64("link.messages_delivered", lock.link.messages_delivered,
+        fast.link.messages_delivered);
+    u64("link.bytes_delivered", lock.link.bytes_delivered,
+        fast.link.bytes_delivered);
+    u64("link.hops", lock.link.hops, fast.link.hops);
+    u64("link.serialize_cycles", lock.link.serialize_cycles,
+        fast.link.serialize_cycles);
+    u64("link.stall_cycles", lock.link.stall_cycles, fast.link.stall_cycles);
+    u64("link.latency.total", lock.link.latency.total(),
+        fast.link.latency.total());
+    for (const auto& [name, value] : lock.counters.all()) {
+      u64("counters." + name, value, fast.counters.get(name));
+    }
+    if (!diffs.empty()) {
+      print_failure(seed, "cluster", diffs);
+      std::printf("replay: ./build/bench/fuzz_sim --cluster --seed=%llu\n",
+                  static_cast<unsigned long long>(seed));
+      return false;
+    }
+    if (verbose) {
+      std::printf("seed %llu OK: %llu cluster cycles, %llu halo bytes, "
+                  "both modes bit-identical\n",
+                  static_cast<unsigned long long>(seed),
+                  static_cast<unsigned long long>(lock.total_cycles),
+                  static_cast<unsigned long long>(lock.link.bytes_delivered));
+    }
+  } catch (const std::exception& e) {
+    std::printf("FUZZ FAILURE seed=%llu (cluster): exception\n  %s\n",
+                static_cast<unsigned long long>(seed), e.what());
+    std::printf("replay: ./build/bench/fuzz_sim --cluster --seed=%llu\n",
+                static_cast<unsigned long long>(seed));
+    return false;
+  }
+  return true;
+}
+
 // ---------------------------------------------------------------- driver
 
 void print_failure(std::uint64_t seed, const char* phase,
@@ -425,13 +538,17 @@ int main(int argc, char** argv) {
         "  --seeds=<n>        number of seeds to run (default 25)\n"
         "  --start-seed=<s>   first seed (default 1)\n"
         "  --seed=<s>         run one seed verbosely (replay mode)\n"
+        "  --cluster          fuzz the multi-chip cluster engine instead\n"
+        "                     (random shard counts, topologies, link params)\n"
         "  --trace-out=<p>    with --seed: write a Perfetto trace of the\n"
         "                     fast-forward engine run\n");
     return 0;
   }
 
+  const bool cluster_mode = args.get_bool("cluster", false);
   if (args.has("seed")) {
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    if (cluster_mode) return run_cluster_seed(seed, /*verbose=*/true) ? 0 : 1;
     const std::string trace_out = args.get_string("trace-out", "");
     return run_seed(seed, /*verbose=*/true, trace_out) ? 0 : 1;
   }
@@ -440,10 +557,13 @@ int main(int argc, char** argv) {
   const auto start =
       static_cast<std::uint64_t>(args.get_int("start-seed", 1));
   for (std::uint64_t seed = start; seed < start + seeds; ++seed) {
-    if (!run_seed(seed, /*verbose=*/false, "")) return 1;
+    const bool ok = cluster_mode ? run_cluster_seed(seed, /*verbose=*/false)
+                                 : run_seed(seed, /*verbose=*/false, "");
+    if (!ok) return 1;
   }
-  std::printf("fuzz_sim: %llu seed(s) passed, lockstep == fast-forward "
+  std::printf("fuzz_sim%s: %llu seed(s) passed, lockstep == fast-forward "
               "bit for bit\n",
+              cluster_mode ? " (cluster)" : "",
               static_cast<unsigned long long>(seeds));
   return 0;
 }

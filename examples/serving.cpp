@@ -1,37 +1,77 @@
 // Social-recommendation serving (one of the paper's motivating domains): a
-// queue of mixed-model inference requests against one user-item graph,
-// scheduled on a single Aurora chip. Shows the versatility story end to
-// end — C-GNN, A-GNN and MP-GNN requests share the array, each getting its
-// own partition and NoC configuration — plus the request-level latencies a
-// serving deployment reports.
+// queue of mixed-model inference requests against one user-item graph.
+// Shows the versatility story end to end — C-GNN, A-GNN and MP-GNN requests
+// share the array, each getting its own partition and NoC configuration —
+// plus the request-level latency distribution a serving deployment reports
+// (p50/p95/p99).
+//
+// With --chips=N > 1 the queue is served by an Aurora cluster instead:
+//   --mode=data   replicate the graph, least-loaded dispatch (throughput);
+//   --mode=shard  shard the graph, every request runs on all chips
+//                 cooperating through the inter-chip link (latency).
 //
 //   ./examples/serving [--scale=0.1] [--requests=6] [--hidden=32]
+//                      [--chips=2] [--mode=data|shard]
+#include <algorithm>
+#include <array>
 #include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
 
+#include "cluster/cluster_scheduler.hpp"
 #include "common/cli.hpp"
+#include "common/stats.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "core/aurora.hpp"
 #include "core/scheduler.hpp"
 
+namespace {
+
+using namespace aurora;
+
+void print_latency_percentiles(const std::vector<Cycle>& latencies,
+                               double frequency_mhz) {
+  // Self-scaling histogram: ~1k-cycle resolution over the observed range.
+  Cycle max_latency = 1;
+  for (const Cycle l : latencies) max_latency = std::max(max_latency, l);
+  const double bucket =
+      std::max(1.0, static_cast<double>(max_latency) / 1024.0);
+  Histogram hist(bucket, 1100);
+  for (const Cycle l : latencies) hist.add(static_cast<double>(l));
+  const auto us = [&](double cycles) {
+    return 1e6 * cycles / (frequency_mhz * 1e6);
+  };
+  std::printf("latency percentiles over %zu request(s): "
+              "p50 %.2f us, p95 %.2f us, p99 %.2f us\n",
+              latencies.size(), us(hist.quantile(0.50)),
+              us(hist.quantile(0.95)), us(hist.quantile(0.99)));
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  using namespace aurora;
   const CliArgs args(argc, argv);
   const double scale = args.get_double("scale", 0.1);
   const auto hidden = static_cast<std::uint32_t>(args.get_int("hidden", 32));
   const auto num_requests =
       static_cast<std::size_t>(args.get_int("requests", 6));
+  const auto chips = static_cast<std::uint32_t>(args.get_int("chips", 1));
+  const std::string mode_arg = args.get_string("mode", "data");
+  const cluster::DispatchMode mode =
+      mode_arg == "shard" ? cluster::DispatchMode::kShardParallel
+                          : cluster::DispatchMode::kDataParallel;
 
   // The "user-item interaction graph": Pubmed-scale structure stands in.
   const graph::Dataset graph_ds =
       graph::make_dataset(graph::DatasetId::kPubmed, scale);
-  std::printf("serving on a %u-vertex interaction graph (%llu edges)\n\n",
+  std::printf("serving on a %u-vertex interaction graph (%llu edges), "
+              "%u chip(s)\n\n",
               graph_ds.num_vertices(),
-              static_cast<unsigned long long>(graph_ds.num_edges()));
+              static_cast<unsigned long long>(graph_ds.num_edges()), chips);
 
   core::AuroraConfig config = core::AuroraConfig::bench();
-  core::AuroraAccelerator accel(config);
-  core::Scheduler scheduler(accel);
 
   // A request mix: candidate scoring (GCN), re-ranking with attention
   // (AGNN), and a session-graph pass (GraphSAGE-Pool), round-robin.
@@ -47,29 +87,73 @@ int main(int argc, char** argv) {
                      std::string(label) + " #" + std::to_string(i)});
   }
 
-  const core::ScheduleResult result = scheduler.run(graph_ds, queue);
+  std::vector<Cycle> latencies;
+  if (chips <= 1) {
+    core::AuroraAccelerator accel(config);
+    core::Scheduler scheduler(accel);
+    const core::ScheduleResult result = scheduler.run(graph_ds, queue);
 
-  AsciiTable table({"request", "start", "finish", "latency (us)",
-                    "a:b split", "energy (uJ)"});
+    AsciiTable table({"request", "start", "finish", "latency (us)",
+                      "a:b split", "energy (uJ)"});
+    for (const auto& o : result.outcomes) {
+      latencies.push_back(o.latency());
+      table.add_row({o.label, std::to_string(o.start_cycle),
+                     std::to_string(o.finish_cycle),
+                     to_fixed(1e6 * static_cast<double>(o.latency()) /
+                                  (config.frequency_mhz * 1e6),
+                              2),
+                     std::to_string(o.metrics.partition_a) + ":" +
+                         std::to_string(o.metrics.partition_b),
+                     to_fixed(o.metrics.energy.total_pj() * 1e-6, 1)});
+    }
+    table.print();
+    std::printf("\nmakespan: %llu cycles (%.2f us); overlap saved %llu "
+                "cycles; avg latency %.0f cycles\n",
+                static_cast<unsigned long long>(result.makespan),
+                1e6 * static_cast<double>(result.makespan) /
+                    (config.frequency_mhz * 1e6),
+                static_cast<unsigned long long>(result.overlap_savings),
+                result.avg_latency());
+    print_latency_percentiles(latencies, config.frequency_mhz);
+    std::printf("Each request reconfigured the same silicon: compare the "
+                "a:b splits.\n");
+    return 0;
+  }
+
+  cluster::ClusterParams params;
+  params.num_chips = chips;
+  cluster::ClusterScheduler scheduler(config, params);
+  const cluster::ClusterScheduleResult result =
+      scheduler.run(graph_ds, queue, mode);
+
+  AsciiTable table({"request", "chip", "start", "finish", "latency (us)",
+                    "halo (KiB)"});
   for (const auto& o : result.outcomes) {
-    table.add_row({o.label, std::to_string(o.start_cycle),
-                   std::to_string(o.finish_cycle),
-                   to_fixed(1e6 * static_cast<double>(o.latency()) /
-                                (config.frequency_mhz * 1e6),
-                            2),
-                   std::to_string(o.metrics.partition_a) + ":" +
-                       std::to_string(o.metrics.partition_b),
-                   to_fixed(o.metrics.energy.total_pj() * 1e-6, 1)});
+    latencies.push_back(o.latency());
+    const std::string chip_cell =
+        result.mode == cluster::DispatchMode::kShardParallel
+            ? "all"
+            : std::to_string(o.chip);
+    table.add_row(
+        {o.label, chip_cell, std::to_string(o.start_cycle),
+         std::to_string(o.finish_cycle),
+         to_fixed(1e6 * static_cast<double>(o.latency()) /
+                      (config.frequency_mhz * 1e6),
+                  2),
+         to_fixed(static_cast<double>(
+                      o.metrics.counters.get("cluster.halo_bytes_sent")) /
+                      1024.0,
+                  1)});
   }
   table.print();
-  std::printf("\nmakespan: %llu cycles (%.2f us); overlap saved %llu cycles; "
-              "avg latency %.0f cycles\n",
+  std::printf("\n%s over %u chips — makespan: %llu cycles (%.2f us); "
+              "overlap saved %llu cycles; avg latency %.0f cycles\n",
+              dispatch_mode_name(result.mode), chips,
               static_cast<unsigned long long>(result.makespan),
               1e6 * static_cast<double>(result.makespan) /
                   (config.frequency_mhz * 1e6),
               static_cast<unsigned long long>(result.overlap_savings),
               result.avg_latency());
-  std::printf(
-      "Each request reconfigured the same silicon: compare the a:b splits.\n");
+  print_latency_percentiles(latencies, config.frequency_mhz);
   return 0;
 }

@@ -46,6 +46,18 @@ echo "== differential fuzz smoke: lockstep vs fast-forward =="
 # command. Deterministic, so a failure here reproduces exactly.
 ./build/bench/fuzz_sim --seeds=25
 
+echo "== cluster smoke: multi-chip scale-out =="
+# Cluster test suite by ctest label, then 2- and 4-chip serving runs in both
+# dispatch modes, then the cluster differential fuzz (random shard counts,
+# topologies and link parameters; per-chip metrics and cluster counters must
+# be bit-identical across scheduler modes).
+ctest --test-dir build -L cluster --output-on-failure -j
+./build/examples/serving --scale=0.02 --requests=4 --hidden=16 \
+  --chips=2 --mode=shard
+./build/examples/serving --scale=0.02 --requests=4 --hidden=16 \
+  --chips=4 --mode=data
+./build/bench/fuzz_sim --cluster --seeds=15
+
 echo "== sanitizers: ASan + UBSan build =="
 cmake -B build-asan -S . -DAURORA_SANITIZE=ON
 cmake --build build-asan -j
@@ -64,5 +76,15 @@ echo "== sanitizers: differential fuzz smoke =="
 # passes ~10x slower, and the sanitizer is hunting memory bugs here, not
 # schedule divergence (the release smoke already covers seeds 1-25).
 ./build-asan/bench/fuzz_sim --seeds=8
+
+echo "== sanitizers: cluster smoke =="
+# 2- and 4-chip shard-parallel serving plus a short cluster fuzz under
+# ASan/UBSan: the link/proxy callback plumbing and per-run component
+# lifetimes are the fresh attack surface here.
+./build-asan/examples/serving --scale=0.02 --requests=2 --hidden=16 \
+  --chips=2 --mode=shard
+./build-asan/examples/serving --scale=0.02 --requests=2 --hidden=16 \
+  --chips=4 --mode=shard
+./build-asan/bench/fuzz_sim --cluster --seeds=5
 
 echo "check.sh: all green"

@@ -1,0 +1,324 @@
+#include "cluster/cluster_engine.hpp"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/metrics_registry.hpp"
+#include "gnn/workflow.hpp"
+#include "sim/invariants.hpp"
+#include "sim/simulator.hpp"
+
+namespace aurora::cluster {
+namespace {
+
+/// "No internal event, waiting on link deliveries": far enough that the
+/// link's own events always bound the jump, but not kNoEvent — the proxy is
+/// not drained and must not be retired from the tick loop.
+constexpr Cycle kFarFuture = sim::kNoEvent - 1;
+
+}  // namespace
+
+ChipProxy::ChipProxy(std::uint32_t chip, std::vector<ChipLayerPlan> layers,
+                     InterChipLink* link, sim::Tracer* tracer)
+    : sim::Component("chip" + std::to_string(chip)),
+      chip_(chip),
+      layers_(std::move(layers)),
+      link_(link),
+      tracer_(tracer),
+      arrived_(layers_.size(), 0),
+      last_arrival_(layers_.size(), 0) {
+  AURORA_CHECK(link_ != nullptr);
+  if (layers_.empty()) {
+    state_ = State::kDone;
+  } else {
+    seg_end_ = layers_[0].seg_pre;
+  }
+}
+
+void ChipProxy::trace_segment(std::uint32_t kind, Cycle start,
+                              Cycle end) const {
+  if (tracer_ == nullptr || end <= start) return;
+  tracer_->record(start, sim::TraceEvent::kClusterSegment,
+                  static_cast<std::uint64_t>(chip_) * 4 + kind, end - start);
+}
+
+void ChipProxy::on_halo(const LinkMessage& msg, Cycle now) {
+  AURORA_CHECK_MSG(msg.layer < layers_.size(),
+                   "halo chunk for layer beyond the chip's plan");
+  ++arrived_[msg.layer];
+  last_arrival_[msg.layer] = std::max(last_arrival_[msg.layer], now);
+  halo_bytes_received_ += msg.bytes;
+  wake();
+}
+
+void ChipProxy::tick(Cycle now) {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    switch (state_) {
+      case State::kPre:
+        if (now >= seg_end_) {
+          trace_segment(0, seg_start_, seg_end_);
+          for (LinkMessage msg : layers_[layer_].outgoing) {
+            halo_bytes_sent_ += msg.bytes;
+            if (tracer_ != nullptr) {
+              tracer_->record(now, sim::TraceEvent::kHaloSent,
+                              static_cast<std::uint64_t>(msg.src) * 256 +
+                                  msg.dst,
+                              msg.bytes);
+            }
+            link_->send(msg, now);
+          }
+          wait_start_ = now;
+          state_ = State::kWaitHalo;
+          progress = true;
+        }
+        break;
+      case State::kWaitHalo: {
+        const ChipLayerPlan& plan = layers_[layer_];
+        if (arrived_[layer_] >= plan.expected_chunks &&
+            (plan.expected_chunks == 0 || now > last_arrival_[layer_])) {
+          halo_wait_cycles_ += now - wait_start_;
+          trace_segment(1, wait_start_, now);
+          state_ = State::kPost;
+          seg_start_ = now;
+          seg_end_ = now + plan.seg_post;
+          progress = true;
+        }
+        break;
+      }
+      case State::kPost:
+        if (now >= seg_end_) {
+          trace_segment(2, seg_start_, seg_end_);
+          ++layer_;
+          if (layer_ == layers_.size()) {
+            state_ = State::kDone;
+            finish_cycle_ = now;
+          } else {
+            state_ = State::kPre;
+            seg_start_ = now;
+            seg_end_ = now + layers_[layer_].seg_pre;
+            progress = true;
+          }
+        }
+        break;
+      case State::kDone:
+        break;
+    }
+  }
+}
+
+Cycle ChipProxy::next_event_cycle(Cycle now) const {
+  switch (state_) {
+    case State::kPre:
+    case State::kPost:
+      return seg_end_;
+    case State::kWaitHalo:
+      if (arrived_[layer_] < layers_[layer_].expected_chunks) {
+        return kFarFuture;  // unblocked only by a delivery (external stimulus)
+      }
+      return layers_[layer_].expected_chunks == 0 ? now
+                                                  : last_arrival_[layer_] + 1;
+    case State::kDone:
+      return sim::kNoEvent;
+  }
+  throw Error("invalid ChipProxy state");
+}
+
+void ChipProxy::verify_invariants(sim::InvariantReport& report) const {
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    report.require(arrived_[l] <= layers_[l].expected_chunks,
+                   "halo arrivals bounded by expectations",
+                   "layer " + std::to_string(l) + ": " +
+                       std::to_string(arrived_[l]) + " > " +
+                       std::to_string(layers_[l].expected_chunks));
+  }
+  if (report.drained()) {
+    report.require(state_ == State::kDone, "chip finished its plan");
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+      report.require(arrived_[l] == layers_[l].expected_chunks,
+                     "every halo barrier fully satisfied",
+                     "layer " + std::to_string(l));
+    }
+  }
+}
+
+void ChipProxy::register_metrics(MetricsRegistry& registry) {
+  const auto scope =
+      registry.scope("cluster.chip" + std::to_string(chip_));
+  scope.counter("halo_bytes_sent", &halo_bytes_sent_);
+  scope.counter("halo_bytes_received", &halo_bytes_received_);
+  scope.counter("halo_wait_cycles", &halo_wait_cycles_);
+  scope.gauge("layer", [this] { return static_cast<double>(layer_); });
+}
+
+Cycle ClusterRunMetrics::max_halo_wait_cycles() const {
+  Cycle m = 0;
+  for (const ChipRun& c : chips) m = std::max(m, c.halo_wait_cycles);
+  return m;
+}
+
+ClusterEngine::ClusterEngine(const core::AuroraConfig& config,
+                             const ClusterParams& params)
+    : config_(config), params_(params) {
+  AURORA_CHECK(params.num_chips >= 1);
+}
+
+void ClusterEngine::set_chip_tracer(std::uint32_t chip, sim::Tracer* tracer) {
+  AURORA_CHECK(chip < params_.num_chips);
+  if (chip_tracers_.size() < params_.num_chips) {
+    chip_tracers_.resize(params_.num_chips, nullptr);
+  }
+  chip_tracers_[chip] = tracer;
+}
+
+ClusterRunMetrics ClusterEngine::run(const graph::Dataset& dataset,
+                                     const core::GnnJob& job) {
+  AURORA_CHECK(!job.layers.empty());
+  const std::uint32_t n = params_.num_chips;
+  const ShardPlan plan = make_shard_plan(dataset, n, params_.strategy);
+
+  ClusterRunMetrics out;
+  out.cut_edges = plan.cut_edges;
+  out.ghost_vertices = plan.total_ghosts;
+  out.replication_factor = plan.replication_factor;
+  out.chips.resize(n);
+
+  // Phase A: chip-local engine runs fix each chip's exact per-layer timing
+  // and split it at the halo-exchange point.
+  std::vector<std::vector<ChipLayerPlan>> chip_plans(n);
+  for (std::uint32_t c = 0; c < n; ++c) {
+    core::AuroraAccelerator accelerator(config_);
+    if (c < chip_tracers_.size() && chip_tracers_[c] != nullptr) {
+      accelerator.set_tracer(chip_tracers_[c]);
+    }
+    chip_plans[c].resize(job.layers.size());
+    for (std::size_t l = 0; l < job.layers.size(); ++l) {
+      core::RunMetrics m =
+          accelerator.run_layer(plan.shards[c].dataset, job.model,
+                                job.layers[l], static_cast<std::uint32_t>(l));
+      const Cycle post = std::min(
+          m.phase(gnn::Phase::kVertexUpdate).active_cycles, m.total_cycles);
+      chip_plans[c][l].seg_post = post;
+      chip_plans[c][l].seg_pre = m.total_cycles - post;
+      out.chips[c].metrics += m;
+    }
+  }
+
+  // Halo widths per layer: the feature width flowing into vertex-update
+  // under the layer's (possibly update-first) dataflow.
+  std::vector<std::uint32_t> halo_dims(job.layers.size());
+  for (std::size_t l = 0; l < job.layers.size(); ++l) {
+    const gnn::Workflow wf =
+        gnn::generate_workflow(job.model, job.layers[l], dataset.num_vertices(),
+                               dataset.num_edges());
+    halo_dims[l] = std::max<std::uint32_t>(1, wf.edge_feature_dim);
+  }
+
+  link_ = std::make_unique<InterChipLink>(n, params_.link);
+
+  // Phase B: outgoing chunks and per-chip expectations, chunked to the
+  // link's message size so one fat halo cannot monopolise a ring wire.
+  for (std::size_t l = 0; l < job.layers.size(); ++l) {
+    for (std::uint32_t src = 0; src < n; ++src) {
+      for (std::uint32_t dst = 0; dst < n; ++dst) {
+        if (src == dst) continue;
+        Bytes remaining =
+            plan.halo_bytes(src, dst, halo_dims[l], config_.element_bytes);
+        while (remaining > 0) {
+          LinkMessage msg;
+          msg.src = src;
+          msg.dst = dst;
+          msg.bytes = std::min(remaining, params_.link.max_message_bytes);
+          msg.layer = static_cast<std::uint32_t>(l);
+          remaining -= msg.bytes;
+          chip_plans[src][l].outgoing.push_back(msg);
+          ++chip_plans[dst][l].expected_chunks;
+        }
+      }
+    }
+  }
+
+  // Deadlock guard headroom: every segment plus every chunk's worst-case
+  // serialisation, queueing-free flight and per-hop forwarding gap.
+  Cycle bound = 1000;
+  for (std::uint32_t c = 0; c < n; ++c) {
+    for (const ChipLayerPlan& lp : chip_plans[c]) {
+      bound += lp.seg_pre + lp.seg_post;
+      for (const LinkMessage& msg : lp.outgoing) {
+        bound += (link_->serialize_cycles(msg.bytes) +
+                  params_.link.hop_latency + 2) *
+                 link_->route_hops(msg.src, msg.dst);
+      }
+    }
+  }
+  bound *= 2;
+
+  // Phase C: replay on the shared cluster clock.
+  proxies_.clear();
+  for (std::uint32_t c = 0; c < n; ++c) {
+    proxies_.push_back(std::make_unique<ChipProxy>(
+        c, std::move(chip_plans[c]), link_.get(), tracer_));
+  }
+  link_->set_delivery_callback([this](const LinkMessage& msg, Cycle now) {
+    if (tracer_ != nullptr) {
+      tracer_->record(now, sim::TraceEvent::kHaloDelivered,
+                      static_cast<std::uint64_t>(msg.src) * 256 + msg.dst,
+                      msg.bytes);
+    }
+    proxies_[msg.dst]->on_halo(msg, now);
+  });
+
+  sim::Simulator simulator;
+  simulator.set_fast_forward(config_.fast_forward);
+  for (auto& proxy : proxies_) simulator.add(proxy.get());
+  simulator.add(link_.get());
+
+  sim::InvariantChecker checker(config_.invariant_interval);
+  if (config_.check_invariants) {
+    for (auto& proxy : proxies_) checker.watch(proxy.get());
+    checker.watch(link_.get());
+    simulator.add(&checker);
+  }
+
+  simulator.run_until_idle(bound);
+  if (config_.check_invariants) checker.check_now(simulator.now(), true);
+
+  for (std::uint32_t c = 0; c < n; ++c) {
+    ChipRun& chip = out.chips[c];
+    chip.finish_cycle = proxies_[c]->finish_cycle();
+    chip.halo_wait_cycles = proxies_[c]->halo_wait_cycles();
+    chip.halo_bytes_sent = proxies_[c]->halo_bytes_sent();
+    chip.halo_bytes_received = proxies_[c]->halo_bytes_received();
+    out.total_cycles = std::max(out.total_cycles, chip.finish_cycle);
+  }
+  out.link = link_->stats();
+
+  out.counters.inc("cluster.chips", n);
+  out.counters.inc("cluster.cut_edges", plan.cut_edges);
+  out.counters.inc("cluster.ghost_vertices", plan.total_ghosts);
+  out.counters.inc("cluster.halo_messages_sent", out.link.messages_sent);
+  out.counters.inc("cluster.halo_messages_delivered",
+                   out.link.messages_delivered);
+  out.counters.inc("cluster.halo_bytes_sent", out.link.bytes_sent);
+  out.counters.inc("cluster.halo_bytes_delivered", out.link.bytes_delivered);
+  out.counters.inc("cluster.link_hops", out.link.hops);
+  out.counters.inc("cluster.link_serialize_cycles",
+                   out.link.serialize_cycles);
+  out.counters.inc("cluster.link_stall_cycles", out.link.stall_cycles);
+  Cycle barrier_total = 0;
+  for (const ChipRun& chip : out.chips) barrier_total += chip.halo_wait_cycles;
+  out.counters.inc("cluster.barrier_wait_cycles", barrier_total);
+  return out;
+}
+
+void ClusterEngine::register_metrics(MetricsRegistry& registry) {
+  AURORA_CHECK_MSG(link_ != nullptr,
+                   "register_metrics needs a completed cluster run");
+  link_->register_metrics(registry);
+  for (auto& proxy : proxies_) proxy->register_metrics(registry);
+}
+
+}  // namespace aurora::cluster

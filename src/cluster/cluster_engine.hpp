@@ -1,0 +1,171 @@
+// Multi-chip cluster execution: N Aurora chips cooperate on one inference
+// over a sharded graph, exchanging halo features through the cycle-level
+// InterChipLink under one shared clock.
+//
+// Execution model. Each chip first runs its shard's layers through its own
+// cycle-accurate (or analytic) engine — that fixes the chip-local timing
+// exactly, including the replicated ghost compute the shard carries. The
+// cluster timeline then replays every chip as a ChipProxy component on a
+// shared Simulator together with the link. Per layer a chip contributes two
+// timed segments split at the halo-exchange point:
+//
+//   compute-pre  — DRAM streaming, edge-update and aggregation
+//                  (total_cycles minus the vertex-update span);
+//   [halo barrier: ship aggregates for remote ghosts, wait for own ghosts]
+//   compute-post — the vertex-update span.
+//
+// At the end of compute-pre the owner ships one feature vector per remote
+// ghost (edge_feature_dim wide — the width that actually flows into
+// vertex-update, honouring the update-first dataflow), chunked to the
+// link's max_message_bytes; a chip enters compute-post only after every
+// expected chunk for that layer has arrived. The exchange is the only
+// synchronisation point per layer, so chips drift apart in between and
+// per-layer arrivals are tagged to keep early senders and lagging receivers
+// consistent. With one chip the plan is the identity, nothing is exchanged,
+// and the cluster run reproduces the plain engine's metrics bit for bit in
+// both scheduler modes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cluster/interchip.hpp"
+#include "cluster/shard.hpp"
+#include "core/aurora.hpp"
+#include "sim/trace.hpp"
+
+namespace aurora::cluster {
+
+struct ClusterParams {
+  std::uint32_t num_chips = 2;
+  ShardStrategy strategy = ShardStrategy::kRange;
+  LinkParams link;
+};
+
+/// One chip's per-layer replay plan on the cluster clock.
+struct ChipLayerPlan {
+  Cycle seg_pre = 0;
+  Cycle seg_post = 0;
+  /// Halo chunks this chip ships at the exchange point (dst/bytes/layer
+  /// filled in; timing stamped at send).
+  std::vector<LinkMessage> outgoing;
+  /// Halo chunks this chip must receive before compute-post may start.
+  std::uint32_t expected_chunks = 0;
+};
+
+/// Replays one chip's timed segments on the shared cluster clock,
+/// participating in both lockstep and fast-forward scheduling. All state
+/// transitions are pinned to arrival-plus-one boundaries, so results are
+/// independent of component registration order.
+class ChipProxy final : public sim::Component {
+ public:
+  ChipProxy(std::uint32_t chip, std::vector<ChipLayerPlan> layers,
+            InterChipLink* link, sim::Tracer* tracer);
+
+  /// Arrival of one halo chunk (called from the link's delivery path).
+  void on_halo(const LinkMessage& msg, Cycle now);
+
+  [[nodiscard]] bool done() const { return state_ == State::kDone; }
+  [[nodiscard]] Cycle finish_cycle() const { return finish_cycle_; }
+  /// Cycles spent blocked at halo barriers, summed over layers.
+  [[nodiscard]] Cycle halo_wait_cycles() const { return halo_wait_cycles_; }
+  [[nodiscard]] Bytes halo_bytes_sent() const { return halo_bytes_sent_; }
+  [[nodiscard]] Bytes halo_bytes_received() const {
+    return halo_bytes_received_;
+  }
+
+  void tick(Cycle now) override;
+  [[nodiscard]] bool idle() const override { return state_ == State::kDone; }
+  [[nodiscard]] Cycle next_event_cycle(Cycle now) const override;
+  /// Per-layer arrivals never exceed expectations; after drain every layer's
+  /// barrier was fully satisfied and the chip finished its plan.
+  void verify_invariants(sim::InvariantReport& report) const override;
+  /// Halo byte counters and the barrier-wait counter under
+  /// "cluster.chip<i>.".
+  void register_metrics(MetricsRegistry& registry) override;
+
+ private:
+  enum class State : std::uint8_t { kPre, kWaitHalo, kPost, kDone };
+
+  void trace_segment(std::uint32_t kind, Cycle start, Cycle end) const;
+
+  std::uint32_t chip_;
+  std::vector<ChipLayerPlan> layers_;
+  InterChipLink* link_;
+  sim::Tracer* tracer_;
+
+  State state_ = State::kPre;
+  std::size_t layer_ = 0;
+  Cycle seg_start_ = 0;
+  Cycle seg_end_ = 0;
+  Cycle wait_start_ = 0;
+  Cycle finish_cycle_ = 0;
+  Cycle halo_wait_cycles_ = 0;
+  Bytes halo_bytes_sent_ = 0;
+  Bytes halo_bytes_received_ = 0;
+  std::vector<std::uint32_t> arrived_;
+  std::vector<Cycle> last_arrival_;
+};
+
+/// One chip's outcome of a cluster run.
+struct ChipRun {
+  /// Chip-local engine metrics accumulated over layers — for a 1-chip
+  /// cluster, bit-identical to a plain AuroraAccelerator::run.
+  core::RunMetrics metrics;
+  /// When the chip finished its last layer on the shared cluster clock.
+  Cycle finish_cycle = 0;
+  Cycle halo_wait_cycles = 0;
+  Bytes halo_bytes_sent = 0;
+  Bytes halo_bytes_received = 0;
+};
+
+struct ClusterRunMetrics {
+  /// Cluster makespan on the shared clock (latest chip finish).
+  Cycle total_cycles = 0;
+  std::vector<ChipRun> chips;
+  /// Final link statistics of the run.
+  LinkStats link;
+  /// Cluster-level counters (halo traffic, link stalls, barrier waits,
+  /// shard metadata), mirroring the per-chip RunMetrics::counters idiom.
+  CounterSet counters;
+  EdgeId cut_edges = 0;
+  VertexId ghost_vertices = 0;
+  double replication_factor = 1.0;
+
+  [[nodiscard]] Cycle max_halo_wait_cycles() const;
+};
+
+class ClusterEngine {
+ public:
+  ClusterEngine(const core::AuroraConfig& config, const ClusterParams& params);
+
+  /// Shard `dataset`, run every chip's layers, then replay the cluster
+  /// timeline. Honours config.fast_forward (both the per-chip engines and
+  /// the shared cluster clock) and config.check_invariants (an
+  /// InvariantChecker watches the link and every proxy).
+  [[nodiscard]] ClusterRunMetrics run(const graph::Dataset& dataset,
+                                      const core::GnnJob& job);
+
+  /// Cluster-clock tracer: chip segments (kClusterSegment) and halo
+  /// send/delivery events. Enable before running.
+  void set_tracer(sim::Tracer* tracer) { tracer_ = tracer; }
+  /// Per-chip engine tracer, forwarded to that chip's accelerator.
+  void set_chip_tracer(std::uint32_t chip, sim::Tracer* tracer);
+
+  /// Publish the last run's link and per-chip probes. Entries point into
+  /// components owned by this engine and stay valid until the next run().
+  void register_metrics(MetricsRegistry& registry);
+
+  [[nodiscard]] const ClusterParams& params() const { return params_; }
+
+ private:
+  core::AuroraConfig config_;
+  ClusterParams params_;
+  sim::Tracer* tracer_ = nullptr;
+  std::vector<sim::Tracer*> chip_tracers_;
+  std::unique_ptr<InterChipLink> link_;
+  std::vector<std::unique_ptr<ChipProxy>> proxies_;
+};
+
+}  // namespace aurora::cluster

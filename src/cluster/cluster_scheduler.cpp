@@ -1,0 +1,127 @@
+#include "cluster/cluster_scheduler.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace aurora::cluster {
+
+const char* dispatch_mode_name(DispatchMode m) {
+  switch (m) {
+    case DispatchMode::kDataParallel:
+      return "data-parallel";
+    case DispatchMode::kShardParallel:
+      return "shard-parallel";
+  }
+  throw Error("invalid DispatchMode");
+}
+
+double ClusterScheduleResult::avg_latency() const {
+  if (outcomes.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& o : outcomes) total += static_cast<double>(o.latency());
+  return total / static_cast<double>(outcomes.size());
+}
+
+ClusterScheduler::ClusterScheduler(const core::AuroraConfig& config,
+                                   const ClusterParams& params)
+    : config_(config), params_(params) {
+  AURORA_CHECK(params.num_chips >= 1);
+}
+
+ClusterScheduleResult ClusterScheduler::run(
+    const graph::Dataset& dataset, std::vector<core::ScheduledRequest> queue,
+    DispatchMode mode) {
+  AURORA_CHECK(!queue.empty());
+  return mode == DispatchMode::kDataParallel
+             ? run_data_parallel(dataset, queue)
+             : run_shard_parallel(dataset, queue);
+}
+
+ClusterScheduleResult ClusterScheduler::run_data_parallel(
+    const graph::Dataset& dataset,
+    std::vector<core::ScheduledRequest>& queue) {
+  ClusterScheduleResult result;
+  result.mode = DispatchMode::kDataParallel;
+  const std::uint32_t n = params_.num_chips;
+
+  // One accelerator per chip, reused across the requests it serves, so
+  // partition/mapping state carries over exactly as on a single chip.
+  std::vector<std::unique_ptr<core::AuroraAccelerator>> chips;
+  chips.reserve(n);
+  for (std::uint32_t c = 0; c < n; ++c) {
+    chips.push_back(std::make_unique<core::AuroraAccelerator>(config_));
+  }
+  result.chip_timeline.assign(n, 0);
+  std::vector<Cycle> prev_tail(n, 0);
+
+  for (auto& req : queue) {
+    // Least-loaded dispatch, ties to the lowest chip index.
+    std::uint32_t chip = 0;
+    for (std::uint32_t c = 1; c < n; ++c) {
+      if (result.chip_timeline[c] < result.chip_timeline[chip]) chip = c;
+    }
+
+    ClusterOutcome outcome;
+    outcome.label = std::move(req.label);
+    outcome.chip = chip;
+    outcome.metrics = chips[chip]->run(dataset, req.job);
+
+    const Cycle overlap =
+        core::Scheduler::overlap_cycles(prev_tail[chip], outcome.metrics);
+    result.overlap_savings += overlap;
+    const Cycle timeline = result.chip_timeline[chip];
+    outcome.start_cycle = timeline >= overlap ? timeline - overlap : 0;
+    outcome.finish_cycle = outcome.start_cycle + outcome.metrics.total_cycles;
+    result.chip_timeline[chip] = outcome.finish_cycle;
+    prev_tail[chip] = core::Scheduler::tail_compute_cycles(outcome.metrics);
+    result.outcomes.push_back(std::move(outcome));
+  }
+  for (const Cycle t : result.chip_timeline) {
+    result.makespan = std::max(result.makespan, t);
+  }
+  return result;
+}
+
+ClusterScheduleResult ClusterScheduler::run_shard_parallel(
+    const graph::Dataset& dataset,
+    std::vector<core::ScheduledRequest>& queue) {
+  ClusterScheduleResult result;
+  result.mode = DispatchMode::kShardParallel;
+  ClusterEngine engine(config_, params_);
+
+  Cycle timeline = 0;
+  Cycle prev_tail = 0;
+  for (auto& req : queue) {
+    const ClusterRunMetrics cluster = engine.run(dataset, req.job);
+
+    ClusterOutcome outcome;
+    outcome.label = std::move(req.label);
+    for (const ChipRun& chip : cluster.chips) outcome.metrics += chip.metrics;
+    outcome.metrics.total_cycles = cluster.total_cycles;
+    outcome.metrics.counters.merge(cluster.counters);
+
+    // Every chip must be free before the next request's barriers can line
+    // up, so the request-level overlap is the weakest chip-level one.
+    Cycle lead = cluster.chips.empty() ? 0 : sim::kNoEvent;
+    Cycle tail = cluster.chips.empty() ? 0 : sim::kNoEvent;
+    for (const ChipRun& chip : cluster.chips) {
+      lead = std::min(lead, core::Scheduler::lead_dram_cycles(chip.metrics));
+      tail = std::min(tail,
+                      core::Scheduler::tail_compute_cycles(chip.metrics));
+    }
+    const Cycle overlap = std::min(prev_tail, lead);
+    result.overlap_savings += overlap;
+    outcome.start_cycle = timeline >= overlap ? timeline - overlap : 0;
+    outcome.finish_cycle = outcome.start_cycle + cluster.total_cycles;
+    timeline = outcome.finish_cycle;
+    prev_tail = tail;
+    result.outcomes.push_back(std::move(outcome));
+  }
+  result.makespan = timeline;
+  return result;
+}
+
+}  // namespace aurora::cluster

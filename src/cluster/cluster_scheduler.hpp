@@ -1,0 +1,78 @@
+// Cluster-level serving: dispatch a queue of multi-layer GNN requests over
+// N Aurora chips. Extends the single-chip scheduling layer (core::Scheduler
+// supplies the DRAM/compute overlap model) with two dispatch policies:
+//
+//   * data-parallel — the dataset is replicated on every chip; each request
+//     runs whole on the least-loaded chip. Maximises throughput: requests
+//     proceed concurrently and each chip reuses its accelerator's partition
+//     state across the requests it serves.
+//   * shard-parallel — every request runs on all chips at once over the
+//     sharded graph (ClusterEngine). Minimises per-request latency at the
+//     cost of halo traffic and barrier waits.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_engine.hpp"
+#include "core/scheduler.hpp"
+
+namespace aurora::cluster {
+
+enum class DispatchMode : std::uint8_t {
+  kDataParallel,
+  kShardParallel,
+};
+
+[[nodiscard]] const char* dispatch_mode_name(DispatchMode m);
+
+struct ClusterOutcome {
+  std::string label;
+  /// Data-parallel: the serving chip's metrics. Shard-parallel: all chips'
+  /// metrics accumulated, with total_cycles overridden to the cluster
+  /// makespan of the request.
+  core::RunMetrics metrics;
+  /// Serving chip (data-parallel); 0 for shard-parallel (all chips serve).
+  std::uint32_t chip = 0;
+  Cycle start_cycle = 0;
+  Cycle finish_cycle = 0;
+
+  [[nodiscard]] Cycle latency() const { return finish_cycle - start_cycle; }
+};
+
+struct ClusterScheduleResult {
+  DispatchMode mode = DispatchMode::kDataParallel;
+  /// Outcomes in submission order.
+  std::vector<ClusterOutcome> outcomes;
+  Cycle makespan = 0;
+  Cycle overlap_savings = 0;
+  /// Final per-chip timeline position (busy-until), data-parallel only.
+  std::vector<Cycle> chip_timeline;
+
+  [[nodiscard]] double avg_latency() const;
+};
+
+class ClusterScheduler {
+ public:
+  ClusterScheduler(const core::AuroraConfig& config,
+                   const ClusterParams& params);
+
+  /// Run the queue on `dataset` under `mode`. Outcomes keep submission
+  /// order even when data-parallel dispatch interleaves chips.
+  [[nodiscard]] ClusterScheduleResult run(
+      const graph::Dataset& dataset,
+      std::vector<core::ScheduledRequest> queue, DispatchMode mode);
+
+ private:
+  [[nodiscard]] ClusterScheduleResult run_data_parallel(
+      const graph::Dataset& dataset,
+      std::vector<core::ScheduledRequest>& queue);
+  [[nodiscard]] ClusterScheduleResult run_shard_parallel(
+      const graph::Dataset& dataset,
+      std::vector<core::ScheduledRequest>& queue);
+
+  core::AuroraConfig config_;
+  ClusterParams params_;
+};
+
+}  // namespace aurora::cluster

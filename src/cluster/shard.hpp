@@ -1,0 +1,86 @@
+// Graph sharding for multi-chip scale-out: cut one dataset into per-chip
+// subgraphs with explicit halo (ghost) vertex sets and replication metadata.
+//
+// The cut is an edge-cut vertex partition: every vertex has exactly one
+// owner chip; an owned vertex's full neighbor list stays on its owner, and
+// neighbors owned elsewhere materialise locally as ghost vertices whose
+// rows mirror the cut edges back into the owned side — the shard stays an
+// undirected (symmetric) CSR, which the cycle engine's dataflow relies on.
+// Ghost features are replicated from their owners through the inter-chip
+// link once per layer (boundary replication, the DistGNN/AliGraph idiom),
+// and ghosts also incur replicated vertex-update compute on the chips that
+// host them; the replication factor below quantifies that overhead.
+//
+// A 1-chip plan is the identity: the single shard's CSR is bit-identical to
+// the input dataset's (same row_ptr/col_idx vectors), which is what lets the
+// cluster engine's single-chip runs reproduce the plain engine exactly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/datasets.hpp"
+
+namespace aurora::cluster {
+
+/// How vertices are assigned to owner chips.
+enum class ShardStrategy : std::uint8_t {
+  /// Contiguous vertex ranges balanced by edge count (reuses the tiler's
+  /// balanced_edge_ranges). Preserves any locality the vertex order carries,
+  /// so reordered graphs cut fewer edges.
+  kRange,
+  /// owner(v) = v mod num_chips — the locality-oblivious baseline, bounding
+  /// the halo traffic a bad placement can produce.
+  kHash,
+};
+
+[[nodiscard]] const char* shard_strategy_name(ShardStrategy s);
+
+/// One chip's subgraph: owned vertices first (local ids [0, num_owned)),
+/// then ghosts (local ids [num_owned, num_owned + num_ghosts)), both in
+/// ascending global-id order.
+struct Shard {
+  std::uint32_t chip = 0;
+  /// Local dataset: owned rows keep their full (remapped) neighbor lists,
+  /// ghost rows hold the mirrored cut edges into their owned neighbors.
+  /// Spec and scale are inherited from the input so feature metadata
+  /// (width, density) is preserved.
+  graph::Dataset dataset;
+  VertexId num_owned = 0;
+  VertexId num_ghosts = 0;
+  /// local id -> global id, size num_owned + num_ghosts.
+  std::vector<VertexId> global_ids;
+  /// ghosts_from[s] = number of this shard's ghosts owned by chip s
+  /// (ghosts_from[chip] == 0): the per-source halo-exchange footprint.
+  std::vector<VertexId> ghosts_from;
+  /// Edges from owned vertices into ghosts (this shard's side of the cut).
+  EdgeId cut_edges = 0;
+};
+
+struct ShardPlan {
+  ShardStrategy strategy = ShardStrategy::kRange;
+  std::uint32_t num_chips = 1;
+  std::vector<Shard> shards;
+  /// Directed edges crossing chip boundaries, summed over shards.
+  EdgeId cut_edges = 0;
+  /// Ghost vertices summed over shards.
+  VertexId total_ghosts = 0;
+  /// (owned + ghost vertices across shards) / global vertices; 1.0 = no
+  /// replication.
+  double replication_factor = 1.0;
+
+  /// Halo payload owner chip `src` ships to chip `dst` per layer: one
+  /// `feature_dim`-wide vector per ghost of `dst` owned by `src`.
+  [[nodiscard]] Bytes halo_bytes(std::uint32_t src, std::uint32_t dst,
+                                 std::uint32_t feature_dim,
+                                 Bytes element_bytes) const;
+};
+
+/// Cut `dataset` into `num_chips` shards. Deterministic; num_chips == 1
+/// returns the identity plan regardless of strategy.
+[[nodiscard]] ShardPlan make_shard_plan(const graph::Dataset& dataset,
+                                        std::uint32_t num_chips,
+                                        ShardStrategy strategy);
+
+}  // namespace aurora::cluster

@@ -68,6 +68,11 @@ inline constexpr double kDramLatencyBucketCycles = 16.0;
 inline constexpr std::size_t kDramLatencyBuckets = 256;  // covers 0..4096
 inline constexpr double kPeQueueDepthBucket = 1.0;
 inline constexpr std::size_t kPeQueueDepthBuckets = 64;
+/// Inter-chip link message latency (cluster scale-out): serialization at a
+/// few bytes/cycle plus multi-hop flight, so buckets are coarser and the
+/// range wider than the on-chip NoC layout.
+inline constexpr double kLinkLatencyBucketCycles = 64.0;
+inline constexpr std::size_t kLinkLatencyBuckets = 256;  // covers 0..16384
 
 /// Named monotonic counters; every simulator component registers its event
 /// counts here so tests and benches read one consolidated view.

@@ -13,6 +13,19 @@ double ScheduleResult::avg_latency() const {
   return total / static_cast<double>(outcomes.size());
 }
 
+Cycle Scheduler::lead_dram_cycles(const RunMetrics& metrics) {
+  return metrics.dram_cycles / std::max<Cycle>(1, metrics.num_subgraphs);
+}
+
+Cycle Scheduler::tail_compute_cycles(const RunMetrics& metrics) {
+  return metrics.compute_cycles / std::max<Cycle>(1, metrics.num_subgraphs);
+}
+
+Cycle Scheduler::overlap_cycles(Cycle prev_compute_tail,
+                                const RunMetrics& next) {
+  return std::min(prev_compute_tail, lead_dram_cycles(next));
+}
+
 ScheduleResult Scheduler::run(const graph::Dataset& dataset,
                               std::vector<ScheduledRequest> queue) {
   AURORA_CHECK(!queue.empty());
@@ -28,10 +41,7 @@ ScheduleResult Scheduler::run(const graph::Dataset& dataset,
     // The request's leading DRAM phase can hide under the previous
     // request's trailing compute (the PE array is still busy while the DRAM
     // channels idle out).
-    const Cycle lead_dram =
-        outcome.metrics.dram_cycles /
-        std::max<Cycle>(1, outcome.metrics.num_subgraphs);
-    const Cycle overlap = std::min(prev_compute_tail, lead_dram);
+    const Cycle overlap = overlap_cycles(prev_compute_tail, outcome.metrics);
     result.overlap_savings += overlap;
 
     outcome.start_cycle = timeline >= overlap ? timeline - overlap : 0;
@@ -40,9 +50,7 @@ ScheduleResult Scheduler::run(const graph::Dataset& dataset,
 
     // Tail compute of this request (last tile's compute not overlapped with
     // any following DRAM yet).
-    prev_compute_tail =
-        outcome.metrics.compute_cycles /
-        std::max<Cycle>(1, outcome.metrics.num_subgraphs);
+    prev_compute_tail = tail_compute_cycles(outcome.metrics);
     result.outcomes.push_back(std::move(outcome));
   }
   result.makespan = timeline;

@@ -51,6 +51,18 @@ class Scheduler {
   [[nodiscard]] ScheduleResult run(const graph::Dataset& dataset,
                                    std::vector<ScheduledRequest> queue);
 
+  /// The request's leading DRAM span — the first subgraph's streaming,
+  /// which can hide under a predecessor's trailing compute. Shared with the
+  /// cluster scheduler so single-chip and scale-out serving apply one
+  /// overlap model.
+  [[nodiscard]] static Cycle lead_dram_cycles(const RunMetrics& metrics);
+  /// The request's trailing compute span — the last subgraph's compute,
+  /// under which a successor's DRAM streaming can hide.
+  [[nodiscard]] static Cycle tail_compute_cycles(const RunMetrics& metrics);
+  /// Cycles saved by back-to-back scheduling of `prev` then `next`.
+  [[nodiscard]] static Cycle overlap_cycles(Cycle prev_compute_tail,
+                                            const RunMetrics& next);
+
  private:
   AuroraAccelerator& accelerator_;
 };

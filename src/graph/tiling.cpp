@@ -1,5 +1,7 @@
 #include "graph/tiling.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace aurora::graph {
@@ -90,6 +92,35 @@ Tiling tile_graph(const CsrGraph& g, const TilingParams& params) {
     AURORA_CHECK(tiling.tiles[i].vertex_begin == tiling.tiles[i - 1].vertex_end);
   }
   return tiling;
+}
+
+std::vector<VertexId> balanced_edge_ranges(const CsrGraph& g,
+                                           std::uint32_t parts) {
+  AURORA_CHECK(parts >= 1);
+  const VertexId n = g.num_vertices();
+  const EdgeId m = g.num_edges();
+  std::vector<VertexId> boundaries(parts + 1, 0);
+  boundaries[parts] = n;
+  VertexId v = 0;
+  for (std::uint32_t p = 1; p < parts; ++p) {
+    // Target prefix: p/parts of the edge mass; the boundary vertex itself is
+    // admitted when that lands the prefix closer to the target.
+    const EdgeId target = (m * p) / parts;
+    while (v < n && g.edge_end(v) < target) ++v;
+    if (v < n && target > g.edge_begin(v) &&
+        target - g.edge_begin(v) > g.edge_end(v) - target) {
+      ++v;
+    }
+    // Keep every range non-empty while vertices remain: lower-bound at one
+    // vertex past the previous boundary, upper-bound so each later range
+    // still gets a vertex.
+    const VertexId prev = boundaries[p - 1];
+    const VertexId lo = prev < n ? prev + 1 : n;
+    VertexId hi = n > (parts - p) ? n - (parts - p) : 0;
+    hi = std::max(hi, lo);
+    boundaries[p] = std::clamp(v, lo, hi);
+  }
+  return boundaries;
 }
 
 }  // namespace aurora::graph

@@ -57,4 +57,13 @@ struct Tiling {
 /// configuration error and throws).
 [[nodiscard]] Tiling tile_graph(const CsrGraph& g, const TilingParams& params);
 
+/// Split [0, n) into `parts` contiguous ranges balanced by edge count (the
+/// quantity that drives both compute and halo traffic). Returns `parts + 1`
+/// boundaries with boundaries[0] == 0 and boundaries[parts] == n; a range
+/// may be empty only when parts > n. Used by the cluster shard planner's
+/// range strategy; balancing by edges rather than vertices keeps power-law
+/// shards within a constant factor of each other's work.
+[[nodiscard]] std::vector<VertexId> balanced_edge_ranges(const CsrGraph& g,
+                                                         std::uint32_t parts);
+
 }  // namespace aurora::graph

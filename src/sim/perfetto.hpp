@@ -7,13 +7,22 @@
 //   * reconfigurations and tile starts become instant events;
 //   * sampled series become counter ("C") tracks, as do two series derived
 //     from the raw packet/DRAM records (packets in flight, bytes
-//     requested), so a trace has counter tracks even without a sampler.
+//     requested), so a trace has counter tracks even without a sampler;
+//   * cluster records (kClusterSegment / kHaloSent / kHaloDelivered) become
+//     per-chip segment tracks plus halo-byte counter tracks, so a scale-out
+//     run renders every chip and the inter-chip link side by side.
+//
+// Multi-process layout: each TraceProcess becomes one trace process (pid =
+// index), so a cluster run exports the shared-clock cluster timeline as one
+// process and every chip's cycle-engine trace as its own. The single-tracer
+// overloads wrap one process, preserving the original schema.
 //
 // Timebase: one simulated cycle is rendered as one microsecond of trace
 // time (the trace_event format's native unit).
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "sim/trace.hpp"
 
@@ -21,13 +30,29 @@ namespace aurora::sim {
 
 class Sampler;
 
+/// One process of a multi-process trace: a name for the track group, the
+/// raw records, and optionally a sampler whose series render as counters.
+struct TraceProcess {
+  std::string name;
+  const Tracer* tracer = nullptr;
+  const Sampler* sampler = nullptr;
+};
+
 /// Render the trace (and optional sampled series) as a trace_event JSON
 /// object: {"displayTimeUnit": ..., "traceEvents": [...]}.
 [[nodiscard]] std::string perfetto_trace_json(const Tracer& tracer,
                                               const Sampler* sampler = nullptr);
 
+/// Multi-process variant: one trace process per entry, pid = index.
+[[nodiscard]] std::string perfetto_trace_json(
+    const std::vector<TraceProcess>& processes);
+
 /// perfetto_trace_json + write to `path` (throws on I/O failure).
 void write_perfetto_trace(const std::string& path, const Tracer& tracer,
                           const Sampler* sampler = nullptr);
+
+/// Multi-process variant of the file writer.
+void write_perfetto_trace(const std::string& path,
+                          const std::vector<TraceProcess>& processes);
 
 }  // namespace aurora::sim

@@ -29,6 +29,12 @@ const char* trace_event_name(TraceEvent e) {
       return "phase-span";
     case TraceEvent::kDramSpan:
       return "dram-span";
+    case TraceEvent::kClusterSegment:
+      return "cluster-segment";
+    case TraceEvent::kHaloSent:
+      return "halo-sent";
+    case TraceEvent::kHaloDelivered:
+      return "halo-delivered";
   }
   throw Error("invalid TraceEvent");
 }
@@ -55,11 +61,13 @@ std::string Tracer::render_timeline(std::size_t buckets) const {
   Cycle max_cycle = 1;
   for (const auto& r : records_) max_cycle = std::max(max_cycle, r.at);
 
-  static constexpr std::array<TraceEvent, 8> kKinds = {
+  static constexpr std::array<TraceEvent, 11> kKinds = {
       TraceEvent::kTileStart,      TraceEvent::kReconfigure,
       TraceEvent::kPhaseSpan,      TraceEvent::kDramSpan,
       TraceEvent::kDramRequest,    TraceEvent::kPacketInjected,
-      TraceEvent::kPacketDelivered, TraceEvent::kTaskComplete};
+      TraceEvent::kPacketDelivered, TraceEvent::kTaskComplete,
+      TraceEvent::kClusterSegment, TraceEvent::kHaloSent,
+      TraceEvent::kHaloDelivered};
   static constexpr const char* kGlyphs = " .:-=+*#%@";
 
   std::ostringstream os;

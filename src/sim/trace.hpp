@@ -27,6 +27,16 @@ enum class TraceEvent : std::uint8_t {
   /// A DRAM bulk stream: `at` is the stream's start cycle, arg0 the byte
   /// count, arg1 the cycles until the stream drained.
   kDramSpan,
+  /// Cluster scale-out events (recorded by the ClusterEngine on the shared
+  /// cluster clock). A chip execution segment: `at` is the segment's start
+  /// cycle, arg0 encodes chip * 4 + kind (0 compute-pre, 1 halo-wait,
+  /// 2 compute-post), arg1 the duration in cycles.
+  kClusterSegment,
+  /// A halo message entering the inter-chip link: arg0 encodes
+  /// src_chip * 256 + dst_chip, arg1 the payload bytes.
+  kHaloSent,
+  /// A halo message delivered at its destination chip (same encoding).
+  kHaloDelivered,
 };
 
 [[nodiscard]] const char* trace_event_name(TraceEvent e);
