@@ -327,8 +327,11 @@ void print_failure(std::uint64_t seed, const char* phase,
 /// Differential fuzz of the multi-chip cluster engine: random shard counts,
 /// topologies and link parameters; lockstep vs fast-forward must agree on
 /// every per-chip RunMetrics field, the cluster clock, and every cluster
-/// counter, with the cluster invariant checker attached throughout.
-bool run_cluster_seed(std::uint64_t seed, bool verbose) {
+/// counter, with the cluster invariant checker attached throughout. With
+/// `parallel`, additionally runs the conservative parallel engine (random
+/// worker count) in both scheduler modes and bit-diffs it against the
+/// serial engine — the tentpole guarantee of the parallel simulator.
+bool run_cluster_seed(std::uint64_t seed, bool verbose, bool parallel) {
   try {
     Rng rng(seed * 0xD1B54A32D192ED03ull + 5);
     core::AuroraConfig chip = random_chip(rng);
@@ -362,69 +365,59 @@ bool run_cluster_seed(std::uint64_t seed, bool verbose) {
           gnn::model_name(model), ds.num_vertices());
     }
 
-    const auto run = [&](bool fast_forward) {
+    const unsigned jobs = 1 + static_cast<unsigned>(rng.next_below(4));
+    const auto run = [&](bool fast_forward, bool parallel_engine) {
       core::AuroraConfig cfg = chip;
       cfg.fast_forward = fast_forward;
-      cluster::ClusterEngine engine(cfg, params);
+      cluster::ClusterParams p = params;
+      p.parallel = parallel_engine;
+      p.parallel_jobs = parallel_engine ? jobs : 0;
+      cluster::ClusterEngine engine(cfg, p);
       return engine.run(ds, job);
     };
-    const cluster::ClusterRunMetrics lock = run(false);
-    const cluster::ClusterRunMetrics fast = run(true);
-
-    std::vector<std::string> diffs;
-    const auto u64 = [&diffs](const std::string& name, std::uint64_t x,
-                              std::uint64_t y) {
-      if (x != y) {
-        diffs.push_back(name + ": " + std::to_string(x) + " != " +
-                        std::to_string(y));
-      }
-    };
-    u64("total_cycles", lock.total_cycles, fast.total_cycles);
-    for (std::size_t c = 0; c < lock.chips.size(); ++c) {
-      const std::string p = "chip" + std::to_string(c) + ".";
-      for (const auto& d : core::diff_run_metrics(lock.chips[c].metrics,
-                                                  fast.chips[c].metrics)) {
-        diffs.push_back(p + d);
-      }
-      u64(p + "finish_cycle", lock.chips[c].finish_cycle,
-          fast.chips[c].finish_cycle);
-      u64(p + "halo_wait_cycles", lock.chips[c].halo_wait_cycles,
-          fast.chips[c].halo_wait_cycles);
-      u64(p + "halo_bytes_sent", lock.chips[c].halo_bytes_sent,
-          fast.chips[c].halo_bytes_sent);
-      u64(p + "halo_bytes_received", lock.chips[c].halo_bytes_received,
-          fast.chips[c].halo_bytes_received);
-    }
-    u64("link.messages_delivered", lock.link.messages_delivered,
-        fast.link.messages_delivered);
-    u64("link.bytes_delivered", lock.link.bytes_delivered,
-        fast.link.bytes_delivered);
-    u64("link.hops", lock.link.hops, fast.link.hops);
-    u64("link.serialize_cycles", lock.link.serialize_cycles,
-        fast.link.serialize_cycles);
-    u64("link.stall_cycles", lock.link.stall_cycles, fast.link.stall_cycles);
-    u64("link.latency.total", lock.link.latency.total(),
-        fast.link.latency.total());
-    for (const auto& [name, value] : lock.counters.all()) {
-      u64("counters." + name, value, fast.counters.get(name));
-    }
-    if (!diffs.empty()) {
-      print_failure(seed, "cluster", diffs);
-      std::printf("replay: ./build/bench/fuzz_sim --cluster --seed=%llu\n",
+    const auto fail = [&](const char* phase,
+                          const std::vector<std::string>& diffs) {
+      print_failure(seed, phase, diffs);
+      std::printf("replay: ./build/bench/fuzz_sim --cluster%s --seed=%llu\n",
+                  parallel ? " --parallel" : "",
                   static_cast<unsigned long long>(seed));
       return false;
+    };
+
+    const cluster::ClusterRunMetrics lock = run(false, false);
+    const cluster::ClusterRunMetrics fast = run(true, false);
+    const auto diffs = cluster::diff_cluster_run_metrics(lock, fast);
+    if (!diffs.empty()) return fail("cluster", diffs);
+
+    if (parallel) {
+      const cluster::ClusterRunMetrics par_lock = run(false, true);
+      const auto lock_diffs =
+          cluster::diff_cluster_run_metrics(lock, par_lock);
+      if (!lock_diffs.empty()) {
+        return fail("cluster-parallel-lockstep", lock_diffs);
+      }
+      const cluster::ClusterRunMetrics par_fast = run(true, true);
+      const auto fast_diffs =
+          cluster::diff_cluster_run_metrics(fast, par_fast);
+      if (!fast_diffs.empty()) {
+        return fail("cluster-parallel-fast-forward", fast_diffs);
+      }
     }
+
     if (verbose) {
       std::printf("seed %llu OK: %llu cluster cycles, %llu halo bytes, "
-                  "both modes bit-identical\n",
+                  "%s bit-identical\n",
                   static_cast<unsigned long long>(seed),
                   static_cast<unsigned long long>(lock.total_cycles),
-                  static_cast<unsigned long long>(lock.link.bytes_delivered));
+                  static_cast<unsigned long long>(lock.link.bytes_delivered),
+                  parallel ? "all four engine/scheduler combinations"
+                           : "both modes");
     }
   } catch (const std::exception& e) {
     std::printf("FUZZ FAILURE seed=%llu (cluster): exception\n  %s\n",
                 static_cast<unsigned long long>(seed), e.what());
-    std::printf("replay: ./build/bench/fuzz_sim --cluster --seed=%llu\n",
+    std::printf("replay: ./build/bench/fuzz_sim --cluster%s --seed=%llu\n",
+                parallel ? " --parallel" : "",
                 static_cast<unsigned long long>(seed));
     return false;
   }
@@ -540,15 +533,22 @@ int main(int argc, char** argv) {
         "  --seed=<s>         run one seed verbosely (replay mode)\n"
         "  --cluster          fuzz the multi-chip cluster engine instead\n"
         "                     (random shard counts, topologies, link params)\n"
+        "  --parallel         with --cluster: also run the parallel\n"
+        "                     conservative engine (random worker counts) and\n"
+        "                     bit-diff it against the serial engine in both\n"
+        "                     scheduler modes\n"
         "  --trace-out=<p>    with --seed: write a Perfetto trace of the\n"
         "                     fast-forward engine run\n");
     return 0;
   }
 
   const bool cluster_mode = args.get_bool("cluster", false);
+  const bool parallel_mode = args.get_bool("parallel", false);
   if (args.has("seed")) {
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
-    if (cluster_mode) return run_cluster_seed(seed, /*verbose=*/true) ? 0 : 1;
+    if (cluster_mode) {
+      return run_cluster_seed(seed, /*verbose=*/true, parallel_mode) ? 0 : 1;
+    }
     const std::string trace_out = args.get_string("trace-out", "");
     return run_seed(seed, /*verbose=*/true, trace_out) ? 0 : 1;
   }
@@ -557,13 +557,15 @@ int main(int argc, char** argv) {
   const auto start =
       static_cast<std::uint64_t>(args.get_int("start-seed", 1));
   for (std::uint64_t seed = start; seed < start + seeds; ++seed) {
-    const bool ok = cluster_mode ? run_cluster_seed(seed, /*verbose=*/false)
-                                 : run_seed(seed, /*verbose=*/false, "");
+    const bool ok =
+        cluster_mode ? run_cluster_seed(seed, /*verbose=*/false, parallel_mode)
+                     : run_seed(seed, /*verbose=*/false, "");
     if (!ok) return 1;
   }
-  std::printf("fuzz_sim%s: %llu seed(s) passed, lockstep == fast-forward "
-              "bit for bit\n",
+  std::printf("fuzz_sim%s%s: %llu seed(s) passed, all engine/scheduler "
+              "combinations bit for bit identical\n",
               cluster_mode ? " (cluster)" : "",
+              parallel_mode && cluster_mode ? " (parallel differential)" : "",
               static_cast<unsigned long long>(seeds));
   return 0;
 }

@@ -1,0 +1,145 @@
+// Wall-clock microbenchmark: serial vs parallel cluster simulation.
+//
+// One synthetic GCN inference is sharded over 1/2/4/8/16 chips and run
+// through ClusterEngine twice per point — once on the single-threaded
+// reference engine and once with params.parallel (per-chip engine runs fan
+// out over worker threads; the cluster timeline executes one simulator
+// partition per chip under the conservative ParallelSimulator). The
+// benchmark asserts the two runs are bit-identical (diff_cluster_run_metrics
+// empty — the parallel engine's contract) before reporting speed.
+//
+// Speedup is bounded by the host's core count: on a single-core container
+// expect ~1.0x everywhere, so the JSON records hardware_concurrency next to
+// the numbers. Output is one machine-readable JSON line (plus a
+// human-readable table on stderr), same shape as micro_simspeed:
+//   {"bench": "clustersim", "hardware_concurrency": ..., "points": [...]}
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster_engine.hpp"
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "core/aurora.hpp"
+#include "graph/degree.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace aurora;
+
+struct Options {
+  VertexId vertices = 1200;
+  EdgeId edges = 6000;
+  std::uint32_t feature_dim = 32;
+  int reps = 3;
+  bool fast_forward = true;
+  unsigned jobs = 0;  // parallel worker threads (0 = hardware concurrency)
+};
+
+struct Timed {
+  cluster::ClusterRunMetrics metrics;
+  double secs = 0.0;
+};
+
+Timed best_of(const core::AuroraConfig& cfg, const cluster::ClusterParams& p,
+              const graph::Dataset& ds, const core::GnnJob& job, int reps) {
+  Timed best;
+  for (int r = 0; r < reps; ++r) {
+    cluster::ClusterEngine engine(cfg, p);
+    const auto start = std::chrono::steady_clock::now();
+    cluster::ClusterRunMetrics m = engine.run(ds, job);
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    if (r == 0 || elapsed.count() < best.secs) {
+      best.metrics = std::move(m);
+      best.secs = elapsed.count();
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  Options opt;
+  opt.vertices = static_cast<VertexId>(args.get_int("vertices", 1200));
+  opt.edges = static_cast<EdgeId>(args.get_int("edges", 6000));
+  opt.feature_dim =
+      static_cast<std::uint32_t>(args.get_int("feature_dim", 32));
+  opt.reps = static_cast<int>(args.get_int("reps", 3));
+  opt.fast_forward = !args.has("lockstep");
+  opt.jobs = static_cast<unsigned>(args.get_int("jobs", 0));
+
+  Rng rng(7);
+  graph::Dataset ds;
+  ds.spec.name = "clustersim-bench";
+  ds.spec.feature_dim = opt.feature_dim;
+  ds.spec.feature_density = 1.0;
+  ds.spec.num_classes = 8;
+  ds.graph = graph::generate_erdos_renyi(opt.vertices, opt.edges, rng);
+  ds.spec.num_vertices = ds.graph.num_vertices();
+  ds.spec.num_directed_edges = ds.graph.num_edges();
+  ds.degree_stats = graph::compute_degree_stats(ds.graph);
+
+  core::AuroraConfig cfg = core::AuroraConfig::bench();
+  cfg.fast_forward = opt.fast_forward;
+  const core::GnnJob job =
+      core::GnnJob::two_layer(gnn::GnnModel::kGcn, ds.spec, opt.feature_dim);
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::string points;
+  std::fprintf(stderr, "clustersim: %u hardware threads, %s scheduler\n", hw,
+               opt.fast_forward ? "fast-forward" : "lockstep");
+  for (std::uint32_t chips : {1u, 2u, 4u, 8u, 16u}) {
+    cluster::ClusterParams p;
+    p.num_chips = chips;
+    p.strategy = cluster::ShardStrategy::kRange;
+
+    const Timed serial = best_of(cfg, p, ds, job, opt.reps);
+    p.parallel = true;
+    p.parallel_jobs = opt.jobs;
+    const Timed parallel = best_of(cfg, p, ds, job, opt.reps);
+
+    const std::vector<std::string> diffs =
+        cluster::diff_cluster_run_metrics(serial.metrics, parallel.metrics);
+    if (!diffs.empty()) {
+      std::fprintf(stderr,
+                   "FAIL: parallel diverged from serial at %u chips "
+                   "(%zu mismatched fields), first: %s\n",
+                   chips, diffs.size(), diffs.front().c_str());
+      return EXIT_FAILURE;
+    }
+
+    const double speedup =
+        parallel.secs > 0 ? serial.secs / parallel.secs : 1.0;
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"chips\": %u, \"sim_cycles\": %llu, "
+                  "\"serial_secs\": %.6f, \"parallel_secs\": %.6f, "
+                  "\"speedup\": %.2f}",
+                  points.empty() ? "" : ", ", chips,
+                  static_cast<unsigned long long>(serial.metrics.total_cycles),
+                  serial.secs, parallel.secs, speedup);
+    points += buf;
+    std::fprintf(stderr,
+                 "  %2u chips: %llu cycles; serial %.3fs, parallel %.3fs "
+                 "-> %.2fx\n",
+                 chips,
+                 static_cast<unsigned long long>(serial.metrics.total_cycles),
+                 serial.secs, parallel.secs, speedup);
+  }
+
+  std::printf(
+      "{\"bench\": \"clustersim\", \"hardware_concurrency\": %u, "
+      "\"vertices\": %llu, \"edges\": %llu, \"fast_forward\": %s, "
+      "\"points\": [%s]}\n",
+      hw, static_cast<unsigned long long>(ds.spec.num_vertices),
+      static_cast<unsigned long long>(ds.spec.num_directed_edges),
+      opt.fast_forward ? "true" : "false", points.c_str());
+  return EXIT_SUCCESS;
+}

@@ -122,6 +122,11 @@ int main(int argc, char** argv) {
 
   cluster::ClusterParams params;
   params.num_chips = chips;
+  // --parallel-sim runs each shard-parallel inference on the multi-threaded
+  // conservative engine (bit-identical results, lower wall clock on
+  // multi-core hosts); --jobs caps its worker threads.
+  params.parallel = args.get_bool("parallel-sim", false);
+  params.parallel_jobs = static_cast<unsigned>(args.get_int("jobs", 0));
   cluster::ClusterScheduler scheduler(config, params);
   const cluster::ClusterScheduleResult result =
       scheduler.run(graph_ds, queue, mode);

@@ -7,6 +7,9 @@
 #    suite and a small parallel comparison grid (--jobs > 1) to shake out
 #    data races over the thread-pooled bench cells and any lifetime bugs in
 #    the event-driven scheduler.
+# 4. ThreadSanitizer build (-DAURORA_SANITIZE=thread) running the cluster
+#    suite and a parallel differential fuzz batch against the
+#    multi-threaded cluster engine.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -58,6 +61,14 @@ ctest --test-dir build -L cluster --output-on-failure -j
   --chips=4 --mode=data
 ./build/bench/fuzz_sim --cluster --seeds=15
 
+echo "== parallel engine: differential fuzz + microbenchmark =="
+# Every seed runs the cluster on the serial AND parallel engines in both
+# scheduler modes; all four results must be bit-identical. Then the
+# serial-vs-parallel wall-clock comparison at 1..16 chips (asserts
+# bit-identity internally) writes its JSON artifact.
+./build/bench/fuzz_sim --cluster --parallel --seeds=25
+./build/bench/micro_clustersim | tee BENCH_clustersim.json
+
 echo "== sanitizers: ASan + UBSan build =="
 cmake -B build-asan -S . -DAURORA_SANITIZE=ON
 cmake --build build-asan -j
@@ -86,5 +97,17 @@ echo "== sanitizers: cluster smoke =="
 ./build-asan/examples/serving --scale=0.02 --requests=2 --hidden=16 \
   --chips=4 --mode=shard
 ./build-asan/bench/fuzz_sim --cluster --seeds=5
+
+echo "== sanitizers: TSan build (parallel cluster engine) =="
+# ThreadSanitizer cannot coexist with ASan, so it gets its own tree. The
+# attack surface is the parallel engine: the cluster test suite plus a
+# short parallel differential fuzz batch under TSan catches data races in
+# the thread pool, the coordinator barriers and the link fabric inboxes.
+export TSAN_OPTIONS="halt_on_error=1:${TSAN_OPTIONS:-}"
+cmake -B build-tsan -S . -DAURORA_SANITIZE=thread
+cmake --build build-tsan -j --target test_cluster test_scheduler test_common \
+  test_sim fuzz_sim
+ctest --test-dir build-tsan -L cluster --output-on-failure -j
+./build-tsan/bench/fuzz_sim --cluster --parallel --seeds=5
 
 echo "check.sh: all green"

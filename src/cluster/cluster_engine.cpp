@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <string>
+#include <tuple>
 #include <utility>
 
 #include "common/error.hpp"
 #include "common/metrics_registry.hpp"
+#include "common/parallel.hpp"
+#include "core/report.hpp"
 #include "gnn/workflow.hpp"
 #include "sim/invariants.hpp"
+#include "sim/parallel_sim.hpp"
 #include "sim/simulator.hpp"
 
 namespace aurora::cluster {
@@ -21,15 +25,18 @@ constexpr Cycle kFarFuture = sim::kNoEvent - 1;
 }  // namespace
 
 ChipProxy::ChipProxy(std::uint32_t chip, std::vector<ChipLayerPlan> layers,
-                     InterChipLink* link, sim::Tracer* tracer)
+                     HaloSender* link, sim::Tracer* tracer, TraceShard* shard)
     : sim::Component("chip" + std::to_string(chip)),
       chip_(chip),
       layers_(std::move(layers)),
       link_(link),
       tracer_(tracer),
+      shard_(shard),
       arrived_(layers_.size(), 0),
       last_arrival_(layers_.size(), 0) {
   AURORA_CHECK(link_ != nullptr);
+  AURORA_CHECK_MSG(tracer_ == nullptr || shard_ == nullptr,
+                   "direct and sharded tracing are exclusive");
   if (layers_.empty()) {
     state_ = State::kDone;
   } else {
@@ -37,11 +44,17 @@ ChipProxy::ChipProxy(std::uint32_t chip, std::vector<ChipLayerPlan> layers,
   }
 }
 
-void ChipProxy::trace_segment(std::uint32_t kind, Cycle start,
-                              Cycle end) const {
-  if (tracer_ == nullptr || end <= start) return;
-  tracer_->record(start, sim::TraceEvent::kClusterSegment,
-                  static_cast<std::uint64_t>(chip_) * 4 + kind, end - start);
+void ChipProxy::trace_segment(std::uint32_t kind, Cycle start, Cycle end,
+                              Cycle now) const {
+  if ((tracer_ == nullptr && shard_ == nullptr) || end <= start) return;
+  const auto arg0 = static_cast<std::uint64_t>(chip_) * 4 + kind;
+  if (shard_ != nullptr) {
+    shard_->record(now, 0, chip_, start, sim::TraceEvent::kClusterSegment,
+                   arg0, end - start);
+  } else {
+    tracer_->record(start, sim::TraceEvent::kClusterSegment, arg0,
+                    end - start);
+  }
 }
 
 void ChipProxy::on_halo(const LinkMessage& msg, Cycle now) {
@@ -60,13 +73,16 @@ void ChipProxy::tick(Cycle now) {
     switch (state_) {
       case State::kPre:
         if (now >= seg_end_) {
-          trace_segment(0, seg_start_, seg_end_);
+          trace_segment(0, seg_start_, seg_end_, now);
           for (LinkMessage msg : layers_[layer_].outgoing) {
             halo_bytes_sent_ += msg.bytes;
-            if (tracer_ != nullptr) {
-              tracer_->record(now, sim::TraceEvent::kHaloSent,
-                              static_cast<std::uint64_t>(msg.src) * 256 +
-                                  msg.dst,
+            const auto route =
+                static_cast<std::uint64_t>(msg.src) * 256 + msg.dst;
+            if (shard_ != nullptr) {
+              shard_->record(now, 0, chip_, now, sim::TraceEvent::kHaloSent,
+                             route, msg.bytes);
+            } else if (tracer_ != nullptr) {
+              tracer_->record(now, sim::TraceEvent::kHaloSent, route,
                               msg.bytes);
             }
             link_->send(msg, now);
@@ -81,7 +97,7 @@ void ChipProxy::tick(Cycle now) {
         if (arrived_[layer_] >= plan.expected_chunks &&
             (plan.expected_chunks == 0 || now > last_arrival_[layer_])) {
           halo_wait_cycles_ += now - wait_start_;
-          trace_segment(1, wait_start_, now);
+          trace_segment(1, wait_start_, now, now);
           state_ = State::kPost;
           seg_start_ = now;
           seg_end_ = now + plan.seg_post;
@@ -91,7 +107,7 @@ void ChipProxy::tick(Cycle now) {
       }
       case State::kPost:
         if (now >= seg_end_) {
-          trace_segment(2, seg_start_, seg_end_);
+          trace_segment(2, seg_start_, seg_end_, now);
           ++layer_;
           if (layer_ == layers_.size()) {
             state_ = State::kDone;
@@ -187,9 +203,12 @@ ClusterRunMetrics ClusterEngine::run(const graph::Dataset& dataset,
   out.chips.resize(n);
 
   // Phase A: chip-local engine runs fix each chip's exact per-layer timing
-  // and split it at the halo-exchange point.
+  // and split it at the halo-exchange point. The chips are independent
+  // (each gets its own accelerator, shard and result slot), so the
+  // parallel mode fans them out — this is where the wall-clock dominates.
   std::vector<std::vector<ChipLayerPlan>> chip_plans(n);
-  for (std::uint32_t c = 0; c < n; ++c) {
+  parallel_for(n, params_.parallel ? params_.parallel_jobs : 1,
+               [&](std::size_t c) {
     core::AuroraAccelerator accelerator(config_);
     if (c < chip_tracers_.size() && chip_tracers_[c] != nullptr) {
       accelerator.set_tracer(chip_tracers_[c]);
@@ -205,7 +224,7 @@ ClusterRunMetrics ClusterEngine::run(const graph::Dataset& dataset,
       chip_plans[c][l].seg_pre = m.total_cycles - post;
       out.chips[c].metrics += m;
     }
-  }
+  });
 
   // Halo widths per layer: the feature width flowing into vertex-update
   // under the layer's (possibly update-first) dataflow.
@@ -216,8 +235,6 @@ ClusterRunMetrics ClusterEngine::run(const graph::Dataset& dataset,
                                dataset.num_edges());
     halo_dims[l] = std::max<std::uint32_t>(1, wf.edge_feature_dim);
   }
-
-  link_ = std::make_unique<InterChipLink>(n, params_.link);
 
   // Phase B: outgoing chunks and per-chip expectations, chunked to the
   // link's message size so one fat halo cannot monopolise a ring wire.
@@ -248,15 +265,58 @@ ClusterRunMetrics ClusterEngine::run(const graph::Dataset& dataset,
     for (const ChipLayerPlan& lp : chip_plans[c]) {
       bound += lp.seg_pre + lp.seg_post;
       for (const LinkMessage& msg : lp.outgoing) {
-        bound += (link_->serialize_cycles(msg.bytes) +
+        bound += (link_serialize_cycles(params_.link, msg.bytes) +
                   params_.link.hop_latency + 2) *
-                 link_->route_hops(msg.src, msg.dst);
+                 link_route_hops(params_.link, n, msg.src, msg.dst);
       }
     }
   }
   bound *= 2;
 
-  // Phase C: replay on the shared cluster clock.
+  // Phase C: replay on the shared cluster clock — one serial simulator, or
+  // one partition per chip under the conservative parallel coordinator.
+  if (params_.parallel) {
+    link_.reset();
+    run_timeline_parallel(std::move(chip_plans), bound);
+    out.link = fabric_->stats();
+  } else {
+    fabric_.reset();
+    shards_.clear();
+    run_timeline_serial(std::move(chip_plans), bound);
+    out.link = link_->stats();
+  }
+
+  for (std::uint32_t c = 0; c < n; ++c) {
+    ChipRun& chip = out.chips[c];
+    chip.finish_cycle = proxies_[c]->finish_cycle();
+    chip.halo_wait_cycles = proxies_[c]->halo_wait_cycles();
+    chip.halo_bytes_sent = proxies_[c]->halo_bytes_sent();
+    chip.halo_bytes_received = proxies_[c]->halo_bytes_received();
+    out.total_cycles = std::max(out.total_cycles, chip.finish_cycle);
+  }
+
+  out.counters.inc("cluster.chips", n);
+  out.counters.inc("cluster.cut_edges", plan.cut_edges);
+  out.counters.inc("cluster.ghost_vertices", plan.total_ghosts);
+  out.counters.inc("cluster.halo_messages_sent", out.link.messages_sent);
+  out.counters.inc("cluster.halo_messages_delivered",
+                   out.link.messages_delivered);
+  out.counters.inc("cluster.halo_bytes_sent", out.link.bytes_sent);
+  out.counters.inc("cluster.halo_bytes_delivered", out.link.bytes_delivered);
+  out.counters.inc("cluster.link_hops", out.link.hops);
+  out.counters.inc("cluster.link_serialize_cycles",
+                   out.link.serialize_cycles);
+  out.counters.inc("cluster.link_stall_cycles", out.link.stall_cycles);
+  Cycle barrier_total = 0;
+  for (const ChipRun& chip : out.chips) barrier_total += chip.halo_wait_cycles;
+  out.counters.inc("cluster.barrier_wait_cycles", barrier_total);
+  return out;
+}
+
+void ClusterEngine::run_timeline_serial(
+    std::vector<std::vector<ChipLayerPlan>>&& chip_plans, Cycle bound) {
+  const std::uint32_t n = params_.num_chips;
+  link_ = std::make_unique<InterChipLink>(n, params_.link);
   proxies_.clear();
   for (std::uint32_t c = 0; c < n; ++c) {
     proxies_.push_back(std::make_unique<ChipProxy>(
@@ -285,40 +345,172 @@ ClusterRunMetrics ClusterEngine::run(const graph::Dataset& dataset,
 
   simulator.run_until_idle(bound);
   if (config_.check_invariants) checker.check_now(simulator.now(), true);
+}
 
+void ClusterEngine::run_timeline_parallel(
+    std::vector<std::vector<ChipLayerPlan>>&& chip_plans, Cycle bound) {
+  const std::uint32_t n = params_.num_chips;
+  fabric_ = std::make_unique<LinkFabric>(n, params_.link);
+  shards_.clear();
+  const bool sharded_trace = tracer_ != nullptr;
+  if (sharded_trace) shards_.resize(n);
+  proxies_.clear();
   for (std::uint32_t c = 0; c < n; ++c) {
-    ChipRun& chip = out.chips[c];
-    chip.finish_cycle = proxies_[c]->finish_cycle();
-    chip.halo_wait_cycles = proxies_[c]->halo_wait_cycles();
-    chip.halo_bytes_sent = proxies_[c]->halo_bytes_sent();
-    chip.halo_bytes_received = proxies_[c]->halo_bytes_received();
-    out.total_cycles = std::max(out.total_cycles, chip.finish_cycle);
+    proxies_.push_back(std::make_unique<ChipProxy>(
+        c, std::move(chip_plans[c]), &fabric_->endpoint(c), nullptr,
+        sharded_trace ? &shards_[c] : nullptr));
   }
-  out.link = link_->stats();
+  for (std::uint32_t c = 0; c < n; ++c) {
+    fabric_->endpoint(c).set_delivery_callback(
+        [this, c](const LinkMessage& msg, Cycle now, std::size_t via_wire) {
+          if (c < shards_.size()) {
+            shards_[c].record(
+                now, 1, via_wire, now, sim::TraceEvent::kHaloDelivered,
+                static_cast<std::uint64_t>(msg.src) * 256 + msg.dst,
+                msg.bytes);
+          }
+          proxies_[c]->on_halo(msg, now);
+        });
+  }
 
-  out.counters.inc("cluster.chips", n);
-  out.counters.inc("cluster.cut_edges", plan.cut_edges);
-  out.counters.inc("cluster.ghost_vertices", plan.total_ghosts);
-  out.counters.inc("cluster.halo_messages_sent", out.link.messages_sent);
-  out.counters.inc("cluster.halo_messages_delivered",
-                   out.link.messages_delivered);
-  out.counters.inc("cluster.halo_bytes_sent", out.link.bytes_sent);
-  out.counters.inc("cluster.halo_bytes_delivered", out.link.bytes_delivered);
-  out.counters.inc("cluster.link_hops", out.link.hops);
-  out.counters.inc("cluster.link_serialize_cycles",
-                   out.link.serialize_cycles);
-  out.counters.inc("cluster.link_stall_cycles", out.link.stall_cycles);
-  Cycle barrier_total = 0;
-  for (const ChipRun& chip : out.chips) barrier_total += chip.halo_wait_cycles;
-  out.counters.inc("cluster.barrier_wait_cycles", barrier_total);
-  return out;
+  // Lookahead: a message posted in a window starting at T serialises no
+  // earlier than T (>= 1 cycle) and then flies hop_latency cycles, so its
+  // arrival is >= T + hop_latency + 1 — the safe window width.
+  sim::ParallelSimulator psim(params_.link.hop_latency + 1);
+  psim.set_fast_forward(config_.fast_forward);
+  std::vector<std::unique_ptr<sim::InvariantChecker>> checkers;
+  for (std::uint32_t c = 0; c < n; ++c) {
+    sim::Simulator& partition = psim.add_partition();
+    partition.add(proxies_[c].get());
+    partition.add(&fabric_->endpoint(c));
+    if (config_.check_invariants) {
+      checkers.push_back(std::make_unique<sim::InvariantChecker>(
+          config_.invariant_interval));
+      checkers.back()->watch(proxies_[c].get());
+      checkers.back()->watch(&fabric_->endpoint(c));
+      partition.add(checkers.back().get());
+    }
+  }
+  psim.set_exchange([this] { fabric_->flush(); });
+  psim.run_until_idle(bound, params_.parallel_jobs);
+
+  if (config_.check_invariants) {
+    // Partition-local laws at the drain point, then the fabric-wide
+    // conservation no single partition can see.
+    for (auto& checker : checkers) checker->check_now(psim.now(), true);
+    sim::InvariantReport report(psim.now(), true);
+    report.set_subject("interchip-fabric");
+    fabric_->verify_drained(report);
+    if (!report.ok()) {
+      throw Error("invariant check failed:\n" + report.to_string());
+    }
+  }
+
+  if (sharded_trace) {
+    std::vector<const TraceShard::Entry*> order;
+    std::size_t total = 0;
+    for (const TraceShard& s : shards_) total += s.entries.size();
+    order.reserve(total);
+    for (const TraceShard& s : shards_) {
+      for (const TraceShard::Entry& e : s.entries) order.push_back(&e);
+    }
+    std::stable_sort(
+        order.begin(), order.end(),
+        [](const TraceShard::Entry* a, const TraceShard::Entry* b) {
+          return std::tie(a->record_cycle, a->cls, a->subkey) <
+                 std::tie(b->record_cycle, b->cls, b->subkey);
+        });
+    for (const TraceShard::Entry* e : order) {
+      tracer_->record(e->record.at, e->record.kind, e->record.arg0,
+                      e->record.arg1);
+    }
+  }
 }
 
 void ClusterEngine::register_metrics(MetricsRegistry& registry) {
-  AURORA_CHECK_MSG(link_ != nullptr,
+  AURORA_CHECK_MSG(link_ != nullptr || fabric_ != nullptr,
                    "register_metrics needs a completed cluster run");
-  link_->register_metrics(registry);
+  if (link_ != nullptr) {
+    link_->register_metrics(registry);
+  } else {
+    fabric_->register_metrics(registry);
+  }
   for (auto& proxy : proxies_) proxy->register_metrics(registry);
+}
+
+namespace {
+
+void diff_field(std::vector<std::string>& out, const std::string& name,
+                std::uint64_t a, std::uint64_t b) {
+  if (a != b) {
+    out.push_back(name + ": " + std::to_string(a) + " != " +
+                  std::to_string(b));
+  }
+}
+
+void diff_link_stats(std::vector<std::string>& out, const std::string& prefix,
+                     const LinkStats& a, const LinkStats& b) {
+  diff_field(out, prefix + ".messages_sent", a.messages_sent,
+             b.messages_sent);
+  diff_field(out, prefix + ".messages_delivered", a.messages_delivered,
+             b.messages_delivered);
+  diff_field(out, prefix + ".bytes_sent", a.bytes_sent, b.bytes_sent);
+  diff_field(out, prefix + ".bytes_delivered", a.bytes_delivered,
+             b.bytes_delivered);
+  diff_field(out, prefix + ".hops", a.hops, b.hops);
+  diff_field(out, prefix + ".bytes_hopped", a.bytes_hopped, b.bytes_hopped);
+  diff_field(out, prefix + ".serialize_cycles", a.serialize_cycles,
+             b.serialize_cycles);
+  diff_field(out, prefix + ".stall_cycles", a.stall_cycles, b.stall_cycles);
+  diff_field(out, prefix + ".latency.total", a.latency.total(),
+             b.latency.total());
+  for (std::size_t i = 0; i < a.latency.num_buckets(); ++i) {
+    diff_field(out, prefix + ".latency.bucket" + std::to_string(i),
+               a.latency.bucket_count(i), b.latency.bucket_count(i));
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> diff_cluster_run_metrics(const ClusterRunMetrics& a,
+                                                  const ClusterRunMetrics& b) {
+  std::vector<std::string> out;
+  diff_field(out, "total_cycles", a.total_cycles, b.total_cycles);
+  diff_field(out, "cut_edges", a.cut_edges, b.cut_edges);
+  diff_field(out, "ghost_vertices", a.ghost_vertices, b.ghost_vertices);
+  if (a.replication_factor != b.replication_factor) {
+    out.push_back("replication_factor differs");
+  }
+  diff_field(out, "chips.size", a.chips.size(), b.chips.size());
+  if (a.chips.size() == b.chips.size()) {
+    for (std::size_t c = 0; c < a.chips.size(); ++c) {
+      const std::string prefix = "chip" + std::to_string(c);
+      for (const std::string& d :
+           core::diff_run_metrics(a.chips[c].metrics, b.chips[c].metrics)) {
+        out.push_back(prefix + ".metrics." + d);
+      }
+      diff_field(out, prefix + ".finish_cycle", a.chips[c].finish_cycle,
+                 b.chips[c].finish_cycle);
+      diff_field(out, prefix + ".halo_wait_cycles",
+                 a.chips[c].halo_wait_cycles, b.chips[c].halo_wait_cycles);
+      diff_field(out, prefix + ".halo_bytes_sent", a.chips[c].halo_bytes_sent,
+                 b.chips[c].halo_bytes_sent);
+      diff_field(out, prefix + ".halo_bytes_received",
+                 a.chips[c].halo_bytes_received,
+                 b.chips[c].halo_bytes_received);
+    }
+  }
+  diff_link_stats(out, "link", a.link, b.link);
+  for (const auto& [name, value] : a.counters.all()) {
+    diff_field(out, "counter." + name, value, b.counters.get(name));
+  }
+  for (const auto& [name, value] : b.counters.all()) {
+    if (a.counters.all().count(name) == 0) {
+      out.push_back("counter." + name + ": missing != " +
+                    std::to_string(value));
+    }
+  }
+  return out;
 }
 
 }  // namespace aurora::cluster

@@ -18,6 +18,46 @@ const char* topology_name(ClusterTopology t) {
   throw Error("invalid ClusterTopology");
 }
 
+Cycle link_serialize_cycles(const LinkParams& params, Bytes bytes) {
+  return std::max<Cycle>(
+      1, (bytes + params.bytes_per_cycle - 1) / params.bytes_per_cycle);
+}
+
+std::uint32_t link_next_hop(const LinkParams& params, std::uint32_t num_chips,
+                            std::uint32_t at, std::uint32_t dst) {
+  if (params.topology == ClusterTopology::kFullyConnected) return dst;
+  const std::uint32_t cw = (dst + num_chips - at) % num_chips;
+  const std::uint32_t ccw = (at + num_chips - dst) % num_chips;
+  return cw <= ccw ? (at + 1) % num_chips : (at + num_chips - 1) % num_chips;
+}
+
+std::uint32_t link_route_hops(const LinkParams& params, std::uint32_t num_chips,
+                              std::uint32_t src, std::uint32_t dst) {
+  AURORA_CHECK(src < num_chips && dst < num_chips && src != dst);
+  if (params.topology == ClusterTopology::kFullyConnected) return 1;
+  const std::uint32_t cw = (dst + num_chips - src) % num_chips;
+  const std::uint32_t ccw = (src + num_chips - dst) % num_chips;
+  return std::min(cw, ccw);
+}
+
+std::size_t link_wire_index(const LinkParams& params, std::uint32_t num_chips,
+                            std::uint32_t from, std::uint32_t to) {
+  if (params.topology == ClusterTopology::kRing) {
+    return 2 * static_cast<std::size_t>(from) +
+           (to == (from + 1) % num_chips ? 0 : 1);
+  }
+  return static_cast<std::size_t>(from) * (num_chips - 1) +
+         (to < from ? to : to - 1);
+}
+
+std::size_t link_num_wires(const LinkParams& params, std::uint32_t num_chips) {
+  if (num_chips < 2) return 0;
+  if (params.topology == ClusterTopology::kRing) {
+    return 2 * static_cast<std::size_t>(num_chips);
+  }
+  return static_cast<std::size_t>(num_chips) * (num_chips - 1);
+}
+
 InterChipLink::InterChipLink(std::uint32_t num_chips, const LinkParams& params)
     : sim::Component("interchip-link"), num_chips_(num_chips), params_(params) {
   AURORA_CHECK(num_chips >= 1);
@@ -40,35 +80,22 @@ InterChipLink::InterChipLink(std::uint32_t num_chips, const LinkParams& params)
 }
 
 Cycle InterChipLink::serialize_cycles(Bytes bytes) const {
-  return std::max<Cycle>(
-      1, (bytes + params_.bytes_per_cycle - 1) / params_.bytes_per_cycle);
+  return link_serialize_cycles(params_, bytes);
 }
 
 std::uint32_t InterChipLink::next_hop(std::uint32_t at,
                                       std::uint32_t dst) const {
-  if (params_.topology == ClusterTopology::kFullyConnected) return dst;
-  const std::uint32_t cw = (dst + num_chips_ - at) % num_chips_;
-  const std::uint32_t ccw = (at + num_chips_ - dst) % num_chips_;
-  return cw <= ccw ? (at + 1) % num_chips_
-                   : (at + num_chips_ - 1) % num_chips_;
+  return link_next_hop(params_, num_chips_, at, dst);
 }
 
 std::uint32_t InterChipLink::route_hops(std::uint32_t src,
                                         std::uint32_t dst) const {
-  AURORA_CHECK(src < num_chips_ && dst < num_chips_ && src != dst);
-  if (params_.topology == ClusterTopology::kFullyConnected) return 1;
-  const std::uint32_t cw = (dst + num_chips_ - src) % num_chips_;
-  const std::uint32_t ccw = (src + num_chips_ - dst) % num_chips_;
-  return std::min(cw, ccw);
+  return link_route_hops(params_, num_chips_, src, dst);
 }
 
 std::size_t InterChipLink::wire_index(std::uint32_t from,
                                       std::uint32_t to) const {
-  if (params_.topology == ClusterTopology::kRing) {
-    return 2 * from + (to == (from + 1) % num_chips_ ? 0 : 1);
-  }
-  return static_cast<std::size_t>(from) * (num_chips_ - 1) +
-         (to < from ? to : to - 1);
+  return link_wire_index(params_, num_chips_, from, to);
 }
 
 void InterChipLink::send(LinkMessage msg, Cycle now) {

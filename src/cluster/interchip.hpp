@@ -64,6 +64,44 @@ struct LinkMessage {
   Cycle enqueued_at = 0;
 };
 
+// Topology/wire helpers shared by the serial InterChipLink and the
+// per-chip LinkEndpoint of the parallel engine (cluster/parallel_link.hpp).
+// Free functions so both engines provably route, index and serialise
+// identically — the bit-identity guarantee leans on this.
+
+/// Serialisation cycles for `bytes` on one wire (>= 1).
+[[nodiscard]] Cycle link_serialize_cycles(const LinkParams& params,
+                                          Bytes bytes);
+/// The chip a message at `at` heads to next en route to `dst` (ring:
+/// shortest direction, ties clockwise; fully-connected: dst).
+[[nodiscard]] std::uint32_t link_next_hop(const LinkParams& params,
+                                          std::uint32_t num_chips,
+                                          std::uint32_t at, std::uint32_t dst);
+/// Wire traversals a message (src -> dst) makes under the topology.
+[[nodiscard]] std::uint32_t link_route_hops(const LinkParams& params,
+                                            std::uint32_t num_chips,
+                                            std::uint32_t src,
+                                            std::uint32_t dst);
+/// Global index of the directed wire from -> to. Ring: wire 2i = i -> i+1
+/// (clockwise), 2i+1 = i -> i-1; fully-connected: row-major by source.
+/// Chip c's outgoing wires are contiguous-by-construction in neither
+/// layout, but their global indices are what orders same-cycle arrivals.
+[[nodiscard]] std::size_t link_wire_index(const LinkParams& params,
+                                          std::uint32_t num_chips,
+                                          std::uint32_t from, std::uint32_t to);
+/// Total directed wires under the topology.
+[[nodiscard]] std::size_t link_num_wires(const LinkParams& params,
+                                         std::uint32_t num_chips);
+
+/// Injection interface a ChipProxy sends halos through — implemented by the
+/// serial InterChipLink and by the parallel engine's per-chip LinkEndpoint.
+class HaloSender {
+ public:
+  virtual ~HaloSender() = default;
+  /// Inject a message at its source chip. Eligible to serialise from now+1.
+  virtual void send(LinkMessage msg, Cycle now) = 0;
+};
+
 struct LinkStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_delivered = 0;
@@ -82,7 +120,7 @@ struct LinkStats {
   Histogram latency{kLinkLatencyBucketCycles, kLinkLatencyBuckets};
 };
 
-class InterChipLink final : public sim::Component {
+class InterChipLink final : public sim::Component, public HaloSender {
  public:
   using DeliveryCallback = std::function<void(const LinkMessage&, Cycle)>;
 
@@ -93,7 +131,7 @@ class InterChipLink final : public sim::Component {
   }
 
   /// Inject a message at its source chip. Eligible to serialise from now+1.
-  void send(LinkMessage msg, Cycle now);
+  void send(LinkMessage msg, Cycle now) override;
 
   [[nodiscard]] std::uint64_t messages_in_flight() const;
   [[nodiscard]] Bytes bytes_in_flight() const;

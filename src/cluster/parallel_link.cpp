@@ -1,0 +1,287 @@
+#include "cluster/parallel_link.hpp"
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/metrics_registry.hpp"
+#include "sim/invariants.hpp"
+
+namespace aurora::cluster {
+namespace {
+
+[[nodiscard]] bool arrival_before(const LinkEndpoint::PendingArrival& a,
+                                  const LinkEndpoint::PendingArrival& b) {
+  return std::tie(a.arrives_at, a.wire, a.seq) <
+         std::tie(b.arrives_at, b.wire, b.seq);
+}
+
+}  // namespace
+
+LinkEndpoint::LinkEndpoint(LinkFabric* fabric, std::uint32_t chip)
+    : sim::Component("link-endpoint" + std::to_string(chip)),
+      fabric_(fabric),
+      chip_(chip) {
+  // Own the wires the serial link models as from == chip, in global index
+  // order (ring: 2c then 2c+1; fully-connected: row c is contiguous).
+  const std::uint32_t n = fabric->num_chips();
+  const LinkParams& p = fabric->params();
+  if (n < 2) return;
+  std::vector<std::uint32_t> targets;
+  if (p.topology == ClusterTopology::kRing) {
+    targets = {(chip + 1) % n, (chip + n - 1) % n};
+  } else {
+    for (std::uint32_t to = 0; to < n; ++to) {
+      if (to != chip) targets.push_back(to);
+    }
+  }
+  for (const std::uint32_t to : targets) {
+    OutWire w;
+    w.to = to;
+    w.global_index = link_wire_index(p, n, chip, to);
+    wires_.push_back(std::move(w));
+  }
+  std::sort(wires_.begin(), wires_.end(),
+            [](const OutWire& a, const OutWire& b) {
+              return a.global_index < b.global_index;
+            });
+}
+
+void LinkEndpoint::enqueue_toward(const LinkMessage& msg) {
+  const std::uint32_t hop = link_next_hop(fabric_->params(),
+                                          fabric_->num_chips(), chip_, msg.dst);
+  for (OutWire& w : wires_) {
+    if (w.to == hop) {
+      w.queue.push_back(msg);
+      return;
+    }
+  }
+  throw Error("no wire from chip " + std::to_string(chip_) + " toward " +
+              std::to_string(hop));
+}
+
+void LinkEndpoint::send(LinkMessage msg, Cycle now) {
+  AURORA_CHECK(msg.src == chip_ && msg.dst < fabric_->num_chips());
+  AURORA_CHECK_MSG(msg.src != msg.dst,
+                   "local halo traffic never enters the link");
+  msg.sent_at = now;
+  msg.enqueued_at = now;
+  stats_.messages_sent += 1;
+  stats_.bytes_sent += msg.bytes;
+  enqueue_toward(msg);
+  wake();
+}
+
+void LinkEndpoint::tick(Cycle now) {
+  // Phase 1: due arrivals, already sorted into serial phase-1 order
+  // (arrival cycle, then global wire index, then per-wire FIFO). A
+  // forwarded message re-enters a local queue with enqueued_at = now, so
+  // phase 2 below cannot start it until the next cycle — the same
+  // store-and-forward gap as the serial link.
+  while (pending_next_ < pending_.size() &&
+         pending_[pending_next_].arrives_at <= now) {
+    const PendingArrival a = pending_[pending_next_++];
+    stats_.hops += 1;
+    stats_.bytes_hopped += a.msg.bytes;
+    if (a.msg.dst == chip_) {
+      stats_.messages_delivered += 1;
+      stats_.bytes_delivered += a.msg.bytes;
+      stats_.latency.add(static_cast<double>(now - a.msg.sent_at));
+      if (on_delivery_) on_delivery_(a.msg, now, a.wire);
+    } else {
+      LinkMessage forwarded = a.msg;
+      forwarded.enqueued_at = now;
+      enqueue_toward(forwarded);
+    }
+  }
+  if (pending_next_ == pending_.size()) {
+    pending_.clear();
+    pending_next_ = 0;
+  }
+  // Phase 2: transmission starts on this chip's wires, in global index
+  // order. Identical start/stall/serialise accounting to the serial link;
+  // the completed hop is posted to the target endpoint instead of a local
+  // flying queue.
+  for (OutWire& w : wires_) {
+    if (w.queue.empty() || w.free_at > now) continue;
+    const LinkMessage& front = w.queue.front();
+    if (front.enqueued_at >= now) continue;  // eligible from enqueued_at + 1
+    stats_.stall_cycles += now - (front.enqueued_at + 1);
+    const Cycle serialize = link_serialize_cycles(fabric_->params(),
+                                                  front.bytes);
+    stats_.serialize_cycles += serialize;
+    w.free_at = now + serialize;
+    PendingArrival arrival;
+    arrival.msg = front;
+    arrival.arrives_at = now + serialize + fabric_->params().hop_latency;
+    arrival.wire = w.global_index;
+    arrival.seq = w.next_seq++;
+    fabric_->post(w.to, std::move(arrival));
+    w.queue.pop_front();
+  }
+}
+
+bool LinkEndpoint::idle() const {
+  if (pending_next_ < pending_.size()) return false;
+  for (const OutWire& w : wires_) {
+    if (!w.queue.empty()) return false;
+  }
+  return true;
+}
+
+Cycle LinkEndpoint::next_event_cycle(Cycle now) const {
+  Cycle next = sim::kNoEvent;
+  if (pending_next_ < pending_.size()) {
+    next = pending_[pending_next_].arrives_at;
+  }
+  for (const OutWire& w : wires_) {
+    if (!w.queue.empty()) {
+      const Cycle start =
+          std::max({w.free_at, w.queue.front().enqueued_at + 1, now});
+      next = std::min(next, start);
+    }
+    if (next <= now) return now;
+  }
+  return next;
+}
+
+std::uint64_t LinkEndpoint::messages_held() const {
+  std::uint64_t n = pending_.size() - pending_next_;
+  for (const OutWire& w : wires_) n += w.queue.size();
+  return n;
+}
+
+Bytes LinkEndpoint::bytes_held() const {
+  Bytes b = 0;
+  for (std::size_t i = pending_next_; i < pending_.size(); ++i) {
+    b += pending_[i].msg.bytes;
+  }
+  for (const OutWire& w : wires_) {
+    for (const LinkMessage& m : w.queue) b += m.bytes;
+  }
+  return b;
+}
+
+void LinkEndpoint::verify_invariants(sim::InvariantReport& report) const {
+  for (std::size_t i = pending_next_ + 1; i < pending_.size(); ++i) {
+    report.require(arrival_before(pending_[i - 1], pending_[i]),
+                   "pending arrivals strictly ordered",
+                   "index " + std::to_string(i) + " at chip " +
+                       std::to_string(chip_));
+  }
+  if (report.drained()) {
+    report.require(messages_held() == 0,
+                   "drained endpoint holds no messages",
+                   std::to_string(messages_held()) + " held at chip " +
+                       std::to_string(chip_));
+  }
+}
+
+LinkFabric::LinkFabric(std::uint32_t num_chips, const LinkParams& params)
+    : num_chips_(num_chips), params_(params) {
+  AURORA_CHECK(num_chips >= 1);
+  AURORA_CHECK_MSG(params.bytes_per_cycle > 0,
+                   "link bandwidth must be positive");
+  endpoints_.reserve(num_chips);
+  for (std::uint32_t c = 0; c < num_chips; ++c) {
+    endpoints_.emplace_back(new LinkEndpoint(this, c));
+  }
+}
+
+void LinkFabric::post(std::uint32_t target,
+                      LinkEndpoint::PendingArrival arrival) {
+  LinkEndpoint& ep = *endpoints_[target];
+  const std::lock_guard<std::mutex> lock(ep.inbox_mutex_);
+  ep.inbox_.push_back(std::move(arrival));
+}
+
+void LinkFabric::flush() {
+  for (auto& ep : endpoints_) {
+    std::vector<LinkEndpoint::PendingArrival> incoming;
+    {
+      const std::lock_guard<std::mutex> lock(ep->inbox_mutex_);
+      incoming.swap(ep->inbox_);
+    }
+    if (incoming.empty()) continue;
+    // Compact the consumed prefix, append, and restore the total order.
+    ep->pending_.erase(ep->pending_.begin(),
+                       ep->pending_.begin() +
+                           static_cast<std::ptrdiff_t>(ep->pending_next_));
+    ep->pending_next_ = 0;
+    ep->pending_.insert(ep->pending_.end(),
+                        std::make_move_iterator(incoming.begin()),
+                        std::make_move_iterator(incoming.end()));
+    std::sort(ep->pending_.begin(), ep->pending_.end(), arrival_before);
+    ep->wake();
+  }
+}
+
+LinkStats LinkFabric::stats() const {
+  LinkStats merged;
+  for (const auto& ep : endpoints_) {
+    const LinkStats& s = ep->stats();
+    merged.messages_sent += s.messages_sent;
+    merged.messages_delivered += s.messages_delivered;
+    merged.bytes_sent += s.bytes_sent;
+    merged.bytes_delivered += s.bytes_delivered;
+    merged.hops += s.hops;
+    merged.bytes_hopped += s.bytes_hopped;
+    merged.serialize_cycles += s.serialize_cycles;
+    merged.stall_cycles += s.stall_cycles;
+    merged.latency.merge(s.latency);
+  }
+  return merged;
+}
+
+std::uint64_t LinkFabric::messages_in_flight() const {
+  std::uint64_t n = 0;
+  for (const auto& ep : endpoints_) n += ep->messages_held();
+  return n;
+}
+
+Bytes LinkFabric::bytes_in_flight() const {
+  Bytes b = 0;
+  for (const auto& ep : endpoints_) b += ep->bytes_held();
+  return b;
+}
+
+void LinkFabric::verify_drained(sim::InvariantReport& report) const {
+  const LinkStats merged = stats();
+  report.require(
+      merged.messages_sent == merged.messages_delivered + messages_in_flight(),
+      "halo message conservation",
+      "sent " + std::to_string(merged.messages_sent) + " != delivered " +
+          std::to_string(merged.messages_delivered) + " + in flight " +
+          std::to_string(messages_in_flight()));
+  report.require(
+      merged.bytes_sent == merged.bytes_delivered + bytes_in_flight(),
+      "halo byte conservation");
+  report.require(merged.latency.total() == merged.messages_delivered,
+                 "latency histogram counts deliveries");
+  if (report.drained()) {
+    report.require(messages_in_flight() == 0,
+                   "drained fabric holds no messages");
+  }
+}
+
+void LinkFabric::register_metrics(MetricsRegistry& registry) {
+  merged_ = stats();
+  const auto scope = registry.scope("cluster.link");
+  scope.counter("messages_sent", &merged_.messages_sent);
+  scope.counter("messages_delivered", &merged_.messages_delivered);
+  scope.counter("bytes_sent", &merged_.bytes_sent);
+  scope.counter("bytes_delivered", &merged_.bytes_delivered);
+  scope.counter("hops", &merged_.hops);
+  scope.counter("serialize_cycles", &merged_.serialize_cycles);
+  scope.counter("stall_cycles", &merged_.stall_cycles);
+  scope.gauge("messages_in_flight", [this] {
+    return static_cast<double>(messages_in_flight());
+  });
+  scope.gauge("bytes_in_flight",
+              [this] { return static_cast<double>(bytes_in_flight()); });
+  scope.histogram("latency", &merged_.latency);
+}
+
+}  // namespace aurora::cluster

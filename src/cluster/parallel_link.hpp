@@ -1,0 +1,152 @@
+// Per-chip split of the inter-chip link for the parallel cluster engine.
+//
+// The serial InterChipLink owns every directed wire and ticks them all on
+// one clock. Here each chip gets a LinkEndpoint — a sim::Component living
+// in that chip's simulator partition — owning exactly the wires the serial
+// link indexes with from == chip. Serialisation (phase 2) runs where the
+// wire lives; the finished hop is posted as a timestamped PendingArrival
+// into the *target* endpoint's mutex-guarded inbox, and the target executes
+// it (delivery or store-and-forward) in its own phase 1 when its clock
+// reaches the arrival cycle. The LinkFabric wires the endpoints together
+// and flushes every inbox at the coordinator's barriers — single-threaded,
+// so inbox locks are only ever contended between posting senders.
+//
+// Bit-identity with the serial link: a hop posted during window [T, T+L)
+// arrives no earlier than T+L (lookahead L = hop_latency + 1; the earliest
+// serialisation start in the window is T, lasting >= 1 cycle), so every
+// arrival is in its target's pending set before the target can reach the
+// arrival cycle. Same-cycle arrivals execute in (arrival cycle, global wire
+// index, per-wire sequence) order — exactly the serial link's phase-1
+// iteration (wires in global index order, FIFO per wire). All stats
+// accumulate at the same event points as the serial link, in per-endpoint
+// shards the fabric sums into one LinkStats.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "cluster/interchip.hpp"
+#include "sim/component.hpp"
+
+namespace aurora::cluster {
+
+class LinkFabric;
+
+/// Chip-local half of the fabric: one per chip, thread-confined to that
+/// chip's simulator partition apart from the inbox (see header comment).
+class LinkEndpoint final : public sim::Component, public HaloSender {
+ public:
+  /// Delivery callback also reports the final hop's global wire index —
+  /// the key that orders same-cycle trace records like the serial engine.
+  using DeliveryCallback =
+      std::function<void(const LinkMessage&, Cycle, std::size_t via_wire)>;
+
+  void set_delivery_callback(DeliveryCallback cb) {
+    on_delivery_ = std::move(cb);
+  }
+
+  /// Inject a message at this (source) chip. Eligible to serialise from
+  /// now+1, exactly like InterChipLink::send.
+  void send(LinkMessage msg, Cycle now) override;
+
+  [[nodiscard]] std::uint32_t chip() const { return chip_; }
+  /// This endpoint's stats shard (sent at source, serialise/stall at the
+  /// transmitting wire, hop/delivery at the receiving chip).
+  [[nodiscard]] const LinkStats& stats() const { return stats_; }
+  [[nodiscard]] std::uint64_t messages_held() const;
+  [[nodiscard]] Bytes bytes_held() const;
+
+  /// A completed hop en route to (or at) this chip, posted by the sending
+  /// endpoint; `wire` is the global index of the traversed wire and `seq`
+  /// its per-wire FIFO sequence number. (wire, seq) with the arrival cycle
+  /// forms the deterministic total order arrivals execute in.
+  struct PendingArrival {
+    LinkMessage msg;
+    Cycle arrives_at = 0;
+    std::size_t wire = 0;
+    std::uint64_t seq = 0;
+  };
+
+  void tick(Cycle now) override;
+  [[nodiscard]] bool idle() const override;
+  [[nodiscard]] Cycle next_event_cycle(Cycle now) const override;
+  /// Local laws only: pending arrivals ordered, queue eligibility sane.
+  /// Conservation spans endpoints — see LinkFabric::verify_drained.
+  void verify_invariants(sim::InvariantReport& report) const override;
+
+ private:
+  friend class LinkFabric;
+
+  struct OutWire {
+    std::uint32_t to = 0;
+    std::size_t global_index = 0;
+    std::uint64_t next_seq = 0;
+    std::deque<LinkMessage> queue;
+    Cycle free_at = 0;
+  };
+
+  LinkEndpoint(LinkFabric* fabric, std::uint32_t chip);
+  void enqueue_toward(const LinkMessage& msg);
+
+  LinkFabric* fabric_;
+  std::uint32_t chip_ = 0;
+  std::vector<OutWire> wires_;  // ascending global index
+  DeliveryCallback on_delivery_;
+  LinkStats stats_;
+
+  // Cross-thread mailbox: senders post under the lock, the fabric drains it
+  // into pending_ at barriers.
+  std::mutex inbox_mutex_;
+  std::vector<PendingArrival> inbox_;
+  // Sorted by (arrives_at, wire, seq); consumed from pending_next_.
+  std::vector<PendingArrival> pending_;
+  std::size_t pending_next_ = 0;
+};
+
+/// Owns the endpoints of one cluster run and the barrier exchange between
+/// them.
+class LinkFabric {
+ public:
+  LinkFabric(std::uint32_t num_chips, const LinkParams& params);
+
+  [[nodiscard]] std::uint32_t num_chips() const { return num_chips_; }
+  [[nodiscard]] const LinkParams& params() const { return params_; }
+  [[nodiscard]] LinkEndpoint& endpoint(std::uint32_t chip) {
+    return *endpoints_[chip];
+  }
+
+  /// Barrier exchange: drain every inbox into its endpoint's sorted pending
+  /// set and wake endpoints that received work. Coordinator thread only.
+  void flush();
+
+  /// Sum of the per-endpoint shards — field-for-field identical to the
+  /// serial InterChipLink's stats for the same run.
+  [[nodiscard]] LinkStats stats() const;
+  [[nodiscard]] std::uint64_t messages_in_flight() const;
+  [[nodiscard]] Bytes bytes_in_flight() const;
+
+  /// Fabric-wide conservation (message/byte totals, latency counts, empty
+  /// at drain) — the cross-endpoint laws no single partition can check.
+  void verify_drained(sim::InvariantReport& report) const;
+
+  /// Merged counters/gauges/histogram under "cluster.link.", matching the
+  /// serial link's registration. Snapshot-based: call after the run.
+  void register_metrics(MetricsRegistry& registry);
+
+ private:
+  friend class LinkEndpoint;
+  void post(std::uint32_t target, LinkEndpoint::PendingArrival arrival);
+
+  std::uint32_t num_chips_;
+  LinkParams params_;
+  std::vector<std::unique_ptr<LinkEndpoint>> endpoints_;
+  /// Snapshot backing the registered metric pointers (non-owning probes
+  /// need stable addresses; refreshed by register_metrics).
+  LinkStats merged_;
+};
+
+}  // namespace aurora::cluster

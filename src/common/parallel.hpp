@@ -1,15 +1,31 @@
-// Minimal fork-join parallelism for embarrassingly parallel grids.
+// Fork-join parallelism for bench grids and the parallel cluster simulator.
 //
-// The bench binaries run independent (dataset x accelerator) cells; a full
-// task system would be overkill. parallel_for() hands out indices from an
-// atomic counter to a small std::thread pool, so uneven cell costs balance
-// naturally, and rethrows the first worker exception in the caller.
+// Two layers:
+//   * parallel_for() — one-shot index fan-out over a small std::thread pool,
+//     used by the embarrassingly parallel bench grids;
+//   * ThreadPool — a persistent pool with a barrier-style run(), used by the
+//     parallel discrete-event coordinator (sim/parallel_sim.hpp), where one
+//     fork-join happens per conservative time window and spawning threads
+//     per window would dominate.
+//
+// Oversubscription policy. Nested users compose: a bench grid running with
+// --jobs=J may execute cluster cells that each spin up a per-chip simulator
+// pool. Every helper thread — from either layer — is charged against one
+// process-wide WorkerBudget capped at hardware_concurrency, so the total
+// helper count never exceeds the machine regardless of nesting depth. The
+// calling thread is never charged (it exists either way) and always
+// participates, so an inner pool that gets no budget degrades gracefully to
+// inline execution instead of stacking threads. Budget is acquired at pool
+// construction (or parallel_for entry) and released at destruction (or
+// exit), so siblings re-balance as pools come and go.
 #pragma once
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <exception>
+#include <functional>
 #include <mutex>
 #include <thread>
 #include <utility>
@@ -26,17 +42,194 @@ inline unsigned resolve_jobs(unsigned requested) {
   return hw > 0 ? hw : 1;
 }
 
+/// Process-wide helper-thread budget (see the oversubscription policy in
+/// the header comment). acquire() grants at most `want` slots, bounded so
+/// the total outstanding grant never exceeds the cap; callers run inline
+/// with whatever they are granted (possibly 0 helpers).
+class WorkerBudget {
+ public:
+  static WorkerBudget& instance() {
+    static WorkerBudget budget;
+    return budget;
+  }
+
+  /// Grant up to `want` helper slots; returns the number actually granted.
+  [[nodiscard]] unsigned acquire(unsigned want) {
+    if (want == 0) return 0;
+    unsigned used = in_use_.load(std::memory_order_relaxed);
+    for (;;) {
+      const unsigned cap = cap_.load(std::memory_order_relaxed);
+      const unsigned free = cap > used ? cap - used : 0;
+      const unsigned grant = std::min(want, free);
+      if (grant == 0) return 0;
+      if (in_use_.compare_exchange_weak(used, used + grant,
+                                        std::memory_order_relaxed)) {
+        return grant;
+      }
+    }
+  }
+
+  void release(unsigned n) {
+    if (n > 0) in_use_.fetch_sub(n, std::memory_order_relaxed);
+  }
+
+  /// Helper slots currently granted (diagnostic / tests).
+  [[nodiscard]] unsigned in_use() const {
+    return in_use_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] unsigned cap() const {
+    return cap_.load(std::memory_order_relaxed);
+  }
+  /// Override the cap (tests; 0 restores the hardware default).
+  void set_cap(unsigned cap) {
+    cap_.store(cap > 0 ? cap : default_cap(), std::memory_order_relaxed);
+  }
+
+ private:
+  static unsigned default_cap() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+  }
+
+  WorkerBudget() : cap_(default_cap()) {}
+  std::atomic<unsigned> in_use_{0};
+  std::atomic<unsigned> cap_;
+};
+
+/// Persistent fork-join pool. Construction acquires up to
+/// `requested_helpers` threads from the WorkerBudget (possibly fewer, down
+/// to zero); destruction releases them. run() executes fn(i) for every
+/// i in [0, count) across the helpers plus the calling thread and returns
+/// when all invocations finished, rethrowing the first exception (remaining
+/// indices still run — tasks are assumed independent). run() is not
+/// reentrant and must always be called from the same ownership context.
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned requested_helpers) {
+    const unsigned granted =
+        WorkerBudget::instance().acquire(requested_helpers);
+    workers_.reserve(granted);
+    for (unsigned t = 0; t < granted; ++t) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& t : workers_) t.join();
+    WorkerBudget::instance().release(
+        static_cast<unsigned>(workers_.size()));
+  }
+
+  /// Helper threads actually granted (0 = run() executes inline).
+  [[nodiscard]] unsigned helpers() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  void run(std::size_t count, const std::function<void(std::size_t)>& fn) {
+    if (count == 0) return;
+    if (workers_.empty() || count == 1) {
+      for (std::size_t i = 0; i < count; ++i) fn(i);
+      return;
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      job_ = &fn;
+      count_ = count;
+      next_.store(0, std::memory_order_relaxed);
+      completed_ = 0;
+      error_ = nullptr;
+      ++epoch_;
+    }
+    work_cv_.notify_all();
+    drain(&fn, count);
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock,
+                  [&] { return completed_ == count_ && active_ == 0; });
+    job_ = nullptr;
+    if (error_) {
+      std::exception_ptr e = error_;
+      error_ = nullptr;
+      std::rethrow_exception(e);
+    }
+  }
+
+ private:
+  void drain(const std::function<void(std::size_t)>* job, std::size_t count) {
+    for (;;) {
+      const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        (*job)(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (!error_) error_ = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (++completed_ == count_) done_cv_.notify_all();
+    }
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+      const auto* job = job_;
+      const std::size_t count = count_;
+      if (job == nullptr) continue;  // epoch already fully retired
+      ++active_;
+      lock.unlock();
+      drain(job, count);
+      lock.lock();
+      if (--active_ == 0) done_cv_.notify_all();
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+  std::uint64_t epoch_ = 0;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t count_ = 0;
+  std::atomic<std::size_t> next_{0};
+  std::size_t completed_ = 0;
+  unsigned active_ = 0;
+  std::exception_ptr error_;
+};
+
 /// Invoke fn(i) for every i in [0, count), spread over up to `jobs` threads
 /// (0 = hardware concurrency). jobs == 1 runs everything inline in the
 /// caller thread — the reproducibility mode: no thread scheduling at all.
-/// fn must be safe to call concurrently for distinct indices; writes to
-/// distinct result slots need no synchronisation. The first exception thrown
-/// by any invocation is rethrown here after all workers have stopped
-/// (remaining indices are abandoned).
+/// Helper threads are drawn from the process-wide WorkerBudget, so nested
+/// parallel_for / ThreadPool users never oversubscribe the machine; when no
+/// budget is free the loop runs inline. fn must be safe to call
+/// concurrently for distinct indices; writes to distinct result slots need
+/// no synchronisation. The first exception thrown by any invocation is
+/// rethrown here after all workers have stopped (remaining indices are
+/// abandoned).
 template <typename Fn>
 void parallel_for(std::size_t count, unsigned jobs, Fn&& fn) {
   const unsigned workers = resolve_jobs(jobs);
   if (count <= 1 || workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  const unsigned helpers = WorkerBudget::instance().acquire(
+      static_cast<unsigned>(std::min<std::size_t>(workers, count)) - 1);
+  if (helpers == 0) {
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
   }
@@ -62,12 +255,11 @@ void parallel_for(std::size_t count, unsigned jobs, Fn&& fn) {
   };
 
   std::vector<std::thread> pool;
-  const std::size_t helpers =
-      std::min<std::size_t>(workers, count) - 1;  // caller is worker #0
   pool.reserve(helpers);
-  for (std::size_t t = 0; t < helpers; ++t) pool.emplace_back(run);
+  for (unsigned t = 0; t < helpers; ++t) pool.emplace_back(run);
   run();
   for (auto& t : pool) t.join();
+  WorkerBudget::instance().release(helpers);
   if (error) std::rethrow_exception(error);
 }
 

@@ -1,0 +1,79 @@
+// Conservative parallel discrete-event coordinator.
+//
+// Partitions a simulation into independent Simulator instances (one per
+// chip in the cluster engine) and advances them in barrier-synchronized
+// time windows: within a window of `lookahead` cycles no partition can
+// affect another — the cluster's guarantee is the inter-chip wire, whose
+// earliest cross-partition effect is serialization (>= 1 cycle, visible
+// from the cycle after enqueue) plus the hop latency — so the partitions
+// of one window may run concurrently on worker threads. At each barrier an
+// exchange hook (the LinkFabric flush) moves timestamped messages between
+// partitions, then the coordinator picks the next window.
+//
+// Scheduler-mode fidelity: in lockstep mode every partition ticks every
+// cycle of every window and the clock never jumps; in fast-forward mode
+// the coordinator jumps all partitions to the global minimum next-event
+// cycle between windows (exactly the serial engine's jump rule — the
+// minimum is taken across *all* partitions, so no partition's hook is
+// trusted beyond its own no-op guarantee) and partitions fast-forward
+// freely inside their window. Either way the per-cycle behaviour of every
+// component is identical to running all partitions on one serial
+// Simulator, which is what makes parallel runs bit-identical (asserted by
+// the cluster tests and the differential fuzzer).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace aurora::sim {
+
+class ParallelSimulator {
+ public:
+  /// `lookahead` is the conservative window width: the minimum number of
+  /// cycles between a cross-partition send and its earliest effect on the
+  /// receiving partition. Must be >= 1.
+  explicit ParallelSimulator(Cycle lookahead);
+
+  /// Add a partition; returns its Simulator for component registration.
+  /// The reference stays valid for the ParallelSimulator's lifetime.
+  Simulator& add_partition();
+
+  /// Lockstep vs fast-forward, applied to every partition (mirrors
+  /// Simulator::set_fast_forward).
+  void set_fast_forward(bool enabled);
+
+  /// Barrier exchange hook, invoked once before every window (and once
+  /// before the idle check that ends the run) on the coordinator thread —
+  /// single-threaded, no partition running. The cluster engine points this
+  /// at LinkFabric::flush.
+  void set_exchange(std::function<void()> hook) { exchange_ = std::move(hook); }
+
+  /// Run until every partition is idle with no pending exchange, or throw
+  /// after `max_cycles` (deadlock guard, mirroring Simulator's). Windows
+  /// are dispatched over up to `jobs` worker threads (0 = hardware
+  /// concurrency; helpers come from the process-wide WorkerBudget, so 1 CPU
+  /// or an exhausted budget degrades to inline execution with identical
+  /// results). Returns the global clock at stop.
+  Cycle run_until_idle(Cycle max_cycles, unsigned jobs = 0);
+
+  [[nodiscard]] Cycle now() const { return now_; }
+  [[nodiscard]] Cycle lookahead() const { return lookahead_; }
+  [[nodiscard]] std::size_t num_partitions() const {
+    return partitions_.size();
+  }
+  /// Windows executed across all run_until_idle calls (diagnostic).
+  [[nodiscard]] std::uint64_t windows_run() const { return windows_run_; }
+
+ private:
+  Cycle lookahead_;
+  Cycle now_ = 0;
+  bool fast_forward_ = true;
+  std::uint64_t windows_run_ = 0;
+  std::function<void()> exchange_;
+  std::vector<std::unique_ptr<Simulator>> partitions_;
+};
+
+}  // namespace aurora::sim

@@ -462,6 +462,161 @@ TEST(ClusterEngine, PerfettoTraceCarriesPerChipTracks) {
   EXPECT_NE(json.find("\"pid\": 1"), std::string::npos);
 }
 
+// -------------------------------------------------- parallel engine
+
+// The non-negotiable contract: the multi-threaded conservative engine must
+// reproduce the serial engine's ClusterRunMetrics bit for bit — every chip's
+// RunMetrics, halo fields, link stats including histogram buckets, and the
+// counter set — across topologies, chip counts and both scheduler modes.
+TEST(ParallelEngine, BitIdenticalToSerialAcrossTopologiesAndModes) {
+  const graph::Dataset ds = make_test_dataset(60, 150, 41);
+  const core::GnnJob job =
+      core::GnnJob::two_layer(gnn::GnnModel::kGcn, ds.spec, 8);
+  for (const std::uint32_t chips : {1u, 2u, 4u}) {
+    for (const cluster::ClusterTopology topology :
+         {cluster::ClusterTopology::kRing,
+          cluster::ClusterTopology::kFullyConnected}) {
+      for (const bool fast_forward : {false, true}) {
+        const auto run = [&](bool parallel) {
+          core::AuroraConfig cfg = small_config();
+          cfg.fast_forward = fast_forward;
+          cluster::ClusterParams params;
+          params.num_chips = chips;
+          params.strategy = cluster::ShardStrategy::kHash;
+          params.link.topology = topology;
+          params.parallel = parallel;
+          params.parallel_jobs = 2;
+          cluster::ClusterEngine engine(cfg, params);
+          return engine.run(ds, job);
+        };
+        const cluster::ClusterRunMetrics serial = run(false);
+        const cluster::ClusterRunMetrics parallel = run(true);
+        const auto diffs =
+            cluster::diff_cluster_run_metrics(serial, parallel);
+        EXPECT_TRUE(diffs.empty())
+            << chips << " chip(s), " << topology_name(topology) << ", "
+            << (fast_forward ? "fast-forward" : "lockstep") << ": "
+            << diffs.size() << " mismatch(es), first: "
+            << (diffs.empty() ? std::string() : diffs.front());
+      }
+    }
+  }
+}
+
+// Worker count is a performance knob, never a result knob: any jobs value
+// (including oversubscribed) and any repetition yields the same metrics.
+TEST(ParallelEngine, DeterministicAcrossWorkerCountsAndRepeats) {
+  const graph::Dataset ds = make_test_dataset(50, 120, 43);
+  const core::GnnJob job =
+      core::GnnJob::two_layer(gnn::GnnModel::kAgnn, ds.spec, 8);
+  const auto run = [&](unsigned jobs) {
+    core::AuroraConfig cfg = small_config();
+    cfg.fast_forward = true;
+    cluster::ClusterParams params;
+    params.num_chips = 3;
+    params.parallel = true;
+    params.parallel_jobs = jobs;
+    cluster::ClusterEngine engine(cfg, params);
+    return engine.run(ds, job);
+  };
+  const cluster::ClusterRunMetrics reference = run(1);
+  for (const unsigned jobs : {1u, 2u, 5u}) {
+    for (int rep = 0; rep < 2; ++rep) {
+      const auto diffs =
+          cluster::diff_cluster_run_metrics(reference, run(jobs));
+      EXPECT_TRUE(diffs.empty())
+          << jobs << " worker(s), rep " << rep << ": "
+          << (diffs.empty() ? std::string() : diffs.front());
+    }
+  }
+}
+
+// config.check_invariants attaches one checker per partition (proxy + link
+// endpoint) plus the fabric's cross-partition conservation laws; a healthy
+// run passes them and still matches the serial engine bit for bit.
+TEST(ParallelEngine, InvariantCheckerCompatible) {
+  const graph::Dataset ds = make_test_dataset(50, 120, 47);
+  const core::GnnJob job =
+      core::GnnJob::two_layer(gnn::GnnModel::kGcn, ds.spec, 8);
+  for (const bool fast_forward : {false, true}) {
+    const auto run = [&](bool parallel) {
+      core::AuroraConfig cfg = small_config();
+      cfg.fast_forward = fast_forward;
+      cfg.check_invariants = true;
+      cfg.invariant_interval = 64;
+      cluster::ClusterParams params;
+      params.num_chips = 3;
+      params.parallel = parallel;
+      cluster::ClusterEngine engine(cfg, params);
+      return engine.run(ds, job);
+    };
+    const cluster::ClusterRunMetrics serial = run(false);
+    const cluster::ClusterRunMetrics parallel = run(true);
+    const auto diffs = cluster::diff_cluster_run_metrics(serial, parallel);
+    EXPECT_TRUE(diffs.empty())
+        << (fast_forward ? "fast-forward" : "lockstep") << ": "
+        << (diffs.empty() ? std::string() : diffs.front());
+  }
+}
+
+// Partition trace shards merged by (record cycle, class, subkey) reproduce
+// the serial tracer's append order exactly — same records, same sequence.
+TEST(ParallelEngine, TraceMatchesSerial) {
+  const graph::Dataset ds = make_test_dataset(50, 120, 53);
+  const core::GnnJob job =
+      core::GnnJob::two_layer(gnn::GnnModel::kGcn, ds.spec, 8);
+  const auto trace = [&](bool parallel) {
+    cluster::ClusterParams params;
+    params.num_chips = 3;
+    params.parallel = parallel;
+    cluster::ClusterEngine engine(small_config(), params);
+    sim::Tracer tracer;
+    tracer.enable();
+    engine.set_tracer(&tracer);
+    (void)engine.run(ds, job);
+    return std::vector<sim::TraceRecord>(tracer.records().begin(),
+                                         tracer.records().end());
+  };
+  const std::vector<sim::TraceRecord> serial = trace(false);
+  const std::vector<sim::TraceRecord> parallel = trace(true);
+  ASSERT_EQ(serial.size(), parallel.size());
+  ASSERT_GT(serial.size(), 0u);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].at, parallel[i].at) << "record " << i;
+    EXPECT_EQ(serial[i].kind, parallel[i].kind) << "record " << i;
+    EXPECT_EQ(serial[i].arg0, parallel[i].arg0) << "record " << i;
+    EXPECT_EQ(serial[i].arg1, parallel[i].arg1) << "record " << i;
+  }
+}
+
+// register_metrics after a parallel run publishes the same cluster.* probe
+// names and values as the serial engine's registration.
+TEST(ParallelEngine, RegistryMatchesSerial) {
+  const graph::Dataset ds = make_test_dataset(40, 90, 59);
+  const core::GnnJob job =
+      core::GnnJob::two_layer(gnn::GnnModel::kGcn, ds.spec, 8);
+  const auto probe = [&](bool parallel) {
+    cluster::ClusterParams params;
+    params.num_chips = 2;
+    params.parallel = parallel;
+    cluster::ClusterEngine engine(small_config(), params);
+    (void)engine.run(ds, job);
+    MetricsRegistry registry;
+    engine.register_metrics(registry);
+    std::vector<std::pair<std::string, double>> out;
+    for (const auto* metric : registry.match("cluster.")) {
+      out.emplace_back(metric->name,
+                       metric->kind == MetricKind::kHistogram
+                           ? static_cast<double>(metric->histogram->total())
+                           : registry.value(metric->name));
+    }
+    return out;
+  };
+  const auto serial = probe(false);
+  const auto parallel = probe(true);
+  EXPECT_EQ(serial, parallel);
+}
+
 // -------------------------------------------------------------- scheduler
 
 TEST(ClusterScheduler, DataParallelSpreadsRequestsAcrossChips) {

@@ -1,12 +1,14 @@
 // Unit tests for the common utility layer.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <set>
 
 #include "common/cli.hpp"
 #include "common/error.hpp"
 #include "common/metrics_registry.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/strings.hpp"
@@ -307,6 +309,82 @@ TEST(Check, ThrowsWithMessage) {
   } catch (const Error& e) {
     EXPECT_NE(std::string(e.what()).find("custom 42"), std::string::npos);
   }
+}
+
+// Restores the process-wide budget cap on scope exit so tests never leak a
+// shrunken cap into each other.
+struct BudgetCapGuard {
+  explicit BudgetCapGuard(unsigned cap) {
+    WorkerBudget::instance().set_cap(cap);
+  }
+  ~BudgetCapGuard() { WorkerBudget::instance().set_cap(0); }
+};
+
+TEST(WorkerBudget, GrantsUpToCapAndRebalancesOnRelease) {
+  BudgetCapGuard guard(3);
+  auto& budget = WorkerBudget::instance();
+  const unsigned base = budget.in_use();
+  const unsigned first = budget.acquire(2);
+  EXPECT_EQ(first, std::min(2u, 3u - std::min(3u, base)));
+  const unsigned second = budget.acquire(8);
+  EXPECT_LE(base + first + second, 3u);  // never exceeds the cap
+  budget.release(first + second);
+  EXPECT_EQ(budget.in_use(), base);
+}
+
+TEST(WorkerBudget, ExhaustedBudgetGrantsZero) {
+  BudgetCapGuard guard(1);
+  auto& budget = WorkerBudget::instance();
+  const unsigned all = budget.acquire(4);
+  EXPECT_LE(all, 1u);
+  EXPECT_EQ(budget.acquire(1), 0u);  // nothing left — caller runs inline
+  budget.release(all);
+}
+
+TEST(ThreadPool, RunCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(100);
+  pool.run(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  // Reusable across epochs: a second run sees fresh indices.
+  pool.run(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 2);
+}
+
+TEST(ThreadPool, ZeroBudgetDegradesToInlineExecution) {
+  BudgetCapGuard guard(1);
+  auto& budget = WorkerBudget::instance();
+  const unsigned all = budget.acquire(4);  // starve the pool below
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.helpers(), 0u);
+  std::atomic<int> sum{0};
+  pool.run(10, [&](std::size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum.load(), 45);
+  budget.release(all);
+}
+
+TEST(ThreadPool, RethrowsFirstException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.run(8,
+                        [&](std::size_t i) {
+                          if (i == 3) throw Error("boom");
+                        }),
+               Error);
+  // The pool survives an exceptional epoch.
+  std::atomic<int> count{0};
+  pool.run(4, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 4);
+}
+
+TEST(ParallelFor, MatchesSerialResultAndReleasesBudget) {
+  auto& budget = WorkerBudget::instance();
+  const unsigned before = budget.in_use();
+  std::vector<int> out(64, 0);
+  parallel_for(out.size(), 4,
+               [&](std::size_t i) { out[i] = static_cast<int>(i * i); });
+  for (std::size_t i = 0; i < out.size(); ++i)
+    EXPECT_EQ(out[i], static_cast<int>(i * i));
+  EXPECT_EQ(budget.in_use(), before);
 }
 
 }  // namespace
