@@ -12,20 +12,34 @@
 //
 //   ./examples/serving [--scale=0.1] [--requests=6] [--hidden=32]
 //                      [--chips=2] [--mode=data|shard]
+//
+// Observability flags (both single-chip and cluster serving):
+//   --trace-out=<path>     write a Chrome/Perfetto trace JSON
+//   --metrics-out=<path>   write the per-request metrics JSON report
+//   --critpath             print the critical-path attribution table
+//   --critpath-out=<path>  write the critical-path report JSON
+//   --what-if=<spec>       what-if scenarios, e.g. "link_bw=2x;noc_bw=2x"
+//   --allow-truncated-trace  analyze an overflowed trace's suffix anyway
 #include <algorithm>
 #include <array>
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "cluster/cluster_scheduler.hpp"
 #include "common/cli.hpp"
+#include "common/error.hpp"
 #include "common/stats.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "core/aurora.hpp"
+#include "core/report.hpp"
 #include "core/scheduler.hpp"
+#include "profile/critpath.hpp"
+#include "sim/perfetto.hpp"
+#include "sim/trace.hpp"
 
 namespace {
 
@@ -47,6 +61,64 @@ void print_latency_percentiles(const std::vector<Cycle>& latencies,
               "p50 %.2f us, p95 %.2f us, p99 %.2f us\n",
               latencies.size(), us(hist.quantile(0.50)),
               us(hist.quantile(0.95)), us(hist.quantile(0.99)));
+}
+
+/// Shared tail of both serving paths: truncation warning, critical-path
+/// analysis (table + JSON + counters merged into the last request), the
+/// Perfetto trace and the metrics report. Returns a process exit code.
+int emit_observability(const CliArgs& args, const sim::Tracer& tracer,
+                       std::vector<core::NamedRun>& runs) {
+  if (tracer.enabled() && tracer.dropped() > 0) {
+    std::fprintf(stderr,
+                 "WARNING: trace ring buffer overflowed, %llu records "
+                 "dropped — raise the tracer capacity or shrink the "
+                 "workload\n",
+                 static_cast<unsigned long long>(tracer.dropped()));
+  }
+  const std::string critpath_out = args.get_string("critpath-out", "");
+  const bool critpath =
+      args.get_bool("critpath", false) || !critpath_out.empty();
+  if (tracer.enabled() && !critpath && !runs.empty()) {
+    runs.back().metrics.counters.inc("trace.dropped_records",
+                                     tracer.dropped());
+  }
+  if (critpath) {
+    profile::AnalyzeOptions opts;
+    opts.allow_truncated = args.get_bool("allow-truncated-trace", false);
+    const std::string what_if = args.get_string("what-if", "");
+    opts.scenarios = what_if.empty()
+                         ? profile::default_what_if_scenarios()
+                         : profile::parse_what_if_list(what_if);
+    profile::CritPathReport report;
+    try {
+      report = profile::analyze_critical_path(tracer, opts);
+    } catch (const Error& e) {
+      std::fprintf(stderr, "critical-path analysis failed: %s\n", e.what());
+      return 1;
+    }
+    if (!runs.empty()) {
+      profile::export_critpath_counters(report,
+                                        runs.back().metrics.counters);
+    }
+    std::printf("\n%s", profile::format_attribution_table(report).c_str());
+    if (!critpath_out.empty()) {
+      core::write_json_file(critpath_out,
+                            profile::critpath_report_json(report));
+      std::printf("critical-path JSON: %s\n", critpath_out.c_str());
+    }
+  }
+  const std::string trace_out = args.get_string("trace-out", "");
+  if (!trace_out.empty()) {
+    sim::write_perfetto_trace(trace_out, tracer);
+    std::printf("\nPerfetto trace: %s (open in ui.perfetto.dev)\n",
+                trace_out.c_str());
+  }
+  const std::string metrics_out = args.get_string("metrics-out", "");
+  if (!metrics_out.empty()) {
+    core::write_json_file(metrics_out, core::runs_to_json(runs));
+    std::printf("metrics JSON: %s\n", metrics_out.c_str());
+  }
+  return 0;
 }
 
 }  // namespace
@@ -87,9 +159,17 @@ int main(int argc, char** argv) {
                      std::string(label) + " #" + std::to_string(i)});
   }
 
+  sim::Tracer tracer;
+  if (!args.get_string("trace-out", "").empty() ||
+      !args.get_string("critpath-out", "").empty() ||
+      args.get_bool("critpath", false)) {
+    tracer.enable();
+  }
+
   std::vector<Cycle> latencies;
   if (chips <= 1) {
     core::AuroraAccelerator accel(config);
+    if (tracer.enabled()) accel.set_tracer(&tracer);
     core::Scheduler scheduler(accel);
     const core::ScheduleResult result = scheduler.run(graph_ds, queue);
 
@@ -117,7 +197,11 @@ int main(int argc, char** argv) {
     print_latency_percentiles(latencies, config.frequency_mhz);
     std::printf("Each request reconfigured the same silicon: compare the "
                 "a:b splits.\n");
-    return 0;
+    std::vector<core::NamedRun> runs;
+    for (const auto& o : result.outcomes) {
+      runs.push_back({"aurora", o.label, o.metrics});
+    }
+    return emit_observability(args, tracer, runs);
   }
 
   cluster::ClusterParams params;
@@ -128,6 +212,7 @@ int main(int argc, char** argv) {
   params.parallel = args.get_bool("parallel-sim", false);
   params.parallel_jobs = static_cast<unsigned>(args.get_int("jobs", 0));
   cluster::ClusterScheduler scheduler(config, params);
+  if (tracer.enabled()) scheduler.set_tracer(&tracer);
   const cluster::ClusterScheduleResult result =
       scheduler.run(graph_ds, queue, mode);
 
@@ -160,5 +245,9 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(result.overlap_savings),
               result.avg_latency());
   print_latency_percentiles(latencies, config.frequency_mhz);
-  return 0;
+  std::vector<core::NamedRun> runs;
+  for (const auto& o : result.outcomes) {
+    runs.push_back({dispatch_mode_name(result.mode), o.label, o.metrics});
+  }
+  return emit_observability(args, tracer, runs);
 }

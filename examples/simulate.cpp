@@ -11,12 +11,14 @@
 #include <string>
 
 #include "common/cli.hpp"
+#include "common/error.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "core/aurora.hpp"
 #include "core/config_io.hpp"
 #include "baselines/baseline.hpp"
 #include "core/report.hpp"
+#include "profile/critpath.hpp"
 #include "sim/perfetto.hpp"
 #include "sim/sampler.hpp"
 #include "sim/trace.hpp"
@@ -68,6 +70,15 @@ int main(int argc, char** argv) {
         "  --sample-interval=<n>  sample metric time series every n cycles\n"
         "                         (0 = off; defaults to 64 with --trace-out)\n"
         "  --counters             dump component event counters (cycle mode)\n"
+        "  --critpath             print the critical-path attribution table\n"
+        "                         (cycle mode)\n"
+        "  --critpath-out=<path>  write the critical-path report JSON\n"
+        "  --what-if=<spec>       what-if scenarios for the critical-path\n"
+        "                         report: 'link_bw=2x,dram_latency=0.5x'\n"
+        "                         knobs, ';'-separated scenarios\n"
+        "                         (default: one 2x upgrade per knob)\n"
+        "  --allow-truncated-trace  analyze a trace that overflowed the ring\n"
+        "                         buffer anyway (suffix runs only)\n"
         "  --baselines            run the five baseline accelerators too\n"
         "  --print-config         dump the effective chip INI and exit\n");
     return 0;
@@ -149,7 +160,10 @@ int main(int argc, char** argv) {
   core::AuroraAccelerator accel(config);
   sim::Tracer tracer;
   const std::string trace_out = args.get_string("trace-out", "");
-  if (args.get_bool("trace", false) || !trace_out.empty()) {
+  const std::string critpath_out = args.get_string("critpath-out", "");
+  const bool critpath =
+      args.get_bool("critpath", false) || !critpath_out.empty();
+  if (args.get_bool("trace", false) || !trace_out.empty() || critpath) {
     tracer.enable();
     accel.set_tracer(&tracer);
   }
@@ -181,6 +195,39 @@ int main(int argc, char** argv) {
     runs.push_back({gnn::model_name(model), ds.spec.name, m});
   }
   table.print();
+
+  // Loud truncation warning: an overflowed ring buffer means any post-run
+  // analysis only sees a suffix of the execution.
+  if (tracer.enabled() && tracer.dropped() > 0) {
+    std::fprintf(stderr,
+                 "WARNING: trace ring buffer overflowed, %llu records "
+                 "dropped — raise the tracer capacity or shrink the "
+                 "workload\n",
+                 static_cast<unsigned long long>(tracer.dropped()));
+  }
+  if (tracer.enabled() && !critpath && !runs.empty()) {
+    runs.back().metrics.counters.inc("trace.dropped_records",
+                                     tracer.dropped());
+  }
+  std::optional<profile::CritPathReport> critpath_report;
+  if (critpath) {
+    profile::AnalyzeOptions opts;
+    opts.allow_truncated = args.get_bool("allow-truncated-trace", false);
+    const std::string what_if = args.get_string("what-if", "");
+    opts.scenarios = what_if.empty()
+                         ? profile::default_what_if_scenarios()
+                         : profile::parse_what_if_list(what_if);
+    try {
+      critpath_report = profile::analyze_critical_path(tracer, opts);
+    } catch (const Error& e) {
+      std::fprintf(stderr, "critical-path analysis failed: %s\n", e.what());
+      return 1;
+    }
+    if (!runs.empty()) {
+      profile::export_critpath_counters(*critpath_report,
+                                        runs.back().metrics.counters);
+    }
+  }
 
   if (args.get_bool("baselines", false)) {
     std::printf("\nbaseline accelerators (same workload, normalized chip):\n");
@@ -219,6 +266,11 @@ int main(int argc, char** argv) {
                 tracer.render_timeline().c_str());
   }
 
+  if (critpath_report.has_value()) {
+    std::printf("\n%s",
+                profile::format_attribution_table(*critpath_report).c_str());
+  }
+
   const std::string json_path = args.get_string("json", "");
   if (!json_path.empty()) {
     core::write_json_file(json_path, core::runs_to_json(runs));
@@ -234,6 +286,11 @@ int main(int argc, char** argv) {
   if (!metrics_out.empty()) {
     core::write_json_file(metrics_out, core::runs_to_json(runs));
     std::printf("metrics JSON: %s\n", metrics_out.c_str());
+  }
+  if (!critpath_out.empty()) {
+    core::write_json_file(critpath_out,
+                          profile::critpath_report_json(*critpath_report));
+    std::printf("critical-path JSON: %s\n", critpath_out.c_str());
   }
   return 0;
 }

@@ -43,6 +43,34 @@ for key in '"phases"' '"edge_update"' '"aggregation"' '"vertex_update"' \
 done
 echo "observability smoke: ok"
 
+echo "== critical-path profiler smoke =="
+# Profiler test suite by ctest label, then a single-chip simulate run and a
+# 4-chip shard-parallel serving run writing critpath JSON. The report must
+# carry the v1 schema and satisfy the attribution invariant: the five
+# category cycle counts sum exactly to the end-to-end total.
+ctest --test-dir build -L profile --output-on-failure -j
+./build/examples/simulate --dataset=cora --scale=0.03 --model=GCN \
+  --critpath-out="$obs_dir/critpath.json" --what-if="dram_latency=0.5x"
+./build/examples/serving --scale=0.02 --requests=2 --hidden=16 \
+  --chips=4 --mode=shard --critpath-out="$obs_dir/critpath_cluster.json" \
+  --trace-out="$obs_dir/trace_cluster.json"
+python3 -m json.tool "$obs_dir/trace_cluster.json" > /dev/null
+for f in "$obs_dir/critpath.json" "$obs_dir/critpath_cluster.json"; do
+  python3 - "$f" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as fh:
+    report = json.load(fh)
+assert report["schema"] == "aurora.critpath.v1", report["schema"]
+categories = ["pe_compute", "noc_serialization", "dram_service",
+              "reconfiguration", "halo_barrier_wait"]
+for scope in [report] + report["runs"]:
+    attributed = sum(scope["attribution"][c] for c in categories)
+    assert attributed == scope["total_cycles"], \
+        (sys.argv[1], attributed, scope["total_cycles"])
+EOF
+done
+echo "critical-path smoke: ok"
+
 echo "== differential fuzz smoke: lockstep vs fast-forward =="
 # Fixed seeds, both scheduler modes, invariant checker attached; any
 # divergence or conservation-law violation prints the seed and a replay
@@ -97,6 +125,15 @@ echo "== sanitizers: cluster smoke =="
 ./build-asan/examples/serving --scale=0.02 --requests=2 --hidden=16 \
   --chips=4 --mode=shard
 ./build-asan/bench/fuzz_sim --cluster --seeds=5
+
+echo "== sanitizers: critical-path profiler =="
+# The profiler test suite plus a traced critpath run under ASan/UBSan: the
+# trace enrichment (packed 32-bit pairs, ring-buffer eviction) and the
+# analyzer's backward walk are pointer-light but index-heavy — exactly what
+# UBSan's bounds and overflow checks are for.
+ctest --test-dir build-asan -L profile --output-on-failure -j
+./build-asan/examples/simulate --dataset=cora --scale=0.03 --model=GCN \
+  --critpath --what-if="link_bw=2x,dram_latency=0.5x"
 
 echo "== sanitizers: TSan build (parallel cluster engine) =="
 # ThreadSanitizer cannot coexist with ASan, so it gets its own tree. The

@@ -46,14 +46,23 @@ ChipProxy::ChipProxy(std::uint32_t chip, std::vector<ChipLayerPlan> layers,
 
 void ChipProxy::trace_segment(std::uint32_t kind, Cycle start, Cycle end,
                               Cycle now) const {
-  if ((tracer_ == nullptr && shard_ == nullptr) || end <= start) return;
+  if (tracer_ == nullptr && shard_ == nullptr) return;
   const auto arg0 = static_cast<std::uint64_t>(chip_) * 4 + kind;
+  // Compute-pre segments carry the chip-local engine's breakdown of the
+  // layer so the profiler can attribute the segment without the chip trace.
+  std::uint64_t arg2 = 0;
+  std::uint64_t arg3 = 0;
+  if (kind == 0) {
+    const ChipLayerPlan& plan = layers_[layer_];
+    arg2 = plan.dram_cycles;
+    arg3 = sim::pack_u32_pair(plan.noc_busy_cycles, plan.reconfig_cycles);
+  }
   if (shard_ != nullptr) {
     shard_->record(now, 0, chip_, start, sim::TraceEvent::kClusterSegment,
-                   arg0, end - start);
+                   arg0, end - start, arg2, arg3);
   } else {
     tracer_->record(start, sim::TraceEvent::kClusterSegment, arg0,
-                    end - start);
+                    end - start, arg2, arg3);
   }
 }
 
@@ -80,10 +89,10 @@ void ChipProxy::tick(Cycle now) {
                 static_cast<std::uint64_t>(msg.src) * 256 + msg.dst;
             if (shard_ != nullptr) {
               shard_->record(now, 0, chip_, now, sim::TraceEvent::kHaloSent,
-                             route, msg.bytes);
+                             route, msg.bytes, msg.layer);
             } else if (tracer_ != nullptr) {
               tracer_->record(now, sim::TraceEvent::kHaloSent, route,
-                              msg.bytes);
+                              msg.bytes, msg.layer);
             }
             link_->send(msg, now);
           }
@@ -222,6 +231,9 @@ ClusterRunMetrics ClusterEngine::run(const graph::Dataset& dataset,
           m.phase(gnn::Phase::kVertexUpdate).active_cycles, m.total_cycles);
       chip_plans[c][l].seg_post = post;
       chip_plans[c][l].seg_pre = m.total_cycles - post;
+      chip_plans[c][l].dram_cycles = m.dram_cycles;
+      chip_plans[c][l].noc_busy_cycles = m.onchip_comm_cycles;
+      chip_plans[c][l].reconfig_cycles = m.reconfig_cycles;
       out.chips[c].metrics += m;
     }
   });
@@ -275,6 +287,9 @@ ClusterRunMetrics ClusterEngine::run(const graph::Dataset& dataset,
 
   // Phase C: replay on the shared cluster clock — one serial simulator, or
   // one partition per chip under the conservative parallel coordinator.
+  if (tracer_ != nullptr) {
+    tracer_->record(0, sim::TraceEvent::kRunBegin, sim::kRunKindCluster, n);
+  }
   if (params_.parallel) {
     link_.reset();
     run_timeline_parallel(std::move(chip_plans), bound);
@@ -293,6 +308,10 @@ ClusterRunMetrics ClusterEngine::run(const graph::Dataset& dataset,
     chip.halo_bytes_sent = proxies_[c]->halo_bytes_sent();
     chip.halo_bytes_received = proxies_[c]->halo_bytes_received();
     out.total_cycles = std::max(out.total_cycles, chip.finish_cycle);
+  }
+  if (tracer_ != nullptr) {
+    tracer_->record(out.total_cycles, sim::TraceEvent::kRunEnd,
+                    out.total_cycles, 0);
   }
 
   out.counters.inc("cluster.chips", n);
@@ -326,7 +345,7 @@ void ClusterEngine::run_timeline_serial(
     if (tracer_ != nullptr) {
       tracer_->record(now, sim::TraceEvent::kHaloDelivered,
                       static_cast<std::uint64_t>(msg.src) * 256 + msg.dst,
-                      msg.bytes);
+                      msg.bytes, msg.layer);
     }
     proxies_[msg.dst]->on_halo(msg, now);
   });
@@ -367,7 +386,7 @@ void ClusterEngine::run_timeline_parallel(
             shards_[c].record(
                 now, 1, via_wire, now, sim::TraceEvent::kHaloDelivered,
                 static_cast<std::uint64_t>(msg.src) * 256 + msg.dst,
-                msg.bytes);
+                msg.bytes, msg.layer);
           }
           proxies_[c]->on_halo(msg, now);
         });
@@ -422,7 +441,7 @@ void ClusterEngine::run_timeline_parallel(
         });
     for (const TraceShard::Entry* e : order) {
       tracer_->record(e->record.at, e->record.kind, e->record.arg0,
-                      e->record.arg1);
+                      e->record.arg1, e->record.arg2, e->record.arg3);
     }
   }
 }

@@ -58,6 +58,12 @@ struct ClusterParams {
 struct ChipLayerPlan {
   Cycle seg_pre = 0;
   Cycle seg_post = 0;
+  /// Chip-local engine breakdown of the layer (DRAM stream cycles, NoC busy
+  /// cycles, reconfiguration cycles) — carried into the enriched
+  /// compute-pre kClusterSegment record for the critical-path profiler.
+  Cycle dram_cycles = 0;
+  Cycle noc_busy_cycles = 0;
+  Cycle reconfig_cycles = 0;
   /// Halo chunks this chip ships at the exchange point (dst/bytes/layer
   /// filled in; timing stamped at send).
   std::vector<LinkMessage> outgoing;
@@ -86,8 +92,10 @@ struct TraceShard {
 
   void record(Cycle record_cycle, std::uint32_t cls, std::uint64_t subkey,
               Cycle at, sim::TraceEvent kind, std::uint64_t arg0,
-              std::uint64_t arg1) {
-    entries.push_back({record_cycle, cls, subkey, {at, kind, arg0, arg1}});
+              std::uint64_t arg1, std::uint64_t arg2 = 0,
+              std::uint64_t arg3 = 0) {
+    entries.push_back(
+        {record_cycle, cls, subkey, {at, kind, arg0, arg1, arg2, arg3}});
   }
 };
 

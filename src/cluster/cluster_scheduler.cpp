@@ -53,6 +53,7 @@ ClusterScheduleResult ClusterScheduler::run_data_parallel(
   chips.reserve(n);
   for (std::uint32_t c = 0; c < n; ++c) {
     chips.push_back(std::make_unique<core::AuroraAccelerator>(config_));
+    if (tracer_ != nullptr) chips.back()->set_tracer(tracer_);
   }
   result.chip_timeline.assign(n, 0);
   std::vector<Cycle> prev_tail(n, 0);
@@ -91,6 +92,7 @@ ClusterScheduleResult ClusterScheduler::run_shard_parallel(
   ClusterScheduleResult result;
   result.mode = DispatchMode::kShardParallel;
   ClusterEngine engine(config_, params_);
+  if (tracer_ != nullptr) engine.set_tracer(tracer_);
 
   Cycle timeline = 0;
   Cycle prev_tail = 0;

@@ -63,6 +63,13 @@ class ClusterScheduler {
       const graph::Dataset& dataset,
       std::vector<core::ScheduledRequest> queue, DispatchMode mode);
 
+  /// Trace every request's execution into `tracer` (enable it first).
+  /// Shard-parallel: the cluster-clock trace (segments, halos, run
+  /// delimiters). Data-parallel: every chip engine records into the shared
+  /// tracer — requests are dispatched one at a time, so records do not
+  /// interleave.
+  void set_tracer(sim::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   [[nodiscard]] ClusterScheduleResult run_data_parallel(
       const graph::Dataset& dataset,
@@ -73,6 +80,7 @@ class ClusterScheduler {
 
   core::AuroraConfig config_;
   ClusterParams params_;
+  sim::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace aurora::cluster

@@ -437,6 +437,10 @@ RunMetrics CycleEngine::run_layer(const graph::Dataset& dataset,
   });
 
   // ---- run tiles through the load/compute pipeline ------------------------
+  if (tracer_ != nullptr) {
+    tracer_->record(0, sim::TraceEvent::kRunBegin, sim::kRunKindChip,
+                    tiling.num_tiles());
+  }
   RunMetrics metrics;
   metrics.partition_a = plan.sub_a_pes();
   metrics.partition_b = plan.sub_b_pes();
@@ -514,13 +518,19 @@ RunMetrics CycleEngine::run_layer(const graph::Dataset& dataset,
     }
     if (ti == 0) load_bytes += traffic.weights;  // weights once per layer
     const Cycle load_start = sim.now();
+    const std::uint64_t load_hits = dram.stats().row_hits;
+    const std::uint64_t load_misses = dram.stats().row_misses;
+    const std::uint64_t load_conflicts = dram.stats().row_conflicts;
     enqueue_stream(load_bytes);
     sim.run_until_idle(kGuard);
     check_drained();
     const Cycle load_cycles = sim.now() - load_start;
     if (tracer_ != nullptr) {
-      tracer_->record(load_start, sim::TraceEvent::kDramSpan, load_bytes,
-                      load_cycles);
+      tracer_->record(
+          load_start, sim::TraceEvent::kDramSpan, load_bytes, load_cycles,
+          dram.stats().row_hits - load_hits,
+          sim::pack_u32_pair(dram.stats().row_misses - load_misses,
+                             dram.stats().row_conflicts - load_conflicts));
     }
 
     // -- seed the tile's dataflow.
@@ -533,6 +543,10 @@ RunMetrics CycleEngine::run_layer(const graph::Dataset& dataset,
 
     const Cycle compute_start = sim.now();
     const Cycle net_busy_before = net.stats().busy_cycles;
+    std::uint64_t pe_busy_before = 0;
+    if (tracer_ != nullptr) {
+      for (const auto& p : pes) pe_busy_before += p.stats().busy_cycles;
+    }
     if (update_first && has_vu) {
       // Update-first: every vertex's transform ring chain starts right away
       // (its feature slices are already resident in the ring PEs' buffers).
@@ -591,6 +605,14 @@ RunMetrics CycleEngine::run_layer(const graph::Dataset& dataset,
                              << vertices_remaining << " vertices stuck");
     const Cycle compute_cycles = sim.now() - compute_start;
     metrics.onchip_comm_cycles += net.stats().busy_cycles - net_busy_before;
+    if (tracer_ != nullptr) {
+      std::uint64_t pe_busy_after = 0;
+      for (const auto& p : pes) pe_busy_after += p.stats().busy_cycles;
+      tracer_->record(compute_start, sim::TraceEvent::kComputeSpan, ti,
+                      compute_cycles,
+                      net.stats().busy_cycles - net_busy_before,
+                      pe_busy_after - pe_busy_before);
+    }
     // Fold this tile's phase activity windows into the per-phase totals.
     for (std::size_t p = 0; p < kNumPhases; ++p) {
       if (!phase_seen[p]) continue;
@@ -609,13 +631,19 @@ RunMetrics CycleEngine::run_layer(const graph::Dataset& dataset,
       store_bytes += tile.num_edges * static_cast<Bytes>(fv) * elem;
     }
     const Cycle store_start = sim.now();
+    const std::uint64_t store_hits = dram.stats().row_hits;
+    const std::uint64_t store_misses = dram.stats().row_misses;
+    const std::uint64_t store_conflicts = dram.stats().row_conflicts;
     enqueue_stream(store_bytes);
     sim.run_until_idle(kGuard);
     check_drained();
     const Cycle store_cycles = sim.now() - store_start;
     if (tracer_ != nullptr) {
-      tracer_->record(store_start, sim::TraceEvent::kDramSpan, store_bytes,
-                      store_cycles);
+      tracer_->record(
+          store_start, sim::TraceEvent::kDramSpan, store_bytes, store_cycles,
+          dram.stats().row_hits - store_hits,
+          sim::pack_u32_pair(dram.stats().row_misses - store_misses,
+                             dram.stats().row_conflicts - store_conflicts));
     }
 
     // -- pipeline composition: tile loads overlap the previous compute.
@@ -634,6 +662,10 @@ RunMetrics CycleEngine::run_layer(const graph::Dataset& dataset,
                          AuroraConfig::kHeuristicCycles;
   metrics.reconfig_cycles =
       config_unit.exposed_cycles() + AuroraConfig::kHeuristicCycles;
+  if (tracer_ != nullptr) {
+    tracer_->record(metrics.total_cycles, sim::TraceEvent::kRunEnd,
+                    metrics.total_cycles, metrics.reconfig_cycles);
+  }
 
   metrics.noc_heatmap = net.render_load_heatmap();
   net.export_counters(metrics.counters);

@@ -87,7 +87,22 @@ std::string metrics_to_json(const RunMetrics& m) {
   append_kv(os, "reconfig", m.energy.reconfig_pj);
   append_kv(os, "leakage", m.energy.leakage_pj);
   append_kv(os, "total", m.energy.total_pj(), /*last=*/true);
-  os << "}}";
+  os << "}";
+  // Named counters (cluster.* halo traffic, profile.critpath.* attribution,
+  // trace.dropped_records, ...). CounterSet::all() returns a sorted map, so
+  // the key order is deterministic. Omitted entirely when empty to keep the
+  // plain single-chip schema unchanged.
+  const auto& counters = m.counters.all();
+  if (!counters.empty()) {
+    os << ", \"counters\": {";
+    std::size_t i = 0;
+    for (const auto& [name, value] : counters) {
+      os << "\"" << escape(name) << "\": " << value;
+      if (++i < counters.size()) os << ", ";
+    }
+    os << "}";
+  }
+  os << "}";
   return os.str();
 }
 

@@ -14,9 +14,10 @@ namespace aurora::sim {
 namespace {
 
 // Track (thread) layout inside each process.
-constexpr int kTidControl = 0;   // tile starts, reconfigurations
+constexpr int kTidControl = 0;   // tile starts, reconfigurations, run marks
 constexpr int kTidPhase0 = 1;    // + phase index: 1..3
 constexpr int kTidDram = 4;
+constexpr int kTidCompute = 5;   // per-tile compute windows
 /// Cluster chip-segment tracks sit above the single-chip tids so a process
 /// carrying both kinds of records never collides.
 constexpr int kTidClusterBase = 8;
@@ -123,6 +124,7 @@ void emit_process(EventWriter& w, int pid, const TraceProcess& proc) {
     meta_thread_name(w, pid, kTidPhase0 + p, kPhaseNames[p]);
   }
   meta_thread_name(w, pid, kTidDram, "dram-stream");
+  meta_thread_name(w, pid, kTidCompute, "tile-compute");
   if (proc.tracer != nullptr) {
     std::uint64_t max_chip = 0;
     bool any_cluster = false;
@@ -181,7 +183,31 @@ void emit_process(EventWriter& w, int pid, const TraceProcess& proc) {
                     << r.arg0 << ", \"vertices\": " << r.arg1 << "}";
           w.end();
           break;
+        case TraceEvent::kComputeSpan:
+          w.begin() << "\"ph\": \"X\", \"pid\": " << pid
+                    << ", \"tid\": " << kTidCompute << ", \"ts\": " << r.at
+                    << ", \"dur\": " << std::max<std::uint64_t>(r.arg1, 1)
+                    << ", \"name\": \"tile-compute\", \"args\": {\"tile\": "
+                    << r.arg0 << ", \"noc_busy\": " << r.arg2
+                    << ", \"pe_busy\": " << r.arg3 << "}";
+          w.end();
+          break;
+        case TraceEvent::kRunBegin:
+          w.begin() << "\"ph\": \"i\", \"s\": \"t\", \"pid\": " << pid
+                    << ", \"tid\": " << kTidControl << ", \"ts\": " << r.at
+                    << ", \"name\": \"run-begin\", \"args\": {\"kind\": "
+                    << r.arg0 << "}";
+          w.end();
+          break;
+        case TraceEvent::kRunEnd:
+          w.begin() << "\"ph\": \"i\", \"s\": \"t\", \"pid\": " << pid
+                    << ", \"tid\": " << kTidControl << ", \"ts\": " << r.at
+                    << ", \"name\": \"run-end\", \"args\": {\"total_cycles\": "
+                    << r.arg0 << "}";
+          w.end();
+          break;
         case TraceEvent::kClusterSegment: {
+          if (r.arg1 == 0) break;  // zero-length barrier/segment records
           const auto chip = static_cast<int>(r.arg0 / 4);
           const auto seg = std::min<std::uint64_t>(r.arg0 % 4, 2);
           w.begin() << "\"ph\": \"X\", \"pid\": " << pid

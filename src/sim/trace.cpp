@@ -29,12 +29,18 @@ const char* trace_event_name(TraceEvent e) {
       return "phase-span";
     case TraceEvent::kDramSpan:
       return "dram-span";
+    case TraceEvent::kComputeSpan:
+      return "compute-span";
     case TraceEvent::kClusterSegment:
       return "cluster-segment";
     case TraceEvent::kHaloSent:
       return "halo-sent";
     case TraceEvent::kHaloDelivered:
       return "halo-delivered";
+    case TraceEvent::kRunBegin:
+      return "run-begin";
+    case TraceEvent::kRunEnd:
+      return "run-end";
   }
   throw Error("invalid TraceEvent");
 }
@@ -61,13 +67,14 @@ std::string Tracer::render_timeline(std::size_t buckets) const {
   Cycle max_cycle = 1;
   for (const auto& r : records_) max_cycle = std::max(max_cycle, r.at);
 
-  static constexpr std::array<TraceEvent, 11> kKinds = {
-      TraceEvent::kTileStart,      TraceEvent::kReconfigure,
-      TraceEvent::kPhaseSpan,      TraceEvent::kDramSpan,
+  static constexpr std::array<TraceEvent, 14> kKinds = {
+      TraceEvent::kRunBegin,       TraceEvent::kTileStart,
+      TraceEvent::kReconfigure,    TraceEvent::kPhaseSpan,
+      TraceEvent::kComputeSpan,    TraceEvent::kDramSpan,
       TraceEvent::kDramRequest,    TraceEvent::kPacketInjected,
       TraceEvent::kPacketDelivered, TraceEvent::kTaskComplete,
       TraceEvent::kClusterSegment, TraceEvent::kHaloSent,
-      TraceEvent::kHaloDelivered};
+      TraceEvent::kHaloDelivered,  TraceEvent::kRunEnd};
   static constexpr const char* kGlyphs = " .:-=+*#%@";
 
   std::ostringstream os;
@@ -99,10 +106,10 @@ std::string Tracer::render_timeline(std::size_t buckets) const {
 }
 
 void Tracer::write_csv(std::ostream& out) const {
-  out << "cycle,event,arg0,arg1\n";
+  out << "cycle,event,arg0,arg1,arg2,arg3\n";
   for (const auto& r : records_) {
     out << r.at << ',' << trace_event_name(r.kind) << ',' << r.arg0 << ','
-        << r.arg1 << '\n';
+        << r.arg1 << ',' << r.arg2 << ',' << r.arg3 << '\n';
   }
 }
 

@@ -586,6 +586,8 @@ TEST(ParallelEngine, TraceMatchesSerial) {
     EXPECT_EQ(serial[i].kind, parallel[i].kind) << "record " << i;
     EXPECT_EQ(serial[i].arg0, parallel[i].arg0) << "record " << i;
     EXPECT_EQ(serial[i].arg1, parallel[i].arg1) << "record " << i;
+    EXPECT_EQ(serial[i].arg2, parallel[i].arg2) << "record " << i;
+    EXPECT_EQ(serial[i].arg3, parallel[i].arg3) << "record " << i;
   }
 }
 

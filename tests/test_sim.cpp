@@ -263,9 +263,13 @@ TEST(Tracer, CsvOutput) {
   Tracer t;
   t.enable();
   t.record(3, TraceEvent::kTileStart, 7, 8);
+  t.record(5, TraceEvent::kDramSpan, 1, 2, 3, 4);
   std::ostringstream os;
   t.write_csv(os);
-  EXPECT_EQ(os.str(), "cycle,event,arg0,arg1\n3,tile-start,7,8\n");
+  EXPECT_EQ(os.str(),
+            "cycle,event,arg0,arg1,arg2,arg3\n"
+            "3,tile-start,7,8,0,0\n"
+            "5,dram-span,1,2,3,4\n");
 }
 
 TEST(Tracer, ClearResets) {
@@ -292,9 +296,9 @@ TEST(Tracer, RingBufferEvictsOldestAndCountsDrops) {
   std::ostringstream os;
   t.write_csv(os);
   EXPECT_EQ(os.str(),
-            "cycle,event,arg0,arg1\n"
-            "6,task-complete,6,0\n7,task-complete,7,0\n"
-            "8,task-complete,8,0\n9,task-complete,9,0\n");
+            "cycle,event,arg0,arg1,arg2,arg3\n"
+            "6,task-complete,6,0,0,0\n7,task-complete,7,0,0,0\n"
+            "8,task-complete,8,0,0,0\n9,task-complete,9,0,0,0\n");
   t.clear();
   EXPECT_EQ(t.dropped(), 0u);
   EXPECT_THROW(t.set_capacity(0), Error);
