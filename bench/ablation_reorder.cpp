@@ -14,14 +14,14 @@
 
 int main(int argc, char** argv) {
   using namespace aurora;
-  const CliArgs args(argc, argv);
+  const CliArgs args(argc, argv, {"rmat-scale", "edges", "hidden", "seed"});
   const auto rmat_scale =
-      static_cast<std::uint32_t>(args.get_int("rmat-scale", 13));
-  const auto edges = static_cast<EdgeId>(
-      args.get_int("edges", 8 * (1ll << rmat_scale)));
-  const auto hidden = static_cast<std::uint32_t>(args.get_int("hidden", 16));
+      args.get_uint("rmat-scale", 13, 1, 24);
+  const auto edges = static_cast<EdgeId>(args.get_uint(
+      "edges", static_cast<std::uint32_t>(8u * (1u << rmat_scale)), 1));
+  const auto hidden = args.get_uint("hidden", 16, 1);
 
-  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 7)));
+  Rng rng(args.get_uint("seed", 7));
   graph::RmatParams rp;
   rp.scale = rmat_scale;
   rp.undirected_edges = edges;

@@ -14,11 +14,11 @@
 
 int main(int argc, char** argv) {
   using namespace aurora;
-  const CliArgs args(argc, argv);
-  const auto n = static_cast<VertexId>(args.get_int("n", 600));
-  const auto edges = static_cast<EdgeId>(args.get_int("edges", 3000));
-  const auto hidden = static_cast<std::uint32_t>(args.get_int("hidden", 16));
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+  const CliArgs args(argc, argv, {"n", "edges", "hidden", "seed"});
+  const auto n = static_cast<VertexId>(args.get_uint("n", 600, 2));
+  const auto edges = static_cast<EdgeId>(args.get_uint("edges", 3000, 1));
+  const auto hidden = args.get_uint("hidden", 16, 1);
+  const auto seed = std::uint64_t{args.get_uint("seed", 7)};
 
   std::printf("Degree-skew sweep — cycle engine, 16x16 chip, GCN hidden "
               "layer, n=%u m=%llu\n\n",

@@ -34,11 +34,10 @@ mapping::Mapping with_placement(const mapping::Mapping& base,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
+  const CliArgs args(argc, argv, {"scale", "seed"});
   const double scale = args.get_double("scale", 0.5);
   const auto ds = graph::make_dataset(graph::DatasetId::kCora, scale,
-                                      static_cast<std::uint64_t>(
-                                          args.get_int("seed", 7)));
+                                      args.get_uint("seed", 7));
 
   mapping::MapperParams params = mapping::MapperParams::square(16);
   params.c_pe_slots = 4;

@@ -11,14 +11,16 @@
 namespace aurora::bench {
 
 FigureOptions parse_figure_options(int argc, const char* const* argv) {
-  const CliArgs args(argc, argv);
+  const CliArgs args(argc, argv,
+                     {"scale", "small", "hidden", "seed", "jobs",
+                      "metrics-out"});
   FigureOptions opt;
   opt.scale = args.get_double("scale", 0.0);
   opt.paper_scale = !args.get_bool("small", false);
   opt.hidden_dim =
-      static_cast<std::uint32_t>(args.get_int("hidden", 16));
-  opt.seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
-  opt.jobs = static_cast<unsigned>(args.get_int("jobs", 0));
+      args.get_uint("hidden", 16, 1);
+  opt.seed = args.get_uint("seed", 7);
+  opt.jobs = args.get_uint("jobs", 0);
   opt.metrics_out = args.get_string("metrics-out", "");
   return opt;
 }

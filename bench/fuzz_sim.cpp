@@ -524,7 +524,9 @@ bool run_seed(std::uint64_t seed, bool verbose, const std::string& trace_out) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
+  const CliArgs args(argc, argv,
+                     {"help", "cluster", "parallel", "seed", "seeds",
+                      "start-seed", "trace-out"});
   if (args.get_bool("help", false)) {
     std::printf(
         "fuzz_sim — differential fuzzer (lockstep vs fast-forward)\n\n"
@@ -545,7 +547,7 @@ int main(int argc, char** argv) {
   const bool cluster_mode = args.get_bool("cluster", false);
   const bool parallel_mode = args.get_bool("parallel", false);
   if (args.has("seed")) {
-    const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    const auto seed = std::uint64_t{args.get_uint("seed", 1)};
     if (cluster_mode) {
       return run_cluster_seed(seed, /*verbose=*/true, parallel_mode) ? 0 : 1;
     }
@@ -553,9 +555,9 @@ int main(int argc, char** argv) {
     return run_seed(seed, /*verbose=*/true, trace_out) ? 0 : 1;
   }
 
-  const auto seeds = static_cast<std::uint64_t>(args.get_int("seeds", 25));
+  const auto seeds = std::uint64_t{args.get_uint("seeds", 25, 1)};
   const auto start =
-      static_cast<std::uint64_t>(args.get_int("start-seed", 1));
+      std::uint64_t{args.get_uint("start-seed", 1)};
   for (std::uint64_t seed = start; seed < start + seeds; ++seed) {
     const bool ok =
         cluster_mode ? run_cluster_seed(seed, /*verbose=*/false, parallel_mode)

@@ -65,15 +65,17 @@ Timed best_of(const core::AuroraConfig& cfg, const cluster::ClusterParams& p,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
+  const CliArgs args(argc, argv,
+                     {"vertices", "edges", "feature_dim", "reps",
+                      "lockstep", "jobs"});
   Options opt;
-  opt.vertices = static_cast<VertexId>(args.get_int("vertices", 1200));
-  opt.edges = static_cast<EdgeId>(args.get_int("edges", 6000));
+  opt.vertices = static_cast<VertexId>(args.get_uint("vertices", 1200, 2));
+  opt.edges = static_cast<EdgeId>(args.get_uint("edges", 6000, 1));
   opt.feature_dim =
-      static_cast<std::uint32_t>(args.get_int("feature_dim", 32));
-  opt.reps = static_cast<int>(args.get_int("reps", 3));
+      args.get_uint("feature_dim", 32, 1);
+  opt.reps = static_cast<int>(args.get_uint("reps", 3, 1));
   opt.fast_forward = !args.has("lockstep");
-  opt.jobs = static_cast<unsigned>(args.get_int("jobs", 0));
+  opt.jobs = args.get_uint("jobs", 0);
 
   Rng rng(7);
   graph::Dataset ds;

@@ -1,0 +1,131 @@
+// Open-loop serving sweep: goodput under SLO vs arrival rate.
+//
+// Runs the serving engine at a geometric ladder of arrival rates around
+// --rate and reports, per point, the shed rate and goodput-under-SLO plus
+// exact p99 latency and queue-wait. The sweep makes the saturation story
+// visible in one line of JSON: below capacity goodput tracks the offered
+// rate, past capacity queue-wait blows up, the SLO cuts goodput and the
+// admission cap starts shedding.
+//
+// Every point asserts the serving invariant admitted + shed == generated
+// (exit code 1 on violation), so the bench doubles as a smoke check.
+// Output is one machine-readable JSON line on stdout (check.sh saves it as
+// BENCH_serving.json) plus a human-readable table on stderr:
+//   {"bench": "serving", "chips": ..., "slo_us": ..., "points": [...]}
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "core/aurora.hpp"
+#include "graph/generators.hpp"
+#include "serving/serving_engine.hpp"
+
+namespace {
+
+using namespace aurora;
+
+struct Point {
+  double rate_rps = 0.0;
+  serving::ServingReport report;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv,
+                     {"scale", "hidden", "requests", "rate", "slo-us",
+                      "chips", "mode", "seed", "queue-depth", "max-batch",
+                      "tenants"});
+  const double scale = args.get_double("scale", 0.02);
+  const std::uint32_t hidden = args.get_uint("hidden", 16, 1);
+  const std::uint32_t chips = args.get_uint("chips", 1, 1);
+  const std::string mode_arg = args.get_string("mode", "data");
+  const double slo_us = args.get_double("slo-us", 800.0);
+  const double base_rate = args.get_double("rate", 2000.0);
+
+  const graph::Dataset ds =
+      graph::make_dataset(graph::DatasetId::kPubmed, scale);
+  const core::AuroraConfig config = core::AuroraConfig::bench();
+
+  cluster::ClusterParams cluster_params;
+  cluster_params.num_chips = chips;
+
+  serving::ServingParams params;
+  params.seed = args.get_uint("seed", 1);
+  params.num_requests = args.get_uint("requests", 24, 1);
+  params.queue_depth = args.get_uint("queue-depth", 16);
+  params.max_batch = args.get_uint("max-batch", 4, 1);
+  params.num_tenants = args.get_uint("tenants", 2, 1);
+  params.slo_cycles = static_cast<Cycle>(slo_us * config.frequency_mhz);
+  params.mode = mode_arg == "shard" ? cluster::DispatchMode::kShardParallel
+                                    : cluster::DispatchMode::kDataParallel;
+
+  const std::vector<serving::ModelMixEntry> mix = {
+      {core::GnnJob::two_layer(gnn::GnnModel::kGcn, ds.spec, hidden), "gcn",
+       2.0, 0},
+      {core::GnnJob::two_layer(gnn::GnnModel::kAgnn, ds.spec, hidden),
+       "agnn", 1.0, 0},
+  };
+
+  std::fprintf(stderr,
+               "serving sweep: %u chip(s), %s, SLO %.0f us, %llu requests "
+               "per point\n",
+               chips, cluster::dispatch_mode_name(params.mode), slo_us,
+               static_cast<unsigned long long>(params.num_requests));
+  std::vector<Point> points;
+  for (const double mult : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    const double rate_rps = base_rate * mult;
+    params.arrival.rate_per_mcycle = rate_rps / config.frequency_mhz;
+    serving::ServingEngine engine(config, cluster_params, params);
+    Point point;
+    point.rate_rps = rate_rps;
+    point.report = engine.run(ds, mix);
+    const auto& r = point.report;
+    if (r.admitted + r.shed != r.generated ||
+        r.served.size() != r.admitted) {
+      std::fprintf(stderr,
+                   "FAIL: shed accounting broken at %.0f req/s "
+                   "(generated %llu, admitted %llu, shed %llu, served %zu)\n",
+                   rate_rps, static_cast<unsigned long long>(r.generated),
+                   static_cast<unsigned long long>(r.admitted),
+                   static_cast<unsigned long long>(r.shed), r.served.size());
+      return EXIT_FAILURE;
+    }
+    std::fprintf(stderr,
+                 "  %8.0f req/s: goodput %7.0f req/s, shed %4.1f%%, "
+                 "p99 latency %8.1f us (wait %8.1f us)\n",
+                 rate_rps, r.goodput_rps(), 100.0 * r.shed_rate(),
+                 r.latency_percentile(0.99) / config.frequency_mhz,
+                 r.queue_wait_percentile(0.99) / config.frequency_mhz);
+    points.push_back(std::move(point));
+  }
+
+  std::string json = "{\"bench\": \"serving\", \"chips\": " +
+                     std::to_string(chips) + ", \"mode\": \"" +
+                     cluster::dispatch_mode_name(params.mode) +
+                     "\", \"slo_us\": " + std::to_string(slo_us) +
+                     ", \"points\": [";
+  char buf[512];
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& r = points[i].report;
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"rate_rps\": %.0f, \"generated\": %llu, \"shed\": %llu, "
+        "\"shed_rate\": %.4f, \"goodput_rps\": %.1f, "
+        "\"latency_p99_us\": %.2f, \"queue_wait_p99_us\": %.2f, "
+        "\"batched_followers\": %llu}%s",
+        points[i].rate_rps, static_cast<unsigned long long>(r.generated),
+        static_cast<unsigned long long>(r.shed), r.shed_rate(),
+        r.goodput_rps(),
+        r.latency_percentile(0.99) / config.frequency_mhz,
+        r.queue_wait_percentile(0.99) / config.frequency_mhz,
+        static_cast<unsigned long long>(r.batched_followers),
+        i + 1 < points.size() ? ", " : "");
+    json += buf;
+  }
+  json += "]}";
+  std::printf("%s\n", json.c_str());
+  return EXIT_SUCCESS;
+}

@@ -145,15 +145,17 @@ RunResult best_of(const Options& opt, bool fast_forward, int reps) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
+  const CliArgs args(argc, argv,
+                     {"k", "iters", "chains", "task_len", "dram_stretch",
+                      "router_delay", "reps"});
   Options opt;
-  opt.k = static_cast<std::uint32_t>(args.get_int("k", 8));
-  opt.iters = static_cast<int>(args.get_int("iters", 2000));
-  opt.chains = static_cast<int>(args.get_int("chains", 1));
-  opt.task_len = static_cast<std::uint32_t>(args.get_int("task_len", 512));
-  opt.dram_stretch = static_cast<Cycle>(args.get_int("dram_stretch", 8));
-  opt.router_delay = static_cast<Cycle>(args.get_int("router_delay", 2));
-  const int reps = static_cast<int>(args.get_int("reps", 3));
+  opt.k = args.get_uint("k", 8, 2, 64);
+  opt.iters = static_cast<int>(args.get_uint("iters", 2000, 1));
+  opt.chains = static_cast<int>(args.get_uint("chains", 1, 1));
+  opt.task_len = args.get_uint("task_len", 512, 1);
+  opt.dram_stretch = static_cast<Cycle>(args.get_uint("dram_stretch", 8));
+  opt.router_delay = static_cast<Cycle>(args.get_uint("router_delay", 2));
+  const int reps = static_cast<int>(args.get_uint("reps", 3, 1));
 
   const RunResult lockstep = best_of(opt, /*fast_forward=*/false, reps);
   const RunResult ff = best_of(opt, /*fast_forward=*/true, reps);

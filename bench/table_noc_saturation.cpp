@@ -12,11 +12,11 @@
 
 int main(int argc, char** argv) {
   using namespace aurora;
-  const CliArgs args(argc, argv);
+  const CliArgs args(argc, argv, {"k", "cycles", "seed"});
   noc::NocParams params;
-  params.k = static_cast<std::uint32_t>(args.get_int("k", 8));
-  const auto cycles = static_cast<Cycle>(args.get_int("cycles", 1500));
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  params.k = args.get_uint("k", 8, 2, 64);
+  const auto cycles = static_cast<Cycle>(args.get_uint("cycles", 1500, 1));
+  const auto seed = std::uint64_t{args.get_uint("seed", 1)};
 
   std::printf("NoC saturation — %ux%u mesh, %u VCs, 64 B packets\n\n",
               params.k, params.k, params.num_vcs);

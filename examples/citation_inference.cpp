@@ -15,9 +15,9 @@
 
 int main(int argc, char** argv) {
   using namespace aurora;
-  const CliArgs args(argc, argv);
+  const CliArgs args(argc, argv, {"scale", "hidden"});
   const double scale = args.get_double("scale", 0.05);
-  const auto hidden = static_cast<std::uint32_t>(args.get_int("hidden", 16));
+  const auto hidden = args.get_uint("hidden", 16, 1);
 
   const graph::Dataset ds = graph::make_dataset(graph::DatasetId::kCora, scale);
   const std::uint32_t classes = ds.spec.num_classes;

@@ -17,7 +17,7 @@
 
 int main(int argc, char** argv) {
   using namespace aurora;
-  const CliArgs args(argc, argv);
+  const CliArgs args(argc, argv, {"graph", "json"});
 
   std::string path = args.get_string("graph", "");
   if (path.empty()) {

@@ -13,9 +13,9 @@
 
 int main(int argc, char** argv) {
   using namespace aurora;
-  const CliArgs args(argc, argv);
+  const CliArgs args(argc, argv, {"scale", "hidden"});
   const double scale = args.get_double("scale", 0.1);
-  const auto hidden = static_cast<std::uint32_t>(args.get_int("hidden", 32));
+  const auto hidden = args.get_uint("hidden", 32, 1);
 
   const graph::Dataset dataset =
       graph::make_dataset(graph::DatasetId::kCora, scale);

@@ -51,10 +51,10 @@ aurora::graph::Dataset make_point_cloud(std::uint32_t points,
 
 int main(int argc, char** argv) {
   using namespace aurora;
-  const CliArgs args(argc, argv);
-  const auto points = static_cast<std::uint32_t>(args.get_int("points", 1024));
+  const CliArgs args(argc, argv, {"points", "features"});
+  const auto points = args.get_uint("points", 1024, 1);
   const auto features =
-      static_cast<std::uint32_t>(args.get_int("features", 16));
+      args.get_uint("features", 16, 1);
 
   const graph::Dataset cloud = make_point_cloud(points, features);
   std::printf("point cloud: %u points, %llu neighbor edges, mean degree %.1f\n",

@@ -11,7 +11,7 @@
 
 int main(int argc, char** argv) {
   using namespace aurora;
-  const CliArgs args(argc, argv);
+  const CliArgs args(argc, argv, {"scale", "analytic"});
 
   // 1. A dataset. Datasets are synthesised deterministically to match the
   //    published statistics of the real graphs (see DESIGN.md §1).

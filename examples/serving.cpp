@@ -1,19 +1,34 @@
 // Social-recommendation serving (one of the paper's motivating domains): a
-// queue of mixed-model inference requests against one user-item graph.
-// Shows the versatility story end to end — C-GNN, A-GNN and MP-GNN requests
-// share the array, each getting its own partition and NoC configuration —
-// plus the request-level latency distribution a serving deployment reports
-// (p50/p95/p99).
+// mix of C-GNN, A-GNN and MP-GNN inference requests against one user-item
+// graph, sharing the array with per-request partition and NoC
+// reconfiguration.
 //
-// With --chips=N > 1 the queue is served by an Aurora cluster instead:
+// Two serving modes:
+//
+//   * Closed loop (default): a fixed queue of --requests requests replayed
+//     back to back, as a capacity benchmark.
+//   * Open loop (--arrival=poisson|bursty|diurnal): requests arrive on
+//     their own clock from a seed-deterministic arrival process, pass an
+//     admission-controlled queue (EDF within priority classes, per-tenant
+//     fairness), are coalesced into configuration-compatible batches, and
+//     report goodput under SLO, shed rate and the queue-wait vs
+//     service-time split behind each latency percentile.
+//
+// With --chips=N > 1 the queue is served by an Aurora cluster:
 //   --mode=data   replicate the graph, least-loaded dispatch (throughput);
 //   --mode=shard  shard the graph, every request runs on all chips
 //                 cooperating through the inter-chip link (latency).
 //
 //   ./examples/serving [--scale=0.1] [--requests=6] [--hidden=32]
-//                      [--chips=2] [--mode=data|shard]
+//                      [--chips=2] [--mode=data|shard] [--parallel-sim]
+//                      [--jobs=N]
+//   ./examples/serving --arrival=poisson --rate=200000 --slo-us=400
+//                      [--seed=1] [--queue-depth=64] [--max-batch=4]
+//                      [--tenants=2] [--burst-mult=8] [--burst-frac=0.1]
+//                      [--period-us=2000] [--amplitude=0.8]
+//                      [--serving-out=report.json]
 //
-// Observability flags (both single-chip and cluster serving):
+// Observability flags (all paths):
 //   --trace-out=<path>     write a Chrome/Perfetto trace JSON
 //   --metrics-out=<path>   write the per-request metrics JSON report
 //   --critpath             print the critical-path attribution table
@@ -38,6 +53,7 @@
 #include "core/report.hpp"
 #include "core/scheduler.hpp"
 #include "profile/critpath.hpp"
+#include "serving/serving_engine.hpp"
 #include "sim/perfetto.hpp"
 #include "sim/trace.hpp"
 
@@ -47,23 +63,17 @@ using namespace aurora;
 
 void print_latency_percentiles(const std::vector<Cycle>& latencies,
                                double frequency_mhz) {
-  // Self-scaling histogram: ~1k-cycle resolution over the observed range.
-  Cycle max_latency = 1;
-  for (const Cycle l : latencies) max_latency = std::max(max_latency, l);
-  const double bucket =
-      std::max(1.0, static_cast<double>(max_latency) / 1024.0);
-  Histogram hist(bucket, 1100);
-  for (const Cycle l : latencies) hist.add(static_cast<double>(l));
-  const auto us = [&](double cycles) {
-    return 1e6 * cycles / (frequency_mhz * 1e6);
-  };
+  std::vector<double> samples;
+  samples.reserve(latencies.size());
+  for (const Cycle l : latencies) samples.push_back(static_cast<double>(l));
+  const auto us = [&](double cycles) { return cycles / frequency_mhz; };
   std::printf("latency percentiles over %zu request(s): "
               "p50 %.2f us, p95 %.2f us, p99 %.2f us\n",
-              latencies.size(), us(hist.quantile(0.50)),
-              us(hist.quantile(0.95)), us(hist.quantile(0.99)));
+              latencies.size(), us(percentile(samples, 0.50)),
+              us(percentile(samples, 0.95)), us(percentile(samples, 0.99)));
 }
 
-/// Shared tail of both serving paths: truncation warning, critical-path
+/// Shared tail of all serving paths: truncation warning, critical-path
 /// analysis (table + JSON + counters merged into the last request), the
 /// Perfetto trace and the metrics report. Returns a process exit code.
 int emit_observability(const CliArgs& args, const sim::Tracer& tracer,
@@ -75,13 +85,16 @@ int emit_observability(const CliArgs& args, const sim::Tracer& tracer,
                  "workload\n",
                  static_cast<unsigned long long>(tracer.dropped()));
   }
-  const std::string critpath_out = args.get_string("critpath-out", "");
-  const bool critpath =
-      args.get_bool("critpath", false) || !critpath_out.empty();
-  if (tracer.enabled() && !critpath && !runs.empty()) {
+  // Published unconditionally: a truncated trace taints every downstream
+  // artifact, not just runs without --critpath (which used to silently
+  // drop this counter from the metrics report).
+  if (tracer.enabled() && !runs.empty()) {
     runs.back().metrics.counters.inc("trace.dropped_records",
                                      tracer.dropped());
   }
+  const std::string critpath_out = args.get_string("critpath-out", "");
+  const bool critpath =
+      args.get_bool("critpath", false) || !critpath_out.empty();
   if (critpath) {
     profile::AnalyzeOptions opts;
     opts.allow_truncated = args.get_bool("allow-truncated-trace", false);
@@ -121,15 +134,135 @@ int emit_observability(const CliArgs& args, const sim::Tracer& tracer,
   return 0;
 }
 
+/// Open-loop serving: arrival process -> admission -> batching -> dispatch.
+int run_open_loop(const CliArgs& args, const core::AuroraConfig& config,
+                  const graph::Dataset& graph_ds,
+                  const std::vector<serving::ModelMixEntry>& mix,
+                  const cluster::ClusterParams& cluster_params,
+                  cluster::DispatchMode mode, sim::Tracer& tracer) {
+  const std::string arrival_name = args.get_string("arrival", "poisson");
+  const auto kind = serving::arrival_kind_by_name(arrival_name);
+  if (!kind.has_value()) {
+    std::fprintf(stderr,
+                 "unknown --arrival=%s (accepted: poisson, bursty, "
+                 "diurnal)\n",
+                 arrival_name.c_str());
+    return 1;
+  }
+
+  serving::ServingParams params;
+  params.arrival.kind = *kind;
+  // --rate is requests per second; the process wants requests per Mcycle.
+  const double rate_rps = args.get_double("rate", 100000.0);
+  AURORA_CHECK_MSG(rate_rps > 0.0, "--rate must be positive");
+  params.arrival.rate_per_mcycle = rate_rps / config.frequency_mhz;
+  params.arrival.burst_rate_multiplier = args.get_double("burst-mult", 8.0);
+  params.arrival.burst_fraction = args.get_double("burst-frac", 0.1);
+  params.arrival.period_mcycles =
+      args.get_double("period-us", 2000.0) * config.frequency_mhz / 1e6;
+  params.arrival.amplitude = args.get_double("amplitude", 0.8);
+  params.seed = args.get_uint("seed", 1);
+  params.num_requests = args.get_uint("requests", 24, 1);
+  params.queue_depth = args.get_uint("queue-depth", 64);
+  params.max_batch = args.get_uint("max-batch", 4, 1);
+  params.num_tenants = args.get_uint("tenants", 2, 1);
+  const double slo_us = args.get_double("slo-us", 0.0);
+  params.slo_cycles = static_cast<Cycle>(slo_us * config.frequency_mhz);
+  params.mode = mode;
+
+  serving::ServingEngine engine(config, cluster_params, params);
+  if (tracer.enabled()) engine.set_tracer(&tracer);
+  const serving::ServingReport report = engine.run(graph_ds, mix);
+
+  AsciiTable table({"request", "tenant", "chip", "arrival", "start",
+                    "finish", "wait (us)", "service (us)", "SLO"});
+  const auto us = [&](Cycle cycles) {
+    return to_fixed(static_cast<double>(cycles) / config.frequency_mhz, 2);
+  };
+  for (const auto& r : report.served) {
+    const std::string chip_cell =
+        mode == cluster::DispatchMode::kShardParallel ? "all"
+                                                      : std::to_string(r.chip);
+    table.add_row({r.label + (r.batched_follower ? " (batched)" : ""),
+                   std::to_string(r.tenant), chip_cell,
+                   std::to_string(r.arrival), std::to_string(r.start),
+                   std::to_string(r.finish), us(r.queue_wait()),
+                   us(r.service_time()),
+                   params.slo_cycles == 0 ? "-" : (r.met_slo() ? "ok" : "MISS")});
+  }
+  table.print();
+
+  std::printf("\n%s arrivals at %.0f req/s over %u chip(s), %s dispatch\n",
+              serving::arrival_kind_name(*kind), rate_rps,
+              cluster_params.num_chips,
+              cluster::dispatch_mode_name(mode));
+  std::printf("generated %llu, admitted %llu, shed %llu (shed rate %.1f%%)\n",
+              static_cast<unsigned long long>(report.generated),
+              static_cast<unsigned long long>(report.admitted),
+              static_cast<unsigned long long>(report.shed),
+              100.0 * report.shed_rate());
+  if (params.slo_cycles > 0) {
+    std::printf("goodput under %.0f us SLO: %llu/%llu requests (%.0f req/s)\n",
+                slo_us,
+                static_cast<unsigned long long>(report.met_slo_count()),
+                static_cast<unsigned long long>(report.generated),
+                report.goodput_rps());
+  }
+  const auto pct_us = [&](double cycles) {
+    return cycles / config.frequency_mhz;
+  };
+  std::printf("latency    p50 %.2f us, p95 %.2f us, p99 %.2f us\n",
+              pct_us(report.latency_percentile(0.50)),
+              pct_us(report.latency_percentile(0.95)),
+              pct_us(report.latency_percentile(0.99)));
+  std::printf("queue wait p50 %.2f us, p95 %.2f us, p99 %.2f us\n",
+              pct_us(report.queue_wait_percentile(0.50)),
+              pct_us(report.queue_wait_percentile(0.95)),
+              pct_us(report.queue_wait_percentile(0.99)));
+  std::printf("service    p50 %.2f us, p95 %.2f us, p99 %.2f us\n",
+              pct_us(report.service_percentile(0.50)),
+              pct_us(report.service_percentile(0.95)),
+              pct_us(report.service_percentile(0.99)));
+  std::printf("batches %llu (%llu batched follower(s), %llu reconfig "
+              "cycles saved); overlap hid %llu cycles\n",
+              static_cast<unsigned long long>(report.batches),
+              static_cast<unsigned long long>(report.batched_followers),
+              static_cast<unsigned long long>(report.reconfig_savings),
+              static_cast<unsigned long long>(report.overlap_savings));
+
+  const std::string serving_out = args.get_string("serving-out", "");
+  if (!serving_out.empty()) {
+    core::write_json_file(serving_out, serving::serving_report_json(report));
+    std::printf("serving JSON: %s\n", serving_out.c_str());
+  }
+
+  std::vector<core::NamedRun> runs;
+  for (const auto& r : report.served) {
+    runs.push_back({cluster::dispatch_mode_name(mode), r.label, r.metrics});
+  }
+  if (!runs.empty()) {
+    // The serving-level counters ride the last run so --metrics-out and
+    // downstream grids see them next to the per-request metrics.
+    runs.back().metrics.counters.merge(report.counters());
+  }
+  return emit_observability(args, tracer, runs);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
+  const CliArgs args(
+      argc, argv,
+      {"scale", "requests", "hidden", "chips", "mode", "parallel-sim",
+       "jobs", "arrival", "rate", "slo-us", "seed", "queue-depth",
+       "max-batch", "tenants", "burst-mult", "burst-frac", "period-us",
+       "amplitude", "serving-out", "trace-out", "metrics-out", "critpath",
+       "critpath-out", "what-if", "allow-truncated-trace"});
   const double scale = args.get_double("scale", 0.1);
-  const auto hidden = static_cast<std::uint32_t>(args.get_int("hidden", 32));
+  const std::uint32_t hidden = args.get_uint("hidden", 32, 1);
   const auto num_requests =
-      static_cast<std::size_t>(args.get_int("requests", 6));
-  const auto chips = static_cast<std::uint32_t>(args.get_int("chips", 1));
+      static_cast<std::size_t>(args.get_uint("requests", 6, 1));
+  const std::uint32_t chips = args.get_uint("chips", 1, 1);
   const std::string mode_arg = args.get_string("mode", "data");
   const cluster::DispatchMode mode =
       mode_arg == "shard" ? cluster::DispatchMode::kShardParallel
@@ -146,24 +279,43 @@ int main(int argc, char** argv) {
   core::AuroraConfig config = core::AuroraConfig::bench();
 
   // A request mix: candidate scoring (GCN), re-ranking with attention
-  // (AGNN), and a session-graph pass (GraphSAGE-Pool), round-robin.
+  // (AGNN), and a session-graph pass (GraphSAGE-Pool).
   const std::array<std::pair<gnn::GnnModel, const char*>, 3> kMix = {{
       {gnn::GnnModel::kGcn, "candidate-scoring/GCN"},
       {gnn::GnnModel::kAgnn, "re-ranking/AGNN"},
       {gnn::GnnModel::kGraphSagePool, "session/SAGE-Pool"},
   }};
-  std::vector<core::ScheduledRequest> queue;
-  for (std::size_t i = 0; i < num_requests; ++i) {
-    const auto& [model, label] = kMix[i % kMix.size()];
-    queue.push_back({core::GnnJob::two_layer(model, graph_ds.spec, hidden),
-                     std::string(label) + " #" + std::to_string(i)});
-  }
 
   sim::Tracer tracer;
   if (!args.get_string("trace-out", "").empty() ||
       !args.get_string("critpath-out", "").empty() ||
       args.get_bool("critpath", false)) {
     tracer.enable();
+  }
+
+  cluster::ClusterParams params;
+  params.num_chips = chips;
+  // --parallel-sim runs each shard-parallel inference on the multi-threaded
+  // conservative engine (bit-identical results, lower wall clock on
+  // multi-core hosts); --jobs caps its worker threads.
+  params.parallel = args.get_bool("parallel-sim", false);
+  params.parallel_jobs = args.get_uint("jobs", 0);
+
+  if (args.has("arrival")) {
+    std::vector<serving::ModelMixEntry> mix;
+    for (const auto& [model, label] : kMix) {
+      mix.push_back({core::GnnJob::two_layer(model, graph_ds.spec, hidden),
+                     std::string(label), 1.0, 0});
+    }
+    return run_open_loop(args, config, graph_ds, mix, params, mode, tracer);
+  }
+
+  // Closed loop: a fixed round-robin queue replayed back to back.
+  std::vector<core::ScheduledRequest> queue;
+  for (std::size_t i = 0; i < num_requests; ++i) {
+    const auto& [model, label] = kMix[i % kMix.size()];
+    queue.push_back({core::GnnJob::two_layer(model, graph_ds.spec, hidden),
+                     std::string(label) + " #" + std::to_string(i)});
   }
 
   std::vector<Cycle> latencies;
@@ -204,13 +356,6 @@ int main(int argc, char** argv) {
     return emit_observability(args, tracer, runs);
   }
 
-  cluster::ClusterParams params;
-  params.num_chips = chips;
-  // --parallel-sim runs each shard-parallel inference on the multi-threaded
-  // conservative engine (bit-identical results, lower wall clock on
-  // multi-core hosts); --jobs caps its worker threads.
-  params.parallel = args.get_bool("parallel-sim", false);
-  params.parallel_jobs = static_cast<unsigned>(args.get_int("jobs", 0));
   cluster::ClusterScheduler scheduler(config, params);
   if (tracer.enabled()) scheduler.set_tracer(&tracer);
   const cluster::ClusterScheduleResult result =

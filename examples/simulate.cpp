@@ -47,7 +47,13 @@ std::optional<gnn::GnnModel> model_by_name(const std::string& name) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
+  const CliArgs args(
+      argc, argv,
+      {"help", "dataset", "graph", "scale", "model", "all-models", "hidden",
+       "mode", "mapping", "config", "paper-chip", "json", "trace",
+       "trace-out", "metrics-out", "sample-interval", "counters", "critpath",
+       "critpath-out", "what-if", "allow-truncated-trace", "baselines",
+       "print-config", "features", "seed"});
 
   if (args.get_bool("help", false)) {
     std::printf(
@@ -110,7 +116,7 @@ int main(int argc, char** argv) {
   if (!graph_path.empty()) {
     ds.spec.name = "custom";
     ds.spec.feature_dim =
-        static_cast<std::uint32_t>(args.get_int("features", 64));
+        args.get_uint("features", 64, 1);
     ds.spec.feature_density = 1.0;
     ds.spec.num_classes = 8;
     ds.graph = graph::load_edge_list(graph_path);
@@ -125,7 +131,7 @@ int main(int argc, char** argv) {
     const double default_scale =
         config.mode == core::SimMode::kCycleAccurate ? 0.1 : 1.0;
     ds = graph::make_dataset(*id, args.get_double("scale", default_scale),
-                             static_cast<std::uint64_t>(args.get_int("seed", 7)));
+                             args.get_uint("seed", 7));
   }
   std::printf("dataset %s: %u vertices, %llu directed edges, mean degree "
               "%.1f, gini %.2f\n",
@@ -170,14 +176,14 @@ int main(int argc, char** argv) {
   // Exporting a trace without any counter track would be a hollow timeline,
   // so --trace-out turns sampling on at a default interval unless the user
   // chose one (or explicitly disabled it with --sample-interval=0).
-  const std::int64_t sample_interval =
-      args.get_int("sample-interval", trace_out.empty() ? 0 : 64);
+  const std::uint32_t sample_interval =
+      args.get_uint("sample-interval", trace_out.empty() ? 0 : 64);
   std::optional<sim::Sampler> sampler;
   if (sample_interval > 0) {
     sampler.emplace(static_cast<Cycle>(sample_interval));
     accel.set_sampler(&*sampler);
   }
-  const auto hidden = static_cast<std::uint32_t>(args.get_int("hidden", 16));
+  const auto hidden = args.get_uint("hidden", 16, 1);
   AsciiTable table({"model", "a:b", "tiles", "cycles", "time (us)", "DRAM",
                     "avg hops", "energy (uJ)"});
   std::vector<core::NamedRun> runs;
@@ -205,7 +211,10 @@ int main(int argc, char** argv) {
                  "workload\n",
                  static_cast<unsigned long long>(tracer.dropped()));
   }
-  if (tracer.enabled() && !critpath && !runs.empty()) {
+  // Published unconditionally: a truncated trace taints every downstream
+  // artifact, not just runs without --critpath (which used to silently
+  // drop this counter from the metrics report).
+  if (tracer.enabled() && !runs.empty()) {
     runs.back().metrics.counters.inc("trace.dropped_records",
                                      tracer.dropped());
   }

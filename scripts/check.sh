@@ -89,6 +89,25 @@ ctest --test-dir build -L cluster --output-on-failure -j
   --chips=4 --mode=data
 ./build/bench/fuzz_sim --cluster --seeds=15
 
+echo "== serving smoke: open-loop engine =="
+# Serving test suite by ctest label, then a short open-loop Poisson run
+# whose JSON report must carry the v1 schema and satisfy the admission
+# invariant admitted + shed == generated, then the goodput-vs-rate sweep
+# (which re-asserts the invariant at every point) writing its artifact.
+ctest --test-dir build -L serving --output-on-failure -j
+./build/examples/serving --scale=0.02 --hidden=16 --arrival=poisson \
+  --rate=200000 --slo-us=500 --requests=16 --seed=3 --queue-depth=4 \
+  --serving-out="$obs_dir/serving.json"
+python3 - "$obs_dir/serving.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as fh:
+    report = json.load(fh)
+assert report["schema"] == "aurora.serving.v1", report["schema"]
+assert report["admitted"] + report["shed"] == report["generated"], report
+assert len(report["requests"]) == report["admitted"], report
+EOF
+./build/bench/micro_serving --requests=12 | tee BENCH_serving.json
+
 echo "== parallel engine: differential fuzz + microbenchmark =="
 # Every seed runs the cluster on the serial AND parallel engines in both
 # scheduler modes; all four results must be bit-identical. Then the
@@ -125,6 +144,14 @@ echo "== sanitizers: cluster smoke =="
 ./build-asan/examples/serving --scale=0.02 --requests=2 --hidden=16 \
   --chips=4 --mode=shard
 ./build-asan/bench/fuzz_sim --cluster --seeds=5
+
+echo "== sanitizers: serving smoke =="
+# The serving suite plus one open-loop run under ASan/UBSan: the queue's
+# erase-based pops and the engine's request moves are the fresh lifetime
+# surface here.
+ctest --test-dir build-asan -L serving --output-on-failure -j
+./build-asan/examples/serving --scale=0.02 --hidden=16 --arrival=bursty \
+  --rate=150000 --slo-us=500 --requests=8 --seed=5 --chips=2 --mode=data
 
 echo "== sanitizers: critical-path profiler =="
 # The profiler test suite plus a traced critpath run under ASan/UBSan: the

@@ -31,98 +31,188 @@ ClusterScheduler::ClusterScheduler(const core::AuroraConfig& config,
   AURORA_CHECK(params.num_chips >= 1);
 }
 
+void ClusterScheduler::reset() {
+  chips_.clear();
+  chip_timelines_.clear();
+  engine_.reset();
+  shard_timeline_ = core::ChipTimeline{};
+  service_cache_.clear();
+}
+
+void ClusterScheduler::ensure_chips() {
+  if (!chips_.empty()) return;
+  const std::uint32_t n = params_.num_chips;
+  // One accelerator per chip, reused across the requests it serves, so
+  // partition/mapping state carries over exactly as on a single chip.
+  chips_.reserve(n);
+  for (std::uint32_t c = 0; c < n; ++c) {
+    chips_.push_back(std::make_unique<core::AuroraAccelerator>(config_));
+    if (tracer_ != nullptr) chips_.back()->set_tracer(tracer_);
+  }
+  chip_timelines_.assign(n, core::ChipTimeline{});
+}
+
+void ClusterScheduler::ensure_engine() {
+  if (engine_ != nullptr) return;
+  engine_ = std::make_unique<ClusterEngine>(config_, params_);
+  if (tracer_ != nullptr) engine_->set_tracer(tracer_);
+}
+
+const ClusterScheduler::CachedService* ClusterScheduler::cache_lookup(
+    const std::string& key) const {
+  if (tracer_ != nullptr) return nullptr;
+  const auto it = service_cache_.find(key);
+  return it == service_cache_.end() ? nullptr : &it->second;
+}
+
+Cycle ClusterScheduler::next_free(DispatchMode mode) const {
+  if (mode == DispatchMode::kShardParallel) {
+    return shard_timeline_.busy_until;
+  }
+  if (chips_.empty()) return 0;
+  Cycle free = chip_timelines_[0].busy_until;
+  for (const core::ChipTimeline& t : chip_timelines_) {
+    free = std::min(free, t.busy_until);
+  }
+  return free;
+}
+
+ClusterOutcome ClusterScheduler::serve(const graph::Dataset& dataset,
+                                       core::ScheduledRequest request,
+                                       DispatchMode mode, Cycle not_before,
+                                       bool share_configuration,
+                                       std::optional<std::uint32_t> pin_chip) {
+  return mode == DispatchMode::kDataParallel
+             ? serve_data_parallel(dataset, request, not_before,
+                                   share_configuration, pin_chip)
+             : serve_shard_parallel(dataset, request, not_before,
+                                    share_configuration);
+}
+
+ClusterOutcome ClusterScheduler::serve_data_parallel(
+    const graph::Dataset& dataset, core::ScheduledRequest& request,
+    Cycle not_before, bool share_configuration,
+    std::optional<std::uint32_t> pin_chip) {
+  ensure_chips();
+  // Least-loaded dispatch, ties to the lowest chip index; a pinned chip
+  // (batch follower) overrides.
+  std::uint32_t chip = 0;
+  if (pin_chip.has_value()) {
+    AURORA_CHECK(*pin_chip < chips_.size());
+    chip = *pin_chip;
+  } else {
+    for (std::uint32_t c = 1; c < chips_.size(); ++c) {
+      if (chip_timelines_[c].busy_until < chip_timelines_[chip].busy_until) {
+        chip = c;
+      }
+    }
+  }
+
+  const std::string key = core::job_signature(request.job);
+  core::RunMetrics metrics;
+  if (const CachedService* cached = cache_lookup(key)) {
+    metrics = cached->metrics;
+  } else {
+    metrics = chips_[chip]->run(dataset, request.job);
+    if (tracer_ == nullptr) {
+      service_cache_[key] = {metrics, core::Scheduler::lead_dram_cycles(metrics),
+                             core::Scheduler::tail_compute_cycles(metrics)};
+    }
+  }
+
+  const core::RequestOutcome placed = core::Scheduler::place(
+      chip_timelines_[chip], std::move(request.label), std::move(metrics),
+      not_before, share_configuration);
+
+  ClusterOutcome outcome;
+  outcome.label = placed.label;
+  outcome.metrics = placed.metrics;
+  outcome.chip = chip;
+  outcome.start_cycle = placed.start_cycle;
+  outcome.finish_cycle = placed.finish_cycle;
+  outcome.overlap_hidden = placed.overlap_hidden;
+  outcome.reconfig_saved = placed.reconfig_saved;
+  return outcome;
+}
+
+ClusterOutcome ClusterScheduler::serve_shard_parallel(
+    const graph::Dataset& dataset, core::ScheduledRequest& request,
+    Cycle not_before, bool share_configuration) {
+  ensure_engine();
+
+  const std::string key = core::job_signature(request.job);
+  CachedService service;
+  if (const CachedService* cached = cache_lookup(key)) {
+    service = *cached;
+  } else {
+    const ClusterRunMetrics cluster = engine_->run(dataset, request.job);
+    for (const ChipRun& chip : cluster.chips) service.metrics += chip.metrics;
+    service.metrics.total_cycles = cluster.total_cycles;
+    service.metrics.counters.merge(cluster.counters);
+    // Every chip must be free before the next request's barriers can line
+    // up, so the request-level overlap is the weakest chip-level one.
+    service.lead = cluster.chips.empty() ? 0 : sim::kNoEvent;
+    service.tail = cluster.chips.empty() ? 0 : sim::kNoEvent;
+    service.min_chip_reconfig = cluster.chips.empty() ? 0 : sim::kNoEvent;
+    for (const ChipRun& chip : cluster.chips) {
+      service.lead = std::min(service.lead,
+                              core::Scheduler::lead_dram_cycles(chip.metrics));
+      service.tail = std::min(
+          service.tail, core::Scheduler::tail_compute_cycles(chip.metrics));
+      service.min_chip_reconfig =
+          std::min(service.min_chip_reconfig, chip.metrics.reconfig_cycles);
+    }
+    if (tracer_ == nullptr) service_cache_[key] = service;
+  }
+
+  ClusterOutcome outcome;
+  outcome.label = std::move(request.label);
+  outcome.metrics = std::move(service.metrics);
+  if (share_configuration) {
+    // Each chip skips its own reconfiguration; the cluster makespan shrinks
+    // conservatively by the smallest per-chip skip (the critical chip is
+    // unknown without re-simulating).
+    const Cycle saved =
+        std::min(service.min_chip_reconfig, outcome.metrics.total_cycles);
+    outcome.reconfig_saved = saved;
+    outcome.metrics.total_cycles -= saved;
+    outcome.metrics.reconfig_cycles -= saved;
+  }
+
+  outcome.overlap_hidden =
+      std::min(shard_timeline_.prev_compute_tail, service.lead);
+  const Cycle earliest = shard_timeline_.busy_until >= outcome.overlap_hidden
+                             ? shard_timeline_.busy_until -
+                                   outcome.overlap_hidden
+                             : 0;
+  outcome.start_cycle = std::max(not_before, earliest);
+  outcome.finish_cycle = outcome.start_cycle + outcome.metrics.total_cycles;
+  shard_timeline_.busy_until = outcome.finish_cycle;
+  shard_timeline_.prev_compute_tail = service.tail;
+  return outcome;
+}
+
 ClusterScheduleResult ClusterScheduler::run(
     const graph::Dataset& dataset, std::vector<core::ScheduledRequest> queue,
     DispatchMode mode) {
   AURORA_CHECK(!queue.empty());
-  return mode == DispatchMode::kDataParallel
-             ? run_data_parallel(dataset, queue)
-             : run_shard_parallel(dataset, queue);
-}
-
-ClusterScheduleResult ClusterScheduler::run_data_parallel(
-    const graph::Dataset& dataset,
-    std::vector<core::ScheduledRequest>& queue) {
+  reset();
   ClusterScheduleResult result;
-  result.mode = DispatchMode::kDataParallel;
-  const std::uint32_t n = params_.num_chips;
-
-  // One accelerator per chip, reused across the requests it serves, so
-  // partition/mapping state carries over exactly as on a single chip.
-  std::vector<std::unique_ptr<core::AuroraAccelerator>> chips;
-  chips.reserve(n);
-  for (std::uint32_t c = 0; c < n; ++c) {
-    chips.push_back(std::make_unique<core::AuroraAccelerator>(config_));
-    if (tracer_ != nullptr) chips.back()->set_tracer(tracer_);
-  }
-  result.chip_timeline.assign(n, 0);
-  std::vector<Cycle> prev_tail(n, 0);
-
+  result.mode = mode;
   for (auto& req : queue) {
-    // Least-loaded dispatch, ties to the lowest chip index.
-    std::uint32_t chip = 0;
-    for (std::uint32_t c = 1; c < n; ++c) {
-      if (result.chip_timeline[c] < result.chip_timeline[chip]) chip = c;
-    }
-
-    ClusterOutcome outcome;
-    outcome.label = std::move(req.label);
-    outcome.chip = chip;
-    outcome.metrics = chips[chip]->run(dataset, req.job);
-
-    const Cycle overlap =
-        core::Scheduler::overlap_cycles(prev_tail[chip], outcome.metrics);
-    result.overlap_savings += overlap;
-    const Cycle timeline = result.chip_timeline[chip];
-    outcome.start_cycle = timeline >= overlap ? timeline - overlap : 0;
-    outcome.finish_cycle = outcome.start_cycle + outcome.metrics.total_cycles;
-    result.chip_timeline[chip] = outcome.finish_cycle;
-    prev_tail[chip] = core::Scheduler::tail_compute_cycles(outcome.metrics);
+    ClusterOutcome outcome = serve(dataset, std::move(req), mode);
+    result.overlap_savings += outcome.overlap_hidden;
     result.outcomes.push_back(std::move(outcome));
   }
-  for (const Cycle t : result.chip_timeline) {
-    result.makespan = std::max(result.makespan, t);
-  }
-  return result;
-}
-
-ClusterScheduleResult ClusterScheduler::run_shard_parallel(
-    const graph::Dataset& dataset,
-    std::vector<core::ScheduledRequest>& queue) {
-  ClusterScheduleResult result;
-  result.mode = DispatchMode::kShardParallel;
-  ClusterEngine engine(config_, params_);
-  if (tracer_ != nullptr) engine.set_tracer(tracer_);
-
-  Cycle timeline = 0;
-  Cycle prev_tail = 0;
-  for (auto& req : queue) {
-    const ClusterRunMetrics cluster = engine.run(dataset, req.job);
-
-    ClusterOutcome outcome;
-    outcome.label = std::move(req.label);
-    for (const ChipRun& chip : cluster.chips) outcome.metrics += chip.metrics;
-    outcome.metrics.total_cycles = cluster.total_cycles;
-    outcome.metrics.counters.merge(cluster.counters);
-
-    // Every chip must be free before the next request's barriers can line
-    // up, so the request-level overlap is the weakest chip-level one.
-    Cycle lead = cluster.chips.empty() ? 0 : sim::kNoEvent;
-    Cycle tail = cluster.chips.empty() ? 0 : sim::kNoEvent;
-    for (const ChipRun& chip : cluster.chips) {
-      lead = std::min(lead, core::Scheduler::lead_dram_cycles(chip.metrics));
-      tail = std::min(tail,
-                      core::Scheduler::tail_compute_cycles(chip.metrics));
+  if (mode == DispatchMode::kDataParallel) {
+    result.chip_timeline.reserve(chip_timelines_.size());
+    for (const core::ChipTimeline& t : chip_timelines_) {
+      result.chip_timeline.push_back(t.busy_until);
+      result.makespan = std::max(result.makespan, t.busy_until);
     }
-    const Cycle overlap = std::min(prev_tail, lead);
-    result.overlap_savings += overlap;
-    outcome.start_cycle = timeline >= overlap ? timeline - overlap : 0;
-    outcome.finish_cycle = outcome.start_cycle + cluster.total_cycles;
-    timeline = outcome.finish_cycle;
-    prev_tail = tail;
-    result.outcomes.push_back(std::move(outcome));
+  } else {
+    result.makespan = shard_timeline_.busy_until;
   }
-  result.makespan = timeline;
   return result;
 }
 

@@ -9,8 +9,17 @@
 //   * shard-parallel — every request runs on all chips at once over the
 //     sharded graph (ClusterEngine). Minimises per-request latency at the
 //     cost of halo traffic and barrier waits.
+//
+// Like core::Scheduler, the closed-loop run() is a loop over the
+// incremental serve() API, which places one request at a time against
+// persistent chip timelines — the serving engine's entry point for
+// open-loop dispatch (requests arrive while chips are busy, batched
+// followers skip reconfiguration, and a request can be pinned to its batch
+// head's chip).
 #pragma once
 
+#include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -36,6 +45,10 @@ struct ClusterOutcome {
   std::uint32_t chip = 0;
   Cycle start_cycle = 0;
   Cycle finish_cycle = 0;
+  /// DRAM-under-compute overlap window claimed against the predecessor.
+  Cycle overlap_hidden = 0;
+  /// Reconfiguration cycles skipped as a batched follower.
+  Cycle reconfig_saved = 0;
 
   [[nodiscard]] Cycle latency() const { return finish_cycle - start_cycle; }
 };
@@ -58,29 +71,84 @@ class ClusterScheduler {
                    const ClusterParams& params);
 
   /// Run the queue on `dataset` under `mode`. Outcomes keep submission
-  /// order even when data-parallel dispatch interleaves chips.
+  /// order even when data-parallel dispatch interleaves chips. Resets any
+  /// serving state first, so every run() starts from fresh chips.
   [[nodiscard]] ClusterScheduleResult run(
       const graph::Dataset& dataset,
       std::vector<core::ScheduledRequest> queue, DispatchMode mode);
+
+  /// Place one request. Data-parallel: on the least-loaded chip (or
+  /// `pin_chip`, used to keep a batch on its head's chip); shard-parallel:
+  /// on the whole cluster. The request starts no earlier than `not_before`
+  /// (its arrival) and no earlier than the chip frees up minus the overlap
+  /// window. `share_configuration` marks a batched follower that skips its
+  /// exposed reconfiguration cycles. Chip pools / the cluster engine
+  /// persist across calls; reset() drops them.
+  [[nodiscard]] ClusterOutcome serve(
+      const graph::Dataset& dataset, core::ScheduledRequest request,
+      DispatchMode mode, Cycle not_before = 0,
+      bool share_configuration = false,
+      std::optional<std::uint32_t> pin_chip = std::nullopt);
+
+  /// Earliest cycle at which any serving unit frees up (0 before the first
+  /// serve call): min over chip timelines (data-parallel) or the cluster
+  /// timeline (shard-parallel).
+  [[nodiscard]] Cycle next_free(DispatchMode mode) const;
+
+  /// Drop all serving state: chip pools, the cluster engine, timelines and
+  /// the service-metrics cache.
+  void reset();
 
   /// Trace every request's execution into `tracer` (enable it first).
   /// Shard-parallel: the cluster-clock trace (segments, halos, run
   /// delimiters). Data-parallel: every chip engine records into the shared
   /// tracer — requests are dispatched one at a time, so records do not
-  /// interleave.
-  void set_tracer(sim::Tracer* tracer) { tracer_ = tracer; }
+  /// interleave. Tracing disables the service-metrics cache (a cache hit
+  /// would record nothing), so traced runs re-simulate every request.
+  void set_tracer(sim::Tracer* tracer) {
+    tracer_ = tracer;
+    reset();
+  }
 
  private:
-  [[nodiscard]] ClusterScheduleResult run_data_parallel(
-      const graph::Dataset& dataset,
-      std::vector<core::ScheduledRequest>& queue);
-  [[nodiscard]] ClusterScheduleResult run_shard_parallel(
-      const graph::Dataset& dataset,
-      std::vector<core::ScheduledRequest>& queue);
+  struct CachedService {
+    core::RunMetrics metrics;
+    /// Shard-parallel overlap bounds (min over chips); recomputed from
+    /// `metrics` for data-parallel outcomes.
+    Cycle lead = 0;
+    Cycle tail = 0;
+    /// Shard-parallel batching discount: the smallest per-chip exposed
+    /// reconfiguration span. Every chip skips at least this much when the
+    /// configuration is shared, so the cluster makespan conservatively
+    /// shrinks by it.
+    Cycle min_chip_reconfig = 0;
+  };
+
+  void ensure_chips();
+  void ensure_engine();
+  [[nodiscard]] ClusterOutcome serve_data_parallel(
+      const graph::Dataset& dataset, core::ScheduledRequest& request,
+      Cycle not_before, bool share_configuration,
+      std::optional<std::uint32_t> pin_chip);
+  [[nodiscard]] ClusterOutcome serve_shard_parallel(
+      const graph::Dataset& dataset, core::ScheduledRequest& request,
+      Cycle not_before, bool share_configuration);
+  /// Deterministic engines make identical jobs yield identical metrics, so
+  /// serving caches service measurements by job signature. Disabled while a
+  /// tracer is attached. Returns nullptr on miss.
+  [[nodiscard]] const CachedService* cache_lookup(const std::string& key)
+      const;
 
   core::AuroraConfig config_;
   ClusterParams params_;
   sim::Tracer* tracer_ = nullptr;
+
+  // Serving state (persists across serve() calls, dropped by reset()).
+  std::vector<std::unique_ptr<core::AuroraAccelerator>> chips_;
+  std::vector<core::ChipTimeline> chip_timelines_;
+  std::unique_ptr<ClusterEngine> engine_;
+  core::ChipTimeline shard_timeline_;
+  std::map<std::string, CachedService> service_cache_;
 };
 
 }  // namespace aurora::cluster

@@ -1,5 +1,7 @@
 #include "common/cli.hpp"
 
+#include <algorithm>
+#include <cerrno>
 #include <cstdlib>
 
 #include "common/error.hpp"
@@ -18,6 +20,34 @@ CliArgs::CliArgs(int argc, const char* const* argv) {
       values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
     }
   }
+}
+
+CliArgs::CliArgs(int argc, const char* const* argv,
+                 std::initializer_list<const char*> known)
+    : CliArgs(argc, argv) {
+  const std::vector<std::string> unknown = unknown_flags(known);
+  if (unknown.empty()) return;
+  std::string msg = "unknown flag";
+  if (unknown.size() > 1) msg += 's';
+  for (const std::string& f : unknown) msg += " --" + f;
+  msg += "; accepted flags:";
+  std::vector<std::string> sorted(known.begin(), known.end());
+  std::sort(sorted.begin(), sorted.end());
+  for (const std::string& f : sorted) msg += " --" + f;
+  throw Error(msg);
+}
+
+std::vector<std::string> CliArgs::unknown_flags(
+    std::initializer_list<const char*> known) const {
+  std::vector<std::string> unknown;
+  for (const auto& [name, value] : values_) {
+    if (std::find_if(known.begin(), known.end(), [&](const char* k) {
+          return name == k;
+        }) == known.end()) {
+      unknown.push_back(name);
+    }
+  }
+  return unknown;
 }
 
 bool CliArgs::has(const std::string& name) const {
@@ -45,6 +75,33 @@ bool CliArgs::get_bool(const std::string& name, bool fallback) const {
   auto it = values_.find(name);
   if (it == values_.end()) return fallback;
   return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::uint32_t CliArgs::get_uint(const std::string& name,
+                                std::uint32_t fallback, std::uint32_t min,
+                                std::uint32_t max) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) {
+    AURORA_CHECK_MSG(fallback >= min && fallback <= max,
+                     "--" << name << " default " << fallback
+                          << " outside [" << min << ", " << max << "]");
+    return fallback;
+  }
+  const std::string& text = it->second;
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(text.c_str(), &end, 10);
+  AURORA_CHECK_MSG(end != text.c_str() && *end == '\0' && errno == 0,
+                   "--" << name << "=" << text
+                        << " is not an unsigned integer");
+  AURORA_CHECK_MSG(parsed >= 0, "--" << name << "=" << text
+                                     << " must be non-negative");
+  AURORA_CHECK_MSG(
+      parsed >= static_cast<long long>(min) &&
+          static_cast<unsigned long long>(parsed) <= max,
+      "--" << name << "=" << text << " outside [" << min << ", " << max
+           << "]");
+  return static_cast<std::uint32_t>(parsed);
 }
 
 }  // namespace aurora

@@ -2,17 +2,28 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace aurora {
 
 /// Parses flags of the form `--name=value` or boolean `--name`. Positional
 /// arguments are rejected: every bench is fully flag-driven so runs are
 /// self-describing.
+///
+/// Mains pass their accepted flag list so a typo (`--critpath-oot=x`)
+/// errors with the accepted flags instead of silently no-opping — unknown
+/// flags used to be stored and never read.
 class CliArgs {
  public:
+  /// Parse without a known-flag check (library/test use).
   CliArgs(int argc, const char* const* argv);
+  /// Parse and reject any flag not in `known` (throws Error listing the
+  /// accepted flags).
+  CliArgs(int argc, const char* const* argv,
+          std::initializer_list<const char*> known);
 
   [[nodiscard]] bool has(const std::string& name) const;
   [[nodiscard]] std::string get_string(const std::string& name,
@@ -22,6 +33,18 @@ class CliArgs {
   [[nodiscard]] double get_double(const std::string& name,
                                   double fallback) const;
   [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+  /// Strict unsigned flag: rejects negatives (which used to wrap through
+  /// static_cast<uint32_t>, e.g. `--chips=-1`), non-numeric values, and
+  /// values outside [min, max]. Throws Error with the offending flag.
+  [[nodiscard]] std::uint32_t get_uint(const std::string& name,
+                                       std::uint32_t fallback,
+                                       std::uint32_t min = 0,
+                                       std::uint32_t max = UINT32_MAX) const;
+
+  /// Flags present on the command line but absent from `known` (sorted).
+  /// Exposed for tests; the checking constructor throws when non-empty.
+  [[nodiscard]] std::vector<std::string> unknown_flags(
+      std::initializer_list<const char*> known) const;
 
  private:
   std::map<std::string, std::string> values_;

@@ -75,13 +75,22 @@ std::uint64_t Histogram::bucket_count(std::size_t i) const {
 double Histogram::quantile(double q) const {
   AURORA_CHECK(q >= 0.0 && q <= 1.0);
   if (total_ == 0) return 0.0;
-  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total_));
+  // Nearest-rank: the bucket holding sample number max(1, ceil(q*total)).
+  // Truncating q*total (the old code) returned rank 0 for small q, so p50
+  // of a single sample — or q=0.0 of anything — reported bucket 0's edge
+  // even when the leading buckets were empty.
+  auto target =
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total_)));
+  target = std::max<std::uint64_t>(1, std::min(target, total_));
   std::uint64_t cum = 0;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     cum += counts_[i];
-    if (cum >= target) return (static_cast<double>(i) + 1.0) * width_;
+    // The bucket's lower edge: samples that are exact multiples of the
+    // width land on it exactly; reporting the upper edge (the old code)
+    // overstated every quantile by one bucket.
+    if (cum >= target) return static_cast<double>(i) * width_;
   }
-  return static_cast<double>(counts_.size()) * width_;
+  return static_cast<double>(counts_.size() - 1) * width_;
 }
 
 void Histogram::merge(const Histogram& other) {
@@ -97,6 +106,16 @@ void Histogram::merge(const Histogram& other) {
 void Histogram::reset() {
   std::fill(counts_.begin(), counts_.end(), 0);
   total_ = 0;
+}
+
+double percentile(std::vector<double> samples, double q) {
+  AURORA_CHECK(q >= 0.0 && q <= 1.0);
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  auto rank =
+      static_cast<std::size_t>(std::ceil(q * static_cast<double>(samples.size())));
+  rank = std::max<std::size_t>(1, std::min(rank, samples.size()));
+  return samples[rank - 1];
 }
 
 void CounterSet::inc(const std::string& name, std::uint64_t by) {

@@ -42,7 +42,10 @@ class Histogram {
   [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const;
   [[nodiscard]] std::size_t num_buckets() const { return counts_.size(); }
   [[nodiscard]] double bucket_width() const { return width_; }
-  /// Value below which `q` (0..1) of the samples fall (bucket-resolution).
+  /// Nearest-rank quantile at bucket resolution: the lower edge of the
+  /// bucket holding sample rank max(1, ceil(q * total)). Samples that are
+  /// exact bucket-width multiples are reported exactly (a single sample of
+  /// 5.0 at width 1 yields 5.0 for every q, not the bucket's upper edge).
   [[nodiscard]] double quantile(double q) const;
 
   /// Element-wise accumulation. Both histograms must share the exact same
@@ -73,6 +76,14 @@ inline constexpr std::size_t kPeQueueDepthBuckets = 64;
 /// range wider than the on-chip NoC layout.
 inline constexpr double kLinkLatencyBucketCycles = 64.0;
 inline constexpr std::size_t kLinkLatencyBuckets = 256;  // covers 0..16384
+
+/// Exact nearest-rank percentile over raw samples: the smallest sample with
+/// rank >= max(1, ceil(q * n)). Copies and sorts, so it is meant for
+/// request-level latency vectors (dozens to a few thousand entries) where
+/// histogram bucketing would quantize p50/p95/p99 to bucket edges; streaming
+/// paths with large counts should keep using Histogram. Empty input yields
+/// 0.
+[[nodiscard]] double percentile(std::vector<double> samples, double q);
 
 /// Named monotonic counters; every simulator component registers its event
 /// counts here so tests and benches read one consolidated view.

@@ -6,6 +6,13 @@
 // tail. This scheduler sequences a queue of multi-layer jobs, applying that
 // overlap, and reports per-request latencies plus the makespan — the numbers
 // a serving deployment cares about.
+//
+// Two entry points share one placement model: run() replays a fixed queue
+// back to back (closed loop), while serve() places one request at a time
+// against an explicit ChipTimeline so the serving engine can dispatch
+// open-loop arrivals as chips free up. run() is literally a serve() loop,
+// which is what makes the serving engine bit-identical to it on a
+// closed-loop trace.
 #pragma once
 
 #include <string>
@@ -20,14 +27,35 @@ struct ScheduledRequest {
   std::string label;
 };
 
+/// Stable identity of the partition/NoC configuration a job induces (the
+/// dataset is fixed per serving engine): model plus exact layer shapes.
+/// Requests with equal signatures are batch-compatible — they reuse the
+/// same array configuration, so only the first pays reconfiguration — and
+/// their service metrics are identical (the engines are deterministic and
+/// stateless across runs), which also makes this the service-cache key.
+[[nodiscard]] std::string job_signature(const GnnJob& job);
+
 struct RequestOutcome {
   std::string label;
   RunMetrics metrics;
   /// When the request started/finished on the shared chip timeline.
   Cycle start_cycle = 0;
   Cycle finish_cycle = 0;
+  /// DRAM-under-compute overlap window claimed against the predecessor.
+  Cycle overlap_hidden = 0;
+  /// Reconfiguration cycles not paid because the request joined a batch
+  /// whose head already applied the same configuration.
+  Cycle reconfig_saved = 0;
 
   [[nodiscard]] Cycle latency() const { return finish_cycle - start_cycle; }
+};
+
+/// Rolling placement state of one chip: when it frees up and how much
+/// trailing compute the last request left for the next one to hide its
+/// DRAM streaming under.
+struct ChipTimeline {
+  Cycle busy_until = 0;
+  Cycle prev_compute_tail = 0;
 };
 
 struct ScheduleResult {
@@ -50,6 +78,37 @@ class Scheduler {
   /// request's compute, bounded by the smaller of the two.
   [[nodiscard]] ScheduleResult run(const graph::Dataset& dataset,
                                    std::vector<ScheduledRequest> queue);
+
+  /// Place one request on `timeline`: simulate it, then start it at the
+  /// earliest of (timeline minus the overlap window) but never before
+  /// `not_before` (a serving dispatch cannot begin before the request
+  /// arrived). `share_configuration` marks a batched follower whose
+  /// partition/NoC configuration was already applied by the batch head —
+  /// its exposed reconfiguration cycles are not paid again.
+  [[nodiscard]] RequestOutcome serve(ChipTimeline& timeline,
+                                     const graph::Dataset& dataset,
+                                     ScheduledRequest request,
+                                     Cycle not_before = 0,
+                                     bool share_configuration = false);
+
+  /// serve() with the accelerator made explicit, for callers owning a chip
+  /// pool (the cluster scheduler's data-parallel dispatch).
+  [[nodiscard]] static RequestOutcome serve_on(AuroraAccelerator& accelerator,
+                                               ChipTimeline& timeline,
+                                               const graph::Dataset& dataset,
+                                               ScheduledRequest request,
+                                               Cycle not_before = 0,
+                                               bool share_configuration =
+                                                   false);
+
+  /// Pure placement step: fold already-measured service metrics into
+  /// `timeline`. Split out so a serving engine with a service-metrics cache
+  /// (identical jobs are deterministic) can skip re-simulation.
+  [[nodiscard]] static RequestOutcome place(ChipTimeline& timeline,
+                                            std::string label,
+                                            RunMetrics metrics,
+                                            Cycle not_before,
+                                            bool share_configuration);
 
   /// The request's leading DRAM span — the first subgraph's streaming,
   /// which can hide under a predecessor's trailing compute. Shared with the

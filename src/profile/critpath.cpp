@@ -691,7 +691,9 @@ void export_critpath_counters(const CritPathReport& report,
                report.attribution.reconfiguration);
   counters.inc("profile.critpath.halo_barrier_wait_cycles",
                report.attribution.halo_barrier_wait);
-  counters.inc("trace.dropped_records", report.dropped_records);
+  // trace.dropped_records is NOT exported here: drivers publish it
+  // unconditionally from the tracer (it matters whether or not a
+  // critical-path analysis ran), and exporting it twice would double-count.
 }
 
 }  // namespace aurora::profile

@@ -1,0 +1,90 @@
+#include "serving/request_queue.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace aurora::serving {
+
+namespace {
+
+/// EDF comparison with deterministic tie-breaks.
+bool earlier_deadline(const ServingRequest& a, const ServingRequest& b) {
+  if (a.deadline != b.deadline) return a.deadline < b.deadline;
+  if (a.arrival != b.arrival) return a.arrival < b.arrival;
+  return a.id < b.id;
+}
+
+}  // namespace
+
+bool RequestQueue::admit(ServingRequest request) {
+  if (depth_cap_ != 0 && waiting_.size() >= depth_cap_) {
+    ++shed_;
+    return false;
+  }
+  ++admitted_;
+  waiting_.push_back(std::move(request));
+  return true;
+}
+
+std::size_t RequestQueue::best_index() const {
+  AURORA_CHECK(!waiting_.empty());
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < waiting_.size(); ++i) {
+    const ServingRequest& cand = waiting_[i];
+    const ServingRequest& cur = waiting_[best];
+    if (cand.priority != cur.priority) {
+      if (cand.priority < cur.priority) best = i;
+      continue;
+    }
+    // Fairness within the class: favour the tenant served least so far.
+    const auto served = [this](std::uint32_t tenant) {
+      const auto it = served_per_tenant_.find(tenant);
+      return it == served_per_tenant_.end() ? std::uint64_t{0} : it->second;
+    };
+    const std::uint64_t cand_served = served(cand.tenant);
+    const std::uint64_t cur_served = served(cur.tenant);
+    if (cand_served != cur_served) {
+      if (cand_served < cur_served) best = i;
+      continue;
+    }
+    if (earlier_deadline(cand, cur)) best = i;
+  }
+  return best;
+}
+
+ServingRequest RequestQueue::take(std::size_t index) {
+  ServingRequest request = std::move(waiting_[index]);
+  waiting_.erase(waiting_.begin() + static_cast<std::ptrdiff_t>(index));
+  ++served_per_tenant_[request.tenant];
+  return request;
+}
+
+std::optional<ServingRequest> RequestQueue::pop() {
+  if (waiting_.empty()) return std::nullopt;
+  return take(best_index());
+}
+
+std::vector<ServingRequest> RequestQueue::pop_batch(std::uint32_t max_batch) {
+  std::vector<ServingRequest> batch;
+  if (waiting_.empty()) return batch;
+  batch.push_back(take(best_index()));
+  while (batch.size() < std::max<std::uint32_t>(max_batch, 1)) {
+    // Best compatible follower in EDF order (priority/fairness already
+    // spoke through the head; followers ride its configuration).
+    std::size_t follower = waiting_.size();
+    for (std::size_t i = 0; i < waiting_.size(); ++i) {
+      if (waiting_[i].compat_key != batch.front().compat_key) continue;
+      if (follower == waiting_.size() ||
+          earlier_deadline(waiting_[i], waiting_[follower])) {
+        follower = i;
+      }
+    }
+    if (follower == waiting_.size()) break;
+    batch.push_back(take(follower));
+  }
+  return batch;
+}
+
+}  // namespace aurora::serving

@@ -1,0 +1,81 @@
+// Admission-controlled request queue with SLO-aware scheduling.
+//
+// The serving front end between the arrival process and the dispatch
+// timeline: a bounded queue that sheds on overflow (admission control — an
+// overloaded open-loop system must drop work somewhere, and an explicit
+// shed counter beats unbounded queue growth), and a pop policy that picks
+// the next request by strict priority class, then per-tenant fairness
+// (least-served tenant first), then earliest deadline (EDF), with arrival
+// and id as deterministic tie-breaks.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/scheduler.hpp"
+
+namespace aurora::serving {
+
+/// "No deadline": sorts after every real deadline under EDF.
+inline constexpr Cycle kNoDeadline = std::numeric_limits<Cycle>::max();
+
+struct ServingRequest {
+  /// Generation order; the final deterministic tie-break.
+  std::uint64_t id = 0;
+  std::uint32_t tenant = 0;
+  /// Strict priority class; lower values are served first.
+  std::uint32_t priority = 0;
+  core::GnnJob job;
+  std::string label;
+  /// Batch-compatibility key (core::job_signature of `job`): equal keys
+  /// share a partition/NoC configuration.
+  std::string compat_key;
+  Cycle arrival = 0;
+  /// Absolute deadline (arrival + SLO), or kNoDeadline.
+  Cycle deadline = kNoDeadline;
+};
+
+class RequestQueue {
+ public:
+  /// `depth_cap` bounds the number of waiting requests; admissions beyond
+  /// it are shed. 0 means unbounded.
+  explicit RequestQueue(std::size_t depth_cap) : depth_cap_(depth_cap) {}
+
+  /// Admit `request`, or shed it if the queue is at capacity. Returns
+  /// whether the request was admitted.
+  bool admit(ServingRequest request);
+
+  /// Remove and return the next request under the scheduling policy
+  /// (priority class, then least-served tenant, then EDF); nullopt when
+  /// empty. Counts toward the winning tenant's served total.
+  [[nodiscard]] std::optional<ServingRequest> pop();
+
+  /// pop() a head, then up to `max_batch - 1` waiting requests with the
+  /// head's compat_key, in EDF order. The batch shares one array
+  /// configuration, so only the head pays reconfiguration. Empty vector
+  /// when the queue is empty; max_batch <= 1 degenerates to pop().
+  [[nodiscard]] std::vector<ServingRequest> pop_batch(std::uint32_t max_batch);
+
+  [[nodiscard]] std::size_t size() const { return waiting_.size(); }
+  [[nodiscard]] bool empty() const { return waiting_.empty(); }
+  [[nodiscard]] std::uint64_t admitted() const { return admitted_; }
+  [[nodiscard]] std::uint64_t shed() const { return shed_; }
+
+ private:
+  /// Index of the best waiting request under the pop() policy.
+  [[nodiscard]] std::size_t best_index() const;
+  ServingRequest take(std::size_t index);
+
+  std::size_t depth_cap_;
+  std::vector<ServingRequest> waiting_;
+  std::map<std::uint32_t, std::uint64_t> served_per_tenant_;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t shed_ = 0;
+};
+
+}  // namespace aurora::serving

@@ -1,0 +1,272 @@
+#include "serving/serving_engine.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace aurora::serving {
+
+namespace {
+
+/// Decorrelates the mix/tenant draws from the arrival process without
+/// coupling their stream positions (SplitMix64-style golden-ratio offset).
+constexpr std::uint64_t kMixSeedSalt = 0x9E3779B97F4A7C15ull;
+
+template <typename Selector>
+double percentile_of(const std::vector<ServedRequest>& served,
+                     double q, Selector select) {
+  std::vector<double> samples;
+  samples.reserve(served.size());
+  for (const ServedRequest& r : served) {
+    samples.push_back(static_cast<double>(select(r)));
+  }
+  return percentile(std::move(samples), q);
+}
+
+}  // namespace
+
+double ServingReport::shed_rate() const {
+  return generated == 0
+             ? 0.0
+             : static_cast<double>(shed) / static_cast<double>(generated);
+}
+
+std::uint64_t ServingReport::met_slo_count() const {
+  std::uint64_t met = 0;
+  for (const ServedRequest& r : served) met += r.met_slo() ? 1 : 0;
+  return met;
+}
+
+double ServingReport::goodput_rps() const {
+  if (horizon == 0 || frequency_mhz <= 0.0) return 0.0;
+  const double seconds =
+      static_cast<double>(horizon) / (frequency_mhz * 1e6);
+  return static_cast<double>(met_slo_count()) / seconds;
+}
+
+double ServingReport::latency_percentile(double q) const {
+  return percentile_of(served, q,
+                       [](const ServedRequest& r) { return r.latency(); });
+}
+
+double ServingReport::queue_wait_percentile(double q) const {
+  return percentile_of(served, q,
+                       [](const ServedRequest& r) { return r.queue_wait(); });
+}
+
+double ServingReport::service_percentile(double q) const {
+  return percentile_of(
+      served, q, [](const ServedRequest& r) { return r.service_time(); });
+}
+
+CounterSet ServingReport::counters() const {
+  CounterSet counters;
+  counters.inc("serving.generated", generated);
+  counters.inc("serving.admitted", admitted);
+  counters.inc("serving.shed", shed);
+  counters.inc("serving.met_slo", met_slo_count());
+  counters.inc("serving.batches", batches);
+  counters.inc("serving.batched_followers", batched_followers);
+  counters.inc("serving.overlap_saved_cycles", overlap_savings);
+  counters.inc("serving.reconfig_saved_cycles", reconfig_savings);
+  counters.inc("serving.horizon_cycles", horizon);
+  return counters;
+}
+
+std::string serving_report_json(const ServingReport& report) {
+  std::ostringstream os;
+  const auto kv = [&os](const char* key, auto value, bool last = false) {
+    os << "\"" << key << "\": " << value << (last ? "" : ", ");
+  };
+  const auto kv_str = [&os](const char* key, const std::string& value,
+                            bool last = false) {
+    os << "\"" << key << "\": \"" << value << "\"" << (last ? "" : ", ");
+  };
+  os << "{";
+  kv_str("schema", "aurora.serving.v1");
+  kv_str("arrival", arrival_kind_name(report.arrival_kind));
+  kv_str("mode", cluster::dispatch_mode_name(report.mode));
+  kv("chips", report.num_chips);
+  kv("generated", report.generated);
+  kv("admitted", report.admitted);
+  kv("shed", report.shed);
+  kv("shed_rate", report.shed_rate());
+  kv("slo_cycles", static_cast<std::uint64_t>(report.slo_cycles));
+  kv("met_slo", report.met_slo_count());
+  kv("goodput_rps", report.goodput_rps());
+  kv("batches", report.batches);
+  kv("batched_followers", report.batched_followers);
+  kv("overlap_saved_cycles",
+     static_cast<std::uint64_t>(report.overlap_savings));
+  kv("reconfig_saved_cycles",
+     static_cast<std::uint64_t>(report.reconfig_savings));
+  kv("horizon_cycles", static_cast<std::uint64_t>(report.horizon));
+  kv("latency_p50_cycles", report.latency_percentile(0.50));
+  kv("latency_p95_cycles", report.latency_percentile(0.95));
+  kv("latency_p99_cycles", report.latency_percentile(0.99));
+  kv("queue_wait_p50_cycles", report.queue_wait_percentile(0.50));
+  kv("queue_wait_p95_cycles", report.queue_wait_percentile(0.95));
+  kv("queue_wait_p99_cycles", report.queue_wait_percentile(0.99));
+  kv("service_p50_cycles", report.service_percentile(0.50));
+  kv("service_p95_cycles", report.service_percentile(0.95));
+  kv("service_p99_cycles", report.service_percentile(0.99));
+  os << "\"requests\": [";
+  for (std::size_t i = 0; i < report.served.size(); ++i) {
+    const ServedRequest& r = report.served[i];
+    os << "{";
+    kv("id", r.id);
+    kv_str("label", r.label);
+    kv("tenant", r.tenant);
+    kv("priority", r.priority);
+    kv("chip", r.chip);
+    kv("arrival", static_cast<std::uint64_t>(r.arrival));
+    kv("start", static_cast<std::uint64_t>(r.start));
+    kv("finish", static_cast<std::uint64_t>(r.finish));
+    kv("queue_wait", static_cast<std::uint64_t>(r.queue_wait()));
+    kv("service", static_cast<std::uint64_t>(r.service_time()));
+    kv("batched_follower", r.batched_follower ? "true" : "false");
+    kv("met_slo", r.met_slo() ? "true" : "false", /*last=*/true);
+    os << (i + 1 < report.served.size() ? "}, " : "}");
+  }
+  os << "]}";
+  return os.str();
+}
+
+ServingEngine::ServingEngine(const core::AuroraConfig& config,
+                             const cluster::ClusterParams& cluster_params,
+                             const ServingParams& params)
+    : config_(config), cluster_params_(cluster_params), params_(params) {
+  AURORA_CHECK_MSG(params.num_tenants >= 1, "need at least one tenant");
+}
+
+std::vector<ServingRequest> ServingEngine::generate(
+    const std::vector<ModelMixEntry>& mix) const {
+  AURORA_CHECK_MSG(!mix.empty(), "model mix must not be empty");
+  std::vector<double> weights;
+  weights.reserve(mix.size());
+  for (const ModelMixEntry& entry : mix) {
+    AURORA_CHECK_MSG(entry.weight >= 0.0, "mix weights must be >= 0");
+    weights.push_back(entry.weight);
+  }
+
+  ArrivalProcess arrivals(params_.arrival, params_.seed);
+  Rng draw(params_.seed + kMixSeedSalt);
+  std::vector<ServingRequest> requests;
+  requests.reserve(params_.num_requests);
+  for (std::uint64_t i = 0; i < params_.num_requests; ++i) {
+    const ModelMixEntry& entry = mix[draw.next_weighted(weights)];
+    ServingRequest request;
+    request.id = i;
+    request.tenant =
+        static_cast<std::uint32_t>(draw.next_below(params_.num_tenants));
+    request.priority = entry.priority;
+    request.job = entry.job;
+    request.label = entry.label + " #" + std::to_string(i);
+    request.compat_key = core::job_signature(entry.job);
+    request.arrival = arrivals.next();
+    request.deadline = params_.slo_cycles == 0
+                           ? kNoDeadline
+                           : request.arrival + params_.slo_cycles;
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+ServingReport ServingEngine::run(const graph::Dataset& dataset,
+                                 const std::vector<ModelMixEntry>& mix) {
+  return serve_all(dataset, generate(mix));
+}
+
+ServingReport ServingEngine::replay(const graph::Dataset& dataset,
+                                    std::vector<ServingRequest> requests) {
+  for (ServingRequest& request : requests) {
+    if (request.compat_key.empty()) {
+      request.compat_key = core::job_signature(request.job);
+    }
+  }
+  return serve_all(dataset, std::move(requests));
+}
+
+ServingReport ServingEngine::serve_all(const graph::Dataset& dataset,
+                                       std::vector<ServingRequest> requests) {
+  for (std::size_t i = 1; i < requests.size(); ++i) {
+    AURORA_CHECK_MSG(requests[i - 1].arrival <= requests[i].arrival,
+                     "serving requests must be sorted by arrival");
+  }
+
+  cluster::ClusterScheduler scheduler(config_, cluster_params_);
+  if (tracer_ != nullptr) scheduler.set_tracer(tracer_);
+  RequestQueue queue(params_.queue_depth);
+
+  ServingReport report;
+  report.generated = requests.size();
+  report.slo_cycles = params_.slo_cycles;
+  report.frequency_mhz = config_.frequency_mhz;
+  report.arrival_kind = params_.arrival.kind;
+  report.mode = params_.mode;
+  report.num_chips = cluster_params_.num_chips;
+
+  std::size_t next = 0;
+  const auto admit_until = [&](Cycle t) {
+    while (next < requests.size() && requests[next].arrival <= t) {
+      queue.admit(std::move(requests[next++]));
+    }
+  };
+
+  while (next < requests.size() || !queue.empty()) {
+    // The dispatch clock: the earliest cycle a serving unit frees up.
+    // Everything that has arrived by then is eligible (and subject to the
+    // admission cap, in arrival order); if nothing waits, idle forward to
+    // the next arrival.
+    admit_until(scheduler.next_free(params_.mode));
+    if (queue.empty()) {
+      admit_until(requests[next].arrival);
+      if (queue.empty()) continue;  // the whole tranche was shed
+    }
+
+    std::vector<ServingRequest> batch = queue.pop_batch(params_.max_batch);
+    ++report.batches;
+    report.batched_followers += batch.size() - 1;
+    std::optional<std::uint32_t> pin_chip;
+    bool follower = false;
+    for (ServingRequest& request : batch) {
+      cluster::ClusterOutcome outcome = scheduler.serve(
+          dataset, {request.job, request.label}, params_.mode,
+          request.arrival, follower, pin_chip);
+      if (!follower && params_.mode == cluster::DispatchMode::kDataParallel) {
+        pin_chip = outcome.chip;
+      }
+
+      ServedRequest served;
+      served.id = request.id;
+      served.tenant = request.tenant;
+      served.priority = request.priority;
+      served.label = std::move(request.label);
+      served.chip = outcome.chip;
+      served.arrival = request.arrival;
+      served.start = outcome.start_cycle;
+      served.finish = outcome.finish_cycle;
+      served.deadline = request.deadline;
+      served.batched_follower = follower;
+      served.overlap_hidden = outcome.overlap_hidden;
+      served.reconfig_saved = outcome.reconfig_saved;
+      served.metrics = std::move(outcome.metrics);
+      report.overlap_savings += served.overlap_hidden;
+      report.reconfig_savings += served.reconfig_saved;
+      report.horizon = std::max(report.horizon, served.finish);
+      report.served.push_back(std::move(served));
+      follower = true;
+    }
+  }
+
+  report.admitted = queue.admitted();
+  report.shed = queue.shed();
+  AURORA_CHECK(report.admitted + report.shed == report.generated);
+  return report;
+}
+
+}  // namespace aurora::serving

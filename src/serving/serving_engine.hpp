@@ -1,0 +1,148 @@
+// Open-loop serving engine: arrival process -> admission queue -> dynamic
+// batching -> cluster dispatch.
+//
+// Drives the existing dispatch layers (core::Scheduler's overlap model via
+// cluster::ClusterScheduler, both data-parallel and shard-parallel, serial
+// or parallel simulation) with requests that arrive on their own clock, and
+// reports what a deployment actually tunes against: goodput under SLO, shed
+// rate, and the queue-wait vs service-time split behind each latency
+// percentile. Fully deterministic for a fixed seed.
+//
+// The event loop is intentionally simple: advance to the earliest cycle a
+// serving unit frees up, admit everything that has arrived by then, pop a
+// batch (EDF within priority classes, per-tenant fairness; followers share
+// the head's partition/NoC configuration and skip reconfiguration), and
+// dispatch it. With batching off and all arrivals at cycle 0 this collapses
+// to core::Scheduler::run bit-for-bit — the equivalence the tests pin.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_scheduler.hpp"
+#include "serving/arrival.hpp"
+#include "serving/request_queue.hpp"
+
+namespace aurora::serving {
+
+/// One entry of the served model mix; requests draw from the mix with
+/// probability proportional to `weight`.
+struct ModelMixEntry {
+  core::GnnJob job;
+  std::string label;
+  double weight = 1.0;
+  /// Priority class for every request of this entry (lower = more urgent).
+  std::uint32_t priority = 0;
+};
+
+struct ServingParams {
+  ArrivalParams arrival;
+  /// Seeds the arrival process and the mix/tenant draws.
+  std::uint64_t seed = 1;
+  /// Number of requests to generate for an open-loop run().
+  std::uint64_t num_requests = 64;
+  /// Admission cap on waiting requests (0 = unbounded, never sheds).
+  std::size_t queue_depth = 64;
+  /// Largest batch of configuration-compatible requests dispatched
+  /// together; <= 1 disables batching.
+  std::uint32_t max_batch = 4;
+  /// Requests are attributed round-robin-free to this many tenants
+  /// (uniform random draw); the queue balances service across them.
+  std::uint32_t num_tenants = 1;
+  /// Latency SLO in cycles; 0 means no deadline (everything is goodput).
+  Cycle slo_cycles = 0;
+  cluster::DispatchMode mode = cluster::DispatchMode::kDataParallel;
+};
+
+struct ServedRequest {
+  std::uint64_t id = 0;
+  std::uint32_t tenant = 0;
+  std::uint32_t priority = 0;
+  std::string label;
+  /// Serving chip (data-parallel; 0 under shard-parallel).
+  std::uint32_t chip = 0;
+  Cycle arrival = 0;
+  Cycle start = 0;
+  Cycle finish = 0;
+  Cycle deadline = kNoDeadline;
+  /// Whether the request rode a batch head's configuration.
+  bool batched_follower = false;
+  Cycle overlap_hidden = 0;
+  Cycle reconfig_saved = 0;
+  core::RunMetrics metrics;
+
+  [[nodiscard]] Cycle queue_wait() const { return start - arrival; }
+  [[nodiscard]] Cycle service_time() const { return finish - start; }
+  [[nodiscard]] Cycle latency() const { return finish - arrival; }
+  [[nodiscard]] bool met_slo() const { return finish <= deadline; }
+};
+
+struct ServingReport {
+  /// Completed requests in dispatch order.
+  std::vector<ServedRequest> served;
+  std::uint64_t generated = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t shed = 0;
+  /// Dispatched batches and how many requests rode as followers.
+  std::uint64_t batches = 0;
+  std::uint64_t batched_followers = 0;
+  Cycle overlap_savings = 0;
+  Cycle reconfig_savings = 0;
+  /// Last finish cycle (the serving horizon).
+  Cycle horizon = 0;
+  Cycle slo_cycles = 0;
+  double frequency_mhz = 0.0;
+  ArrivalKind arrival_kind = ArrivalKind::kPoisson;
+  cluster::DispatchMode mode = cluster::DispatchMode::kDataParallel;
+  std::uint32_t num_chips = 1;
+
+  [[nodiscard]] double shed_rate() const;
+  [[nodiscard]] std::uint64_t met_slo_count() const;
+  /// Requests completed within their SLO per second of serving horizon.
+  [[nodiscard]] double goodput_rps() const;
+  /// Exact nearest-rank percentiles over the served requests.
+  [[nodiscard]] double latency_percentile(double q) const;
+  [[nodiscard]] double queue_wait_percentile(double q) const;
+  [[nodiscard]] double service_percentile(double q) const;
+  /// The report's scalars as "serving.*" counters, for merging into a run's
+  /// CounterSet so --metrics-out and the registry surfaces carry them.
+  [[nodiscard]] CounterSet counters() const;
+};
+
+/// The report as a JSON object (schema "aurora.serving.v1").
+[[nodiscard]] std::string serving_report_json(const ServingReport& report);
+
+class ServingEngine {
+ public:
+  ServingEngine(const core::AuroraConfig& config,
+                const cluster::ClusterParams& cluster_params,
+                const ServingParams& params);
+
+  /// Generate `params.num_requests` open-loop arrivals over `mix` (seed-
+  /// deterministic) and serve them. Exposed separately so tests can pin the
+  /// generated stream itself.
+  [[nodiscard]] std::vector<ServingRequest> generate(
+      const std::vector<ModelMixEntry>& mix) const;
+  [[nodiscard]] ServingReport run(const graph::Dataset& dataset,
+                                  const std::vector<ModelMixEntry>& mix);
+
+  /// Serve a pre-built request list (closed-loop replay and tests).
+  /// Requests must be sorted by arrival; compat_key may be left empty and
+  /// is filled from the job.
+  [[nodiscard]] ServingReport replay(const graph::Dataset& dataset,
+                                     std::vector<ServingRequest> requests);
+
+  /// Trace every request's execution (see ClusterScheduler::set_tracer).
+  void set_tracer(sim::Tracer* tracer) { tracer_ = tracer; }
+
+ private:
+  [[nodiscard]] ServingReport serve_all(const graph::Dataset& dataset,
+                                        std::vector<ServingRequest> requests);
+
+  core::AuroraConfig config_;
+  cluster::ClusterParams cluster_params_;
+  ServingParams params_;
+  sim::Tracer* tracer_ = nullptr;
+};
+
+}  // namespace aurora::serving

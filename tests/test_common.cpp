@@ -155,8 +155,53 @@ TEST(Histogram, BucketsAndOverflow) {
 TEST(Histogram, Quantile) {
   Histogram h(1.0, 10);
   for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i % 10));
-  EXPECT_NEAR(h.quantile(0.5), 5.0, 1.0);
-  EXPECT_NEAR(h.quantile(1.0), 10.0, 1.0);
+  // Nearest-rank: rank 50 of 100 falls in bucket 4, rank 100 in bucket 9,
+  // both reported at the bucket's lower edge (the exact sample value here).
+  EXPECT_EQ(h.quantile(0.5), 4.0);
+  EXPECT_EQ(h.quantile(1.0), 9.0);
+}
+
+TEST(Histogram, QuantileSingleSampleReportsItsBucket) {
+  // One exact-width sample: every quantile is that sample, not bucket 0's
+  // edge (the old truncation bug) and not the bucket's upper edge.
+  Histogram h(1.0, 10);
+  h.add(5.0);
+  EXPECT_EQ(h.quantile(0.0), 5.0);
+  EXPECT_EQ(h.quantile(0.5), 5.0);
+  EXPECT_EQ(h.quantile(1.0), 5.0);
+}
+
+TEST(Histogram, QuantileSkipsEmptyBucketPrefix) {
+  Histogram h(2.0, 8);
+  h.add(10.0);  // bucket 5
+  h.add(12.0);  // bucket 6
+  EXPECT_EQ(h.quantile(0.0), 10.0);
+  EXPECT_EQ(h.quantile(0.5), 10.0);
+  EXPECT_EQ(h.quantile(1.0), 12.0);
+}
+
+TEST(Histogram, QuantileEmptyIsZero) {
+  const Histogram h(1.0, 4);
+  EXPECT_EQ(h.quantile(0.0), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST(Percentile, ExactNearestRank) {
+  const std::vector<double> v = {30.0, 10.0, 20.0, 40.0};
+  EXPECT_EQ(percentile(v, 0.0), 10.0);
+  EXPECT_EQ(percentile(v, 0.25), 10.0);
+  EXPECT_EQ(percentile(v, 0.5), 20.0);
+  EXPECT_EQ(percentile(v, 0.51), 30.0);
+  EXPECT_EQ(percentile(v, 0.99), 40.0);
+  EXPECT_EQ(percentile(v, 1.0), 40.0);
+}
+
+TEST(Percentile, SingleAndEmpty) {
+  EXPECT_EQ(percentile({}, 0.5), 0.0);
+  EXPECT_EQ(percentile({7.5}, 0.0), 7.5);
+  EXPECT_EQ(percentile({7.5}, 0.5), 7.5);
+  EXPECT_EQ(percentile({7.5}, 1.0), 7.5);
 }
 
 TEST(Histogram, MergeAddsCounts) {
@@ -300,6 +345,35 @@ TEST(Cli, ParsesFlagsAndDefaults) {
 TEST(Cli, RejectsPositional) {
   const char* argv[] = {"prog", "positional"};
   EXPECT_THROW(CliArgs(2, argv), Error);
+}
+
+TEST(Cli, UnknownFlagsAreDetected) {
+  const char* argv[] = {"prog", "--critpath-oot=x", "--scale=0.5"};
+  const CliArgs unchecked(3, argv);
+  EXPECT_EQ(unchecked.unknown_flags({"scale", "critpath-out"}),
+            std::vector<std::string>{"critpath-oot"});
+  EXPECT_TRUE(unchecked.unknown_flags({"scale", "critpath-oot"}).empty());
+  // The checking constructor throws, naming the typo and the accepted set.
+  try {
+    const CliArgs checked(3, argv, {"scale", "critpath-out"});
+    FAIL() << "expected Error for unknown flag";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("critpath-oot"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("--critpath-out"),
+              std::string::npos);
+  }
+}
+
+TEST(Cli, GetUintValidates) {
+  const char* argv[] = {"prog", "--chips=4", "--bad=-1", "--junk=4x",
+                        "--big=5000000000"};
+  const CliArgs args(5, argv);
+  EXPECT_EQ(args.get_uint("chips", 1), 4u);
+  EXPECT_EQ(args.get_uint("missing", 7), 7u);
+  EXPECT_THROW((void)args.get_uint("bad", 1), Error);   // used to wrap
+  EXPECT_THROW((void)args.get_uint("junk", 1), Error);  // trailing garbage
+  EXPECT_THROW((void)args.get_uint("big", 1), Error);   // > UINT32_MAX
+  EXPECT_THROW((void)args.get_uint("chips", 1, 8, 64), Error);  // below min
 }
 
 TEST(Check, ThrowsWithMessage) {
