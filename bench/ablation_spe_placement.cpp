@@ -35,7 +35,7 @@ mapping::Mapping with_placement(const mapping::Mapping& base,
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv, {"scale", "seed"});
-  const double scale = args.get_double("scale", 0.5);
+  const double scale = args.get_double("scale", 0.5, 1e-6, 100.0);
   const auto ds = graph::make_dataset(graph::DatasetId::kCora, scale,
                                       args.get_uint("seed", 7));
 

@@ -15,7 +15,7 @@ FigureOptions parse_figure_options(int argc, const char* const* argv) {
                      {"scale", "small", "hidden", "seed", "jobs",
                       "metrics-out"});
   FigureOptions opt;
-  opt.scale = args.get_double("scale", 0.0);
+  opt.scale = args.get_double("scale", 0.0, 0.0, 100.0);
   opt.paper_scale = !args.get_bool("small", false);
   opt.hidden_dim =
       args.get_uint("hidden", 16, 1);

@@ -16,13 +16,23 @@
 // replay line. Replaying a single seed with --trace-out writes a Perfetto
 // trace of the fast-forward engine run for inspection.
 //
+// --cluster --faults additionally injects a seed-deterministic fault plan:
+// link degradation and DRAM stall windows on the cluster run (all four
+// engine/scheduler combinations must still agree bit for bit), a
+// regenerate-and-compare check on the fault timeline itself, and a serving
+// phase with chip fail-stop/fail-recover faults where the full
+// ServingReport (retries, failovers, shedding, every request's timing) is
+// diffed across the same four flavours.
+//
 //   ./build/bench/fuzz_sim --seeds=25            # CI smoke
 //   ./build/bench/fuzz_sim --seeds=500 --start-seed=1000
 //   ./build/bench/fuzz_sim --seed=42 --trace-out=fuzz_42.json
+//   ./build/bench/fuzz_sim --cluster --parallel --faults --seeds=25
 #include <array>
 #include <cstdint>
 #include <cstdio>
 #include <exception>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -32,9 +42,11 @@
 #include "common/rng.hpp"
 #include "core/aurora.hpp"
 #include "core/report.hpp"
+#include "fault/fault.hpp"
 #include "graph/generators.hpp"
 #include "noc/network.hpp"
 #include "noc/routing.hpp"
+#include "serving/serving_engine.hpp"
 #include "sim/invariants.hpp"
 #include "sim/perfetto.hpp"
 #include "sim/simulator.hpp"
@@ -331,7 +343,14 @@ void print_failure(std::uint64_t seed, const char* phase,
 /// `parallel`, additionally runs the conservative parallel engine (random
 /// worker count) in both scheduler modes and bit-diffs it against the
 /// serial engine — the tentpole guarantee of the parallel simulator.
-bool run_cluster_seed(std::uint64_t seed, bool verbose, bool parallel) {
+///
+/// With `faults`, a seed-deterministic fault plan (link degradation + DRAM
+/// stall windows) rides along on every cluster run, the plan's timeline is
+/// checked to regenerate identically, and a serving phase with chip
+/// fail-stop faults diffs the full ServingReport across the same
+/// engine/scheduler combinations.
+bool run_cluster_seed(std::uint64_t seed, bool verbose, bool parallel,
+                      bool faults) {
   try {
     Rng rng(seed * 0xD1B54A32D192ED03ull + 5);
     core::AuroraConfig chip = random_chip(rng);
@@ -353,6 +372,46 @@ bool run_cluster_seed(std::uint64_t seed, bool verbose, bool parallel) {
         gnn::kAllModels[rng.next_below(gnn::kAllModels.size())];
     const core::GnnJob job = core::GnnJob::two_layer(
         model, ds.spec, 4 + static_cast<std::uint32_t>(rng.next_below(13)));
+
+    const auto fail = [&](const char* phase,
+                          const std::vector<std::string>& diffs) {
+      print_failure(seed, phase, diffs);
+      std::printf(
+          "replay: ./build/bench/fuzz_sim --cluster%s%s --seed=%llu\n",
+          parallel ? " --parallel" : "", faults ? " --faults" : "",
+          static_cast<unsigned long long>(seed));
+      return false;
+    };
+
+    std::shared_ptr<const fault::FaultPlan> plan;
+    if (faults) {
+      fault::FaultParams fp;
+      fp.seed = seed * 0xA24BAED4963EE407ull + 9;
+      fp.horizon = 2'000'000;
+      fp.link_mtbf = 5'000.0 + static_cast<double>(rng.next_below(200'000));
+      fp.link_mttr = 2'000.0 + static_cast<double>(rng.next_below(100'000));
+      fp.dram_mtbf = 20'000.0 + static_cast<double>(rng.next_below(200'000));
+      fp.dram_mttr = 1'000.0 + static_cast<double>(rng.next_below(20'000));
+      auto built = std::make_shared<fault::FaultPlan>(
+          fault::FaultPlan::generate(fp, params.num_chips));
+      // The plan IS the fault timeline: regenerating from the same params
+      // must reproduce it event for event, or seed replays are worthless.
+      const fault::FaultPlan again =
+          fault::FaultPlan::generate(fp, params.num_chips);
+      if (built->timeline() != again.timeline()) {
+        return fail("fault-plan-determinism",
+                    {"regenerated plan timeline differs"});
+      }
+      // Every cluster chip shares this one AuroraConfig, so chip 0's DRAM
+      // stall schedule lands on all of them — the differential only needs
+      // the stall path exercised, not per-chip variety.
+      for (const fault::DownWindow& w : built->dram_windows(0)) {
+        chip.dram.stall_windows.push_back(
+            {dram::DramStallWindow::kAllChannels, w.begin, w.end});
+      }
+      plan = std::move(built);
+    }
+
     if (verbose) {
       std::printf(
           "seed %llu cluster: %u chip(s), %s sharding, %s link "
@@ -372,16 +431,9 @@ bool run_cluster_seed(std::uint64_t seed, bool verbose, bool parallel) {
       cluster::ClusterParams p = params;
       p.parallel = parallel_engine;
       p.parallel_jobs = parallel_engine ? jobs : 0;
+      p.fault_plan = plan;
       cluster::ClusterEngine engine(cfg, p);
       return engine.run(ds, job);
-    };
-    const auto fail = [&](const char* phase,
-                          const std::vector<std::string>& diffs) {
-      print_failure(seed, phase, diffs);
-      std::printf("replay: ./build/bench/fuzz_sim --cluster%s --seed=%llu\n",
-                  parallel ? " --parallel" : "",
-                  static_cast<unsigned long long>(seed));
-      return false;
     };
 
     const cluster::ClusterRunMetrics lock = run(false, false);
@@ -404,6 +456,90 @@ bool run_cluster_seed(std::uint64_t seed, bool verbose, bool parallel) {
       }
     }
 
+    if (faults) {
+      // Serving phase: chip fail-stop/fail-recover faults drive the retry/
+      // backoff/failover path; the entire ServingReport (every counter and
+      // every served request's placement and timing) must be bit-identical
+      // across engine flavours, and the conservation invariants must hold.
+      serving::ServingParams sp;
+      sp.seed = seed * 0x9E3779B97F4A7C15ull + 11;
+      sp.num_requests = 6 + rng.next_below(8);
+      sp.queue_depth = 4 + static_cast<std::size_t>(rng.next_below(13));
+      sp.max_batch = 1 + static_cast<std::uint32_t>(rng.next_below(4));
+      sp.num_tenants = 1 + static_cast<std::uint32_t>(rng.next_below(3));
+      sp.arrival.rate_per_mcycle =
+          5.0 + static_cast<double>(rng.next_below(300));
+      sp.slo_cycles = rng.next_bool(0.5) ? 0 : 50'000 + rng.next_below(950'000);
+      sp.mode = params.num_chips > 1 && rng.next_bool(0.5)
+                    ? cluster::DispatchMode::kShardParallel
+                    : cluster::DispatchMode::kDataParallel;
+      sp.max_retries = static_cast<std::uint32_t>(rng.next_below(4));
+      sp.retry_backoff_base = Cycle{64} << rng.next_below(5);
+      sp.proactive_shedding = rng.next_bool(0.5);
+      // Aggressive MTBF relative to these tiny workloads' service times so
+      // mid-flight failures (and thus retries/failovers) actually fire in a
+      // healthy fraction of seeds; occasional MTTR=0 exercises permanent
+      // fail-stop.
+      sp.faults.seed = seed * 0xBF58476D1CE4E5B9ull + 13;
+      sp.faults.horizon = 8'000'000;
+      sp.faults.chip_mtbf =
+          10'000.0 + static_cast<double>(rng.next_below(200'000));
+      sp.faults.chip_mttr =
+          rng.next_bool(0.2)
+              ? 0.0
+              : 5'000.0 + static_cast<double>(rng.next_below(100'000));
+      const std::vector<serving::ModelMixEntry> mix = {{job, "fuzz", 1.0, 0}};
+      const auto serve = [&](bool fast_forward, bool parallel_engine) {
+        core::AuroraConfig cfg = chip;
+        cfg.fast_forward = fast_forward;
+        cluster::ClusterParams p = params;
+        p.parallel = parallel_engine;
+        p.parallel_jobs = parallel_engine ? jobs : 0;
+        p.fault_plan = plan;
+        serving::ServingEngine engine(cfg, p, sp);
+        return engine.run(ds, mix);
+      };
+      const serving::ServingReport base = serve(false, false);
+      const bool conserved =
+          base.admitted + base.shed == base.generated &&
+          base.admitted == base.served.size() + base.shed_expired +
+                               base.failed_permanently;
+      if (!conserved) {
+        return fail("serving-conservation",
+                    {"admitted " + std::to_string(base.admitted) +
+                     " shed " + std::to_string(base.shed) + " generated " +
+                     std::to_string(base.generated) + " served " +
+                     std::to_string(base.served.size()) + " shed_expired " +
+                     std::to_string(base.shed_expired) +
+                     " failed_permanently " +
+                     std::to_string(base.failed_permanently)});
+      }
+      const serving::ServingReport ff = serve(true, false);
+      const auto ff_diffs = serving::diff_serving_reports(base, ff);
+      if (!ff_diffs.empty()) return fail("serving-fast-forward", ff_diffs);
+      if (parallel) {
+        const serving::ServingReport par_lock = serve(false, true);
+        const auto pl_diffs = serving::diff_serving_reports(base, par_lock);
+        if (!pl_diffs.empty()) return fail("serving-parallel", pl_diffs);
+        const serving::ServingReport par_fast = serve(true, true);
+        const auto pf_diffs = serving::diff_serving_reports(ff, par_fast);
+        if (!pf_diffs.empty()) {
+          return fail("serving-parallel-fast-forward", pf_diffs);
+        }
+      }
+      if (verbose) {
+        std::printf(
+            "seed %llu serving: %zu/%llu completed, %llu failed attempt(s), "
+            "%llu retried, %llu permanent, %llu shed expired\n",
+            static_cast<unsigned long long>(seed), base.served.size(),
+            static_cast<unsigned long long>(base.admitted),
+            static_cast<unsigned long long>(base.failed_attempts),
+            static_cast<unsigned long long>(base.retries),
+            static_cast<unsigned long long>(base.failed_permanently),
+            static_cast<unsigned long long>(base.shed_expired));
+      }
+    }
+
     if (verbose) {
       std::printf("seed %llu OK: %llu cluster cycles, %llu halo bytes, "
                   "%s bit-identical\n",
@@ -416,8 +552,8 @@ bool run_cluster_seed(std::uint64_t seed, bool verbose, bool parallel) {
   } catch (const std::exception& e) {
     std::printf("FUZZ FAILURE seed=%llu (cluster): exception\n  %s\n",
                 static_cast<unsigned long long>(seed), e.what());
-    std::printf("replay: ./build/bench/fuzz_sim --cluster%s --seed=%llu\n",
-                parallel ? " --parallel" : "",
+    std::printf("replay: ./build/bench/fuzz_sim --cluster%s%s --seed=%llu\n",
+                parallel ? " --parallel" : "", faults ? " --faults" : "",
                 static_cast<unsigned long long>(seed));
     return false;
   }
@@ -525,8 +661,8 @@ bool run_seed(std::uint64_t seed, bool verbose, const std::string& trace_out) {
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv,
-                     {"help", "cluster", "parallel", "seed", "seeds",
-                      "start-seed", "trace-out"});
+                     {"help", "cluster", "parallel", "faults", "seed",
+                      "seeds", "start-seed", "trace-out"});
   if (args.get_bool("help", false)) {
     std::printf(
         "fuzz_sim — differential fuzzer (lockstep vs fast-forward)\n\n"
@@ -539,6 +675,12 @@ int main(int argc, char** argv) {
         "                     conservative engine (random worker counts) and\n"
         "                     bit-diff it against the serial engine in both\n"
         "                     scheduler modes\n"
+        "  --faults           with --cluster: inject a seed-deterministic\n"
+        "                     fault plan (link degradation + DRAM stalls) on\n"
+        "                     the cluster run and add a serving phase with\n"
+        "                     chip failures; fault timelines and the full\n"
+        "                     ServingReport must stay bit-identical across\n"
+        "                     every engine flavour\n"
         "  --trace-out=<p>    with --seed: write a Perfetto trace of the\n"
         "                     fast-forward engine run\n");
     return 0;
@@ -546,10 +688,16 @@ int main(int argc, char** argv) {
 
   const bool cluster_mode = args.get_bool("cluster", false);
   const bool parallel_mode = args.get_bool("parallel", false);
+  const bool fault_mode = args.get_bool("faults", false);
+  AURORA_CHECK_MSG(!fault_mode || cluster_mode,
+                   "--faults requires --cluster");
   if (args.has("seed")) {
     const auto seed = std::uint64_t{args.get_uint("seed", 1)};
     if (cluster_mode) {
-      return run_cluster_seed(seed, /*verbose=*/true, parallel_mode) ? 0 : 1;
+      return run_cluster_seed(seed, /*verbose=*/true, parallel_mode,
+                              fault_mode)
+                 ? 0
+                 : 1;
     }
     const std::string trace_out = args.get_string("trace-out", "");
     return run_seed(seed, /*verbose=*/true, trace_out) ? 0 : 1;
@@ -559,15 +707,17 @@ int main(int argc, char** argv) {
   const auto start =
       std::uint64_t{args.get_uint("start-seed", 1)};
   for (std::uint64_t seed = start; seed < start + seeds; ++seed) {
-    const bool ok =
-        cluster_mode ? run_cluster_seed(seed, /*verbose=*/false, parallel_mode)
-                     : run_seed(seed, /*verbose=*/false, "");
+    const bool ok = cluster_mode
+                        ? run_cluster_seed(seed, /*verbose=*/false,
+                                           parallel_mode, fault_mode)
+                        : run_seed(seed, /*verbose=*/false, "");
     if (!ok) return 1;
   }
-  std::printf("fuzz_sim%s%s: %llu seed(s) passed, all engine/scheduler "
+  std::printf("fuzz_sim%s%s%s: %llu seed(s) passed, all engine/scheduler "
               "combinations bit for bit identical\n",
               cluster_mode ? " (cluster)" : "",
               parallel_mode && cluster_mode ? " (parallel differential)" : "",
+              fault_mode && cluster_mode ? " (fault injection)" : "",
               static_cast<unsigned long long>(seeds));
   return 0;
 }

@@ -1,17 +1,27 @@
-// Open-loop serving sweep: goodput under SLO vs arrival rate.
+// Open-loop serving sweep: goodput under SLO vs arrival rate, and (with
+// --faults) availability vs chip MTBF.
 //
-// Runs the serving engine at a geometric ladder of arrival rates around
-// --rate and reports, per point, the shed rate and goodput-under-SLO plus
-// exact p99 latency and queue-wait. The sweep makes the saturation story
-// visible in one line of JSON: below capacity goodput tracks the offered
-// rate, past capacity queue-wait blows up, the SLO cuts goodput and the
-// admission cap starts shedding.
+// Default mode runs the serving engine at a geometric ladder of arrival
+// rates around --rate and reports, per point, the shed rate and
+// goodput-under-SLO plus exact p99 latency and queue-wait. The sweep makes
+// the saturation story visible in one line of JSON: below capacity goodput
+// tracks the offered rate, past capacity queue-wait blows up, the SLO cuts
+// goodput and the admission cap starts shedding.
 //
-// Every point asserts the serving invariant admitted + shed == generated
-// (exit code 1 on violation), so the bench doubles as a smoke check.
+// --faults=<seed> switches to an availability sweep: a geometric ladder of
+// chip MTBFs around --mtbf-us at the fixed --rate, with retry/backoff and
+// proactive SLO shedding on. Per point it reports the failure/retry/
+// failover/shed split — the knee where the fault rate overwhelms the retry
+// budget is the story.
+//
+// Every point asserts the serving conservation invariants (exit code 1 on
+// violation), so the bench doubles as a smoke check: admitted + shed ==
+// generated, and admitted == completed + shed_expired + failed_permanently.
 // Output is one machine-readable JSON line on stdout (check.sh saves it as
-// BENCH_serving.json) plus a human-readable table on stderr:
+// BENCH_serving.json / BENCH_serving_faults.json) plus a human-readable
+// table on stderr:
 //   {"bench": "serving", "chips": ..., "slo_us": ..., "points": [...]}
+//   {"bench": "serving_faults", "chips": ..., "points": [...]}
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -28,8 +38,29 @@ using namespace aurora;
 
 struct Point {
   double rate_rps = 0.0;
+  double mtbf_us = 0.0;
   serving::ServingReport report;
 };
+
+/// Both serving conservation invariants; prints and fails the bench on
+/// violation.
+bool conserved(const serving::ServingReport& r, double x_value,
+               const char* x_name) {
+  const bool admission = r.admitted + r.shed == r.generated;
+  const bool accounting =
+      r.admitted == r.served.size() + r.shed_expired + r.failed_permanently;
+  if (admission && accounting) return true;
+  std::fprintf(stderr,
+               "FAIL: serving accounting broken at %s=%.0f (generated %llu, "
+               "admitted %llu, shed %llu, served %zu, shed_expired %llu, "
+               "failed_permanently %llu)\n",
+               x_name, x_value, static_cast<unsigned long long>(r.generated),
+               static_cast<unsigned long long>(r.admitted),
+               static_cast<unsigned long long>(r.shed), r.served.size(),
+               static_cast<unsigned long long>(r.shed_expired),
+               static_cast<unsigned long long>(r.failed_permanently));
+  return false;
+}
 
 }  // namespace
 
@@ -37,13 +68,15 @@ int main(int argc, char** argv) {
   const CliArgs args(argc, argv,
                      {"scale", "hidden", "requests", "rate", "slo-us",
                       "chips", "mode", "seed", "queue-depth", "max-batch",
-                      "tenants"});
-  const double scale = args.get_double("scale", 0.02);
+                      "tenants", "faults", "mtbf-us", "mttr-us",
+                      "max-retries"});
+  const double scale = args.get_double("scale", 0.02, 1e-6, 100.0);
   const std::uint32_t hidden = args.get_uint("hidden", 16, 1);
   const std::uint32_t chips = args.get_uint("chips", 1, 1);
   const std::string mode_arg = args.get_string("mode", "data");
-  const double slo_us = args.get_double("slo-us", 800.0);
-  const double base_rate = args.get_double("rate", 2000.0);
+  const double slo_us = args.get_double("slo-us", 800.0, 0.0, 1e9);
+  const double base_rate = args.get_double("rate", 2000.0, 1e-3, 1e12);
+  const bool faults_on = args.has("faults");
 
   const graph::Dataset ds =
       graph::make_dataset(graph::DatasetId::kPubmed, scale);
@@ -69,6 +102,84 @@ int main(int argc, char** argv) {
        "agnn", 1.0, 0},
   };
 
+  if (faults_on) {
+    // Availability sweep: fixed rate, geometric MTBF ladder. Shorter MTBF
+    // means more mid-flight failures; the retry path keeps completions up
+    // until the fault rate overwhelms the backoff budget.
+    params.arrival.rate_per_mcycle = base_rate / config.frequency_mhz;
+    params.faults.seed = args.get_string("faults", "") == "true"
+                             ? 1
+                             : args.get_uint("faults", 1);
+    const double base_mtbf_us = args.get_double("mtbf-us", 400.0, 0.1, 1e9);
+    const double mttr_us = args.get_double("mttr-us", 60.0, 0.0, 1e9);
+    params.max_retries = args.get_uint("max-retries", 3);
+    params.proactive_shedding = true;
+    const double expected_cycles = static_cast<double>(params.num_requests) /
+                                   base_rate * config.frequency_mhz * 1e6;
+    params.faults.horizon =
+        static_cast<Cycle>(expected_cycles * 8.0) + 1000000;
+    params.faults.chip_mttr = mttr_us * config.frequency_mhz;
+
+    std::fprintf(stderr,
+                 "serving fault sweep: %u chip(s), %s, %.0f req/s, MTTR "
+                 "%.0f us, %llu requests per point\n",
+                 chips, cluster::dispatch_mode_name(params.mode), base_rate,
+                 mttr_us,
+                 static_cast<unsigned long long>(params.num_requests));
+    std::vector<Point> points;
+    for (const double mult : {4.0, 2.0, 1.0, 0.5, 0.25}) {
+      Point point;
+      point.rate_rps = base_rate;
+      point.mtbf_us = base_mtbf_us * mult;
+      params.faults.chip_mtbf = point.mtbf_us * config.frequency_mhz;
+      serving::ServingEngine engine(config, cluster_params, params);
+      point.report = engine.run(ds, mix);
+      const auto& r = point.report;
+      if (!conserved(r, point.mtbf_us, "mtbf_us")) return EXIT_FAILURE;
+      std::fprintf(stderr,
+                   "  MTBF %8.0f us: completed %2zu/%llu, failed attempts "
+                   "%2llu, retries %2llu, failed over %2llu, permanent "
+                   "%2llu, shed expired %2llu\n",
+                   point.mtbf_us, r.served.size(),
+                   static_cast<unsigned long long>(r.admitted),
+                   static_cast<unsigned long long>(r.failed_attempts),
+                   static_cast<unsigned long long>(r.retries),
+                   static_cast<unsigned long long>(r.failed_over),
+                   static_cast<unsigned long long>(r.failed_permanently),
+                   static_cast<unsigned long long>(r.shed_expired));
+      points.push_back(std::move(point));
+    }
+
+    std::string json = "{\"bench\": \"serving_faults\", \"chips\": " +
+                       std::to_string(chips) + ", \"mode\": \"" +
+                       cluster::dispatch_mode_name(params.mode) +
+                       "\", \"rate_rps\": " + std::to_string(base_rate) +
+                       ", \"slo_us\": " + std::to_string(slo_us) +
+                       ", \"points\": [";
+    char buf[512];
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const auto& r = points[i].report;
+      std::snprintf(
+          buf, sizeof(buf),
+          "{\"mtbf_us\": %.0f, \"admitted\": %llu, \"completed\": %zu, "
+          "\"failed_attempts\": %llu, \"retries\": %llu, "
+          "\"failed_over\": %llu, \"failed_permanently\": %llu, "
+          "\"shed_expired\": %llu, \"goodput_rps\": %.1f}%s",
+          points[i].mtbf_us, static_cast<unsigned long long>(r.admitted),
+          r.served.size(),
+          static_cast<unsigned long long>(r.failed_attempts),
+          static_cast<unsigned long long>(r.retries),
+          static_cast<unsigned long long>(r.failed_over),
+          static_cast<unsigned long long>(r.failed_permanently),
+          static_cast<unsigned long long>(r.shed_expired), r.goodput_rps(),
+          i + 1 < points.size() ? ", " : "");
+      json += buf;
+    }
+    json += "]}";
+    std::printf("%s\n", json.c_str());
+    return EXIT_SUCCESS;
+  }
+
   std::fprintf(stderr,
                "serving sweep: %u chip(s), %s, SLO %.0f us, %llu requests "
                "per point\n",
@@ -83,16 +194,7 @@ int main(int argc, char** argv) {
     point.rate_rps = rate_rps;
     point.report = engine.run(ds, mix);
     const auto& r = point.report;
-    if (r.admitted + r.shed != r.generated ||
-        r.served.size() != r.admitted) {
-      std::fprintf(stderr,
-                   "FAIL: shed accounting broken at %.0f req/s "
-                   "(generated %llu, admitted %llu, shed %llu, served %zu)\n",
-                   rate_rps, static_cast<unsigned long long>(r.generated),
-                   static_cast<unsigned long long>(r.admitted),
-                   static_cast<unsigned long long>(r.shed), r.served.size());
-      return EXIT_FAILURE;
-    }
+    if (!conserved(r, rate_rps, "rate_rps")) return EXIT_FAILURE;
     std::fprintf(stderr,
                  "  %8.0f req/s: goodput %7.0f req/s, shed %4.1f%%, "
                  "p99 latency %8.1f us (wait %8.1f us)\n",

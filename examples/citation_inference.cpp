@@ -16,7 +16,7 @@
 int main(int argc, char** argv) {
   using namespace aurora;
   const CliArgs args(argc, argv, {"scale", "hidden"});
-  const double scale = args.get_double("scale", 0.05);
+  const double scale = args.get_double("scale", 0.05, 1e-6, 100.0);
   const auto hidden = args.get_uint("hidden", 16, 1);
 
   const graph::Dataset ds = graph::make_dataset(graph::DatasetId::kCora, scale);

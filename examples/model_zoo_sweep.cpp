@@ -14,7 +14,7 @@
 int main(int argc, char** argv) {
   using namespace aurora;
   const CliArgs args(argc, argv, {"scale", "hidden"});
-  const double scale = args.get_double("scale", 0.1);
+  const double scale = args.get_double("scale", 0.1, 1e-6, 100.0);
   const auto hidden = args.get_uint("hidden", 32, 1);
 
   const graph::Dataset dataset =

@@ -15,7 +15,7 @@ int main(int argc, char** argv) {
 
   // 1. A dataset. Datasets are synthesised deterministically to match the
   //    published statistics of the real graphs (see DESIGN.md §1).
-  const double scale = args.get_double("scale", 0.1);
+  const double scale = args.get_double("scale", 0.1, 1e-6, 100.0);
   const graph::Dataset dataset =
       graph::make_dataset(graph::DatasetId::kCora, scale);
   std::printf("dataset: %s (scale %.3g): %u vertices, %llu directed edges, "

@@ -28,6 +28,13 @@
 //                      [--period-us=2000] [--amplitude=0.8]
 //                      [--serving-out=report.json]
 //
+// Fault injection (open loop): --faults=<seed> makes chips fail-stop on a
+// seed-deterministic MTBF clock (--mtbf-us, default 400) and recover after
+// --mttr-us (default 60; 0 = fail-stop forever). Failed requests retry with
+// capped exponential backoff (--max-retries, default 3) on surviving chips;
+// --proactive-shed (on by default with faults) drops queued requests whose
+// SLO already expired. The report gains an availability section.
+//
 // Observability flags (all paths):
 //   --trace-out=<path>     write a Chrome/Perfetto trace JSON
 //   --metrics-out=<path>   write the per-request metrics JSON report
@@ -153,22 +160,46 @@ int run_open_loop(const CliArgs& args, const core::AuroraConfig& config,
   serving::ServingParams params;
   params.arrival.kind = *kind;
   // --rate is requests per second; the process wants requests per Mcycle.
-  const double rate_rps = args.get_double("rate", 100000.0);
-  AURORA_CHECK_MSG(rate_rps > 0.0, "--rate must be positive");
+  const double rate_rps = args.get_double("rate", 100000.0, 1e-3, 1e12);
   params.arrival.rate_per_mcycle = rate_rps / config.frequency_mhz;
-  params.arrival.burst_rate_multiplier = args.get_double("burst-mult", 8.0);
-  params.arrival.burst_fraction = args.get_double("burst-frac", 0.1);
+  params.arrival.burst_rate_multiplier =
+      args.get_double("burst-mult", 8.0, 1.0, 1e6);
+  params.arrival.burst_fraction = args.get_double("burst-frac", 0.1, 0.0, 1.0);
   params.arrival.period_mcycles =
-      args.get_double("period-us", 2000.0) * config.frequency_mhz / 1e6;
-  params.arrival.amplitude = args.get_double("amplitude", 0.8);
+      args.get_double("period-us", 2000.0, 1e-3, 1e9) * config.frequency_mhz /
+      1e6;
+  params.arrival.amplitude = args.get_double("amplitude", 0.8, 0.0, 1.0);
   params.seed = args.get_uint("seed", 1);
   params.num_requests = args.get_uint("requests", 24, 1);
   params.queue_depth = args.get_uint("queue-depth", 64);
   params.max_batch = args.get_uint("max-batch", 4, 1);
   params.num_tenants = args.get_uint("tenants", 2, 1);
-  const double slo_us = args.get_double("slo-us", 0.0);
+  const double slo_us = args.get_double("slo-us", 0.0, 0.0, 1e9);
   params.slo_cycles = static_cast<Cycle>(slo_us * config.frequency_mhz);
   params.mode = mode;
+
+  // --faults=<seed> switches on seed-deterministic chip fault injection:
+  // chips fail per an exponential MTBF clock and (with --mttr-us > 0)
+  // recover; the engine retries failed requests with capped exponential
+  // backoff and, under --proactive-shed (on by default with faults), drops
+  // queued requests whose SLO already expired.
+  const bool faults_on = args.has("faults");
+  if (faults_on) {
+    params.faults.seed =
+        args.get_string("faults", "") == "true" ? 1 : args.get_uint("faults", 1);
+    const double mtbf_us = args.get_double("mtbf-us", 400.0, 0.1, 1e9);
+    const double mttr_us = args.get_double("mttr-us", 60.0, 0.0, 1e9);
+    params.faults.chip_mtbf = mtbf_us * config.frequency_mhz;
+    params.faults.chip_mttr = mttr_us * config.frequency_mhz;
+    // Fault horizon: the expected arrival window with generous headroom for
+    // queueing and retries (the plan is inert past its horizon).
+    const double expected_cycles = static_cast<double>(params.num_requests) /
+                                   rate_rps * config.frequency_mhz * 1e6;
+    params.faults.horizon =
+        static_cast<Cycle>(expected_cycles * 8.0) + 1000000;
+  }
+  params.max_retries = args.get_uint("max-retries", 3);
+  params.proactive_shedding = args.get_bool("proactive-shed", faults_on);
 
   serving::ServingEngine engine(config, cluster_params, params);
   if (tracer.enabled()) engine.set_tracer(&tracer);
@@ -229,6 +260,20 @@ int run_open_loop(const CliArgs& args, const core::AuroraConfig& config,
               static_cast<unsigned long long>(report.batched_followers),
               static_cast<unsigned long long>(report.reconfig_savings),
               static_cast<unsigned long long>(report.overlap_savings));
+  if (faults_on || report.failed_attempts > 0 || report.shed_expired > 0) {
+    std::printf("availability: %llu failed attempt(s), %llu retry(ies), "
+                "%llu failed over, %llu failed permanently\n",
+                static_cast<unsigned long long>(report.failed_attempts),
+                static_cast<unsigned long long>(report.retries),
+                static_cast<unsigned long long>(report.failed_over),
+                static_cast<unsigned long long>(report.failed_permanently));
+    std::printf("              %llu shed expired (proactive), %llu shard "
+                "fallback(s); completed %zu/%llu admitted\n",
+                static_cast<unsigned long long>(report.shed_expired),
+                static_cast<unsigned long long>(report.shard_fallbacks),
+                report.served.size(),
+                static_cast<unsigned long long>(report.admitted));
+  }
 
   const std::string serving_out = args.get_string("serving-out", "");
   if (!serving_out.empty()) {
@@ -256,9 +301,10 @@ int main(int argc, char** argv) {
       {"scale", "requests", "hidden", "chips", "mode", "parallel-sim",
        "jobs", "arrival", "rate", "slo-us", "seed", "queue-depth",
        "max-batch", "tenants", "burst-mult", "burst-frac", "period-us",
-       "amplitude", "serving-out", "trace-out", "metrics-out", "critpath",
-       "critpath-out", "what-if", "allow-truncated-trace"});
-  const double scale = args.get_double("scale", 0.1);
+       "amplitude", "faults", "mtbf-us", "mttr-us", "max-retries",
+       "proactive-shed", "serving-out", "trace-out", "metrics-out",
+       "critpath", "critpath-out", "what-if", "allow-truncated-trace"});
+  const double scale = args.get_double("scale", 0.1, 1e-6, 100.0);
   const std::uint32_t hidden = args.get_uint("hidden", 32, 1);
   const auto num_requests =
       static_cast<std::size_t>(args.get_uint("requests", 6, 1));

@@ -130,7 +130,7 @@ int main(int argc, char** argv) {
     }
     const double default_scale =
         config.mode == core::SimMode::kCycleAccurate ? 0.1 : 1.0;
-    ds = graph::make_dataset(*id, args.get_double("scale", default_scale),
+    ds = graph::make_dataset(*id, args.get_double("scale", default_scale, 1e-6, 100.0),
                              args.get_uint("seed", 7));
   }
   std::printf("dataset %s: %u vertices, %llu directed edges, mean degree "

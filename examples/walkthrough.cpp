@@ -23,7 +23,7 @@
 int main(int argc, char** argv) {
   using namespace aurora;
   const CliArgs args(argc, argv, {"scale"});
-  const double scale = args.get_double("scale", 0.1);
+  const double scale = args.get_double("scale", 0.1, 1e-6, 100.0);
   const graph::Dataset ds = graph::make_dataset(graph::DatasetId::kCora, scale);
   core::AuroraConfig config = core::AuroraConfig::bench();
 

@@ -104,9 +104,37 @@ with open(sys.argv[1]) as fh:
     report = json.load(fh)
 assert report["schema"] == "aurora.serving.v1", report["schema"]
 assert report["admitted"] + report["shed"] == report["generated"], report
-assert len(report["requests"]) == report["admitted"], report
+completed = len(report["requests"])
+assert report["admitted"] == completed + report["shed_expired"] \
+    + report["failed_permanently"], report
 EOF
 ./build/bench/micro_serving --requests=12 | tee BENCH_serving.json
+
+echo "== fault smoke: deterministic injection + failure-aware serving =="
+# Fault test suite by ctest label, then a 4-chip open-loop run with chip
+# faults on whose JSON report must satisfy both conservation invariants,
+# then the fault differential fuzz (all four engine/scheduler flavours must
+# agree bit for bit on fault timelines and the full ServingReport), then the
+# availability-vs-MTBF sweep writing its artifact (re-asserts conservation
+# at every point).
+ctest --test-dir build -L fault --output-on-failure -j
+./build/examples/serving --scale=0.02 --hidden=16 --arrival=poisson \
+  --rate=150000 --slo-us=800 --requests=16 --seed=7 --chips=4 --mode=data \
+  --faults=3 --mtbf-us=200 --mttr-us=50 \
+  --serving-out="$obs_dir/serving_faults.json"
+python3 - "$obs_dir/serving_faults.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as fh:
+    report = json.load(fh)
+assert report["schema"] == "aurora.serving.v1", report["schema"]
+assert report["admitted"] + report["shed"] == report["generated"], report
+completed = len(report["requests"])
+assert report["admitted"] == completed + report["shed_expired"] \
+    + report["failed_permanently"], report
+EOF
+./build/bench/fuzz_sim --cluster --parallel --faults --seeds=25
+./build/bench/micro_serving --requests=12 --faults=1 --rate=4000 \
+  | tee BENCH_serving_faults.json
 
 echo "== parallel engine: differential fuzz + microbenchmark =="
 # Every seed runs the cluster on the serial AND parallel engines in both
@@ -144,6 +172,9 @@ echo "== sanitizers: cluster smoke =="
 ./build-asan/examples/serving --scale=0.02 --requests=2 --hidden=16 \
   --chips=4 --mode=shard
 ./build-asan/bench/fuzz_sim --cluster --seeds=5
+# Fault differential seeds under ASan/UBSan: the fault-plan window queries,
+# the retry heap and the failover re-dispatch path are the fresh surface.
+./build-asan/bench/fuzz_sim --cluster --faults --seeds=5
 
 echo "== sanitizers: serving smoke =="
 # The serving suite plus one open-loop run under ASan/UBSan: the queue's
@@ -170,8 +201,15 @@ echo "== sanitizers: TSan build (parallel cluster engine) =="
 export TSAN_OPTIONS="halt_on_error=1:${TSAN_OPTIONS:-}"
 cmake -B build-tsan -S . -DAURORA_SANITIZE=thread
 cmake --build build-tsan -j --target test_cluster test_scheduler test_common \
-  test_sim fuzz_sim
+  test_sim fuzz_sim serving
 ctest --test-dir build-tsan -L cluster --output-on-failure -j
 ./build-tsan/bench/fuzz_sim --cluster --parallel --seeds=5
+# Fault injection on the multi-threaded engine: a shard-parallel serving run
+# with chip faults (retry/failover over the parallel cluster engine) and a
+# short fault differential batch.
+./build-tsan/examples/serving --scale=0.02 --requests=4 --hidden=16 \
+  --chips=2 --mode=shard --parallel-sim --faults=3 --mtbf-us=300 \
+  --mttr-us=60
+./build-tsan/bench/fuzz_sim --cluster --parallel --faults --seeds=3
 
 echo "check.sh: all green"

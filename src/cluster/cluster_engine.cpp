@@ -1,6 +1,7 @@
 #include "cluster/cluster_engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 #include <tuple>
 #include <utility>
@@ -271,13 +272,21 @@ ClusterRunMetrics ClusterEngine::run(const graph::Dataset& dataset,
   }
 
   // Deadlock guard headroom: every segment plus every chunk's worst-case
-  // serialisation, queueing-free flight and per-hop forwarding gap.
+  // serialisation, queueing-free flight and per-hop forwarding gap. A fault
+  // plan can stretch every serialisation by its largest multiplier, so the
+  // per-chunk term scales by that worst case.
+  const Cycle serialize_scale =
+      params_.fault_plan == nullptr
+          ? 1
+          : static_cast<Cycle>(
+                std::ceil(params_.fault_plan->max_link_multiplier()));
   Cycle bound = 1000;
   for (std::uint32_t c = 0; c < n; ++c) {
     for (const ChipLayerPlan& lp : chip_plans[c]) {
       bound += lp.seg_pre + lp.seg_post;
       for (const LinkMessage& msg : lp.outgoing) {
-        bound += (link_serialize_cycles(params_.link, msg.bytes) +
+        bound += (link_serialize_cycles(params_.link, msg.bytes) *
+                      serialize_scale +
                   params_.link.hop_latency + 2) *
                  link_route_hops(params_.link, n, msg.src, msg.dst);
       }
@@ -289,6 +298,22 @@ ClusterRunMetrics ClusterEngine::run(const graph::Dataset& dataset,
   // one partition per chip under the conservative parallel coordinator.
   if (tracer_ != nullptr) {
     tracer_->record(0, sim::TraceEvent::kRunBegin, sim::kRunKindCluster, n);
+    // Annotate the run with the plan's link fault windows (cluster clock)
+    // so the profiler and trace viewers can attribute degraded stretches.
+    if (params_.fault_plan != nullptr) {
+      for (const fault::FaultEvent& e : params_.fault_plan->events()) {
+        if (e.kind == fault::FaultKind::kLinkDegraded) {
+          tracer_->record(
+              e.at, sim::TraceEvent::kLinkDegraded,
+              static_cast<std::uint64_t>(e.chip) * 256 + e.peer,
+              static_cast<std::uint64_t>(std::llround(e.multiplier * 1000.0)));
+        } else if (e.kind == fault::FaultKind::kLinkRestored) {
+          tracer_->record(e.at, sim::TraceEvent::kLinkRestored,
+                          static_cast<std::uint64_t>(e.chip) * 256 + e.peer,
+                          1000);
+        }
+      }
+    }
   }
   if (params_.parallel) {
     link_.reset();
@@ -326,6 +351,9 @@ ClusterRunMetrics ClusterEngine::run(const graph::Dataset& dataset,
   out.counters.inc("cluster.link_serialize_cycles",
                    out.link.serialize_cycles);
   out.counters.inc("cluster.link_stall_cycles", out.link.stall_cycles);
+  out.counters.inc("cluster.link_degraded_sends", out.link.degraded_sends);
+  out.counters.inc("cluster.link_degraded_extra_cycles",
+                   out.link.degraded_extra_cycles);
   Cycle barrier_total = 0;
   for (const ChipRun& chip : out.chips) barrier_total += chip.halo_wait_cycles;
   out.counters.inc("cluster.barrier_wait_cycles", barrier_total);
@@ -336,6 +364,7 @@ void ClusterEngine::run_timeline_serial(
     std::vector<std::vector<ChipLayerPlan>>&& chip_plans, Cycle bound) {
   const std::uint32_t n = params_.num_chips;
   link_ = std::make_unique<InterChipLink>(n, params_.link);
+  link_->set_fault_plan(params_.fault_plan.get());
   proxies_.clear();
   for (std::uint32_t c = 0; c < n; ++c) {
     proxies_.push_back(std::make_unique<ChipProxy>(
@@ -370,6 +399,7 @@ void ClusterEngine::run_timeline_parallel(
     std::vector<std::vector<ChipLayerPlan>>&& chip_plans, Cycle bound) {
   const std::uint32_t n = params_.num_chips;
   fabric_ = std::make_unique<LinkFabric>(n, params_.link);
+  fabric_->set_fault_plan(params_.fault_plan.get());
   shards_.clear();
   const bool sharded_trace = tracer_ != nullptr;
   if (sharded_trace) shards_.resize(n);
@@ -481,6 +511,10 @@ void diff_link_stats(std::vector<std::string>& out, const std::string& prefix,
   diff_field(out, prefix + ".serialize_cycles", a.serialize_cycles,
              b.serialize_cycles);
   diff_field(out, prefix + ".stall_cycles", a.stall_cycles, b.stall_cycles);
+  diff_field(out, prefix + ".degraded_sends", a.degraded_sends,
+             b.degraded_sends);
+  diff_field(out, prefix + ".degraded_extra_cycles", a.degraded_extra_cycles,
+             b.degraded_extra_cycles);
   diff_field(out, prefix + ".latency.total", a.latency.total(),
              b.latency.total());
   for (std::size_t i = 0; i < a.latency.num_buckets(); ++i) {

@@ -52,6 +52,11 @@ struct ClusterParams {
   /// Worker threads for the parallel engine (0 = hardware concurrency;
   /// capped by the process-wide WorkerBudget either way).
   unsigned parallel_jobs = 0;
+  /// Optional fault plan: its link degradation windows stretch wire
+  /// serialisation on the cluster-run clock (serial and parallel engines
+  /// sample the same windows at the same event points, so runs stay
+  /// bit-identical across all four engine flavours). Null is fully inert.
+  std::shared_ptr<const fault::FaultPlan> fault_plan;
 };
 
 /// One chip's per-layer replay plan on the cluster clock.

@@ -67,12 +67,28 @@ const ClusterScheduler::CachedService* ClusterScheduler::cache_lookup(
 
 Cycle ClusterScheduler::next_free(DispatchMode mode) const {
   if (mode == DispatchMode::kShardParallel) {
+    // Dispatch-time fallback covers gang chips that are down when the next
+    // request probes its start, so the shard timeline needs no adjustment.
     return shard_timeline_.busy_until;
   }
   if (chips_.empty()) return 0;
-  Cycle free = chip_timelines_[0].busy_until;
-  for (const core::ChipTimeline& t : chip_timelines_) {
-    free = std::min(free, t.busy_until);
+  const fault::FaultPlan* plan = active_fault_plan();
+  Cycle free = fault::kNever;
+  for (std::size_t c = 0; c < chip_timelines_.size(); ++c) {
+    Cycle f = chip_timelines_[c].busy_until;
+    if (plan != nullptr) {
+      f = plan->chip_up_after(static_cast<std::uint32_t>(c), f);
+      if (f == fault::kNever) continue;
+    }
+    free = std::min(free, f);
+  }
+  if (free == fault::kNever) {
+    // Every chip is permanently down. Keep the clock finite — dispatches
+    // will report no_capacity and the queue drains as permanent failures.
+    free = chip_timelines_[0].busy_until;
+    for (const core::ChipTimeline& t : chip_timelines_) {
+      free = std::min(free, t.busy_until);
+    }
   }
   return free;
 }
@@ -94,21 +110,61 @@ ClusterOutcome ClusterScheduler::serve_data_parallel(
     Cycle not_before, bool share_configuration,
     std::optional<std::uint32_t> pin_chip) {
   ensure_chips();
+  const fault::FaultPlan* plan = active_fault_plan();
   // Least-loaded dispatch, ties to the lowest chip index; a pinned chip
-  // (batch follower) overrides.
+  // (batch follower) overrides. Under a fault plan the load is
+  // fault-adjusted: a chip's cost is the cycle it is both free and up, and
+  // permanently dead chips are never selected.
   std::uint32_t chip = 0;
+  bool have_chip = false;
   if (pin_chip.has_value()) {
     AURORA_CHECK(*pin_chip < chips_.size());
     chip = *pin_chip;
-  } else {
+    have_chip = true;
+    if (plan != nullptr &&
+        plan->chip_up_after(chip, std::max(chip_timelines_[chip].busy_until,
+                                           not_before)) == fault::kNever) {
+      // The batch head's chip died for good: break the pin, and the
+      // configuration share with it — the replacement chip never applied
+      // the head's configuration.
+      have_chip = false;
+      share_configuration = false;
+    }
+  }
+  if (!have_chip && plan == nullptr) {
     for (std::uint32_t c = 1; c < chips_.size(); ++c) {
       if (chip_timelines_[c].busy_until < chip_timelines_[chip].busy_until) {
         chip = c;
       }
     }
+    have_chip = true;
+  }
+  if (!have_chip) {
+    Cycle best = fault::kNever;
+    for (std::uint32_t c = 0; c < chips_.size(); ++c) {
+      const Cycle eff = plan->chip_up_after(
+          c, std::max(chip_timelines_[c].busy_until, not_before));
+      if (eff < best) {
+        best = eff;
+        chip = c;
+        have_chip = true;
+      }
+    }
+    if (!have_chip) {
+      // Every chip is permanently down: nothing can serve this request, now
+      // or ever. Report the capacity loss without simulating.
+      ClusterOutcome outcome;
+      outcome.label = std::move(request.label);
+      outcome.start_cycle = not_before;
+      outcome.finish_cycle = not_before;
+      outcome.failed = true;
+      outcome.failed_at = not_before;
+      outcome.no_capacity = true;
+      return outcome;
+    }
   }
 
-  const std::string key = core::job_signature(request.job);
+  const std::string key = "data:" + core::job_signature(request.job);
   core::RunMetrics metrics;
   if (const CachedService* cached = cache_lookup(key)) {
     metrics = cached->metrics;
@@ -120,9 +176,23 @@ ClusterOutcome ClusterScheduler::serve_data_parallel(
     }
   }
 
+  Cycle adjusted_not_before = not_before;
+  if (plan != nullptr) {
+    // Probe the placement on a scratch copy of the timeline: if the chip is
+    // down at the tentative start, push the start to the repair cycle and
+    // place for real. A window's end never falls inside another window, so
+    // one push suffices.
+    core::ChipTimeline probe_timeline = chip_timelines_[chip];
+    const core::RequestOutcome probe = core::Scheduler::place(
+        probe_timeline, "", metrics, not_before, share_configuration);
+    const Cycle up = plan->chip_up_after(chip, probe.start_cycle);
+    AURORA_CHECK(up != fault::kNever);
+    adjusted_not_before = std::max(not_before, up);
+  }
+
   const core::RequestOutcome placed = core::Scheduler::place(
       chip_timelines_[chip], std::move(request.label), std::move(metrics),
-      not_before, share_configuration);
+      adjusted_not_before, share_configuration);
 
   ClusterOutcome outcome;
   outcome.label = placed.label;
@@ -132,6 +202,20 @@ ClusterOutcome ClusterScheduler::serve_data_parallel(
   outcome.finish_cycle = placed.finish_cycle;
   outcome.overlap_hidden = placed.overlap_hidden;
   outcome.reconfig_saved = placed.reconfig_saved;
+  if (plan != nullptr) {
+    const Cycle down = plan->chip_down_in(chip, outcome.start_cycle,
+                                          outcome.finish_cycle);
+    if (down != fault::kNever) {
+      // The chip fail-stopped mid-request: the attempt's work is lost, the
+      // timeline collapses to the failure instant, and no compute tail is
+      // left for a successor to hide its DRAM streaming under.
+      outcome.failed = true;
+      outcome.failed_at = down;
+      outcome.finish_cycle = down;
+      chip_timelines_[chip].busy_until = down;
+      chip_timelines_[chip].prev_compute_tail = 0;
+    }
+  }
   return outcome;
 }
 
@@ -139,8 +223,9 @@ ClusterOutcome ClusterScheduler::serve_shard_parallel(
     const graph::Dataset& dataset, core::ScheduledRequest& request,
     Cycle not_before, bool share_configuration) {
   ensure_engine();
+  const fault::FaultPlan* plan = active_fault_plan();
 
-  const std::string key = core::job_signature(request.job);
+  const std::string key = "shard:" + core::job_signature(request.job);
   CachedService service;
   if (const CachedService* cached = cache_lookup(key)) {
     service = *cached;
@@ -165,6 +250,29 @@ ClusterOutcome ClusterScheduler::serve_shard_parallel(
     if (tracer_ == nullptr) service_cache_[key] = service;
   }
 
+  const Cycle overlap =
+      std::min(shard_timeline_.prev_compute_tail, service.lead);
+  const Cycle earliest = shard_timeline_.busy_until >= overlap
+                             ? shard_timeline_.busy_until - overlap
+                             : 0;
+  const Cycle start = std::max(not_before, earliest);
+  if (plan != nullptr) {
+    for (std::uint32_t c = 0; c < params_.num_chips; ++c) {
+      if (plan->chip_up_after(c, start) != start) {
+        // A gang chip is down (possibly forever) at the cycle the gang
+        // would start, and a shard-parallel request needs every chip:
+        // fail over to a data-parallel placement on a surviving chip. The
+        // configuration share does not carry — the chip pool never applied
+        // the gang's configuration.
+        ClusterOutcome outcome = serve_data_parallel(
+            dataset, request, not_before, /*share_configuration=*/false,
+            std::nullopt);
+        outcome.shard_fallback = true;
+        return outcome;
+      }
+    }
+  }
+
   ClusterOutcome outcome;
   outcome.label = std::move(request.label);
   outcome.metrics = std::move(service.metrics);
@@ -179,16 +287,26 @@ ClusterOutcome ClusterScheduler::serve_shard_parallel(
     outcome.metrics.reconfig_cycles -= saved;
   }
 
-  outcome.overlap_hidden =
-      std::min(shard_timeline_.prev_compute_tail, service.lead);
-  const Cycle earliest = shard_timeline_.busy_until >= outcome.overlap_hidden
-                             ? shard_timeline_.busy_until -
-                                   outcome.overlap_hidden
-                             : 0;
-  outcome.start_cycle = std::max(not_before, earliest);
+  outcome.overlap_hidden = overlap;
+  outcome.start_cycle = start;
   outcome.finish_cycle = outcome.start_cycle + outcome.metrics.total_cycles;
   shard_timeline_.busy_until = outcome.finish_cycle;
   shard_timeline_.prev_compute_tail = service.tail;
+  if (plan != nullptr) {
+    Cycle down = fault::kNever;
+    for (std::uint32_t c = 0; c < params_.num_chips; ++c) {
+      down = std::min(down, plan->chip_down_in(c, outcome.start_cycle,
+                                               outcome.finish_cycle));
+    }
+    if (down != fault::kNever) {
+      // Any gang member failing kills the whole shard-parallel attempt.
+      outcome.failed = true;
+      outcome.failed_at = down;
+      outcome.finish_cycle = down;
+      shard_timeline_.busy_until = down;
+      shard_timeline_.prev_compute_tail = 0;
+    }
+  }
   return outcome;
 }
 

@@ -19,12 +19,14 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "cluster/cluster_engine.hpp"
 #include "core/scheduler.hpp"
+#include "fault/fault.hpp"
 
 namespace aurora::cluster {
 
@@ -49,6 +51,18 @@ struct ClusterOutcome {
   Cycle overlap_hidden = 0;
   /// Reconfiguration cycles skipped as a batched follower.
   Cycle reconfig_saved = 0;
+  /// The serving chip (or, shard-parallel, any gang member) fail-stopped
+  /// mid-request: the attempt's work is lost, finish_cycle collapses to the
+  /// failure instant and the caller must re-dispatch (the serving engine's
+  /// retry path). Only set when a fault plan is attached.
+  bool failed = false;
+  Cycle failed_at = 0;
+  /// Shard-parallel dispatch found a gang chip down at the probed start and
+  /// re-routed the request through a data-parallel placement on a survivor.
+  bool shard_fallback = false;
+  /// Every chip is permanently down — the request can never be served.
+  /// Implies `failed`; no simulation was attempted.
+  bool no_capacity = false;
 
   [[nodiscard]] Cycle latency() const { return finish_cycle - start_cycle; }
 };
@@ -99,6 +113,16 @@ class ClusterScheduler {
   /// the service-metrics cache.
   void reset();
 
+  /// Attach a fault plan: chip down windows (on the serving clock) steer
+  /// dispatch away from dead chips, push starts past repair windows, and
+  /// fail requests whose window a failure begins inside. Null or empty
+  /// plans are fully inert — placements are bit-identical to a scheduler
+  /// without one. The plan is configuration, not serving state: reset()
+  /// keeps it.
+  void set_fault_plan(std::shared_ptr<const fault::FaultPlan> plan) {
+    fault_plan_ = std::move(plan);
+  }
+
   /// Trace every request's execution into `tracer` (enable it first).
   /// Shard-parallel: the cluster-clock trace (segments, halos, run
   /// delimiters). Data-parallel: every chip engine records into the shared
@@ -138,10 +162,16 @@ class ClusterScheduler {
   /// tracer is attached. Returns nullptr on miss.
   [[nodiscard]] const CachedService* cache_lookup(const std::string& key)
       const;
+  /// The attached fault plan when it has any events; nullptr otherwise.
+  [[nodiscard]] const fault::FaultPlan* active_fault_plan() const {
+    return fault_plan_ != nullptr && !fault_plan_->empty() ? fault_plan_.get()
+                                                           : nullptr;
+  }
 
   core::AuroraConfig config_;
   ClusterParams params_;
   sim::Tracer* tracer_ = nullptr;
+  std::shared_ptr<const fault::FaultPlan> fault_plan_;
 
   // Serving state (persists across serve() calls, dropped by reset()).
   std::vector<std::unique_ptr<core::AuroraAccelerator>> chips_;

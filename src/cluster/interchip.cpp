@@ -1,6 +1,7 @@
 #include "cluster/interchip.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/error.hpp"
 #include "common/metrics_registry.hpp"
@@ -56,6 +57,24 @@ std::size_t link_num_wires(const LinkParams& params, std::uint32_t num_chips) {
     return 2 * static_cast<std::size_t>(num_chips);
   }
   return static_cast<std::size_t>(num_chips) * (num_chips - 1);
+}
+
+LinkTransmitTiming link_transmit_timing(const LinkParams& params,
+                                        const fault::FaultPlan* plan,
+                                        std::uint32_t from, std::uint32_t to,
+                                        Bytes bytes, Cycle now) {
+  LinkTransmitTiming t;
+  t.serialize = link_serialize_cycles(params, bytes);
+  if (plan == nullptr || plan->empty()) return t;
+  const double mult = plan->wire_multiplier_at(from, to, now);
+  if (mult <= 1.0) return t;
+  // Degradation only ever lengthens (mult >= 1 by construction), so the
+  // parallel simulator's hop_latency-based lookahead stays a lower bound.
+  const auto stretched = static_cast<Cycle>(
+      std::ceil(static_cast<double>(t.serialize) * mult));
+  t.degraded_extra = stretched - t.serialize;
+  t.serialize = stretched;
+  return t;
 }
 
 InterChipLink::InterChipLink(std::uint32_t num_chips, const LinkParams& params)
@@ -145,10 +164,15 @@ void InterChipLink::tick(Cycle now) {
     const LinkMessage& front = w.queue.front();
     if (front.enqueued_at >= now) continue;  // eligible from enqueued_at + 1
     stats_.stall_cycles += now - (front.enqueued_at + 1);
-    const Cycle serialize = serialize_cycles(front.bytes);
-    stats_.serialize_cycles += serialize;
-    w.free_at = now + serialize;
-    w.flying.push_back({front, now + serialize + params_.hop_latency});
+    const LinkTransmitTiming timing = link_transmit_timing(
+        params_, fault_plan_, w.from, w.to, front.bytes, now);
+    stats_.serialize_cycles += timing.serialize;
+    if (timing.degraded_extra > 0) {
+      stats_.degraded_sends += 1;
+      stats_.degraded_extra_cycles += timing.degraded_extra;
+    }
+    w.free_at = now + timing.serialize;
+    w.flying.push_back({front, now + timing.serialize + params_.hop_latency});
     w.queue.pop_front();
   }
 }
@@ -227,6 +251,8 @@ void InterChipLink::register_metrics(MetricsRegistry& registry) {
   scope.counter("hops", &stats_.hops);
   scope.counter("serialize_cycles", &stats_.serialize_cycles);
   scope.counter("stall_cycles", &stats_.stall_cycles);
+  scope.counter("degraded_sends", &stats_.degraded_sends);
+  scope.counter("degraded_extra_cycles", &stats_.degraded_extra_cycles);
   scope.gauge("messages_in_flight", [this] {
     return static_cast<double>(messages_in_flight());
   });

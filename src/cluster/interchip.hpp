@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/stats.hpp"
+#include "fault/fault.hpp"
 #include "sim/component.hpp"
 
 namespace aurora::sim {
@@ -93,6 +94,22 @@ struct LinkMessage {
 [[nodiscard]] std::size_t link_num_wires(const LinkParams& params,
                                          std::uint32_t num_chips);
 
+/// Serialisation timing of one transmission starting at `now` on the
+/// directed wire from -> to, with the fault plan's degradation multiplier
+/// (if any) applied. The multiplier is sampled once, at the transmission-
+/// start event point, and stretches the serialisation duration only: start
+/// times never move (next_event_cycle stays exact under fast-forward) and
+/// hop flight is untouched (per-wire arrival order stays monotone, and the
+/// parallel simulator's hop_latency lookahead stays a lower bound).
+struct LinkTransmitTiming {
+  Cycle serialize = 0;
+  /// Extra cycles degradation added over the healthy timing (0 if healthy).
+  Cycle degraded_extra = 0;
+};
+[[nodiscard]] LinkTransmitTiming link_transmit_timing(
+    const LinkParams& params, const fault::FaultPlan* plan, std::uint32_t from,
+    std::uint32_t to, Bytes bytes, Cycle now);
+
 /// Injection interface a ChipProxy sends halos through — implemented by the
 /// serial InterChipLink and by the parallel engine's per-chip LinkEndpoint.
 class HaloSender {
@@ -116,6 +133,10 @@ struct LinkStats {
   Cycle serialize_cycles = 0;
   /// Cycles messages spent queued behind a busy wire past their eligibility.
   Cycle stall_cycles = 0;
+  /// Transmissions that started inside a fault-plan degradation window, and
+  /// the extra cycles degradation added to their serialisation + flight.
+  std::uint64_t degraded_sends = 0;
+  Cycle degraded_extra_cycles = 0;
   /// Injection-to-delivery latency distribution (canonical cluster layout).
   Histogram latency{kLinkLatencyBucketCycles, kLinkLatencyBuckets};
 };
@@ -129,6 +150,11 @@ class InterChipLink final : public sim::Component, public HaloSender {
   void set_delivery_callback(DeliveryCallback cb) {
     on_delivery_ = std::move(cb);
   }
+
+  /// Attach a fault plan whose link degradation windows stretch this link's
+  /// transmissions (cluster-run clock). Null (the default) is fully inert.
+  /// The plan must outlive the link.
+  void set_fault_plan(const fault::FaultPlan* plan) { fault_plan_ = plan; }
 
   /// Inject a message at its source chip. Eligible to serialise from now+1.
   void send(LinkMessage msg, Cycle now) override;
@@ -182,6 +208,7 @@ class InterChipLink final : public sim::Component, public HaloSender {
   LinkParams params_;
   std::vector<Wire> wires_;
   DeliveryCallback on_delivery_;
+  const fault::FaultPlan* fault_plan_ = nullptr;
   LinkStats stats_;
 };
 

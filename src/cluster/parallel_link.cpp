@@ -109,13 +109,18 @@ void LinkEndpoint::tick(Cycle now) {
     const LinkMessage& front = w.queue.front();
     if (front.enqueued_at >= now) continue;  // eligible from enqueued_at + 1
     stats_.stall_cycles += now - (front.enqueued_at + 1);
-    const Cycle serialize = link_serialize_cycles(fabric_->params(),
-                                                  front.bytes);
-    stats_.serialize_cycles += serialize;
-    w.free_at = now + serialize;
+    const LinkTransmitTiming timing =
+        link_transmit_timing(fabric_->params(), fabric_->fault_plan(), chip_,
+                             w.to, front.bytes, now);
+    stats_.serialize_cycles += timing.serialize;
+    if (timing.degraded_extra > 0) {
+      stats_.degraded_sends += 1;
+      stats_.degraded_extra_cycles += timing.degraded_extra;
+    }
+    w.free_at = now + timing.serialize;
     PendingArrival arrival;
     arrival.msg = front;
-    arrival.arrives_at = now + serialize + fabric_->params().hop_latency;
+    arrival.arrives_at = now + timing.serialize + fabric_->params().hop_latency;
     arrival.wire = w.global_index;
     arrival.seq = w.next_seq++;
     fabric_->post(w.to, std::move(arrival));
@@ -230,6 +235,8 @@ LinkStats LinkFabric::stats() const {
     merged.bytes_hopped += s.bytes_hopped;
     merged.serialize_cycles += s.serialize_cycles;
     merged.stall_cycles += s.stall_cycles;
+    merged.degraded_sends += s.degraded_sends;
+    merged.degraded_extra_cycles += s.degraded_extra_cycles;
     merged.latency.merge(s.latency);
   }
   return merged;
@@ -276,6 +283,8 @@ void LinkFabric::register_metrics(MetricsRegistry& registry) {
   scope.counter("hops", &merged_.hops);
   scope.counter("serialize_cycles", &merged_.serialize_cycles);
   scope.counter("stall_cycles", &merged_.stall_cycles);
+  scope.counter("degraded_sends", &merged_.degraded_sends);
+  scope.counter("degraded_extra_cycles", &merged_.degraded_extra_cycles);
   scope.gauge("messages_in_flight", [this] {
     return static_cast<double>(messages_in_flight());
   });

@@ -113,6 +113,14 @@ class LinkFabric {
  public:
   LinkFabric(std::uint32_t num_chips, const LinkParams& params);
 
+  /// Attach a fault plan whose link degradation windows stretch wire
+  /// serialisation on every endpoint (same sampling as the serial link's
+  /// set_fault_plan). Null is inert; the plan must outlive the fabric.
+  void set_fault_plan(const fault::FaultPlan* plan) { fault_plan_ = plan; }
+  [[nodiscard]] const fault::FaultPlan* fault_plan() const {
+    return fault_plan_;
+  }
+
   [[nodiscard]] std::uint32_t num_chips() const { return num_chips_; }
   [[nodiscard]] const LinkParams& params() const { return params_; }
   [[nodiscard]] LinkEndpoint& endpoint(std::uint32_t chip) {
@@ -143,6 +151,7 @@ class LinkFabric {
 
   std::uint32_t num_chips_;
   LinkParams params_;
+  const fault::FaultPlan* fault_plan_ = nullptr;
   std::vector<std::unique_ptr<LinkEndpoint>> endpoints_;
   /// Snapshot backing the registered metric pointers (non-owning probes
   /// need stable addresses; refreshed by register_metrics).

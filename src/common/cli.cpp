@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 #include "common/error.hpp"
@@ -66,9 +67,27 @@ std::int64_t CliArgs::get_int(const std::string& name,
   return it == values_.end() ? fallback : std::strtoll(it->second.c_str(), nullptr, 10);
 }
 
-double CliArgs::get_double(const std::string& name, double fallback) const {
+double CliArgs::get_double(const std::string& name, double fallback,
+                           double min, double max) const {
   auto it = values_.find(name);
-  return it == values_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+  if (it == values_.end()) {
+    AURORA_CHECK_MSG(fallback >= min && fallback <= max,
+                     "--" << name << " default " << fallback
+                          << " outside [" << min << ", " << max << "]");
+    return fallback;
+  }
+  const std::string& text = it->second;
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(text.c_str(), &end);
+  AURORA_CHECK_MSG(end != text.c_str() && *end == '\0' && errno == 0,
+                   "--" << name << "=" << text << " is not a number");
+  AURORA_CHECK_MSG(std::isfinite(parsed),
+                   "--" << name << "=" << text << " must be finite");
+  AURORA_CHECK_MSG(parsed >= min && parsed <= max,
+                   "--" << name << "=" << text << " outside [" << min << ", "
+                        << max << "]");
+  return parsed;
 }
 
 bool CliArgs::get_bool(const std::string& name, bool fallback) const {

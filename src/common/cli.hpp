@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <initializer_list>
+#include <limits>
 #include <map>
 #include <string>
 #include <vector>
@@ -30,8 +31,14 @@ class CliArgs {
                                        const std::string& fallback) const;
   [[nodiscard]] std::int64_t get_int(const std::string& name,
                                      std::int64_t fallback) const;
-  [[nodiscard]] double get_double(const std::string& name,
-                                  double fallback) const;
+  /// Strict double flag: rejects non-numeric values, trailing garbage
+  /// (`--rate=1.5x` used to parse as 1.5), NaN/infinity, and values outside
+  /// [min, max]. Throws Error naming the offending flag. The fallback is
+  /// range-checked too, so a main cannot ship an out-of-range default.
+  [[nodiscard]] double get_double(
+      const std::string& name, double fallback,
+      double min = std::numeric_limits<double>::lowest(),
+      double max = std::numeric_limits<double>::max()) const;
   [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
   /// Strict unsigned flag: rejects negatives (which used to wrap through
   /// static_cast<uint32_t>, e.g. `--chips=-1`), non-numeric values, and

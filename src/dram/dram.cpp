@@ -20,6 +20,27 @@ DramModel::DramModel(const DramConfig& config)
     ch.banks.resize(config.banks_per_channel);
     ch.next_refresh_at = config.timing.t_refi;
   }
+  for (const DramStallWindow& w : config.stall_windows) {
+    AURORA_CHECK_MSG(w.channel == DramStallWindow::kAllChannels ||
+                         w.channel < config.num_channels,
+                     "stall window addresses a missing channel");
+    AURORA_CHECK_MSG(w.end > w.begin, "stall window must be non-empty");
+  }
+}
+
+Cycle DramModel::stall_until(std::uint32_t channel, Cycle now) const {
+  // Latest end among windows covering `now` for this channel (windows may
+  // overlap when per-channel and all-channel faults coincide). The list is
+  // tiny (fault plans schedule a handful of windows), so a linear scan at
+  // event points only is cheap.
+  Cycle until = 0;
+  for (const DramStallWindow& w : config_.stall_windows) {
+    if (w.channel != DramStallWindow::kAllChannels && w.channel != channel) {
+      continue;
+    }
+    if (w.begin <= now && now < w.end) until = std::max(until, w.end);
+  }
+  return until;
 }
 
 std::uint32_t DramModel::channel_of(Bytes addr) const {
@@ -75,7 +96,7 @@ void DramModel::enqueue(DramRequest request, Cycle now) {
   }
 }
 
-void DramModel::try_issue(Channel& ch, Cycle now) {
+void DramModel::try_issue(Channel& ch, std::uint32_t index, Cycle now) {
   // Refresh: at each t_refi boundary the channel blocks for t_rfc and every
   // row buffer closes. A refresh on a fully idle channel (no queued work,
   // all rows closed) changes no observable state, so it is neither counted
@@ -101,6 +122,11 @@ void DramModel::try_issue(Channel& ch, Cycle now) {
     ch.open_rows = 0;
   }
   if (now < ch.refresh_until) return;
+  // Fault stall: no new column commands during the window. Checked after
+  // the refresh block above so refresh bookkeeping (row closes, counters)
+  // stays on the tREFI grid through a stall — the refresh invariants hold
+  // under fault injection too.
+  if (now < stall_until(index, now)) return;
   if (ch.queue.empty()) return;
   // Column commands pipeline ahead of the data bus, but only within a short
   // booking horizon — deep command queues ahead of data would be optimistic.
@@ -196,7 +222,9 @@ void DramModel::complete_burst(const Burst& burst, Cycle completion) {
 }
 
 void DramModel::tick(Cycle now) {
-  for (auto& ch : channels_) try_issue(ch, now);
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    try_issue(channels_[i], static_cast<std::uint32_t>(i), now);
+  }
   // The model stays busy until the last scheduled data beat has returned,
   // even though completions are computed at issue time.
   busy_ = pending_bursts_ > 0 || now + 1 < last_completion_;
@@ -210,7 +238,8 @@ bool DramModel::idle() const { return !busy_ && pending_bursts_ == 0; }
 Cycle DramModel::next_event_cycle(Cycle now) const {
   const DramTiming& t = config_.timing;
   Cycle next = sim::kNoEvent;
-  for (const auto& ch : channels_) {
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    const Channel& ch = channels_[i];
     // A refresh deadline is an event only while it can change observable
     // state: queued work to delay, or open rows to close. On a fully idle
     // channel refresh is a no-op (try_issue's liveness guard matches), so
@@ -221,6 +250,13 @@ Cycle DramModel::next_event_cycle(Cycle now) const {
     if (ch.queue.empty()) continue;
     if (now < ch.refresh_until) {
       next = std::min(next, ch.refresh_until);
+      continue;
+    }
+    // Fault stall mirror of try_issue: the channel can do nothing but
+    // refresh bookkeeping until the window ends.
+    const Cycle stall = stall_until(static_cast<std::uint32_t>(i), now);
+    if (now < stall) {
+      next = std::min(next, stall);
       continue;
     }
     // Command booking horizon: no column command issues while the data bus
@@ -234,8 +270,8 @@ Cycle DramModel::next_event_cycle(Cycle now) const {
     // otherwise the earliest bank-ready cycle is exact from tRCD/tRP/tCL.
     const std::size_t window =
         std::min<std::size_t>(ch.queue.size(), config_.queue_depth);
-    for (std::size_t i = 0; i < window; ++i) {
-      const Cycle ready = ch.banks[bank_of(ch.queue[i].addr)].ready_at;
+    for (std::size_t q = 0; q < window; ++q) {
+      const Cycle ready = ch.banks[bank_of(ch.queue[q].addr)].ready_at;
       if (ready <= now) return now;
       next = std::min(next, ready);
     }

@@ -35,6 +35,18 @@ struct DramTiming {
   Cycle t_turnaround = 4;
 };
 
+/// Fault-injected controller stall: during [begin, end) the addressed
+/// channel issues no new column commands (already-scheduled data beats
+/// finish, refresh bookkeeping proceeds — the stall models a controller
+/// back-off, not a power loss). channel == kAllChannels stalls every
+/// channel. Windows come from a fault::FaultPlan; an empty list is inert.
+struct DramStallWindow {
+  static constexpr std::uint32_t kAllChannels = 0xFFFFFFFFu;
+  std::uint32_t channel = kAllChannels;
+  Cycle begin = 0;
+  Cycle end = 0;
+};
+
 struct DramConfig {
   std::uint32_t num_channels = 4;
   std::uint32_t banks_per_channel = 8;
@@ -42,6 +54,8 @@ struct DramConfig {
   Bytes burst_bytes = 64;       // bytes delivered per burst
   std::uint32_t queue_depth = 64;  // per-channel scheduler window
   DramTiming timing;
+  /// Sorted-by-begin fault stall windows (see DramStallWindow).
+  std::vector<DramStallWindow> stall_windows;
 
   /// Peak bandwidth in bytes per accelerator cycle (for reporting only).
   [[nodiscard]] double peak_bytes_per_cycle() const {
@@ -169,7 +183,9 @@ class DramModel final : public sim::Component {
   [[nodiscard]] std::uint32_t channel_of(Bytes addr) const;
   [[nodiscard]] std::uint32_t bank_of(Bytes addr) const;
   [[nodiscard]] Bytes row_of(Bytes addr) const;
-  void try_issue(Channel& ch, Cycle now);
+  /// End of the fault stall window covering `now` on `channel` (0 if none).
+  [[nodiscard]] Cycle stall_until(std::uint32_t channel, Cycle now) const;
+  void try_issue(Channel& ch, std::uint32_t index, Cycle now);
   void complete_burst(const Burst& burst, Cycle completion);
 
   DramConfig config_;

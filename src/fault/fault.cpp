@@ -1,0 +1,238 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace aurora::fault {
+namespace {
+
+/// Per-entity sub-stream seeds: golden-ratio decorrelation over a
+/// (class, index) pair so each chip/wire/channel draws independently and
+/// entity count never shifts another entity's stream.
+constexpr std::uint64_t kStreamSalt = 0x9E3779B97F4A7C15ull;
+
+std::uint64_t stream_seed(std::uint64_t seed, std::uint64_t cls,
+                          std::uint64_t index) {
+  return seed ^ (kStreamSalt * (cls * 0x10000ull + index + 1));
+}
+
+/// Exponential draw around `mean`, clamped to [1, +inf) cycles.
+Cycle draw_interval(Rng& rng, double mean) {
+  const double u = rng.next_double();  // [0, 1)
+  const double x = -mean * std::log1p(-u);
+  if (x >= 9e18) return kNever - 1;
+  return std::max<Cycle>(1, static_cast<Cycle>(std::llround(x)));
+}
+
+/// Alternating up/down schedule: returns [begin, end) down-windows whose
+/// begins fall inside [0, horizon). mttr == 0 means the first failure is
+/// permanent (end == kNever).
+std::vector<DownWindow> draw_windows(Rng& rng, double mtbf, double mttr,
+                                     Cycle horizon) {
+  std::vector<DownWindow> windows;
+  Cycle t = 0;
+  while (t < horizon) {
+    const Cycle up = draw_interval(rng, mtbf);
+    if (up >= horizon - t) break;  // next failure would start past horizon
+    const Cycle down_at = t + up;
+    if (mttr <= 0.0) {
+      windows.push_back({down_at, kNever});
+      break;
+    }
+    const Cycle repair = draw_interval(rng, mttr);
+    const Cycle up_at = down_at >= kNever - repair ? kNever : down_at + repair;
+    windows.push_back({down_at, up_at});
+    if (up_at == kNever) break;
+    t = up_at;
+  }
+  return windows;
+}
+
+/// Binary search: index of the window containing `at`, or size() if none.
+template <typename Window>
+std::size_t find_window(const std::vector<Window>& windows, Cycle at) {
+  // First window with begin > at, then step back one.
+  auto it = std::upper_bound(
+      windows.begin(), windows.end(), at,
+      [](Cycle a, const Window& w) { return a < w.begin; });
+  if (it == windows.begin()) return windows.size();
+  --it;
+  if (at < it->end) {
+    return static_cast<std::size_t>(it - windows.begin());
+  }
+  return windows.size();
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kChipDown:
+      return "chip-down";
+    case FaultKind::kChipUp:
+      return "chip-up";
+    case FaultKind::kLinkDegraded:
+      return "link-degraded";
+    case FaultKind::kLinkRestored:
+      return "link-restored";
+    case FaultKind::kDramStallBegin:
+      return "dram-stall-begin";
+    case FaultKind::kDramStallEnd:
+      return "dram-stall-end";
+  }
+  throw Error("invalid FaultKind");
+}
+
+FaultPlan FaultPlan::generate(const FaultParams& params,
+                              std::uint32_t num_chips) {
+  AURORA_CHECK_MSG(num_chips > 0, "fault plan needs at least one chip");
+  AURORA_CHECK_MSG(params.link_multiplier_min >= 1.0 &&
+                       params.link_multiplier_max >= params.link_multiplier_min,
+                   "link multipliers must satisfy 1 <= min <= max");
+  FaultPlan plan;
+  plan.num_chips_ = num_chips;
+  plan.chip_windows_.resize(num_chips);
+  plan.wire_windows_.resize(static_cast<std::size_t>(num_chips) * num_chips);
+  plan.dram_windows_.resize(num_chips);
+  if (!params.enabled()) return plan;
+
+  if (params.chip_mtbf > 0.0) {
+    for (std::uint32_t c = 0; c < num_chips; ++c) {
+      Rng rng(stream_seed(params.seed, 1, c));
+      plan.chip_windows_[c] =
+          draw_windows(rng, params.chip_mtbf, params.chip_mttr, params.horizon);
+      for (const DownWindow& w : plan.chip_windows_[c]) {
+        plan.events_.push_back({w.begin, FaultKind::kChipDown, c, 0, 1.0});
+        if (w.end != kNever) {
+          plan.events_.push_back({w.end, FaultKind::kChipUp, c, 0, 1.0});
+        }
+      }
+    }
+  }
+  if (params.link_mtbf > 0.0 && num_chips > 1) {
+    for (std::uint32_t from = 0; from < num_chips; ++from) {
+      for (std::uint32_t to = 0; to < num_chips; ++to) {
+        if (from == to) continue;
+        const std::size_t wire =
+            static_cast<std::size_t>(from) * num_chips + to;
+        Rng rng(stream_seed(params.seed, 2, wire));
+        const std::vector<DownWindow> raw = draw_windows(
+            rng, params.link_mtbf, params.link_mttr, params.horizon);
+        auto& windows = plan.wire_windows_[wire];
+        windows.reserve(raw.size());
+        for (const DownWindow& w : raw) {
+          DegradeWindow d;
+          d.begin = w.begin;
+          d.end = w.end;
+          d.multiplier = rng.next_double(params.link_multiplier_min,
+                                         params.link_multiplier_max);
+          windows.push_back(d);
+          plan.events_.push_back(
+              {d.begin, FaultKind::kLinkDegraded, from, to, d.multiplier});
+          if (d.end != kNever) {
+            plan.events_.push_back(
+                {d.end, FaultKind::kLinkRestored, from, to, 1.0});
+          }
+        }
+      }
+    }
+  }
+  if (params.dram_mtbf > 0.0 && params.dram_mttr > 0.0) {
+    // A permanent DRAM stall would deadlock any engine run, so DRAM faults
+    // require a positive repair time.
+    for (std::uint32_t c = 0; c < num_chips; ++c) {
+      Rng rng(stream_seed(params.seed, 3, c));
+      plan.dram_windows_[c] =
+          draw_windows(rng, params.dram_mtbf, params.dram_mttr, params.horizon);
+      for (const DownWindow& w : plan.dram_windows_[c]) {
+        plan.events_.push_back({w.begin, FaultKind::kDramStallBegin, c, 0, 1.0});
+        plan.events_.push_back({w.end, FaultKind::kDramStallEnd, c, 0, 1.0});
+      }
+    }
+  }
+  std::sort(plan.events_.begin(), plan.events_.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              if (a.at != b.at) return a.at < b.at;
+              if (a.kind != b.kind) return a.kind < b.kind;
+              if (a.chip != b.chip) return a.chip < b.chip;
+              return a.peer < b.peer;
+            });
+  return plan;
+}
+
+bool FaultPlan::chip_down_at(std::uint32_t chip, Cycle at) const {
+  if (chip >= chip_windows_.size()) return false;
+  return find_window(chip_windows_[chip], at) != chip_windows_[chip].size();
+}
+
+Cycle FaultPlan::chip_up_after(std::uint32_t chip, Cycle at) const {
+  if (chip >= chip_windows_.size()) return at;
+  const auto& windows = chip_windows_[chip];
+  const std::size_t i = find_window(windows, at);
+  if (i == windows.size()) return at;
+  return windows[i].end;  // kNever when permanently down
+}
+
+Cycle FaultPlan::chip_down_in(std::uint32_t chip, Cycle after,
+                              Cycle before) const {
+  if (chip >= chip_windows_.size()) return kNever;
+  const auto& windows = chip_windows_[chip];
+  auto it = std::upper_bound(
+      windows.begin(), windows.end(), after,
+      [](Cycle a, const DownWindow& w) { return a < w.begin; });
+  if (it == windows.end() || it->begin >= before) return kNever;
+  return it->begin;
+}
+
+const std::vector<DownWindow>& FaultPlan::chip_windows(
+    std::uint32_t chip) const {
+  AURORA_CHECK(chip < chip_windows_.size());
+  return chip_windows_[chip];
+}
+
+double FaultPlan::wire_multiplier_at(std::uint32_t from, std::uint32_t to,
+                                     Cycle at) const {
+  const std::size_t wire = static_cast<std::size_t>(from) * num_chips_ + to;
+  if (wire >= wire_windows_.size()) return 1.0;
+  const auto& windows = wire_windows_[wire];
+  const std::size_t i = find_window(windows, at);
+  return i == windows.size() ? 1.0 : windows[i].multiplier;
+}
+
+const std::vector<DegradeWindow>& FaultPlan::wire_windows(
+    std::uint32_t from, std::uint32_t to) const {
+  const std::size_t wire = static_cast<std::size_t>(from) * num_chips_ + to;
+  AURORA_CHECK(wire < wire_windows_.size());
+  return wire_windows_[wire];
+}
+
+double FaultPlan::max_link_multiplier() const {
+  double max_mult = 1.0;
+  for (const auto& windows : wire_windows_) {
+    for (const DegradeWindow& w : windows) {
+      max_mult = std::max(max_mult, w.multiplier);
+    }
+  }
+  return max_mult;
+}
+
+const std::vector<DownWindow>& FaultPlan::dram_windows(
+    std::uint32_t chip) const {
+  AURORA_CHECK(chip < dram_windows_.size());
+  return dram_windows_[chip];
+}
+
+std::string FaultPlan::timeline() const {
+  std::ostringstream os;
+  for (const FaultEvent& e : events_) {
+    os << e.at << ' ' << fault_kind_name(e.kind) << ' ' << e.chip << ' '
+       << e.peer << ' ' << std::llround(e.multiplier * 1000.0) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace aurora::fault

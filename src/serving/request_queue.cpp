@@ -28,6 +28,24 @@ bool RequestQueue::admit(ServingRequest request) {
   return true;
 }
 
+void RequestQueue::readmit(ServingRequest request) {
+  waiting_.push_back(std::move(request));
+}
+
+void RequestQueue::expire(Cycle now) {
+  if (!proactive_shedding_) return;
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < waiting_.size(); ++i) {
+    if (waiting_[i].deadline < now) {
+      ++shed_expired_;
+      continue;
+    }
+    if (kept != i) waiting_[kept] = std::move(waiting_[i]);
+    ++kept;
+  }
+  waiting_.resize(kept);
+}
+
 std::size_t RequestQueue::best_index() const {
   AURORA_CHECK(!waiting_.empty());
   std::size_t best = 0;
@@ -61,13 +79,16 @@ ServingRequest RequestQueue::take(std::size_t index) {
   return request;
 }
 
-std::optional<ServingRequest> RequestQueue::pop() {
+std::optional<ServingRequest> RequestQueue::pop(Cycle now) {
+  expire(now);
   if (waiting_.empty()) return std::nullopt;
   return take(best_index());
 }
 
-std::vector<ServingRequest> RequestQueue::pop_batch(std::uint32_t max_batch) {
+std::vector<ServingRequest> RequestQueue::pop_batch(std::uint32_t max_batch,
+                                                    Cycle now) {
   std::vector<ServingRequest> batch;
+  expire(now);
   if (waiting_.empty()) return batch;
   batch.push_back(take(best_index()));
   while (batch.size() < std::max<std::uint32_t>(max_batch, 1)) {

@@ -38,44 +38,72 @@ struct ServingRequest {
   Cycle arrival = 0;
   /// Absolute deadline (arrival + SLO), or kNoDeadline.
   Cycle deadline = kNoDeadline;
+  /// Dispatch attempts that failed so far (fault retries); drives the
+  /// serving engine's exponential backoff and its retry cap.
+  std::uint32_t retries = 0;
+  /// Earliest re-dispatch cycle (the retry backoff expiry); 0 for fresh
+  /// requests. Keeps a retry from starting on an idle chip before its
+  /// previous attempt even failed.
+  Cycle not_before = 0;
 };
 
 class RequestQueue {
  public:
   /// `depth_cap` bounds the number of waiting requests; admissions beyond
-  /// it are shed. 0 means unbounded.
-  explicit RequestQueue(std::size_t depth_cap) : depth_cap_(depth_cap) {}
+  /// it are shed. 0 means unbounded. `proactive_shedding` drops waiting
+  /// requests whose deadline has already passed at pop time (the dispatch
+  /// could not possibly meet the SLO, so the cycles are better spent on a
+  /// request that still can) — they count as shed_expired(), distinct from
+  /// admission-control shedding.
+  explicit RequestQueue(std::size_t depth_cap, bool proactive_shedding = false)
+      : depth_cap_(depth_cap), proactive_shedding_(proactive_shedding) {}
 
   /// Admit `request`, or shed it if the queue is at capacity. Returns
   /// whether the request was admitted.
   bool admit(ServingRequest request);
 
+  /// Re-enter a request whose dispatch attempt failed (fault retry).
+  /// Bypasses admission control — the request was already admitted once,
+  /// and shedding a retry would break the admitted == completed +
+  /// shed_expired + failed_permanently conservation.
+  void readmit(ServingRequest request);
+
   /// Remove and return the next request under the scheduling policy
   /// (priority class, then least-served tenant, then EDF); nullopt when
-  /// empty. Counts toward the winning tenant's served total.
-  [[nodiscard]] std::optional<ServingRequest> pop();
+  /// empty. Counts toward the winning tenant's served total. Under
+  /// proactive shedding, requests with deadline < `now` are expired first.
+  [[nodiscard]] std::optional<ServingRequest> pop(Cycle now = 0);
 
   /// pop() a head, then up to `max_batch - 1` waiting requests with the
   /// head's compat_key, in EDF order. The batch shares one array
   /// configuration, so only the head pays reconfiguration. Empty vector
   /// when the queue is empty; max_batch <= 1 degenerates to pop().
-  [[nodiscard]] std::vector<ServingRequest> pop_batch(std::uint32_t max_batch);
+  [[nodiscard]] std::vector<ServingRequest> pop_batch(std::uint32_t max_batch,
+                                                      Cycle now = 0);
 
   [[nodiscard]] std::size_t size() const { return waiting_.size(); }
   [[nodiscard]] bool empty() const { return waiting_.empty(); }
   [[nodiscard]] std::uint64_t admitted() const { return admitted_; }
   [[nodiscard]] std::uint64_t shed() const { return shed_; }
+  /// Admitted requests dropped by proactive shedding (deadline already
+  /// missed when a dispatch slot opened).
+  [[nodiscard]] std::uint64_t shed_expired() const { return shed_expired_; }
 
  private:
   /// Index of the best waiting request under the pop() policy.
   [[nodiscard]] std::size_t best_index() const;
   ServingRequest take(std::size_t index);
+  /// Proactive shedding sweep: drop every waiting request whose deadline
+  /// precedes `now`. No-op unless enabled.
+  void expire(Cycle now);
 
   std::size_t depth_cap_;
+  bool proactive_shedding_;
   std::vector<ServingRequest> waiting_;
   std::map<std::uint32_t, std::uint64_t> served_per_tenant_;
   std::uint64_t admitted_ = 0;
   std::uint64_t shed_ = 0;
+  std::uint64_t shed_expired_ = 0;
 };
 
 }  // namespace aurora::serving

@@ -16,10 +16,12 @@
 // to core::Scheduler::run bit-for-bit — the equivalence the tests pin.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "cluster/cluster_scheduler.hpp"
+#include "fault/fault.hpp"
 #include "serving/arrival.hpp"
 #include "serving/request_queue.hpp"
 
@@ -52,6 +54,26 @@ struct ServingParams {
   /// Latency SLO in cycles; 0 means no deadline (everything is goodput).
   Cycle slo_cycles = 0;
   cluster::DispatchMode mode = cluster::DispatchMode::kDataParallel;
+  /// Chip fault injection: when enabled() (horizon > 0 and a chip MTBF is
+  /// set), serve_all generates a seed-deterministic fault::FaultPlan over
+  /// the serving clock and attaches it to the cluster scheduler — dispatch
+  /// avoids down chips, mid-flight failures trigger the retry path below.
+  /// Disabled (the default) leaves serving bit-identical to a faultless
+  /// engine. Link/DRAM fault windows act on the cluster-run / chip-local
+  /// clocks and are wired by the caller (ClusterParams::fault_plan,
+  /// DramConfig::stall_windows), not here.
+  fault::FaultParams faults;
+  /// Failed dispatch attempts allowed per request beyond the first; a
+  /// request that fails max_retries + 1 times counts failed_permanently.
+  std::uint32_t max_retries = 3;
+  /// Capped exponential backoff before a failed request re-enters the
+  /// queue: base * 2^retries cycles after the failure, at most the cap.
+  Cycle retry_backoff_base = 256;
+  Cycle retry_backoff_cap = Cycle{1} << 16;
+  /// Proactive SLO shedding: drop waiting requests whose deadline already
+  /// passed when a dispatch slot opens (see RequestQueue), counted as
+  /// shed_expired rather than served late.
+  bool proactive_shedding = false;
 };
 
 struct ServedRequest {
@@ -69,6 +91,11 @@ struct ServedRequest {
   bool batched_follower = false;
   Cycle overlap_hidden = 0;
   Cycle reconfig_saved = 0;
+  /// Dispatch attempts that failed before this one completed.
+  std::uint32_t retries = 0;
+  /// Completed after at least one failed attempt (re-dispatched onto
+  /// whatever chip the fault-aware scheduler picked next).
+  bool failed_over = false;
   core::RunMetrics metrics;
 
   [[nodiscard]] Cycle queue_wait() const { return start - arrival; }
@@ -86,6 +113,22 @@ struct ServingReport {
   /// Dispatched batches and how many requests rode as followers.
   std::uint64_t batches = 0;
   std::uint64_t batched_followers = 0;
+  // Availability accounting (all zero without a fault plan). Conservation:
+  // admitted == served.size() + shed_expired + failed_permanently.
+  /// Dispatch attempts that ended in a mid-flight chip failure.
+  std::uint64_t failed_attempts = 0;
+  /// Re-dispatches scheduled by the retry/backoff path.
+  std::uint64_t retries = 0;
+  /// Requests that completed after at least one failed attempt.
+  std::uint64_t failed_over = 0;
+  /// Requests dropped after exhausting retries (or when every chip was
+  /// permanently down).
+  std::uint64_t failed_permanently = 0;
+  /// Admitted requests dropped by proactive SLO shedding.
+  std::uint64_t shed_expired = 0;
+  /// Shard-parallel dispatches re-routed through a data-parallel placement
+  /// because a gang chip was down.
+  std::uint64_t shard_fallbacks = 0;
   Cycle overlap_savings = 0;
   Cycle reconfig_savings = 0;
   /// Last finish cycle (the serving horizon).
@@ -112,6 +155,14 @@ struct ServingReport {
 /// The report as a JSON object (schema "aurora.serving.v1").
 [[nodiscard]] std::string serving_report_json(const ServingReport& report);
 
+/// Field-by-field comparison of two serving reports: every scalar
+/// (admission, batching, availability and savings counters, horizon) and
+/// every served request's identity, placement, timing and retry fields.
+/// Returns human-readable mismatch lines; empty means bit-identical.
+/// Shared by the differential fuzzer and the bit-identity tests.
+[[nodiscard]] std::vector<std::string> diff_serving_reports(
+    const ServingReport& a, const ServingReport& b);
+
 class ServingEngine {
  public:
   ServingEngine(const core::AuroraConfig& config,
@@ -135,6 +186,13 @@ class ServingEngine {
   /// Trace every request's execution (see ClusterScheduler::set_tracer).
   void set_tracer(sim::Tracer* tracer) { tracer_ = tracer; }
 
+  /// Override the fault plan instead of generating one from
+  /// params.faults — lets tests and benchmarks serve against a plan they
+  /// have already inspected. Null reverts to params.faults.
+  void set_fault_plan(std::shared_ptr<const fault::FaultPlan> plan) {
+    fault_plan_ = std::move(plan);
+  }
+
  private:
   [[nodiscard]] ServingReport serve_all(const graph::Dataset& dataset,
                                         std::vector<ServingRequest> requests);
@@ -143,6 +201,7 @@ class ServingEngine {
   cluster::ClusterParams cluster_params_;
   ServingParams params_;
   sim::Tracer* tracer_ = nullptr;
+  std::shared_ptr<const fault::FaultPlan> fault_plan_;
 };
 
 }  // namespace aurora::serving

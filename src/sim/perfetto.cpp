@@ -234,6 +234,28 @@ void emit_process(EventWriter& w, int pid, const TraceProcess& proc) {
         case TraceEvent::kDramRequest:
           dram_bytes.emplace_back(r.at, static_cast<double>(r.arg1));
           break;
+        case TraceEvent::kChipDown:
+        case TraceEvent::kChipUp:
+          w.begin() << "\"ph\": \"i\", \"s\": \"t\", \"pid\": " << pid
+                    << ", \"tid\": " << kTidControl << ", \"ts\": " << r.at
+                    << ", \"name\": \""
+                    << (r.kind == TraceEvent::kChipDown ? "chip-down"
+                                                        : "chip-up")
+                    << "\", \"args\": {\"chip\": " << r.arg0 << "}";
+          w.end();
+          break;
+        case TraceEvent::kLinkDegraded:
+        case TraceEvent::kLinkRestored:
+          w.begin() << "\"ph\": \"i\", \"s\": \"t\", \"pid\": " << pid
+                    << ", \"tid\": " << kTidControl << ", \"ts\": " << r.at
+                    << ", \"name\": \""
+                    << (r.kind == TraceEvent::kLinkDegraded ? "link-degraded"
+                                                            : "link-restored")
+                    << "\", \"args\": {\"src\": " << r.arg0 / 256
+                    << ", \"dst\": " << r.arg0 % 256
+                    << ", \"multiplier_permille\": " << r.arg1 << "}";
+          w.end();
+          break;
         case TraceEvent::kTaskComplete:
           break;  // per-task instants would swamp the view; counters cover it
       }

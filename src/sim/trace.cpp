@@ -41,6 +41,14 @@ const char* trace_event_name(TraceEvent e) {
       return "run-begin";
     case TraceEvent::kRunEnd:
       return "run-end";
+    case TraceEvent::kChipDown:
+      return "chip-down";
+    case TraceEvent::kChipUp:
+      return "chip-up";
+    case TraceEvent::kLinkDegraded:
+      return "link-degraded";
+    case TraceEvent::kLinkRestored:
+      return "link-restored";
   }
   throw Error("invalid TraceEvent");
 }
@@ -67,14 +75,16 @@ std::string Tracer::render_timeline(std::size_t buckets) const {
   Cycle max_cycle = 1;
   for (const auto& r : records_) max_cycle = std::max(max_cycle, r.at);
 
-  static constexpr std::array<TraceEvent, 14> kKinds = {
+  static constexpr std::array<TraceEvent, 18> kKinds = {
       TraceEvent::kRunBegin,       TraceEvent::kTileStart,
       TraceEvent::kReconfigure,    TraceEvent::kPhaseSpan,
       TraceEvent::kComputeSpan,    TraceEvent::kDramSpan,
       TraceEvent::kDramRequest,    TraceEvent::kPacketInjected,
       TraceEvent::kPacketDelivered, TraceEvent::kTaskComplete,
       TraceEvent::kClusterSegment, TraceEvent::kHaloSent,
-      TraceEvent::kHaloDelivered,  TraceEvent::kRunEnd};
+      TraceEvent::kHaloDelivered,  TraceEvent::kChipDown,
+      TraceEvent::kChipUp,         TraceEvent::kLinkDegraded,
+      TraceEvent::kLinkRestored,   TraceEvent::kRunEnd};
   static constexpr const char* kGlyphs = " .:-=+*#%@";
 
   std::ostringstream os;

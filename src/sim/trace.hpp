@@ -57,6 +57,14 @@ enum class TraceEvent : std::uint8_t {
   /// reconfiguration tail (chip runs; 0 for cluster runs).
   kRunBegin,
   kRunEnd,
+  /// Fault-plan annotations (src/fault). Chip transitions are recorded on
+  /// the control-plane (serving) clock: arg0 = chip index. Link transitions
+  /// on the cluster-run clock: arg0 = src_chip * 256 + dst_chip, arg1 = the
+  /// degradation multiplier in permille (1500 = 1.5x; 1000 on restore).
+  kChipDown,
+  kChipUp,
+  kLinkDegraded,
+  kLinkRestored,
 };
 
 /// Run kinds carried in kRunBegin's arg0.
