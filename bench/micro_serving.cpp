@@ -24,6 +24,7 @@
 //   {"bench": "serving_faults", "chips": ..., "points": [...]}
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -62,6 +63,30 @@ bool conserved(const serving::ServingReport& r, double x_value,
   return false;
 }
 
+/// Deliver the bench's JSON line: to --out (printing the artifact path on
+/// stdout so callers and logs know where it landed), or to stdout when no
+/// path was given.
+int emit_json(const std::string& json, const std::string& out_path) {
+  if (out_path.empty()) {
+    std::printf("%s\n", json.c_str());
+    return EXIT_SUCCESS;
+  }
+  std::ofstream out(out_path);
+  if (!out.is_open()) {
+    std::fprintf(stderr, "FAIL: cannot write artifact: %s\n",
+                 out_path.c_str());
+    return EXIT_FAILURE;
+  }
+  out << json << '\n';
+  if (!out) {
+    std::fprintf(stderr, "FAIL: artifact write failed: %s\n",
+                 out_path.c_str());
+    return EXIT_FAILURE;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  return EXIT_SUCCESS;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -69,7 +94,7 @@ int main(int argc, char** argv) {
                      {"scale", "hidden", "requests", "rate", "slo-us",
                       "chips", "mode", "seed", "queue-depth", "max-batch",
                       "tenants", "faults", "mtbf-us", "mttr-us",
-                      "max-retries"});
+                      "max-retries", "out"});
   const double scale = args.get_double("scale", 0.02, 1e-6, 100.0);
   const std::uint32_t hidden = args.get_uint("hidden", 16, 1);
   const std::uint32_t chips = args.get_uint("chips", 1, 1);
@@ -176,8 +201,7 @@ int main(int argc, char** argv) {
       json += buf;
     }
     json += "]}";
-    std::printf("%s\n", json.c_str());
-    return EXIT_SUCCESS;
+    return emit_json(json, args.get_string("out", ""));
   }
 
   std::fprintf(stderr,
@@ -228,6 +252,5 @@ int main(int argc, char** argv) {
     json += buf;
   }
   json += "]}";
-  std::printf("%s\n", json.c_str());
-  return EXIT_SUCCESS;
+  return emit_json(json, args.get_string("out", ""));
 }

@@ -28,6 +28,18 @@
 //                      [--period-us=2000] [--amplitude=0.8]
 //                      [--serving-out=report.json]
 //
+// Dynamic-graph serving (--dynamic): interleaves streaming graph mutations
+// with neighbor-sampled mini-batch queries on one arrival clock — the
+// recommendation graph churns while being served. --churn sets the
+// mutation fraction, --insert-frac the insert/delete split, --fanout the
+// per-layer sample caps (CSV, 0 = all), --batch-seeds the seed vertices
+// per query; with --chips >= 2 the shard plan is recut when churn drifts
+// the cut past --reshard-threshold.
+//
+//   ./examples/serving --dynamic --churn=0.5 --fanout=10,5
+//                      [--batch-seeds=4] [--insert-frac=0.7]
+//                      [--reshard-threshold=0.2] [--chips=4] [--rate=...]
+//
 // Fault injection (open loop): --faults=<seed> makes chips fail-stop on a
 // seed-deterministic MTBF clock (--mtbf-us, default 400) and recover after
 // --mttr-us (default 60; 0 = fail-stop forever). Failed requests retry with
@@ -46,7 +58,9 @@
 #include <array>
 #include <cstdio>
 #include <optional>
+#include <sstream>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -63,6 +77,8 @@
 #include "serving/serving_engine.hpp"
 #include "sim/perfetto.hpp"
 #include "sim/trace.hpp"
+#include "workload/dynamic_graph.hpp"
+#include "workload/workload_gen.hpp"
 
 namespace {
 
@@ -139,6 +155,143 @@ int emit_observability(const CliArgs& args, const sim::Tracer& tracer,
     std::printf("metrics JSON: %s\n", metrics_out.c_str());
   }
   return 0;
+}
+
+/// Dynamic-graph serving (--dynamic): one seed-deterministic event stream
+/// interleaves graph mutations (edge/vertex churn applied to a DynamicGraph
+/// overlay, --churn of all events) with inference queries (GraphSAGE-style
+/// neighbor-sampled mini-batches drawn against the graph as of the query's
+/// arrival cycle), then replays the queries through the serving engine.
+/// With --chips >= 2 every mutation also updates the shard churn tracker
+/// and the graph is recut when the cut drifts past --reshard-threshold.
+int run_dynamic(const CliArgs& args, const core::AuroraConfig& config,
+                const graph::Dataset& graph_ds, std::uint32_t hidden,
+                const cluster::ClusterParams& cluster_params,
+                cluster::DispatchMode mode, sim::Tracer& tracer) {
+  workload::DynamicWorkloadParams wp;
+  const double rate_rps = args.get_double("rate", 100000.0, 1e-3, 1e12);
+  wp.arrival.rate_per_mcycle = rate_rps / config.frequency_mhz;
+  wp.seed = args.get_uint("seed", 1);
+  wp.num_ops = args.get_uint("requests", 24, 1) * 2;
+  wp.mutation_fraction = args.get_double("churn", 0.5, 0.0, 1.0);
+  wp.insert_fraction = args.get_double("insert-frac", 0.7, 0.0, 1.0);
+  wp.num_seeds = args.get_uint("batch-seeds", 4, 1);
+  wp.num_tenants = args.get_uint("tenants", 2, 1);
+  const double slo_us = args.get_double("slo-us", 0.0, 0.0, 1e9);
+  wp.slo_cycles = static_cast<Cycle>(slo_us * config.frequency_mhz);
+  wp.num_chips = cluster_params.num_chips;
+  wp.reshard_threshold = args.get_double("reshard-threshold", 0.2, 0.0, 1e3);
+
+  // --fanout=10,5 sets the per-layer neighbor caps (0 = take all).
+  wp.sampler.seed = wp.seed * 31 + 7;
+  const std::string fanout_csv = args.get_string("fanout", "10,5");
+  wp.sampler.fanouts.clear();
+  std::string cell;
+  std::istringstream fanouts(fanout_csv);
+  while (std::getline(fanouts, cell, ',')) {
+    try {
+      wp.sampler.fanouts.push_back(
+          static_cast<std::uint32_t>(std::stoul(cell)));
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "bad --fanout entry '%s' (want e.g. 10,5)\n",
+                   cell.c_str());
+      return 1;
+    }
+  }
+  if (wp.sampler.fanouts.empty()) {
+    std::fprintf(stderr, "--fanout needs at least one layer\n");
+    return 1;
+  }
+
+  const core::GnnJob job =
+      core::GnnJob::two_layer(gnn::GnnModel::kGcn, graph_ds.spec, hidden);
+  workload::DynamicGraph dyn(graph_ds.graph);
+  const workload::WorkloadGenerator gen(wp);
+  const workload::DynamicWorkload wl =
+      gen.generate(dyn, graph_ds, job, tracer.enabled() ? &tracer : nullptr);
+
+  serving::ServingParams params;
+  params.seed = wp.seed;
+  params.queue_depth = args.get_uint("queue-depth", 64);
+  params.max_batch = args.get_uint("max-batch", 4, 1);
+  params.slo_cycles = wp.slo_cycles;
+  params.mode = mode;
+  serving::ServingEngine engine(config, cluster_params, params);
+  if (tracer.enabled()) engine.set_tracer(&tracer);
+  const serving::ServingReport report = engine.replay(graph_ds, wl.queries);
+
+  // Request ids are event-stream indices (mutations interleave), not
+  // positions in wl.queries — map them back for the batch-size columns.
+  std::unordered_map<std::uint64_t, const serving::ServingRequest*> by_id;
+  for (const auto& q : wl.queries) by_id.emplace(q.id, &q);
+
+  AsciiTable table({"query", "chip", "batch |V|", "batch |E|", "arrival",
+                    "wait (us)", "service (us)", "SLO"});
+  const auto us = [&](Cycle cycles) {
+    return to_fixed(static_cast<double>(cycles) / config.frequency_mhz, 2);
+  };
+  for (const auto& r : report.served) {
+    const serving::ServingRequest& q = *by_id.at(r.id);
+    const std::string chip_cell =
+        mode == cluster::DispatchMode::kShardParallel ? "all"
+                                                      : std::to_string(r.chip);
+    table.add_row({r.label + (r.batched_follower ? " (batched)" : ""),
+                   chip_cell, std::to_string(q.dataset->num_vertices()),
+                   std::to_string(q.dataset->num_edges()),
+                   std::to_string(r.arrival), us(r.queue_wait()),
+                   us(r.service_time()),
+                   params.slo_cycles == 0 ? "-" : (r.met_slo() ? "ok" : "MISS")});
+  }
+  table.print();
+
+  const auto& s = wl.stats;
+  std::printf("\ndynamic workload: %llu mutation(s) (%llu edge+, %llu "
+              "edge-, %llu vertex+, %llu vertex-), %llu query(ies)\n",
+              static_cast<unsigned long long>(s.mutations),
+              static_cast<unsigned long long>(s.edge_adds),
+              static_cast<unsigned long long>(s.edge_removes),
+              static_cast<unsigned long long>(s.vertex_adds),
+              static_cast<unsigned long long>(s.vertex_removes),
+              static_cast<unsigned long long>(s.queries));
+  std::printf("graph: %u -> %u vertices, %llu -> %llu edges; %llu "
+              "compaction(s)\n",
+              graph_ds.num_vertices(), s.final_vertices,
+              static_cast<unsigned long long>(graph_ds.num_edges()),
+              static_cast<unsigned long long>(s.final_edges),
+              static_cast<unsigned long long>(s.compactions));
+  if (wp.num_chips >= 2) {
+    std::printf("sharding: %llu reshard(s); final cut %llu edge(s) "
+                "(planned %llu)\n",
+                static_cast<unsigned long long>(s.reshards),
+                static_cast<unsigned long long>(s.final_cut_edges),
+                static_cast<unsigned long long>(s.planned_cut_edges));
+  }
+  const auto pct_us = [&](double cycles) {
+    return cycles / config.frequency_mhz;
+  };
+  std::printf("latency    p50 %.2f us, p95 %.2f us, p99 %.2f us\n",
+              pct_us(report.latency_percentile(0.50)),
+              pct_us(report.latency_percentile(0.95)),
+              pct_us(report.latency_percentile(0.99)));
+  if (params.slo_cycles > 0) {
+    std::printf("goodput under %.0f us SLO: %llu/%llu queries\n", slo_us,
+                static_cast<unsigned long long>(report.met_slo_count()),
+                static_cast<unsigned long long>(report.generated));
+  }
+
+  const std::string serving_out = args.get_string("serving-out", "");
+  if (!serving_out.empty()) {
+    core::write_json_file(serving_out, serving::serving_report_json(report));
+    std::printf("serving JSON: %s\n", serving_out.c_str());
+  }
+  std::vector<core::NamedRun> runs;
+  for (const auto& r : report.served) {
+    runs.push_back({"dynamic", r.label, r.metrics});
+  }
+  if (!runs.empty()) {
+    runs.back().metrics.counters.merge(report.counters());
+  }
+  return emit_observability(args, tracer, runs);
 }
 
 /// Open-loop serving: arrival process -> admission -> batching -> dispatch.
@@ -303,7 +456,9 @@ int main(int argc, char** argv) {
        "max-batch", "tenants", "burst-mult", "burst-frac", "period-us",
        "amplitude", "faults", "mtbf-us", "mttr-us", "max-retries",
        "proactive-shed", "serving-out", "trace-out", "metrics-out",
-       "critpath", "critpath-out", "what-if", "allow-truncated-trace"});
+       "critpath", "critpath-out", "what-if", "allow-truncated-trace",
+       "dynamic", "churn", "insert-frac", "fanout", "batch-seeds",
+       "reshard-threshold"});
   const double scale = args.get_double("scale", 0.1, 1e-6, 100.0);
   const std::uint32_t hidden = args.get_uint("hidden", 32, 1);
   const auto num_requests =
@@ -346,6 +501,10 @@ int main(int argc, char** argv) {
   // multi-core hosts); --jobs caps its worker threads.
   params.parallel = args.get_bool("parallel-sim", false);
   params.parallel_jobs = args.get_uint("jobs", 0);
+
+  if (args.get_bool("dynamic", false)) {
+    return run_dynamic(args, config, graph_ds, hidden, params, mode, tracer);
+  }
 
   if (args.has("arrival")) {
     std::vector<serving::ModelMixEntry> mix;

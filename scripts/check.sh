@@ -108,7 +108,19 @@ completed = len(report["requests"])
 assert report["admitted"] == completed + report["shed_expired"] \
     + report["failed_permanently"], report
 EOF
-./build/bench/micro_serving --requests=12 | tee BENCH_serving.json
+./build/bench/micro_serving --requests=12 --out=BENCH_serving.json
+
+echo "== workload smoke: dynamic graphs + sampling =="
+# Workload test suite by ctest label (sampler determinism across simulation
+# modes, compaction bit-identity, churn-aware sharding), then the
+# dynamic-graph fuzzer (random insert/delete streams cross-checked against
+# a reference model; compact() must be bit-identical to a from-scratch
+# rebuild at every checkpoint), then a churning 2-chip serving run.
+ctest --test-dir build -L workload --output-on-failure -j
+./build/bench/fuzz_workload --seeds=25
+./build/examples/serving --scale=0.02 --hidden=16 --dynamic --requests=12 \
+  --churn=0.6 --fanout=6,3 --batch-seeds=3 --chips=2 \
+  --reshard-threshold=0.1 --seed=5
 
 echo "== fault smoke: deterministic injection + failure-aware serving =="
 # Fault test suite by ctest label, then a 4-chip open-loop run with chip
@@ -134,7 +146,7 @@ assert report["admitted"] == completed + report["shed_expired"] \
 EOF
 ./build/bench/fuzz_sim --cluster --parallel --faults --seeds=25
 ./build/bench/micro_serving --requests=12 --faults=1 --rate=4000 \
-  | tee BENCH_serving_faults.json
+  --out=BENCH_serving_faults.json
 
 echo "== parallel engine: differential fuzz + microbenchmark =="
 # Every seed runs the cluster on the serial AND parallel engines in both
@@ -183,6 +195,16 @@ echo "== sanitizers: serving smoke =="
 ctest --test-dir build-asan -L serving --output-on-failure -j
 ./build-asan/examples/serving --scale=0.02 --hidden=16 --arrival=bursty \
   --rate=150000 --slo-us=500 --requests=8 --seed=5 --chips=2 --mode=data
+
+echo "== sanitizers: workload smoke =="
+# Streaming-update fuzz under ASan/UBSan: the overlay's sorted-vector
+# insert/erase churn and compaction's in-place merge are the fresh memory
+# surface here (fewer seeds than the release smoke — each seed runs ~10x
+# slower sanitized).
+./build-asan/bench/fuzz_workload --seeds=8
+./build-asan/examples/serving --scale=0.02 --hidden=16 --dynamic \
+  --requests=8 --churn=0.6 --fanout=6,3 --batch-seeds=3 --chips=2 \
+  --reshard-threshold=0.1 --seed=5
 
 echo "== sanitizers: critical-path profiler =="
 # The profiler test suite plus a traced critpath run under ASan/UBSan: the

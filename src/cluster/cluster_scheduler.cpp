@@ -164,7 +164,8 @@ ClusterOutcome ClusterScheduler::serve_data_parallel(
     }
   }
 
-  const std::string key = "data:" + core::job_signature(request.job);
+  const std::string key =
+      "data:" + request.dataset_key + ":" + core::job_signature(request.job);
   core::RunMetrics metrics;
   if (const CachedService* cached = cache_lookup(key)) {
     metrics = cached->metrics;
@@ -225,7 +226,8 @@ ClusterOutcome ClusterScheduler::serve_shard_parallel(
   ensure_engine();
   const fault::FaultPlan* plan = active_fault_plan();
 
-  const std::string key = "shard:" + core::job_signature(request.job);
+  const std::string key =
+      "shard:" + request.dataset_key + ":" + core::job_signature(request.job);
   CachedService service;
   if (const CachedService* cached = cache_lookup(key)) {
     service = *cached;

@@ -1,0 +1,86 @@
+#include "cluster/shard_churn.hpp"
+
+#include "common/error.hpp"
+
+namespace aurora::cluster {
+
+ShardChurnTracker::ShardChurnTracker(const ShardPlan& plan) {
+  set_baseline(plan);
+}
+
+void ShardChurnTracker::set_baseline(const ShardPlan& plan) {
+  AURORA_CHECK_MSG(!plan.shards.empty(), "tracker needs a built shard plan");
+  num_chips_ = plan.num_chips;
+  planned_cut_ = plan.cut_edges;
+  cut_edges_ = plan.cut_edges;
+  mutations_ = 0;
+
+  VertexId n = 0;
+  for (const auto& shard : plan.shards) {
+    for (VertexId local = 0; local < shard.num_owned; ++local) {
+      n = std::max<VertexId>(n, shard.global_ids[local] + 1);
+    }
+  }
+  planned_owner_.assign(n, 0);
+  for (const auto& shard : plan.shards) {
+    for (VertexId local = 0; local < shard.num_owned; ++local) {
+      planned_owner_[shard.global_ids[local]] = shard.chip;
+    }
+  }
+
+  // Seed the ghost refcounts from the plan's own cut: every owned->remote
+  // edge contributes one reference to (owner chip, remote vertex).
+  ghost_refs_.clear();
+  for (const auto& shard : plan.shards) {
+    const auto& g = shard.dataset.graph;
+    for (VertexId local = 0; local < shard.num_owned; ++local) {
+      for (const VertexId ul : g.neighbors(local)) {
+        if (ul >= shard.num_owned) {
+          ++ghost_refs_[ghost_key(shard.chip, shard.global_ids[ul])];
+        }
+      }
+    }
+  }
+}
+
+std::uint32_t ShardChurnTracker::owner(VertexId v) const {
+  if (v < planned_owner_.size()) return planned_owner_[v];
+  return v % num_chips_;
+}
+
+void ShardChurnTracker::note_edge_added(VertexId u, VertexId v) {
+  ++mutations_;
+  const auto cu = owner(u);
+  const auto cv = owner(v);
+  if (cu == cv) return;
+  ++cut_edges_;
+  ++ghost_refs_[ghost_key(cu, v)];
+}
+
+void ShardChurnTracker::note_edge_removed(VertexId u, VertexId v) {
+  ++mutations_;
+  const auto cu = owner(u);
+  const auto cv = owner(v);
+  if (cu == cv) return;
+  AURORA_CHECK_MSG(cut_edges_ > 0, "cut-edge underflow in churn tracker");
+  --cut_edges_;
+  const auto it = ghost_refs_.find(ghost_key(cu, v));
+  AURORA_CHECK_MSG(it != ghost_refs_.end() && it->second > 0,
+                   "ghost refcount underflow for vertex " << v);
+  if (--it->second == 0) ghost_refs_.erase(it);
+}
+
+bool ShardChurnTracker::should_reshard(double threshold) const {
+  if (num_chips_ < 2 || threshold <= 0.0) return false;
+  const auto baseline = std::max<EdgeId>(planned_cut_, 1);
+  return static_cast<double>(cut_drift()) >
+         threshold * static_cast<double>(baseline);
+}
+
+void ShardChurnTracker::rebase(const ShardPlan& plan) {
+  AURORA_CHECK_MSG(plan.num_chips == num_chips_,
+                   "rebase must keep the chip count");
+  set_baseline(plan);
+}
+
+}  // namespace aurora::cluster

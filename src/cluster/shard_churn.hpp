@@ -1,0 +1,95 @@
+// Incremental shard maintenance under graph churn.
+//
+// A ShardPlan freezes an owner assignment and the ghost sets / cut edges it
+// induces. When the graph mutates underneath it, the plan's quality drifts:
+// new edges may cross chip boundaries (growing halo traffic), deletions may
+// strand ghosts. Recutting on every mutation would be absurd, so the
+// tracker maintains the drifted cut incrementally — exact ghost-set
+// refcounts and cut-edge counts under streaming edge insert/delete — and
+// exposes a re-shard trigger that fires when the drift crosses a threshold.
+// After a recut, rebase() adopts the fresh plan as the new baseline.
+//
+// Ownership is a pure function frozen at rebase time: vertices the plan
+// knew keep their planned owner; vertices born later get hash ownership
+// (v mod num_chips). For ShardStrategy::kHash the two coincide, which is
+// what makes the tracker's counters exactly comparable to a from-scratch
+// make_shard_plan over the mutated graph — the property the workload tests
+// pin.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/shard.hpp"
+#include "common/types.hpp"
+
+namespace aurora::cluster {
+
+class ShardChurnTracker {
+ public:
+  /// Baseline the tracker on `plan` (which partitioned `num_vertices`
+  /// vertices).
+  explicit ShardChurnTracker(const ShardPlan& plan);
+
+  /// Owner chip of v under the frozen assignment (hash ownership for
+  /// vertices unknown to the baseline plan).
+  [[nodiscard]] std::uint32_t owner(VertexId v) const;
+
+  /// Record a directed edge mutation that actually happened (callers gate on
+  /// DynamicGraph's mutators returning true). For undirected mutations call
+  /// once per direction, mirroring how the planner counts cut edges.
+  void note_edge_added(VertexId u, VertexId v);
+  void note_edge_removed(VertexId u, VertexId v);
+
+  // -- drifted state ------------------------------------------------------
+  /// Directed cut edges of the current (mutated) graph under the frozen
+  /// owner assignment.
+  [[nodiscard]] EdgeId cut_edges() const { return cut_edges_; }
+  /// Ghost vertices currently required, summed over chips (a global vertex
+  /// ghosted on k chips counts k times) — comparable to
+  /// ShardPlan::total_ghosts.
+  [[nodiscard]] VertexId total_ghosts() const {
+    return static_cast<VertexId>(ghost_refs_.size());
+  }
+  /// The baseline plan's cut at rebase time.
+  [[nodiscard]] EdgeId planned_cut_edges() const { return planned_cut_; }
+  /// |current cut - planned cut|: the drift magnitude driving the trigger.
+  [[nodiscard]] EdgeId cut_drift() const {
+    return cut_edges_ > planned_cut_ ? cut_edges_ - planned_cut_
+                                     : planned_cut_ - cut_edges_;
+  }
+  /// Mutations recorded since the last rebase.
+  [[nodiscard]] std::uint64_t mutations_since_rebase() const {
+    return mutations_;
+  }
+
+  /// True when the cut drifted by more than `threshold` (a fraction of the
+  /// planned cut; e.g. 0.2 = recut after 20% drift). Never fires for
+  /// single-chip plans or non-positive thresholds.
+  [[nodiscard]] bool should_reshard(double threshold) const;
+
+  /// Adopt a freshly computed plan as the new baseline and reset drift.
+  void rebase(const ShardPlan& plan);
+
+ private:
+  void set_baseline(const ShardPlan& plan);
+  /// Ghost refcount key: which chip ghosts which global vertex.
+  [[nodiscard]] static std::uint64_t ghost_key(std::uint32_t chip,
+                                               VertexId global) {
+    return (static_cast<std::uint64_t>(chip) << 32) | global;
+  }
+
+  std::uint32_t num_chips_ = 1;
+  /// Frozen owner per vertex known to the baseline plan.
+  std::vector<std::uint32_t> planned_owner_;
+  EdgeId planned_cut_ = 0;
+  EdgeId cut_edges_ = 0;
+  /// (chip, global vertex) -> number of that chip's owned->remote cut edges
+  /// targeting the vertex; the vertex is a ghost on the chip iff the count
+  /// is positive.
+  std::unordered_map<std::uint64_t, EdgeId> ghost_refs_;
+  std::uint64_t mutations_ = 0;
+};
+
+}  // namespace aurora::cluster

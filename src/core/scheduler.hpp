@@ -25,6 +25,12 @@ namespace aurora::core {
 struct ScheduledRequest {
   GnnJob job;
   std::string label;
+  /// Identity of the dataset this request runs over, when it is not the
+  /// engine's ambient dataset (dynamic workloads dispatch per-request
+  /// sampled mini-batches). Folded into the cluster scheduler's service
+  /// cache key so equal-shaped jobs over different subgraphs never alias;
+  /// empty for the ambient dataset.
+  std::string dataset_key{};
 };
 
 /// Stable identity of the partition/NoC configuration a job induces (the

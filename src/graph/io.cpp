@@ -46,11 +46,31 @@ CsrGraph read_edge_list(std::istream& in, bool symmetrize,
                                                  << "'");
     AURORA_CHECK_MSG(u < kInvalidVertex && v < kInvalidVertex,
                      "vertex id out of range at line " << line_no);
+    if (num_vertices > 0) {
+      // A forced vertex count turns stray ids into a loud load-time error
+      // instead of a CsrBuilder range failure with no line context.
+      AURORA_CHECK_MSG(u < num_vertices && v < num_vertices,
+                       "edge (" << u << ", " << v << ") at line " << line_no
+                                << " exceeds the declared vertex count "
+                                << num_vertices);
+    }
     edges.emplace_back(static_cast<VertexId>(u), static_cast<VertexId>(v));
     max_id = std::max({max_id, static_cast<VertexId>(u),
                        static_cast<VertexId>(v)});
   }
   AURORA_CHECK_MSG(!edges.empty(), "edge list contains no edges");
+  // Repeated directed edges would be silently collapsed by CsrBuilder's
+  // dedup, corrupting degree counts relative to the input's intent; reject
+  // them here where the offense is attributable. (Symmetrised loads still
+  // accept "u v" together with "v u" — write_edge_list emits both.)
+  {
+    auto sorted = edges;
+    std::sort(sorted.begin(), sorted.end());
+    const auto dup = std::adjacent_find(sorted.begin(), sorted.end());
+    AURORA_CHECK_MSG(dup == sorted.end(),
+                     "duplicate edge (" << dup->first << ", " << dup->second
+                                        << ") in edge list");
+  }
   const VertexId n = std::max<VertexId>(num_vertices, max_id + 1);
   CsrBuilder b(n);
   for (const auto& [u, v] : edges) {

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <limits>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -32,9 +33,16 @@ struct ServingRequest {
   std::uint32_t priority = 0;
   core::GnnJob job;
   std::string label;
-  /// Batch-compatibility key (core::job_signature of `job`): equal keys
-  /// share a partition/NoC configuration.
+  /// Batch-compatibility key: equal keys share a partition/NoC
+  /// configuration. core::job_signature of `job` for ambient-dataset
+  /// requests; dynamic workloads prefix it with the dataset key (a
+  /// configuration is only shareable over the same subgraph).
   std::string compat_key;
+  /// Per-request dataset (a sampled mini-batch); null requests run over the
+  /// serving engine's ambient dataset.
+  std::shared_ptr<const graph::Dataset> dataset;
+  /// Identity of `dataset` for service caching; empty when null.
+  std::string dataset_key;
   Cycle arrival = 0;
   /// Absolute deadline (arrival + SLO), or kNoDeadline.
   Cycle deadline = kNoDeadline;

@@ -249,6 +249,9 @@ ServingReport ServingEngine::replay(const graph::Dataset& dataset,
   for (ServingRequest& request : requests) {
     if (request.compat_key.empty()) {
       request.compat_key = core::job_signature(request.job);
+      if (!request.dataset_key.empty()) {
+        request.compat_key = request.dataset_key + "|" + request.compat_key;
+      }
     }
   }
   return serve_all(dataset, std::move(requests));
@@ -364,8 +367,13 @@ ServingReport ServingEngine::serve_all(const graph::Dataset& dataset,
     std::optional<std::uint32_t> pin_chip;
     bool follower = false;
     for (ServingRequest& request : batch) {
+      // Dynamic workloads attach a per-request mini-batch dataset; its key
+      // rides along so the service cache never aliases across subgraphs.
+      const graph::Dataset& request_dataset =
+          request.dataset != nullptr ? *request.dataset : dataset;
       cluster::ClusterOutcome outcome = scheduler.serve(
-          dataset, {request.job, request.label}, params_.mode,
+          request_dataset,
+          {request.job, request.label, request.dataset_key}, params_.mode,
           std::max(request.arrival, request.not_before), follower, pin_chip);
       if (outcome.shard_fallback) ++report.shard_fallbacks;
       if (outcome.failed) {

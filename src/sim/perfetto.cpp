@@ -256,6 +256,29 @@ void emit_process(EventWriter& w, int pid, const TraceProcess& proc) {
                     << ", \"multiplier_permille\": " << r.arg1 << "}";
           w.end();
           break;
+        case TraceEvent::kGraphMutation: {
+          static constexpr const char* kMutationNames[] = {
+              "edge-add", "edge-remove", "vertex-add", "vertex-remove"};
+          const auto kind = std::min<std::uint64_t>(r.arg0, 3);
+          w.begin() << "\"ph\": \"i\", \"s\": \"t\", \"pid\": " << pid
+                    << ", \"tid\": " << kTidControl << ", \"ts\": " << r.at
+                    << ", \"name\": \"graph-mutation\", \"args\": {\"kind\": "
+                    << "\"" << kMutationNames[kind] << "\", \"u\": "
+                    << unpack_u32_hi(r.arg1)
+                    << ", \"v\": " << unpack_u32_lo(r.arg1)
+                    << ", \"edges\": " << r.arg2 << "}";
+          w.end();
+          break;
+        }
+        case TraceEvent::kReshard:
+          w.begin() << "\"ph\": \"i\", \"s\": \"t\", \"pid\": " << pid
+                    << ", \"tid\": " << kTidControl << ", \"ts\": " << r.at
+                    << ", \"name\": \"reshard\", \"args\": {\"chips\": "
+                    << r.arg0 << ", \"cut_edges\": " << r.arg1
+                    << ", \"drifted_cut_edges\": " << r.arg2
+                    << ", \"mutations_absorbed\": " << r.arg3 << "}";
+          w.end();
+          break;
         case TraceEvent::kTaskComplete:
           break;  // per-task instants would swamp the view; counters cover it
       }

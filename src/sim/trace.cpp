@@ -49,6 +49,10 @@ const char* trace_event_name(TraceEvent e) {
       return "link-degraded";
     case TraceEvent::kLinkRestored:
       return "link-restored";
+    case TraceEvent::kGraphMutation:
+      return "graph-mutation";
+    case TraceEvent::kReshard:
+      return "reshard";
   }
   throw Error("invalid TraceEvent");
 }

@@ -65,6 +65,17 @@ enum class TraceEvent : std::uint8_t {
   kChipUp,
   kLinkDegraded,
   kLinkRestored,
+  /// Dynamic-graph workload annotations (src/workload), recorded on the
+  /// control-plane (serving/arrival) clock. A streaming graph mutation:
+  /// arg0 = mutation kind (0 edge-add, 1 edge-remove, 2 vertex-add,
+  /// 3 vertex-remove), arg1 = pack_u32_pair(u, v) (v = 0 for vertex ops),
+  /// arg2 = the logical directed edge count after the mutation.
+  kGraphMutation,
+  /// The shard churn tracker crossed its drift threshold and the planner
+  /// recut the graph: arg0 = chip count, arg1 = the fresh plan's cut edges,
+  /// arg2 = the drifted cut-edge count that triggered the recut, arg3 = the
+  /// mutations absorbed since the previous plan.
+  kReshard,
 };
 
 /// Run kinds carried in kRunBegin's arg0.

@@ -1,0 +1,149 @@
+// Streaming graph maintenance over an immutable CSR base.
+//
+// The serving scenarios the paper motivates (recommendation graphs under
+// load) mutate the graph while requests are in flight, but graph::CsrGraph
+// is deliberately immutable — every engine consumes frozen row_ptr/col_idx
+// arrays. DynamicGraph bridges the two worlds with a delta overlay: the
+// bulk of the adjacency stays in a compact CSR `base`, streaming edge and
+// vertex updates accumulate in per-vertex sorted delta lists, and a
+// threshold-triggered compaction folds the overlay back into a fresh CSR.
+// Compaction is an O(n + m) per-vertex merge whose output is bit-identical
+// to rebuilding the CSR from scratch from the logical edge set — the
+// invariant the workload tests and fuzzer pin — so downstream consumers
+// (sampler, shard planner, engines) never observe a half-updated graph.
+//
+// Directed-edge semantics mirror CsrBuilder: self loops are rejected and
+// duplicate edges are refused (mutators return false instead of silently
+// double-counting). The repo stores GNN graphs with both directions
+// materialised, so the undirected mutators are the primary interface;
+// remove_vertex relies on that symmetry to find in-edges via out-edges.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/csr.hpp"
+
+namespace aurora::workload {
+
+/// Neighbor access shared by frozen and streaming graphs, so the sampler
+/// runs unchanged over either. Neighbor lists are always sorted and
+/// duplicate-free, matching CsrGraph's contract.
+class GraphSource {
+ public:
+  virtual ~GraphSource() = default;
+  [[nodiscard]] virtual VertexId num_vertices() const = 0;
+  [[nodiscard]] virtual EdgeId degree(VertexId v) const = 0;
+  /// Append v's current neighbors (sorted ascending) to `out`.
+  virtual void append_neighbors(VertexId v,
+                                std::vector<VertexId>& out) const = 0;
+};
+
+/// A frozen CSR as a GraphSource (non-owning view).
+class CsrSource final : public GraphSource {
+ public:
+  explicit CsrSource(const graph::CsrGraph& g) : g_(&g) {}
+  [[nodiscard]] VertexId num_vertices() const override {
+    return g_->num_vertices();
+  }
+  [[nodiscard]] EdgeId degree(VertexId v) const override {
+    return g_->degree(v);
+  }
+  void append_neighbors(VertexId v,
+                        std::vector<VertexId>& out) const override {
+    const auto nb = g_->neighbors(v);
+    out.insert(out.end(), nb.begin(), nb.end());
+  }
+
+ private:
+  const graph::CsrGraph* g_;
+};
+
+struct CompactionPolicy {
+  /// Compact when overlay entries exceed this fraction of the base edge
+  /// count; <= 0 disables automatic compaction (explicit compact() only).
+  double threshold_fraction = 0.25;
+  /// Overlay entries below this never trigger compaction, so tiny graphs
+  /// don't thrash.
+  EdgeId min_overlay_edges = 256;
+};
+
+/// A mutable graph: immutable CSR base + per-vertex delta overlay.
+class DynamicGraph final : public GraphSource {
+ public:
+  explicit DynamicGraph(graph::CsrGraph base, CompactionPolicy policy = {});
+
+  // -- GraphSource --------------------------------------------------------
+  [[nodiscard]] VertexId num_vertices() const override { return n_; }
+  [[nodiscard]] EdgeId degree(VertexId v) const override;
+  void append_neighbors(VertexId v,
+                        std::vector<VertexId>& out) const override;
+
+  // -- queries ------------------------------------------------------------
+  /// Logical directed edge count (base minus removals plus additions).
+  [[nodiscard]] EdgeId num_edges() const { return logical_edges_; }
+  [[nodiscard]] bool has_edge(VertexId u, VertexId v) const;
+
+  // -- mutators (directed) ------------------------------------------------
+  /// Insert u -> v. Returns false (and changes nothing) for self loops and
+  /// edges already present.
+  bool add_edge(VertexId u, VertexId v);
+  /// Delete u -> v. Returns false when the edge is absent.
+  bool remove_edge(VertexId u, VertexId v);
+
+  // -- mutators (undirected, the GNN-dataset idiom) -----------------------
+  /// Insert both directions; returns true when at least one was new.
+  bool add_undirected_edge(VertexId u, VertexId v);
+  /// Delete both directions; returns true when at least one existed.
+  bool remove_undirected_edge(VertexId u, VertexId v);
+  /// Append a fresh isolated vertex; returns its id.
+  VertexId add_vertex();
+  /// Drop every edge incident to v (both directions — the graph must be
+  /// symmetric, which the undirected mutators preserve). The id stays valid
+  /// with degree 0, so vertex ids never shift under churn. Returns the
+  /// number of directed edges removed.
+  EdgeId remove_vertex(VertexId v);
+
+  // -- compaction ---------------------------------------------------------
+  /// Fold the overlay into a fresh base CSR via a per-vertex sorted merge.
+  /// Bit-identical to `snapshot()` (tested + fuzzed). No-op when clean.
+  void compact();
+  /// From-scratch CSR rebuild of the current logical edge set (reference
+  /// semantics for compact(), and the frozen copy handed to planners).
+  [[nodiscard]] graph::CsrGraph snapshot() const;
+  /// The compacted CSR under the overlay. Only equal to the logical graph
+  /// right after compact().
+  [[nodiscard]] const graph::CsrGraph& base() const { return base_; }
+
+  // -- accounting ---------------------------------------------------------
+  /// Pending overlay entries (added + removed directed edges).
+  [[nodiscard]] EdgeId overlay_edges() const { return overlay_edges_; }
+  /// Bumps on every successful mutation.
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+  [[nodiscard]] std::uint64_t compactions() const { return compactions_; }
+  [[nodiscard]] const CompactionPolicy& policy() const { return policy_; }
+
+ private:
+  struct Delta {
+    /// Sorted, disjoint from the base row; edges not yet in the base CSR.
+    std::vector<VertexId> added;
+    /// Sorted, subset of the base row; edges logically deleted.
+    std::vector<VertexId> removed;
+  };
+
+  /// v's base-CSR neighbors ([] for vertices appended after the base).
+  [[nodiscard]] std::span<const VertexId> base_neighbors(VertexId v) const;
+  void maybe_auto_compact();
+
+  graph::CsrGraph base_;
+  CompactionPolicy policy_;
+  VertexId n_ = 0;
+  std::vector<Delta> delta_;
+  EdgeId logical_edges_ = 0;
+  EdgeId overlay_edges_ = 0;
+  std::uint64_t version_ = 0;
+  std::uint64_t compactions_ = 0;
+};
+
+}  // namespace aurora::workload

@@ -1,0 +1,131 @@
+#include "workload/sampler.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "graph/degree.hpp"
+
+namespace aurora::workload {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+void fnv_mix(std::uint64_t& h, std::uint64_t x) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (x >> (8 * i)) & 0xff;
+    h *= kFnvPrime;
+  }
+}
+
+}  // namespace
+
+NeighborSampler::NeighborSampler(SamplerParams params)
+    : params_(std::move(params)) {
+  AURORA_CHECK_MSG(!params_.fanouts.empty(),
+                   "sampler needs at least one fanout hop");
+}
+
+SampledBatch NeighborSampler::sample(const GraphSource& source,
+                                     const std::vector<VertexId>& seeds,
+                                     std::uint64_t salt) const {
+  AURORA_CHECK_MSG(!seeds.empty(), "sampler needs at least one seed vertex");
+  const VertexId n = source.num_vertices();
+
+  SampledBatch batch;
+  batch.global_ids.reserve(seeds.size() * 8);
+  // local_of assigns compact ids in discovery order; seeds claim the first
+  // slots (duplicate seeds collapse).
+  std::unordered_map<VertexId, VertexId> local_of;
+  auto intern = [&](VertexId global) -> VertexId {
+    const auto [it, inserted] = local_of.try_emplace(
+        global, static_cast<VertexId>(batch.global_ids.size()));
+    if (inserted) batch.global_ids.push_back(global);
+    return it->second;
+  };
+
+  std::vector<VertexId> frontier;
+  for (const VertexId s : seeds) {
+    AURORA_CHECK_MSG(s < n, "sample seed " << s << " out of range");
+    const auto before = batch.global_ids.size();
+    intern(s);
+    if (batch.global_ids.size() > before) frontier.push_back(s);
+  }
+  batch.num_seeds = static_cast<std::uint32_t>(batch.global_ids.size());
+
+  Rng rng(params_.seed ^ (salt * 0x9E3779B97F4A7C15ull));
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  std::vector<VertexId> nbrs;
+  std::vector<VertexId> next;
+
+  for (const std::uint32_t fanout : params_.fanouts) {
+    next.clear();
+    for (const VertexId u : frontier) {
+      nbrs.clear();
+      source.append_neighbors(u, nbrs);
+      if (nbrs.empty()) continue;
+
+      auto visit = [&](VertexId v) {
+        ++batch.sampled_edges;
+        edges.emplace_back(u, v);
+        const auto before = batch.global_ids.size();
+        intern(v);
+        if (batch.global_ids.size() > before) next.push_back(v);
+      };
+
+      if (fanout == 0 || nbrs.size() <= fanout) {
+        for (const VertexId v : nbrs) visit(v);
+      } else if (params_.with_replacement) {
+        for (std::uint32_t i = 0; i < fanout; ++i) {
+          visit(nbrs[rng.next_below(nbrs.size())]);
+        }
+      } else {
+        // Partial Fisher-Yates: the first `fanout` slots end up a uniform
+        // without-replacement sample.
+        for (std::uint32_t i = 0; i < fanout; ++i) {
+          const auto j = i + rng.next_below(nbrs.size() - i);
+          std::swap(nbrs[i], nbrs[j]);
+          visit(nbrs[i]);
+        }
+      }
+    }
+    batch.frontier_sizes.push_back(static_cast<std::uint32_t>(next.size()));
+    frontier = next;
+    if (frontier.empty()) break;
+  }
+  while (batch.frontier_sizes.size() < params_.fanouts.size()) {
+    batch.frontier_sizes.push_back(0);
+  }
+
+  // Materialise the induced subgraph symmetrically (the repo's convention:
+  // aggregation reads both directions), remapped to local ids.
+  graph::CsrBuilder builder(
+      static_cast<VertexId>(batch.global_ids.size()));
+  for (const auto& [u, v] : edges) {
+    builder.add_undirected_edge(local_of.at(u), local_of.at(v));
+  }
+  batch.subgraph = std::move(builder).build();
+
+  std::uint64_t h = kFnvOffset;
+  fnv_mix(h, batch.global_ids.size());
+  for (const VertexId g : batch.global_ids) fnv_mix(h, g);
+  for (const EdgeId r : batch.subgraph.row_ptr()) fnv_mix(h, r);
+  for (const VertexId c : batch.subgraph.col_idx()) fnv_mix(h, c);
+  batch.content_hash = h;
+  return batch;
+}
+
+std::shared_ptr<const graph::Dataset> make_batch_dataset(
+    const graph::Dataset& parent, SampledBatch batch) {
+  auto ds = std::make_shared<graph::Dataset>();
+  ds->spec = parent.spec;
+  ds->scale = parent.scale;
+  ds->degree_stats = graph::compute_degree_stats(batch.subgraph);
+  ds->graph = std::move(batch.subgraph);
+  return ds;
+}
+
+}  // namespace aurora::workload

@@ -1,0 +1,193 @@
+#include "workload/workload_gen.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "cluster/shard_churn.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/scheduler.hpp"
+#include "graph/degree.hpp"
+
+namespace aurora::workload {
+
+namespace {
+
+/// Decorrelates the op-mix draws from the arrival clock (both take the same
+/// user seed).
+constexpr std::uint64_t kOpSeedSalt = 0xD1B54A32D192ED03ull;
+
+}  // namespace
+
+WorkloadGenerator::WorkloadGenerator(DynamicWorkloadParams params)
+    : params_(std::move(params)) {
+  AURORA_CHECK_MSG(params_.num_ops > 0, "workload needs at least one op");
+  AURORA_CHECK_MSG(
+      params_.mutation_fraction >= 0.0 && params_.mutation_fraction <= 1.0,
+      "mutation_fraction must be in [0, 1]");
+  AURORA_CHECK_MSG(params_.num_seeds >= 1, "queries need at least one seed");
+  AURORA_CHECK_MSG(params_.num_tenants >= 1, "need at least one tenant");
+  AURORA_CHECK_MSG(params_.num_chips >= 1, "need at least one chip");
+}
+
+DynamicWorkload WorkloadGenerator::generate(DynamicGraph& dyn,
+                                            const graph::Dataset& parent,
+                                            const core::GnnJob& job,
+                                            sim::Tracer* tracer) const {
+  serving::ArrivalProcess arrivals(params_.arrival, params_.seed);
+  Rng ops(params_.seed + kOpSeedSalt);
+  NeighborSampler sampler(params_.sampler);
+  const std::string job_sig = core::job_signature(job);
+
+  DynamicWorkload out;
+  DynamicWorkloadStats& stats = out.stats;
+  const std::uint64_t compactions_before = dyn.compactions();
+
+  // Churn-aware sharding: baseline the tracker on a fresh cut of the
+  // current graph. Recuts freeze hash ownership for vertices born between
+  // rebases, so kHash keeps tracker counters exactly replayable against a
+  // from-scratch plan (the property the tests pin).
+  std::unique_ptr<cluster::ShardChurnTracker> tracker;
+  const bool track_churn = params_.num_chips >= 2;
+  auto plan_dataset = [&]() {
+    graph::Dataset ds;
+    ds.spec = parent.spec;
+    ds.scale = parent.scale;
+    ds.graph = dyn.snapshot();
+    ds.degree_stats = graph::compute_degree_stats(ds.graph);
+    return ds;
+  };
+  if (track_churn) {
+    const graph::Dataset ds = plan_dataset();
+    tracker = std::make_unique<cluster::ShardChurnTracker>(
+        cluster::make_shard_plan(ds, params_.num_chips,
+                                 params_.shard_strategy));
+  }
+
+  // Directed-edge mutators gated on DynamicGraph's "actually changed"
+  // return, so tracker counts stay exact under duplicate inserts and
+  // missing-edge deletes.
+  auto add_directed = [&](VertexId u, VertexId v) {
+    if (!dyn.add_edge(u, v)) return false;
+    if (tracker) tracker->note_edge_added(u, v);
+    return true;
+  };
+  auto remove_directed = [&](VertexId u, VertexId v) {
+    if (!dyn.remove_edge(u, v)) return false;
+    if (tracker) tracker->note_edge_removed(u, v);
+    return true;
+  };
+
+  std::vector<VertexId> scratch;
+  for (std::uint64_t i = 0; i < params_.num_ops; ++i) {
+    const Cycle at = arrivals.next();
+    const VertexId n = dyn.num_vertices();
+
+    if (ops.next_bool(params_.mutation_fraction)) {
+      GraphMutation m;
+      m.at = at;
+      ++stats.mutations;
+      const bool vertex_op = ops.next_bool(params_.vertex_fraction);
+      const bool insert = ops.next_bool(params_.insert_fraction);
+      if (vertex_op && insert) {
+        m.kind = GraphMutation::Kind::kVertexAdd;
+        m.u = dyn.add_vertex();
+        m.v = 0;
+        m.applied = true;
+        ++stats.vertex_adds;
+      } else if (vertex_op) {
+        m.kind = GraphMutation::Kind::kVertexRemove;
+        m.u = static_cast<VertexId>(ops.next_below(n));
+        m.v = 0;
+        // Manual edge-by-edge removal (instead of dyn.remove_vertex) so the
+        // churn tracker sees every directed edge that actually vanished.
+        scratch.clear();
+        dyn.append_neighbors(m.u, scratch);
+        for (const VertexId w : scratch) {
+          m.applied |= remove_directed(m.u, w);
+          m.applied |= remove_directed(w, m.u);
+        }
+        ++stats.vertex_removes;
+      } else if (insert) {
+        m.kind = GraphMutation::Kind::kEdgeAdd;
+        m.u = static_cast<VertexId>(ops.next_below(n));
+        m.v = static_cast<VertexId>(ops.next_below(n));
+        m.applied |= add_directed(m.u, m.v);
+        m.applied |= add_directed(m.v, m.u);
+        ++stats.edge_adds;
+      } else {
+        m.kind = GraphMutation::Kind::kEdgeRemove;
+        m.u = static_cast<VertexId>(ops.next_below(n));
+        scratch.clear();
+        dyn.append_neighbors(m.u, scratch);
+        if (!scratch.empty()) {
+          m.v = scratch[ops.next_below(scratch.size())];
+          m.applied |= remove_directed(m.u, m.v);
+          m.applied |= remove_directed(m.v, m.u);
+        } else {
+          m.v = m.u;  // isolated vertex: the delete is generated but inert
+        }
+        ++stats.edge_removes;
+      }
+
+      if (m.applied && tracer != nullptr) {
+        tracer->record(m.at, sim::TraceEvent::kGraphMutation,
+                       static_cast<std::uint64_t>(m.kind),
+                       sim::pack_u32_pair(m.u, m.v), dyn.num_edges());
+      }
+      out.mutations.push_back(m);
+
+      if (tracker && tracker->should_reshard(params_.reshard_threshold)) {
+        const graph::Dataset ds = plan_dataset();
+        const cluster::ShardPlan plan = cluster::make_shard_plan(
+            ds, params_.num_chips, params_.shard_strategy);
+        if (tracer != nullptr) {
+          tracer->record(at, sim::TraceEvent::kReshard, params_.num_chips,
+                         plan.cut_edges, tracker->cut_edges(),
+                         tracker->mutations_since_rebase());
+        }
+        tracker->rebase(plan);
+        ++stats.reshards;
+      }
+      continue;
+    }
+
+    // Query: sample against the graph as of this cycle.
+    std::vector<VertexId> seeds;
+    seeds.reserve(params_.num_seeds);
+    for (std::uint32_t s = 0; s < params_.num_seeds; ++s) {
+      seeds.push_back(static_cast<VertexId>(ops.next_below(n)));
+    }
+    SampledBatch batch = sampler.sample(dyn, seeds, /*salt=*/i);
+
+    serving::ServingRequest request;
+    request.id = i;
+    request.tenant =
+        static_cast<std::uint32_t>(ops.next_below(params_.num_tenants));
+    request.job = job;
+    request.label = "query #" + std::to_string(i);
+    request.dataset_key =
+        "q" + std::to_string(i) + ":" + std::to_string(batch.content_hash);
+    request.compat_key = request.dataset_key + "|" + job_sig;
+    request.arrival = at;
+    request.deadline = params_.slo_cycles == 0
+                           ? serving::kNoDeadline
+                           : at + params_.slo_cycles;
+    request.dataset = make_batch_dataset(parent, std::move(batch));
+    out.queries.push_back(std::move(request));
+    ++stats.queries;
+  }
+
+  stats.compactions = dyn.compactions() - compactions_before;
+  stats.final_vertices = dyn.num_vertices();
+  stats.final_edges = dyn.num_edges();
+  if (tracker) {
+    stats.final_cut_edges = tracker->cut_edges();
+    stats.planned_cut_edges = tracker->planned_cut_edges();
+  }
+  return out;
+}
+
+}  // namespace aurora::workload

@@ -1,0 +1,121 @@
+// Interleaved update/query workload generation for dynamic-graph serving.
+//
+// The generator drives a DynamicGraph and the serving stack with one merged
+// event stream on the open-loop arrival clock: each event is either a graph
+// mutation (edge/vertex insert/delete, applied to the dynamic graph at its
+// arrival cycle) or an inference query (a neighbor-sampled mini-batch drawn
+// against the graph *as of that cycle*, materialised as a self-contained
+// dataset and serving request). Multi-chip deployments additionally thread
+// every mutation through a cluster::ShardChurnTracker and recut the graph
+// when the cut drifts past a threshold. Everything draws from aurora::Rng,
+// so a fixed seed reproduces the stream — mutations, sampled batches,
+// reshard points — bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/shard.hpp"
+#include "common/types.hpp"
+#include "core/aurora.hpp"
+#include "serving/arrival.hpp"
+#include "serving/request_queue.hpp"
+#include "sim/trace.hpp"
+#include "workload/dynamic_graph.hpp"
+#include "workload/sampler.hpp"
+
+namespace aurora::workload {
+
+struct DynamicWorkloadParams {
+  serving::ArrivalParams arrival;
+  /// Seeds the arrival clock, the op mix and every sampler draw.
+  std::uint64_t seed = 7;
+  /// Total events (mutations + queries) to generate.
+  std::uint64_t num_ops = 256;
+  /// Probability an event is a graph mutation (the churn rate knob; the
+  /// rest are inference queries).
+  double mutation_fraction = 0.5;
+  /// Probability a mutation inserts (vs deletes).
+  double insert_fraction = 0.7;
+  /// Probability a mutation targets a vertex (vs an edge).
+  double vertex_fraction = 0.05;
+  /// Sampler seed vertices per query.
+  std::uint32_t num_seeds = 4;
+  SamplerParams sampler;
+  /// Query metadata passed through to the serving requests.
+  std::uint32_t num_tenants = 1;
+  Cycle slo_cycles = 0;
+  /// Churn-aware sharding: with num_chips >= 2 every applied mutation is
+  /// threaded through a ShardChurnTracker and the graph is recut whenever
+  /// the cut drifts by more than reshard_threshold (see
+  /// ShardChurnTracker::should_reshard; <= 0 disables recuts).
+  std::uint32_t num_chips = 1;
+  cluster::ShardStrategy shard_strategy = cluster::ShardStrategy::kHash;
+  double reshard_threshold = 0.2;
+};
+
+struct GraphMutation {
+  /// Matches the kGraphMutation trace encoding (arg0).
+  enum class Kind : std::uint8_t {
+    kEdgeAdd = 0,
+    kEdgeRemove = 1,
+    kVertexAdd = 2,
+    kVertexRemove = 3,
+  };
+  Kind kind{};
+  Cycle at = 0;
+  VertexId u = kInvalidVertex;
+  VertexId v = kInvalidVertex;
+  /// Whether the mutation changed the graph (an insert of an existing edge
+  /// or a delete on an isolated vertex is generated but inert).
+  bool applied = false;
+};
+
+struct DynamicWorkloadStats {
+  std::uint64_t mutations = 0;
+  std::uint64_t edge_adds = 0;
+  std::uint64_t edge_removes = 0;
+  std::uint64_t vertex_adds = 0;
+  std::uint64_t vertex_removes = 0;
+  std::uint64_t queries = 0;
+  /// Dynamic-graph compactions triggered while generating.
+  std::uint64_t compactions = 0;
+  /// Threshold-triggered recuts (multi-chip only).
+  std::uint64_t reshards = 0;
+  VertexId final_vertices = 0;
+  EdgeId final_edges = 0;
+  /// Final drifted/planned cut (0 when churn tracking is off).
+  EdgeId final_cut_edges = 0;
+  EdgeId planned_cut_edges = 0;
+};
+
+struct DynamicWorkload {
+  /// Sampled inference requests in arrival order, each carrying its own
+  /// mini-batch dataset — ready for ServingEngine::replay.
+  std::vector<serving::ServingRequest> queries;
+  /// The mutation trace, in arrival order.
+  std::vector<GraphMutation> mutations;
+  DynamicWorkloadStats stats;
+};
+
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(DynamicWorkloadParams params);
+
+  /// Generate the event stream, mutating `dyn` in place (it ends in the
+  /// post-churn state). `parent` supplies the feature spec inherited by the
+  /// batch datasets; `job` is the model every query runs. An enabled
+  /// `tracer` receives kGraphMutation / kReshard instants on the arrival
+  /// clock.
+  [[nodiscard]] DynamicWorkload generate(DynamicGraph& dyn,
+                                         const graph::Dataset& parent,
+                                         const core::GnnJob& job,
+                                         sim::Tracer* tracer = nullptr) const;
+
+  [[nodiscard]] const DynamicWorkloadParams& params() const { return params_; }
+
+ private:
+  DynamicWorkloadParams params_;
+};
+
+}  // namespace aurora::workload

@@ -412,5 +412,88 @@ TEST(Components, SingleComponentRing) {
   EXPECT_EQ(stats.isolated_vertices, 0u);
 }
 
+// Degenerate-shape coverage: zero-degree vertices, self loops and
+// single-vertex graphs must flow through every CSR helper without special
+// casing (dynamic workloads routinely produce them as sampled mini-batches).
+
+TEST(CsrEdgeCases, ZeroDegreeVerticesSurviveHelpers) {
+  // Vertices 0 and 3 are isolated; 1-2 carry the only edge.
+  CsrBuilder b(4);
+  b.add_undirected_edge(1, 2);
+  const CsrGraph g = std::move(b).build();
+  g.validate();
+  EXPECT_EQ(g.degree(0), 0u);
+  EXPECT_EQ(g.degree(3), 0u);
+
+  // Tiling covers isolated vertices (they still occupy feature capacity).
+  TilingParams tp;
+  tp.capacity_bytes = 64;
+  tp.feature_bytes = 16;
+  const auto tiling = tile_graph(g, tp);
+  VertexId covered = 0;
+  for (const auto& tile : tiling.tiles) {
+    covered += tile.vertex_end - tile.vertex_begin;
+  }
+  EXPECT_EQ(covered, 4u);
+
+  // Edge-balanced ranges still emit exact boundaries.
+  const auto bounds = balanced_edge_ranges(g, 2);
+  ASSERT_EQ(bounds.size(), 3u);
+  EXPECT_EQ(bounds.front(), 0u);
+  EXPECT_EQ(bounds.back(), 4u);
+
+  // Reorderings are full permutations: isolated vertices are not dropped.
+  for (const auto& order : {bfs_order(g, 0), degree_order(g)}) {
+    std::set<VertexId> seen(order.begin(), order.end());
+    EXPECT_EQ(seen.size(), 4u);
+    const CsrGraph h = apply_order(g, order);
+    EXPECT_EQ(h.num_vertices(), 4u);
+    EXPECT_EQ(h.num_edges(), 2u);
+    h.validate();
+  }
+  EXPECT_GE(locality_score(g, 1), 0.0);
+}
+
+TEST(CsrEdgeCases, BuilderDropsSelfLoopsEverywhere) {
+  CsrBuilder b(3);
+  b.add_edge(0, 0);
+  b.add_undirected_edge(1, 1);
+  b.add_undirected_edge(1, 2);
+  const CsrGraph g = std::move(b).build();
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_FALSE(g.has_edge(0, 0));
+  EXPECT_FALSE(g.has_edge(1, 1));
+  g.validate();  // validate() rejects self loops, so none survived
+}
+
+TEST(CsrEdgeCases, SingleVertexGraphAcrossHelpers) {
+  const CsrGraph g = std::move(CsrBuilder(1)).build();
+  g.validate();
+  EXPECT_EQ(g.num_vertices(), 1u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.neighbors(0).empty());
+
+  TilingParams tp;
+  tp.capacity_bytes = 1024;
+  tp.feature_bytes = 16;
+  const auto tiling = tile_graph(g, tp);
+  ASSERT_EQ(tiling.tiles.size(), 1u);
+  EXPECT_EQ(tiling.tiles[0].vertex_end, 1u);
+  EXPECT_EQ(tiling.tiles[0].num_cut_edges, 0u);
+
+  const auto bounds = balanced_edge_ranges(g, 1);
+  EXPECT_EQ(bounds, (std::vector<VertexId>{0, 1}));
+
+  EXPECT_EQ(bfs_order(g, 0), (std::vector<VertexId>{0}));
+  EXPECT_EQ(degree_order(g), (std::vector<VertexId>{0}));
+  const CsrGraph h = apply_order(g, {0});
+  EXPECT_EQ(h.num_vertices(), 1u);
+  EXPECT_EQ(h.num_edges(), 0u);
+
+  const auto stats = connected_components(g);
+  EXPECT_EQ(stats.num_components, 1u);
+  EXPECT_EQ(stats.isolated_vertices, 1u);
+}
+
 }  // namespace
 }  // namespace aurora::graph

@@ -50,6 +50,39 @@ TEST(EdgeListIo, RejectsGarbage) {
   EXPECT_THROW((void)graph::read_edge_list(empty), Error);
 }
 
+TEST(EdgeListIo, RejectsDuplicateEdges) {
+  std::istringstream dup("0 1\n1 2\n0 1\n");
+  try {
+    (void)graph::read_edge_list(dup, /*symmetrize=*/false);
+    FAIL() << "duplicate edge accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate edge (0, 1)"),
+              std::string::npos)
+        << e.what();
+  }
+  // The two directions of one undirected edge are distinct ordered pairs —
+  // symmetric inputs (write_edge_list output) stay loadable.
+  std::istringstream sym("0 1\n1 0\n");
+  const CsrGraph g = graph::read_edge_list(sym, /*symmetrize=*/false);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(EdgeListIo, RejectsOutOfRangeEndpoints) {
+  std::istringstream over("0 1\n3 9\n");
+  try {
+    (void)graph::read_edge_list(over, true, /*num_vertices=*/5);
+    FAIL() << "out-of-range endpoint accepted";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("edge (3, 9)"), std::string::npos) << what;
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("vertex count 5"), std::string::npos) << what;
+  }
+  // Without a declared count the graph grows to fit instead.
+  std::istringstream grow("0 1\n3 9\n");
+  EXPECT_EQ(graph::read_edge_list(grow, true).num_vertices(), 10u);
+}
+
 TEST(EdgeListIo, RoundTripsThroughText) {
   Rng rng(3);
   const CsrGraph g = graph::generate_erdos_renyi(50, 120, rng);
